@@ -1,0 +1,123 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   (Figures 6-10) plus the DESIGN.md ablations, then runs Bechamel
+   micro-benchmarks of the physical operators involved.
+
+   Configuration via environment:
+     TPCH_SF        scale factor (default 0.01)
+     TPCH_SEED      generator seed (default 42)
+     BENCH_REPEATS  timing repetitions (default 3)
+     BENCH_ONLY     comma-separated subset, e.g. "fig6,fig9,micro" *)
+
+open Experiments
+
+let wanted only name = only = [] || List.mem name only
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the physical operators                 *)
+(* ------------------------------------------------------------------ *)
+
+let micro_benchmarks (env : Setup.env) =
+  Benchkit.Report.print_title
+    "Operator micro-benchmarks (Bechamel, per-row costs)";
+  Benchkit.Report.print_note
+    "The audit operator's marginal cost is one hash probe per row — \
+     compare it with the costs of the operators it piggybacks on.";
+  let open Bechamel in
+  let open Toolkit in
+  let ctx = Db.Database.context env.Setup.db in
+  Db.Database.install_audit_sets env.Setup.db;
+  let view_ids = Audit_core.Sensitive_view.ids env.Setup.view in
+  let sample_id = Storage.Value.Int 7 in
+  let customer =
+    Storage.Catalog.find (Db.Database.catalog env.Setup.db) "customer"
+  in
+  let row =
+    match Storage.Table.find_by_key customer (Storage.Value.Int 1) with
+    | Some r -> r
+    | None -> assert false
+  in
+  let pred =
+    Plan.Binder.scalar
+      (Db.Database.catalog env.Setup.db)
+      (Storage.Table.schema customer)
+      (Sql.Parser.expression "c_acctbal > 0 AND c_mktsegment = 'BUILDING'")
+  in
+  let acc = Storage.Value.Hashtbl_v.create 64 in
+  let scan_plan = Setup.plan env "SELECT c_custkey FROM customer" in
+  let tests =
+    [
+      Test.make ~name:"audit-probe (hash mem + record)"
+        (Staged.stage (fun () ->
+             if Storage.Value.Hashtbl_v.mem view_ids sample_id then
+               Storage.Value.Hashtbl_v.replace acc sample_id ()));
+      Test.make ~name:"filter-predicate eval"
+        (Staged.stage (fun () -> ignore (Exec.Eval.truthy ctx row pred)));
+      Test.make ~name:"tuple hash (join probe)"
+        (Staged.stage (fun () -> ignore (Storage.Tuple.hash row)));
+      Test.make ~name:"full customer scan"
+        (Staged.stage (fun () ->
+             ignore (Exec.Executor.run_count ctx scan_plan)));
+    ]
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    in
+    Benchmark.all cfg instances test
+  in
+  let analyze raw =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  let grouped = Test.make_grouped ~name:"operators" ~fmt:"%s %s" tests in
+  let results = analyze (benchmark grouped) in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some [ e ] -> Printf.sprintf "%.1f ns/run" e
+        | _ -> "n/a"
+      in
+      rows := [ name; est ] :: !rows)
+    results;
+  Benchkit.Report.print_table ~headers:[ "operation"; "cost" ]
+    (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let cfg = Setup.config_of_env () in
+  let only =
+    match Sys.getenv_opt "BENCH_ONLY" with
+    | Some s -> String.split_on_char ',' (String.trim s)
+    | None -> []
+  in
+  Printf.printf
+    "SELECT Triggers for Data Auditing — evaluation harness\n\
+     =======================================================\n\
+     Loading TPC-H (sf=%g, seed=%d)...\n%!"
+    cfg.Setup.sf cfg.Setup.seed;
+  let t0 = Unix.gettimeofday () in
+  let env = Setup.prepare cfg in
+  Printf.printf "Loaded in %.1fs: %s\n%!"
+    (Unix.gettimeofday () -. t0)
+    (Setup.describe env);
+  if wanted only "fig6" then ignore (Figures.fig6 env);
+  if wanted only "fig7" then ignore (Figures.fig7 env);
+  if wanted only "fig8" then ignore (Figures.fig8 env);
+  if wanted only "fig9" then ignore (Figures.fig9 env);
+  if wanted only "fig10" then ignore (Figures.fig10 env);
+  if wanted only "ablation-idprop" then ignore (Figures.ablation_idprop env);
+  if wanted only "ablation-multi" then ignore (Figures.ablation_multi env);
+  if wanted only "ablation-provenance" then
+    ignore (Figures.ablation_provenance env);
+  if wanted only "ablation-static" then ignore (Figures.ablation_static env);
+  if wanted only "pipeline" then ignore (Pipeline.run env);
+  if wanted only "scaling" then
+    ignore (Scaling.run ~seed:cfg.Setup.seed ~repeats:cfg.Setup.repeats ());
+  if wanted only "micro" then micro_benchmarks env;
+  Printf.printf "\nDone in %.1fs total.\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,73 @@
+(* Command-line runner for individual experiments (see bench/main.ml for the
+   run-everything harness).
+
+   Examples:
+     dune exec bin/experiments_cli.exe -- --sf 0.02 fig6 fig9
+     dune exec bin/experiments_cli.exe -- --sf 0.01 --repeats 5 fig10 *)
+
+open Experiments
+
+let all_experiments =
+  [
+    ("fig6", fun env -> ignore (Figures.fig6 env));
+    ("fig7", fun env -> ignore (Figures.fig7 env));
+    ("fig8", fun env -> ignore (Figures.fig8 env));
+    ("fig9", fun env -> ignore (Figures.fig9 env));
+    ("fig10", fun env -> ignore (Figures.fig10 env));
+    ("ablation-idprop", fun env -> ignore (Figures.ablation_idprop env));
+    ("ablation-multi", fun env -> ignore (Figures.ablation_multi env));
+    ("ablation-provenance", fun env -> ignore (Figures.ablation_provenance env));
+    ("ablation-static", fun env -> ignore (Figures.ablation_static env));
+    ("pipeline", fun env -> ignore (Pipeline.run env));
+    ("scaling",
+      fun env ->
+        ignore
+          (Scaling.run ~seed:env.Setup.cfg.Setup.seed
+             ~repeats:env.Setup.cfg.Setup.repeats ()));
+  ]
+
+let main sf seed repeats names =
+  let names = if names = [] then List.map fst all_experiments else names in
+  let unknown =
+    List.filter (fun n -> not (List.mem_assoc n all_experiments)) names
+  in
+  if unknown <> [] then begin
+    Printf.eprintf "unknown experiment(s): %s\navailable: %s\n"
+      (String.concat ", " unknown)
+      (String.concat ", " (List.map fst all_experiments));
+    exit 1
+  end;
+  let cfg = { Setup.sf; seed; repeats; warmup = 1 } in
+  Printf.printf "Loading TPC-H (sf=%g, seed=%d)...\n%!" sf seed;
+  let env = Setup.prepare cfg in
+  Printf.printf "%s\n%!" (Setup.describe env);
+  List.iter (fun n -> (List.assoc n all_experiments) env) names
+
+open Cmdliner
+
+let sf =
+  let doc = "TPC-H scale factor." in
+  Arg.(value & opt float 0.01 & info [ "sf" ] ~docv:"SF" ~doc)
+
+let seed =
+  let doc = "Data generator seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let repeats =
+  let doc = "Timing repetitions (median taken)." in
+  Arg.(value & opt int 3 & info [ "repeats" ] ~docv:"N" ~doc)
+
+let names =
+  let doc =
+    "Experiments to run (default: all). One of: fig6 fig7 fig8 fig9 fig10 \
+     ablation-idprop ablation-provenance ablation-static."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let cmd =
+  let doc = "regenerate the paper's evaluation figures" in
+  Cmd.v
+    (Cmd.info "experiments" ~doc)
+    Term.(const main $ sf $ seed $ repeats $ names)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,153 @@
+(* Interactive SQL shell with SELECT triggers.
+
+   Statements end with ';'. Backslash commands:
+     \q                     quit
+     \tables                list tables
+     \audits                list audit expressions
+     \triggers              list triggers
+     \notifications         show (and clear) NOTIFY output
+     \accessed              ACCESSED state of the last SELECT
+     \plan <sql>            show the instrumented plan for a query
+     \dump [file]           SQL dump of the database (to stdout or file)
+     \heuristic <h>         leaf | hcn | highest
+     \user <name>           set session user
+     \tpch <sf>             load the TPC-H benchmark at scale factor <sf>
+*)
+
+let usage_commands =
+  "commands: \\q \\tables \\audits \\triggers \\notifications \\accessed \
+   \\plan <sql> \\dump [file] \\heuristic <leaf|hcn|highest> \\user <name> \
+   \\tpch <sf>"
+
+let print_result r = print_endline (Db.Database.result_to_string r)
+
+let handle_command db line =
+  let parts = String.split_on_char ' ' (String.trim line) in
+  match parts with
+  | [ "\\q" ] -> raise Exit
+  | [ "\\tables" ] ->
+    List.iter print_endline (Storage.Catalog.names (Db.Database.catalog db))
+  | [ "\\audits" ] ->
+    List.iter
+      (fun n ->
+        let v = Db.Database.audit_view db n in
+        Printf.printf "%s (%d sensitive IDs)\n" n
+          (Audit_core.Sensitive_view.cardinality v))
+      (Db.Database.audit_names db)
+  | [ "\\triggers" ] ->
+    List.iter
+      (fun (t : Audit_core.Trigger.t) ->
+        let ev =
+          match t.Audit_core.Trigger.event with
+          | Sql.Ast.On_access a -> "ON ACCESS TO " ^ a
+          | Sql.Ast.On_dml (tb, e) ->
+            Printf.sprintf "ON %s AFTER %s" tb
+              (match e with
+              | Sql.Ast.Ev_insert -> "INSERT"
+              | Sql.Ast.Ev_update -> "UPDATE"
+              | Sql.Ast.Ev_delete -> "DELETE")
+        in
+        Printf.printf "%s %s\n" t.Audit_core.Trigger.name ev)
+      (Audit_core.Trigger.all (Db.Database.trigger_manager db))
+  | [ "\\notifications" ] ->
+    List.iter print_endline (Db.Database.notifications db);
+    Db.Database.clear_notifications db
+  | [ "\\accessed" ] ->
+    List.iter
+      (fun (audit, ids) ->
+        Printf.printf "%s: %s\n" audit
+          (String.concat ", " (List.map Storage.Value.to_string ids)))
+      (Db.Database.last_accessed db)
+  | "\\dump" :: rest ->
+    let text = Db.Database.dump db in
+    (match rest with
+    | [] -> print_string text
+    | path :: _ ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "dumped to %s\n" path)
+  | "\\plan" :: rest ->
+    let sql = String.concat " " rest in
+    let plan = Db.Database.plan_sql db sql in
+    print_string (Plan.Logical.to_string plan)
+  | [ "\\heuristic"; h ] -> (
+    match String.lowercase_ascii h with
+    | "leaf" -> Db.Database.set_heuristic db Audit_core.Placement.Leaf
+    | "hcn" -> Db.Database.set_heuristic db Audit_core.Placement.Hcn
+    | "highest" -> Db.Database.set_heuristic db Audit_core.Placement.Highest
+    | _ -> print_endline "unknown heuristic (leaf | hcn | highest)")
+  | [ "\\user"; u ] -> Db.Database.set_user db u
+  | [ "\\tpch"; sf ] -> (
+    match float_of_string_opt sf with
+    | Some sf ->
+      let sizes = Tpch.Dbgen.load db ~sf in
+      Printf.printf "loaded TPC-H sf=%g: %d customers, %d orders\n" sf
+        sizes.Tpch.Dbgen.customers sizes.Tpch.Dbgen.orders
+    | None -> print_endline "usage: \\tpch <scale factor>")
+  | _ -> print_endline usage_commands
+
+let repl db =
+  let buf = Buffer.create 256 in
+  print_endline "select_triggers shell — SQL statements end with ';'";
+  print_endline usage_commands;
+  try
+    while true do
+      print_string (if Buffer.length buf = 0 then "sql> " else "  -> ");
+      let line = try read_line () with End_of_file -> raise Exit in
+      let trimmed = String.trim line in
+      if Buffer.length buf = 0 && String.length trimmed > 0 && trimmed.[0] = '\\'
+      then (try handle_command db trimmed with Exit -> raise Exit)
+      else begin
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        if String.length trimmed > 0
+           && trimmed.[String.length trimmed - 1] = ';' then begin
+          let sql = Buffer.contents buf in
+          Buffer.clear buf;
+          match Db.Database.exec db sql with
+          | r -> print_result r
+          | exception Db.Database.Db_error m -> Printf.printf "error: %s\n" m
+        end
+      end
+    done
+  with Exit -> print_endline "bye"
+
+let run_file db path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  match Db.Database.exec_script db content with
+  | results -> List.iter print_result results
+  | exception Db.Database.Db_error m ->
+    Printf.printf "error: %s\n" m;
+    exit 1
+
+let main file tpch_sf =
+  let db = Db.Database.create () in
+  (match tpch_sf with
+  | Some sf ->
+    let sizes = Tpch.Dbgen.load db ~sf in
+    Printf.printf "loaded TPC-H sf=%g: %d customers, %d orders\n%!" sf
+      sizes.Tpch.Dbgen.customers sizes.Tpch.Dbgen.orders
+  | None -> ());
+  match file with Some path -> run_file db path | None -> repl db
+
+open Cmdliner
+
+let file =
+  let doc = "Execute the SQL script $(docv) and exit (instead of the REPL)." in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let tpch =
+  let doc = "Preload the TPC-H benchmark at scale factor $(docv)." in
+  Arg.(value & opt (some float) None & info [ "tpch" ] ~docv:"SF" ~doc)
+
+let cmd =
+  let doc = "interactive SQL shell with SELECT triggers for data auditing" in
+  Cmd.v
+    (Cmd.info "shell" ~doc)
+    Term.(const main $ file $ tpch)
+
+let () = exit (Cmd.eval cmd)

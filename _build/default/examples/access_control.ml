@@ -1,0 +1,57 @@
+(* Real-time access control with BEFORE RETURN triggers.
+
+   §II of the paper mentions the variant where the trigger fires *before*
+   the result is returned, "to warn users that they are accessing sensitive
+   data". This example takes it one step further into access control: a
+   BEFORE RETURN trigger DENYs any query that touched more than two VIP
+   records unless it came from the attending physician — while a normal
+   AFTER trigger still writes the (attempted) access to the audit log. *)
+
+let () =
+  let db = Db.Database.create () in
+  let e sql = ignore (Db.Database.exec db sql) in
+
+  e "CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR, vip BOOL)";
+  e "CREATE TABLE log (usr VARCHAR, sqltext VARCHAR, patientid INT)";
+  for i = 1 to 20 do
+    e
+      (Printf.sprintf "INSERT INTO patients VALUES (%d, 'Patient%02d', %s)" i
+         i
+         (if i <= 5 then "TRUE" else "FALSE"))
+  done;
+
+  e
+    "CREATE AUDIT EXPRESSION audit_vip AS SELECT * FROM patients WHERE vip \
+     = TRUE FOR SENSITIVE TABLE patients, PARTITION BY patientid";
+  (* Auditing continues regardless of denial. *)
+  e
+    "CREATE TRIGGER log_vip ON ACCESS TO audit_vip AS INSERT INTO log \
+     SELECT user_id(), sql_text(), patientid FROM accessed";
+  (* The gate: more than two VIP rows and you are not the attending. *)
+  e
+    "CREATE TRIGGER vip_gate ON ACCESS TO audit_vip BEFORE RETURN AS IF \
+     (((SELECT count(*) FROM accessed) > 2) AND (user_id() <> \
+     'attending')) DENY 'bulk VIP access requires the attending physician'";
+
+  let try_query user sql =
+    Db.Database.set_user db user;
+    match Db.Database.exec db sql with
+    | Db.Database.Rows { rows; _ } ->
+      Printf.printf "%-10s ALLOWED (%d rows)  %s\n" user (List.length rows) sql
+    | _ -> ()
+    | exception Db.Database.Access_denied msg ->
+      Printf.printf "%-10s DENIED (%s)  %s\n" user msg sql
+  in
+  try_query "resident" "SELECT * FROM patients WHERE patientid = 3";
+  try_query "resident" "SELECT * FROM patients WHERE vip = TRUE";
+  try_query "attending" "SELECT * FROM patients WHERE vip = TRUE";
+  try_query "resident" "SELECT * FROM patients WHERE vip = FALSE";
+
+  print_endline "\naudit log (denied accesses are logged too):";
+  List.iter
+    (fun row ->
+      Printf.printf "  %-10s patient %-3s %s\n"
+        (Storage.Value.to_string row.(0))
+        (Storage.Value.to_string row.(2))
+        (Storage.Value.to_string row.(1)))
+    (Db.Database.query db "SELECT * FROM log")

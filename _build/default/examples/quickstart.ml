@@ -1,0 +1,78 @@
+(* Quickstart — the paper's running healthcare example (§I-II).
+
+   Creates the Patients/Disease tables, declares audit expressions for
+   Alice's record (Example 2.1) and for all cancer patients (Example 2.2),
+   installs logging SELECT triggers (§II-C), and runs the two queries of
+   Example 1.2 — both of which access Alice's record, one only through an
+   EXISTS subquery. *)
+
+let section title =
+  Printf.printf "\n--- %s ---\n" title
+
+let run db sql =
+  Printf.printf "\nsql> %s\n" sql;
+  print_endline (Db.Database.result_to_string (Db.Database.exec db sql))
+
+let () =
+  let db = Db.Database.create () in
+  let e sql = ignore (Db.Database.exec db sql) in
+
+  section "Schema and data";
+  e "CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR, age INT, zip INT)";
+  e "CREATE TABLE disease (patientid INT, disease VARCHAR)";
+  e "CREATE TABLE departments (patientid INT, deptid INT)";
+  e "CREATE TABLE log (ts INT, usr VARCHAR, sqltext VARCHAR, patientid INT)";
+  e "INSERT INTO patients VALUES (1,'Alice',34,48109),(2,'Bob',22,48109),\
+     (3,'Carol',67,98052),(4,'Dave',45,98052),(5,'Eve',29,10001)";
+  e "INSERT INTO disease VALUES (1,'cancer'),(2,'flu'),(3,'flu'),(4,'cancer'),(5,'diabetes')";
+  e "INSERT INTO departments VALUES (1,10),(2,20),(3,20),(4,10),(5,30)";
+  print_endline "created patients/disease/departments/log";
+
+  section "Audit expressions (Examples 2.1 and 2.2)";
+  run db
+    "CREATE AUDIT EXPRESSION audit_alice AS SELECT * FROM patients WHERE \
+     name = 'Alice' FOR SENSITIVE TABLE patients, PARTITION BY patientid";
+  run db
+    "CREATE AUDIT EXPRESSION audit_cancer AS SELECT p.* FROM patients p, \
+     disease d WHERE p.patientid = d.patientid AND disease = 'cancer' FOR \
+     SENSITIVE TABLE patients, PARTITION BY patientid";
+
+  section "SELECT triggers (§II-C)";
+  run db
+    "CREATE TRIGGER log_alice_accesses ON ACCESS TO audit_alice AS INSERT \
+     INTO log SELECT now(), user_id(), sql_text(), patientid FROM accessed";
+  run db
+    "CREATE TRIGGER log_cancer_dept_accesses ON ACCESS TO audit_cancer AS \
+     INSERT INTO log SELECT DISTINCT now(), user_id(), sql_text(), d.deptid \
+     FROM accessed a, departments d WHERE a.patientid = d.patientid";
+
+  section "Example 1.2 — two queries that access Alice's record";
+  Db.Database.set_user db "dr_mallory";
+  run db
+    "SELECT * FROM patients p, disease d WHERE p.patientid = d.patientid \
+     AND name = 'Alice' AND disease = 'cancer'";
+  run db
+    "SELECT 1 FROM patients WHERE exists (SELECT * FROM patients p, disease \
+     d WHERE p.patientid = d.patientid AND name = 'Alice' AND disease = \
+     'cancer')";
+
+  section "A query that does NOT access Alice (flu patients only)";
+  run db
+    "SELECT p.patientid, name FROM patients p, disease d WHERE p.patientid \
+     = d.patientid AND d.disease = 'flu'";
+
+  section "The audit log";
+  run db "SELECT * FROM log";
+  print_endline
+    "Note: both Example 1.2 queries were logged for Alice — the second one \
+     accessed her record only inside an EXISTS subquery. The flu query \
+     touched Bob and Carol, who are neither Alice nor cancer patients, so \
+     neither trigger fired for it.";
+
+  section "Instrumented plan (highest-commutative-node placement)";
+  let plan =
+    Db.Database.plan_sql db
+      "SELECT p.patientid, name, age, zip FROM patients p, disease d WHERE \
+       p.patientid = d.patientid AND d.disease = 'flu'"
+  in
+  print_string (Plan.Logical.to_string plan)

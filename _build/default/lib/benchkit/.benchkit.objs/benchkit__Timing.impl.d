@@ -1,0 +1,1 @@
+lib/benchkit/timing.ml: Array Float List Unix

@@ -1,0 +1,1 @@
+lib/core/audit_expr.ml: Catalog Fmt List Option Schema Sql Storage String Table

@@ -1,0 +1,1 @@
+lib/core/audit_expr.mli: Format Sql Storage

@@ -1,0 +1,1 @@
+lib/core/lineage.ml: Array Audit_expr Catalog Exec Fun List Logical Option Plan Printf Scalar Schema Sensitive_view Sql Storage Table Tuple Value

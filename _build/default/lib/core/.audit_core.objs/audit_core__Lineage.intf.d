@@ -1,0 +1,1 @@
+lib/core/lineage.mli: Exec Plan Sensitive_view Set Storage Tuple Value

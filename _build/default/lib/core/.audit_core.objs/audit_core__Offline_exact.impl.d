@@ -1,0 +1,1 @@
+lib/core/offline_exact.ml: Audit_expr Exec Fun List Logical Plan Sensitive_view Storage Tuple Value

@@ -1,0 +1,1 @@
+lib/core/offline_exact.mli: Exec Plan Sensitive_view Storage Tuple Value

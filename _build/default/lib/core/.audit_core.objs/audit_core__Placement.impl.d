@@ -1,0 +1,1 @@
+lib/core/placement.ml: Array Audit_expr List Logical Option Plan Printf Scalar Schema Storage

@@ -1,0 +1,1 @@
+lib/core/placement.mli: Audit_expr Plan

@@ -1,0 +1,1 @@
+lib/core/sensitive_view.ml: Audit_expr Catalog Exec List Plan Schema Sql Storage Table Tuple Value

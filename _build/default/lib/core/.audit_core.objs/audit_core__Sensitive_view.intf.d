@@ -1,0 +1,1 @@
+lib/core/sensitive_view.mli: Audit_expr Catalog Plan Storage Value

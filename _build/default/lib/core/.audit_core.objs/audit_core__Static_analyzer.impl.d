@@ -1,0 +1,1 @@
+lib/core/static_analyzer.ml: Array Audit_expr Catalog Hashtbl List Option Schema Sql Storage String Table Value

@@ -1,0 +1,1 @@
+lib/core/static_analyzer.mli: Audit_expr Sql Storage

@@ -1,0 +1,1 @@
+lib/core/trigger.ml: List Sql String

@@ -1,0 +1,124 @@
+(** Audit expressions (§II-A).
+
+    An audit expression declaratively names the sensitive rows of one
+    *sensitive table* and a *partition-by* key identifying them:
+
+    {v
+    CREATE AUDIT EXPRESSION <name> AS
+      SELECT <cols> FROM <tables> WHERE <pred>
+      FOR SENSITIVE TABLE <T> PARTITION BY <key>
+    v}
+
+    Following the paper we restrict definitions to simple predicates without
+    subqueries, with joins limited to key–foreign-key equalities — the
+    restrictions [9] imposes to preserve the auditing system's privacy
+    guarantees. *)
+
+open Storage
+
+exception Invalid_audit of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Invalid_audit s)) fmt
+
+type t = {
+  name : string;
+  definition : Sql.Ast.query;
+  sensitive_table : string;
+  partition_by : string;
+}
+
+let rec expr_has_subquery : Sql.Ast.expr -> bool = function
+  | Sql.Ast.E_in_query _ | Sql.Ast.E_exists _ | Sql.Ast.E_subquery _ -> true
+  | Sql.Ast.E_null | Sql.Ast.E_bool _ | Sql.Ast.E_int _ | Sql.Ast.E_float _
+  | Sql.Ast.E_string _ | Sql.Ast.E_date _ | Sql.Ast.E_interval _
+  | Sql.Ast.E_column _ ->
+    false
+  | Sql.Ast.E_binop (_, a, b) | Sql.Ast.E_like (a, b, _) ->
+    expr_has_subquery a || expr_has_subquery b
+  | Sql.Ast.E_neg a | Sql.Ast.E_not a | Sql.Ast.E_is_null (a, _) ->
+    expr_has_subquery a
+  | Sql.Ast.E_between (a, b, c) ->
+    expr_has_subquery a || expr_has_subquery b || expr_has_subquery c
+  | Sql.Ast.E_in_list (a, items, _) ->
+    expr_has_subquery a || List.exists expr_has_subquery items
+  | Sql.Ast.E_case (whens, els) ->
+    List.exists (fun (c, v) -> expr_has_subquery c || expr_has_subquery v) whens
+    || (match els with Some e -> expr_has_subquery e | None -> false)
+  | Sql.Ast.E_func (_, args) -> List.exists expr_has_subquery args
+  | Sql.Ast.E_agg { arg; _ } -> (
+    match arg with Some a -> expr_has_subquery a | None -> false)
+
+(** All (table, alias) pairs referenced in a FROM clause. *)
+let rec tables_of_ref = function
+  | Sql.Ast.Tr_table (t, alias) -> [ (t, Option.value alias ~default:t) ]
+  | Sql.Ast.Tr_subquery _ -> err "audit expression must not contain subqueries"
+  | Sql.Ast.Tr_join (l, _, r, _) -> tables_of_ref l @ tables_of_ref r
+
+let referenced_tables (t : t) : string list =
+  List.concat_map tables_of_ref t.definition.Sql.Ast.from
+  |> List.map fst
+  |> List.sort_uniq String.compare
+
+(** Validate and construct an audit expression against a catalog. *)
+let create catalog ~name ~definition ~sensitive_table ~partition_by : t =
+  let q = definition in
+  if q.Sql.Ast.group_by <> [] || q.Sql.Ast.having <> None then
+    err "audit expression %s: GROUP BY/HAVING not allowed" name;
+  if q.Sql.Ast.distinct || q.Sql.Ast.top <> None || q.Sql.Ast.limit <> None
+  then err "audit expression %s: DISTINCT/TOP/LIMIT not allowed" name;
+  (match q.Sql.Ast.where with
+  | Some w when expr_has_subquery w ->
+    err "audit expression %s: subqueries not allowed" name
+  | _ -> ());
+  let refs = List.concat_map tables_of_ref q.Sql.Ast.from in
+  if
+    not
+      (List.exists
+         (fun (t, _) -> Schema.equal_names t sensitive_table)
+         refs)
+  then err "audit expression %s: sensitive table %s not in FROM" name
+         sensitive_table;
+  let table =
+    match Catalog.find_opt catalog sensitive_table with
+    | Some t -> t
+    | None -> err "audit expression %s: unknown table %s" name sensitive_table
+  in
+  (match Schema.find_opt (Table.schema table) partition_by with
+  | Some _ -> ()
+  | None ->
+    err "audit expression %s: partition key %s not a column of %s" name
+      partition_by sensitive_table);
+  List.iter
+    (fun (t, _) ->
+      if not (Catalog.mem catalog t) then
+        err "audit expression %s: unknown table %s" name t)
+    refs;
+  { name; definition = q; sensitive_table; partition_by }
+
+(** The query computing the set of sensitive IDs ([SELECT <key> FROM ...]):
+    the materialized-view definition of §IV-A1. *)
+let id_query (t : t) : Sql.Ast.query =
+  (* Qualify the key with the sensitive table's alias so self-describing
+     joins resolve unambiguously. *)
+  let alias =
+    List.concat_map tables_of_ref t.definition.Sql.Ast.from
+    |> List.find_map (fun (tbl, alias) ->
+           if Schema.equal_names tbl t.sensitive_table then Some alias
+           else None)
+  in
+  {
+    t.definition with
+    Sql.Ast.select =
+      [ Sql.Ast.Si_expr (Sql.Ast.E_column (alias, t.partition_by), None) ];
+  }
+
+(** Does the definition reference only the sensitive table (enabling exact
+    incremental maintenance)? *)
+let is_single_table (t : t) =
+  match referenced_tables t with [ _ ] -> true | _ -> false
+
+let pp ppf t =
+  Fmt.pf ppf "AUDIT %s ON %s PARTITION BY %s WHERE %a" t.name
+    t.sensitive_table t.partition_by
+    Fmt.(option ~none:(any "TRUE") Sql.Ast.pp_expr)
+    t.definition.Sql.Ast.where

@@ -1,0 +1,35 @@
+(** Audit expressions (§II-A): a declarative description of the sensitive
+    rows of one table, identified by a partition-by key. *)
+
+exception Invalid_audit of string
+
+type t = {
+  name : string;
+  definition : Sql.Ast.query;
+      (** the [SELECT ... FROM ... WHERE ...] naming the sensitive rows *)
+  sensitive_table : string;
+  partition_by : string;  (** key column of the sensitive table *)
+}
+
+(** Validate and build. Enforces the paper's restrictions: no subqueries,
+    no grouping/DISTINCT/TOP, the sensitive table present in FROM, and the
+    partition key a column of it. Raises {!Invalid_audit}. *)
+val create :
+  Storage.Catalog.t ->
+  name:string ->
+  definition:Sql.Ast.query ->
+  sensitive_table:string ->
+  partition_by:string ->
+  t
+
+(** Distinct table names referenced by the definition. *)
+val referenced_tables : t -> string list
+
+(** The materialized-view definition of §IV-A1: the same query projected to
+    just the partition-by key. *)
+val id_query : t -> Sql.Ast.query
+
+(** Single-table definitions support exact incremental maintenance. *)
+val is_single_table : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,328 @@
+(** Lineage-based offline auditing (why-provenance execution).
+
+    The paper's offline auditor decides, per Definition 2.3, whether each
+    sensitive tuple *influences* the query result. Re-executing the query
+    once per tuple (see {!Offline_exact}) is exact but quadratic; prior work
+    instead computes provenance, at a heavy per-row annotation cost — the
+    "up to 5x" overhead the paper cites for [6]. This module is that
+    annotation-propagating executor: each intermediate row carries the set
+    of sensitive IDs in its lineage, and the accessed set is the union over
+    the final output.
+
+    Agreement with the exact auditor (validated by tests):
+    - equal on select–join, projection, aggregation and top-k queries built
+      from COUNT/SUM aggregates (the evaluation workload);
+    - over-approximates when duplicate elimination hides influence (the
+      §II-B caveat the paper itself acknowledges) and for MIN/MAX groups
+      where a non-extremal member is deleted;
+    - under-approximates for negated subqueries whose witnesses *block*
+      output rows (no TPC-H evaluation query is of this form). The online
+      heuristics still audit those witnesses, so the pipeline's one-sided
+      guarantee is preserved where the paper claims it. *)
+
+open Storage
+open Plan
+module Ids = Value.Set_v
+
+type arow = Tuple.t * Ids.t
+
+exception Lineage_error of string
+
+let rec eval_plan (ctx : Exec.Exec_ctx.t) (view : Sensitive_view.t)
+    (plan : Logical.t) : arow list =
+  let recur p = eval_plan ctx view p in
+  let ev row e = Exec.Eval.eval ctx row e in
+  let truthy row p = Exec.Eval.truthy ctx row p in
+  match plan with
+  | Logical.Scan { table; schema; cols; _ } ->
+    let sensitive =
+      Schema.equal_names table view.Sensitive_view.expr.Audit_expr.sensitive_table
+    in
+    let key_idx =
+      if not sensitive then None
+      else
+        let out_schema =
+          match cols with
+          | None -> schema
+          | Some idxs -> Array.map (fun i -> Schema.col schema i) idxs
+        in
+        match
+          Schema.find_all out_schema
+            view.Sensitive_view.expr.Audit_expr.partition_by
+        with
+        | i :: _ -> Some i
+        | [] ->
+          raise
+            (Lineage_error
+               (Printf.sprintf
+                  "partition key pruned from scan of %s; run lineage on an \
+                   unpruned plan"
+                  table))
+    in
+    if table = "$dual" then [ ([||], Ids.empty) ]
+    else begin
+      let t = Catalog.find ctx.Exec.Exec_ctx.catalog table in
+      let hide =
+        match ctx.Exec.Exec_ctx.hide with
+        | Some (ht, col, v) when Schema.equal_names ht table -> Some (col, v)
+        | _ -> None
+      in
+      let acc = ref [] in
+      Table.iter ?hide t (fun row ->
+          let out =
+            match cols with None -> row | Some idxs -> Tuple.project row idxs
+          in
+          let ann =
+            match key_idx with
+            | Some k ->
+              let id = Tuple.get out k in
+              if Sensitive_view.contains view id then Ids.singleton id
+              else Ids.empty
+            | None -> Ids.empty
+          in
+          acc := (out, ann) :: !acc);
+      List.rev !acc
+    end
+  | Logical.Filter { pred; child } ->
+    List.filter (fun (row, _) -> truthy row pred) (recur child)
+  | Logical.Project { cols; child } ->
+    let exprs = Array.of_list (List.map fst cols) in
+    List.map
+      (fun (row, ann) -> (Array.map (ev row) exprs, ann))
+      (recur child)
+  | Logical.Join { kind; pred; left; right } ->
+    let lrows = recur left and rrows = recur right in
+    let la = Logical.arity left in
+    let keys, residual = Exec.Executor.split_equi ~left_arity:la pred in
+    let residual =
+      if residual = [] then None else Some (Scalar.conjoin residual)
+    in
+    let ra = Logical.arity right in
+    let null_pad = Array.make ra Value.Null in
+    let candidates =
+      if keys <> [] && lrows <> [] then begin
+        let rkeys = Array.of_list (List.map snd keys) in
+        let lkeys = Array.of_list (List.map fst keys) in
+        let tbl = Tuple.Hashtbl_t.create 1024 in
+        List.iter
+          (fun ((row, _) as ar) ->
+            let k = Array.map (ev row) rkeys in
+            if not (Array.exists Value.is_null k) then
+              Tuple.Hashtbl_t.replace tbl k
+                (ar :: (try Tuple.Hashtbl_t.find tbl k with Not_found -> [])))
+          rrows;
+        fun (lrow : Tuple.t) ->
+          let k = Array.map (ev lrow) lkeys in
+          if Array.exists Value.is_null k then []
+          else
+            match Tuple.Hashtbl_t.find_opt tbl k with
+            | Some rows -> List.rev rows
+            | None -> []
+      end
+      else fun _ -> rrows
+    in
+    List.concat_map
+      (fun (lrow, lann) ->
+        let joined =
+          List.filter_map
+            (fun (rrow, rann) ->
+              let combined = Tuple.append lrow rrow in
+              let ok =
+                match residual with
+                | None -> true
+                | Some p -> truthy combined p
+              in
+              if ok then Some (combined, Ids.union lann rann) else None)
+            (candidates lrow)
+        in
+        match (joined, kind) with
+        | [], Logical.J_left -> [ (Tuple.append lrow null_pad, lann) ]
+        | _ -> joined)
+      lrows
+  | Logical.Semi_join { anti; left; left_key; right; right_key } ->
+    let rrows = recur right in
+    (* key -> union of witness annotations *)
+    let tbl = Value.Hashtbl_v.create 256 in
+    List.iter
+      (fun (row, ann) ->
+        let k = ev row right_key in
+        if not (Value.is_null k) then
+          let prev =
+            Option.value ~default:Ids.empty (Value.Hashtbl_v.find_opt tbl k)
+          in
+          Value.Hashtbl_v.replace tbl k (Ids.union prev ann))
+      rrows;
+    List.filter_map
+      (fun (row, ann) ->
+        let k = ev row left_key in
+        let witness =
+          if Value.is_null k then None else Value.Hashtbl_v.find_opt tbl k
+        in
+        match (witness, anti) with
+        | Some w, false -> Some (row, Ids.union ann w)
+        | None, true -> Some (row, ann)
+        | Some _, true | None, false -> None)
+      (recur left)
+  | Logical.Apply { kind; outer; inner; _ } ->
+    let orows = recur outer in
+    List.filter_map
+      (fun (row, ann) ->
+        ctx.Exec.Exec_ctx.params <- row :: ctx.Exec.Exec_ctx.params;
+        let irows =
+          Fun.protect
+            ~finally:(fun () ->
+              ctx.Exec.Exec_ctx.params <- List.tl ctx.Exec.Exec_ctx.params)
+            (fun () -> recur inner)
+        in
+        let iann =
+          List.fold_left (fun acc (_, a) -> Ids.union acc a) Ids.empty irows
+        in
+        match kind with
+        | Logical.A_semi ->
+          if irows <> [] then Some (row, Ids.union ann iann) else None
+        | Logical.A_anti -> if irows = [] then Some (row, ann) else None
+        | Logical.A_scalar ->
+          let v =
+            match irows with
+            | (r, _) :: _ when Array.length r > 0 -> r.(0)
+            | _ -> Value.Null
+          in
+          Some (Tuple.append row [| v |], Ids.union ann iann))
+      orows
+  | Logical.Group_by { keys; aggs; child } ->
+    let rows = recur child in
+    let key_exprs = Array.of_list (List.map fst keys) in
+    let agg_list = Array.of_list aggs in
+    let groups = Tuple.Hashtbl_t.create 256 in
+    let order = ref [] in
+    List.iter
+      (fun (row, ann) ->
+        let k = Array.map (ev row) key_exprs in
+        let states, gann =
+          match Tuple.Hashtbl_t.find_opt groups k with
+          | Some (s, a) -> (s, a)
+          | None ->
+            let s = Array.map Exec.Aggregate.create agg_list in
+            order := k :: !order;
+            (s, ref Ids.empty)
+        in
+        gann := Ids.union !gann ann;
+        Array.iteri
+          (fun i st ->
+            let v =
+              match agg_list.(i).Logical.arg with
+              | None -> None
+              | Some e -> Some (ev row e)
+            in
+            Exec.Aggregate.update st v)
+          states;
+        Tuple.Hashtbl_t.replace groups k (states, gann))
+      rows;
+    let emit k =
+      let states, gann = Tuple.Hashtbl_t.find groups k in
+      (Tuple.append k (Array.map Exec.Aggregate.final states), !gann)
+    in
+    if Array.length key_exprs = 0 && Tuple.Hashtbl_t.length groups = 0 then
+      [ (Array.map (fun a -> Exec.Aggregate.final (Exec.Aggregate.create a)) agg_list,
+         Ids.empty) ]
+    else List.rev_map emit !order
+  | Logical.Sort { keys; child } ->
+    let rows = recur child in
+    let key_exprs = Array.of_list keys in
+    let decorated =
+      List.map
+        (fun ((row, _) as ar) ->
+          (Array.map (fun (e, _) -> ev row e) key_exprs, ar))
+        rows
+    in
+    let cmp (ka, _) (kb, _) =
+      let rec go i =
+        if i = Array.length key_exprs then 0
+        else
+          let _, dir = key_exprs.(i) in
+          let c = Value.compare_total ka.(i) kb.(i) in
+          let c = match dir with Sql.Ast.Asc -> c | Sql.Ast.Desc -> -c in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+    in
+    List.map snd (List.stable_sort cmp decorated)
+  | Logical.Limit { n; child } ->
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    take n (recur child)
+  | Logical.Distinct child ->
+    let rows = recur child in
+    let seen = Tuple.Hashtbl_t.create 256 in
+    let order = ref [] in
+    List.iter
+      (fun (row, ann) ->
+        match Tuple.Hashtbl_t.find_opt seen row with
+        | Some a -> a := Ids.union !a ann
+        | None ->
+          Tuple.Hashtbl_t.replace seen row (ref ann);
+          order := row :: !order)
+      rows;
+    List.rev_map (fun row -> (row, !(Tuple.Hashtbl_t.find seen row))) !order
+  | Logical.Audit { child; _ } -> recur child
+  | Logical.Set_op { op; left; right } -> (
+    let lrows = recur left in
+    let rrows = recur right in
+    match op with
+    | Sql.Ast.Union_all -> lrows @ rrows
+    | Sql.Ast.Union ->
+      (* Deduplicate, merging the annotations of duplicates (conservative
+         why-provenance, as for Distinct). *)
+      let seen = Tuple.Hashtbl_t.create 256 in
+      let order = ref [] in
+      List.iter
+        (fun (row, ann) ->
+          match Tuple.Hashtbl_t.find_opt seen row with
+          | Some a -> a := Ids.union !a ann
+          | None ->
+            Tuple.Hashtbl_t.replace seen row (ref ann);
+            order := row :: !order)
+        (lrows @ rrows);
+      List.rev_map (fun row -> (row, !(Tuple.Hashtbl_t.find seen row))) !order
+    | Sql.Ast.Except | Sql.Ast.Intersect ->
+      let keep_if_in_right = op = Sql.Ast.Intersect in
+      let right_ann = Tuple.Hashtbl_t.create 256 in
+      List.iter
+        (fun (row, ann) ->
+          match Tuple.Hashtbl_t.find_opt right_ann row with
+          | Some a -> a := Ids.union !a ann
+          | None -> Tuple.Hashtbl_t.replace right_ann row (ref ann))
+        rrows;
+      let emitted = Tuple.Hashtbl_t.create 256 in
+      List.filter_map
+        (fun (row, ann) ->
+          let in_right = Tuple.Hashtbl_t.mem right_ann row in
+          if in_right = keep_if_in_right && not (Tuple.Hashtbl_t.mem emitted row)
+          then begin
+            Tuple.Hashtbl_t.replace emitted row ();
+            let ann =
+              if keep_if_in_right then
+                Ids.union ann !(Tuple.Hashtbl_t.find right_ann row)
+              else ann
+            in
+            Some (row, ann)
+          end
+          else None)
+        lrows)
+
+(** Accessed IDs of [view] under why-provenance semantics: the union of the
+    annotations of the query's output rows. Run this on a plain
+    (uninstrumented, unpruned) plan. *)
+let accessed ctx ~(view : Sensitive_view.t) (plan : Logical.t) :
+    Value.t list =
+  let plan = Logical.strip_audits plan in
+  let rows = eval_plan ctx view plan in
+  List.fold_left (fun acc (_, ann) -> Ids.union acc ann) Ids.empty rows
+  |> Ids.elements
+
+(** Annotated result rows (exposed for tests and the provenance-overhead
+    ablation benchmark). *)
+let run ctx ~view plan = eval_plan ctx view (Logical.strip_audits plan)

@@ -1,0 +1,27 @@
+(** Lineage-based offline auditing: a why-provenance executor that
+    annotates every intermediate row with the set of sensitive IDs in its
+    lineage and returns the union over the query output.
+
+    This is the one-pass offline auditor used at benchmark scale; it is
+    also the "heavyweight annotation propagation" baseline whose cost the
+    paper cites as the reason SELECT triggers use a no-op operator instead
+    (§III). See the implementation header for the exact agreement /
+    over- / under-approximation relationships with {!Offline_exact},
+    all of which are asserted by the test suite. *)
+
+open Storage
+module Ids : Set.S with type elt = Value.t
+
+type arow = Tuple.t * Ids.t
+
+exception Lineage_error of string
+
+(** Accessed IDs of the view under why-provenance semantics. Strips any
+    audit operators; run it on an {e unpruned} plan (the sensitive scans
+    must still expose the partition key, or {!Lineage_error} is raised). *)
+val accessed :
+  Exec.Exec_ctx.t -> view:Sensitive_view.t -> Plan.Logical.t -> Value.t list
+
+(** Annotated result rows (tests and the provenance-cost ablation). *)
+val run :
+  Exec.Exec_ctx.t -> view:Sensitive_view.t -> Plan.Logical.t -> arow list

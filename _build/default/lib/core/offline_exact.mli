@@ -1,0 +1,30 @@
+(** Exact offline auditing — Definition 2.3 executed literally: a sensitive
+    tuple is accessed iff virtually deleting it changes the query result.
+    One query execution per candidate; the ground truth for tests and the
+    verification stage of the paper's Figure 1 pipeline. *)
+
+open Storage
+
+(** [influences ctx ~table ~key_idx ~id plan ~baseline] — does hiding the
+    rows of [table] whose column [key_idx] equals [id] change the result
+    (compared order-insensitively against [baseline])? With a non-unique
+    partition column this hides the individual's whole partition — the
+    paper's per-individual unit of auditing. *)
+val influences :
+  Exec.Exec_ctx.t ->
+  table:string ->
+  key_idx:int ->
+  id:Value.t ->
+  Plan.Logical.t ->
+  baseline:Tuple.t list ->
+  bool
+
+(** Accessed IDs among [?candidates] (default: the whole view). Sorted.
+    Following Fig. 1, passing an instrumented plan's auditIDs as candidates
+    is sound: the online heuristics have no false negatives. *)
+val accessed :
+  Exec.Exec_ctx.t ->
+  view:Sensitive_view.t ->
+  ?candidates:Value.t list ->
+  Plan.Logical.t ->
+  Value.t list

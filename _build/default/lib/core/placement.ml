@@ -1,0 +1,273 @@
+(** Audit-operator placement (§III-C, Algorithm 1).
+
+    Placement seeds one audit operator directly above each leaf scan of the
+    sensitive table, then pulls it up across *commuting* parents until a
+    non-commuting operator (or the plan root) stops it. A single bottom-up
+    pass reaches the fixpoint: every node is visited after its children, so
+    an operator bubbles across each commuting ancestor exactly once.
+
+    Three heuristics from the paper share the engine and differ only in the
+    commute relation:
+
+    - {b Leaf-node}: pulls only across [Filter] — the audit operator ends up
+      above the scan plus its pushed-down single-table predicates, exactly
+      as §III-C describes. Never a false negative, many false positives.
+    - {b Highest-commutative-node (hcn)}: additionally pulls across inner
+      joins (both sides), the outer side of left-outer joins, semi/anti-join
+      and apply outer sides, [Sort], and projections that keep the ID
+      column visible — but stops at [Group_by], [Distinct], [Limit]
+      (top-k), set operations and subquery boundaries.
+      Claim 3.6: no false negatives; Theorem 3.7: exact for SJ queries.
+    - {b Highest-node}: pulls across everything that keeps the ID column
+      visible, including [Limit] — reproducing the Example 3.2 false
+      negative. Included as the cautionary baseline only.
+
+    A note on projections: the final [Project] defines the query's output
+    columns, so an audit operator is never pulled above it; since projection
+    is 1:1 on rows, the edge below it carries the same row multiset and the
+    stop is loss-free. Inside the tree, ID columns are kept alive for the
+    audit operator by audit-aware column pruning ({!Plan.Optimizer.prune}),
+    the paper's "forced ID propagation" (§IV-A2). *)
+
+open Storage
+open Plan
+
+exception Placement_error of string
+
+type heuristic = Leaf | Highest | Hcn
+
+let heuristic_name = function
+  | Leaf -> "leaf-node"
+  | Highest -> "highest-node"
+  | Hcn -> "highest-commutative-node"
+
+(* ------------------------------------------------------------------ *)
+(* Pull-up engine                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Detach the chain of audit operators sitting at the top of [p]. *)
+let rec split_audits (p : Logical.t) =
+  match p with
+  | Logical.Audit { audit_name; id_col; child } ->
+    let audits, core = split_audits child in
+    ((audit_name, id_col) :: audits, core)
+  | _ -> ([], p)
+
+let reattach audits core =
+  List.fold_left
+    (fun acc (audit_name, id_col) -> Logical.Audit { audit_name; id_col; child = acc })
+    core (List.rev audits)
+
+type commute_spec = {
+  filter : bool;
+  join_left : bool;
+  join_right : bool;
+  loj_left : bool;
+  loj_right : bool;
+  semi_left : bool;
+  apply_outer : bool;
+  sort : bool;
+  limit : bool;
+  project : bool;
+      (** pull above projections that keep the ID column visible.
+          Projections are 1:1 on rows, so this is loss-free; it matters for
+          plan shape because the join reorderer inserts permutation
+          projections mid-tree. The leaf heuristic never pulls this far. *)
+}
+
+let spec_of = function
+  | Leaf ->
+    {
+      filter = true;
+      join_left = false;
+      join_right = false;
+      loj_left = false;
+      loj_right = false;
+      semi_left = false;
+      apply_outer = false;
+      sort = false;
+      limit = false;
+      project = false;
+    }
+  | Hcn ->
+    {
+      filter = true;
+      join_left = true;
+      join_right = true;
+      loj_left = true;
+      loj_right = false;
+      semi_left = true;
+      apply_outer = true;
+      sort = true;
+      limit = false;
+      project = true;
+    }
+  | Highest ->
+    {
+      filter = true;
+      join_left = true;
+      join_right = true;
+      loj_left = true;
+      loj_right = true;
+      semi_left = true;
+      apply_outer = true;
+      sort = true;
+      limit = true;
+      project = true;
+    }
+
+(** One bottom-up pass: children first, then hoist any audit chain sitting
+    directly below this node if the node commutes. *)
+let rec pull spec (p : Logical.t) : Logical.t =
+  match p with
+  | Logical.Scan _ -> p
+  | Logical.Audit a ->
+    (* An audit operator from another expression is itself a no-op: recurse
+       below it so later-seeded operators still bubble up; the chain above
+       it re-splits at the next commuting ancestor. *)
+    Logical.Audit { a with child = pull spec a.child }
+  | Logical.Filter { pred; child } ->
+    let child = pull spec child in
+    if spec.filter then
+      let audits, core = split_audits child in
+      reattach audits (Logical.Filter { pred; child = core })
+    else Logical.Filter { pred; child }
+  | Logical.Project { cols; child } ->
+    let child = pull spec child in
+    if not spec.project then Logical.Project { cols; child }
+    else begin
+      (* Hoist only the audits whose ID column survives the projection. *)
+      let audits, core = split_audits child in
+      let out_pos id_col =
+        List.find_index
+          (fun (s, _) -> Scalar.equal s (Scalar.Col id_col))
+          cols
+      in
+      let hoistable, stuck =
+        List.partition (fun (_, id) -> out_pos id <> None) audits
+      in
+      let core = reattach stuck core in
+      let hoisted =
+        List.map
+          (fun (name, id) -> (name, Option.get (out_pos id)))
+          hoistable
+      in
+      reattach hoisted (Logical.Project { cols; child = core })
+    end
+  | Logical.Join { kind; pred; left; right } ->
+    let left = pull spec left and right = pull spec right in
+    let can_left, can_right =
+      match kind with
+      | Logical.J_inner -> (spec.join_left, spec.join_right)
+      | Logical.J_left -> (spec.loj_left, spec.loj_right)
+    in
+    let la = Logical.arity left in
+    let laudits, lcore = if can_left then split_audits left else ([], left) in
+    let raudits, rcore =
+      if can_right then split_audits right else ([], right)
+    in
+    (* Left arities are unchanged by stripping audits (they are no-ops). *)
+    assert (Logical.arity lcore = la);
+    let join = Logical.Join { kind; pred; left = lcore; right = rcore } in
+    let shifted_r =
+      List.map (fun (n, id) -> (n, id + Logical.arity lcore)) raudits
+    in
+    reattach (laudits @ shifted_r) join
+  | Logical.Semi_join s ->
+    let left = pull spec s.left and right = pull spec s.right in
+    if spec.semi_left then
+      let audits, core = split_audits left in
+      reattach audits (Logical.Semi_join { s with left = core; right })
+    else Logical.Semi_join { s with left; right }
+  | Logical.Apply a ->
+    let outer = pull spec a.outer and inner = pull spec a.inner in
+    if spec.apply_outer then
+      let audits, core = split_audits outer in
+      reattach audits (Logical.Apply { a with outer = core; inner })
+    else Logical.Apply { a with outer; inner }
+  | Logical.Group_by g -> Logical.Group_by { g with child = pull spec g.child }
+  | Logical.Sort s ->
+    let child = pull spec s.child in
+    if spec.sort then
+      let audits, core = split_audits child in
+      reattach audits (Logical.Sort { s with child = core })
+    else Logical.Sort { s with child }
+  | Logical.Limit l ->
+    let child = pull spec l.child in
+    if spec.limit then
+      let audits, core = split_audits child in
+      reattach audits (Logical.Limit { l with child = core })
+    else Logical.Limit { l with child }
+  | Logical.Distinct c -> Logical.Distinct (pull spec c)
+  | Logical.Set_op so ->
+    (* Audit operators never cross a set-operation boundary: UNION/EXCEPT/
+       INTERSECT deduplicate (or negate) whole rows, so the edge below each
+       branch is the highest loss-free stop. *)
+    Logical.Set_op
+      { so with left = pull spec so.left; right = pull spec so.right }
+
+(* ------------------------------------------------------------------ *)
+(* Seeding                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Insert an audit operator directly above every scan of the sensitive
+    table (lines 1–3 of Algorithm 1). Returns the number inserted. *)
+let seed ~audit_name ~sensitive_table ~partition_by (p : Logical.t) :
+    Logical.t * int =
+  let count = ref 0 in
+  let rec go (p : Logical.t) : Logical.t =
+    match p with
+    | Logical.Scan { table; schema; cols; _ }
+      when Schema.equal_names table sensitive_table -> (
+      let full_schema =
+        match cols with
+        | None -> schema
+        | Some idxs -> Array.map (fun i -> Schema.col schema i) idxs
+      in
+      match Schema.find_all full_schema partition_by with
+      | id_col :: _ ->
+        incr count;
+        Logical.Audit { audit_name; id_col; child = p }
+      | [] ->
+        raise
+          (Placement_error
+             (Printf.sprintf "partition key %s not visible in scan of %s"
+                partition_by sensitive_table)))
+    | Logical.Scan _ -> p
+    | Logical.Filter f -> Logical.Filter { f with child = go f.child }
+    | Logical.Project pr -> Logical.Project { pr with child = go pr.child }
+    | Logical.Join j -> Logical.Join { j with left = go j.left; right = go j.right }
+    | Logical.Semi_join s ->
+      Logical.Semi_join { s with left = go s.left; right = go s.right }
+    | Logical.Apply a ->
+      Logical.Apply { a with outer = go a.outer; inner = go a.inner }
+    | Logical.Group_by g -> Logical.Group_by { g with child = go g.child }
+    | Logical.Sort s -> Logical.Sort { s with child = go s.child }
+    | Logical.Limit l -> Logical.Limit { l with child = go l.child }
+    | Logical.Distinct c -> Logical.Distinct (go c)
+    | Logical.Audit a -> Logical.Audit { a with child = go a.child }
+    | Logical.Set_op so ->
+      Logical.Set_op { so with left = go so.left; right = go so.right }
+  in
+  let p' = go p in
+  (p', !count)
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Instrument a plan for one audit expression. Returns the plan unchanged
+    (without audit operators) when the sensitive table does not appear. *)
+let instrument (heuristic : heuristic) ~(audit : Audit_expr.t)
+    (plan : Logical.t) : Logical.t =
+  let seeded, n =
+    seed ~audit_name:audit.Audit_expr.name
+      ~sensitive_table:audit.Audit_expr.sensitive_table
+      ~partition_by:audit.Audit_expr.partition_by plan
+  in
+  if n = 0 then plan else pull (spec_of heuristic) seeded
+
+(** Instrument for several audit expressions at once (§III-C2 notes the
+    generalization to multiple simultaneous audit expressions). *)
+let instrument_all heuristic ~audits plan =
+  List.fold_left (fun p audit -> instrument heuristic ~audit p) plan audits

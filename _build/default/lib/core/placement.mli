@@ -1,0 +1,48 @@
+(** Audit-operator placement — Algorithm 1 of the paper (§III-C).
+
+    Given a logically-optimized plan and an audit expression, placement
+    seeds one no-op audit operator above each leaf scan of the sensitive
+    table and pulls it up across commuting operators. The three heuristics
+    differ only in the commute relation:
+
+    - {!Leaf}: stop above the scan and its pushed-down single-table
+      predicates. No false negatives (Claim 3.5), many false positives.
+    - {!Hcn} (highest-commutative-node): additionally cross inner joins,
+      outer sides of left-outer/semi/anti joins and applies, and sorts;
+      stop at group-by, distinct, top-k, set operations, projections and
+      subquery boundaries. No false negatives (Claim 3.6); exact on
+      select–join queries (Theorem 3.7).
+    - {!Highest}: cross anything that keeps the ID column visible,
+      including top-k — reproduces the Example 3.2 false negative and
+      exists as a cautionary baseline.
+
+    Run placement {e before} column pruning: pruning is audit-aware and
+    keeps each operator's ID column alive (forced ID propagation,
+    §IV-A2). *)
+
+exception Placement_error of string
+
+type heuristic = Leaf | Highest | Hcn
+
+val heuristic_name : heuristic -> string
+
+(** Instrument a plan for one audit expression; returns it unchanged when
+    the sensitive table does not occur. Raises {!Placement_error} if the
+    partition key is not visible at a sensitive scan (prune first?). *)
+val instrument :
+  heuristic -> audit:Audit_expr.t -> Plan.Logical.t -> Plan.Logical.t
+
+(** Instrument for several audit expressions simultaneously (§III-C2). *)
+val instrument_all :
+  heuristic -> audits:Audit_expr.t list -> Plan.Logical.t -> Plan.Logical.t
+
+(** {2 Exposed for tests} *)
+
+(** Seed operators above sensitive-table scans (lines 1–3 of Algorithm 1);
+    returns the instrumented plan and the number inserted. *)
+val seed :
+  audit_name:string ->
+  sensitive_table:string ->
+  partition_by:string ->
+  Plan.Logical.t ->
+  Plan.Logical.t * int

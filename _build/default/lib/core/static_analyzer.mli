@@ -1,0 +1,16 @@
+(** Static-analysis auditing baseline (Oracle Fine Grained Auditing style,
+    §VI / Example 6.1): flag a query iff its selection condition on the
+    sensitive table can logically intersect the audit expression's
+    condition. Instance-independent, cheap, and false-positive-prone —
+    exactly the behaviour the paper contrasts audit operators against. *)
+
+type verdict = May_access | No_access
+
+val string_of_verdict : verdict -> string
+
+(** Conservative per-column constraint-intersection test over the query's
+    top-level WHERE and the audit expression's predicate. Anything the
+    analyzer cannot interpret (LIKE, disjunctions, arithmetic, subqueries)
+    leaves the column unconstrained, i.e. errs toward {!May_access}. *)
+val analyze :
+  Storage.Catalog.t -> audit:Audit_expr.t -> Sql.Ast.query -> verdict

@@ -1,0 +1,1 @@
+lib/db/database.ml: Array Audit_core Buffer Catalog Exec Fmt Fun Hashtbl List Option Plan Printf Schema Sql Storage String Table Tuple Value

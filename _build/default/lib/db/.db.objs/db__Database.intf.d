@@ -1,0 +1,1 @@
+lib/db/database.mli: Audit_core Catalog Exec Plan Schema Sql Storage Tuple Value

@@ -1,0 +1,1 @@
+lib/db/disclosure.ml: Array Audit_core Catalog Database Exec List Printf Sql Storage String Value

@@ -1,0 +1,1 @@
+lib/db/disclosure.mli: Database Storage Value

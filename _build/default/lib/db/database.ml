@@ -1,0 +1,764 @@
+(** The database facade: a single-session engine with SELECT triggers.
+
+    [exec db sql] runs one statement through the full pipeline:
+    parse → bind → logical optimize → audit-operator placement (for every
+    audit expression watched by a SELECT trigger) → column pruning →
+    execute → fire triggers.
+
+    Trigger semantics follow §II:
+    - A SELECT trigger's action runs after the query completes — even if
+      query execution aborts mid-way — with the per-query [ACCESSED] state
+      exposed as a relation named [accessed].
+    - DML triggers run after INSERT/UPDATE/DELETE statements with the
+      affected rows exposed as relations [new] and [old] (SQL Server's
+      statement-level inserted/deleted).
+    - Triggers cascade; a depth limit guards against loops.
+    - [now()] is a logical clock (statement counter), [user_id()] the
+      session user, [sql_text()] the outermost statement's text. *)
+
+open Storage
+
+exception Db_error of string
+
+exception Access_denied of string
+(** raised when a BEFORE RETURN trigger executes [DENY]: the query ran and
+    its accesses were audited, but its result is withheld *)
+
+let err fmt = Fmt.kstr (fun s -> raise (Db_error s)) fmt
+
+type audit_entry = {
+  expr : Audit_core.Audit_expr.t;
+  view : Audit_core.Sensitive_view.t;
+}
+
+exception Deny_signal of string
+(** internal: aborts a BEFORE RETURN action at the DENY statement *)
+
+type t = {
+  catalog : Catalog.t;
+  ctx : Exec.Exec_ctx.t;
+  audits : (string, audit_entry) Hashtbl.t;
+  triggers : Audit_core.Trigger.manager;
+  mutable heuristic : Audit_core.Placement.heuristic;
+  mutable instrument : bool;  (** master switch for SELECT triggers *)
+  mutable notifications : string list;  (** NOTIFY output, oldest first *)
+  mutable trigger_depth : int;
+  mutable in_before_trigger : bool;
+  mutable last_accessed : (string * Value.t list) list;
+      (** per-audit ACCESSED of the last top-level SELECT (diagnostics) *)
+}
+
+let max_trigger_depth = 8
+
+let create () =
+  let catalog = Catalog.create () in
+  {
+    catalog;
+    ctx = Exec.Exec_ctx.create catalog;
+    audits = Hashtbl.create 8;
+    triggers = Audit_core.Trigger.create_manager ();
+    heuristic = Audit_core.Placement.Hcn;
+    instrument = true;
+    notifications = [];
+    trigger_depth = 0;
+    in_before_trigger = false;
+    last_accessed = [];
+  }
+
+let catalog db = db.catalog
+let context db = db.ctx
+let set_user db u = db.ctx.Exec.Exec_ctx.user <- u
+let user db = db.ctx.Exec.Exec_ctx.user
+let set_heuristic db h = db.heuristic <- h
+let set_instrumentation db b = db.instrument <- b
+let notifications db = List.rev db.notifications
+let clear_notifications db = db.notifications <- []
+let last_accessed db = db.last_accessed
+let trigger_manager db = db.triggers
+
+let norm = String.lowercase_ascii
+
+let audit_entry db name =
+  match Hashtbl.find_opt db.audits (norm name) with
+  | Some e -> e
+  | None -> err "unknown audit expression %s" name
+
+let audit_view db name = (audit_entry db name).view
+let audit_expr db name = (audit_entry db name).expr
+
+let audit_names db =
+  Hashtbl.fold (fun _ e acc -> e.expr.Audit_core.Audit_expr.name :: acc)
+    db.audits []
+  |> List.sort String.compare
+
+(* ------------------------------------------------------------------ *)
+(* Results                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type result =
+  | Rows of { schema : Schema.t; rows : Tuple.t list }
+  | Affected of int
+  | Done of string
+
+let result_to_string = function
+  | Affected n -> Printf.sprintf "(%d rows affected)" n
+  | Done msg -> msg
+  | Rows { schema; rows } ->
+    let b = Buffer.create 256 in
+    let cols = Array.to_list schema in
+    Buffer.add_string b
+      (String.concat " | " (List.map (fun c -> c.Schema.name) cols));
+    Buffer.add_char b '\n';
+    List.iter
+      (fun row ->
+        Buffer.add_string b
+          (String.concat " | "
+             (List.map Value.to_string (Array.to_list row)));
+        Buffer.add_char b '\n')
+      rows;
+    Buffer.add_string b (Printf.sprintf "(%d rows)" (List.length rows));
+    Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Planning helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Audit expressions that should instrument a query: those watched by at
+    least one SELECT trigger. *)
+let watched_audits db =
+  Audit_core.Trigger.watched_audits db.triggers
+  |> List.filter_map (fun n -> Hashtbl.find_opt db.audits n)
+
+(** Install every audit's sensitive-ID set into the execution context (the
+    materialized views the physical audit operators probe). *)
+let install_audit_sets db =
+  Hashtbl.iter
+    (fun name e ->
+      Exec.Exec_ctx.set_audit_ids db.ctx ~audit_name:name
+        (Audit_core.Sensitive_view.ids e.view))
+    db.audits
+
+(** Compile a SELECT into a physical-ready plan. [audits] chooses which
+    audit expressions instrument it (default: those watched by triggers);
+    [heuristic] overrides the session heuristic; [prune] controls column
+    pruning. Exposed for benchmarks and tests. *)
+let plan_query db ?heuristic ?audits ?(prune = true) (q : Sql.Ast.query) :
+    Plan.Logical.t =
+  let plan = Plan.Binder.query db.catalog q in
+  let plan = Plan.Optimizer.logical_optimize ~catalog:db.catalog plan in
+  let heuristic = Option.value heuristic ~default:db.heuristic in
+  let entries =
+    match audits with
+    | Some names -> List.map (audit_entry db) names
+    | None -> if db.instrument then watched_audits db else []
+  in
+  let plan =
+    Audit_core.Placement.instrument_all heuristic
+      ~audits:(List.map (fun e -> e.expr) entries)
+      plan
+  in
+  if prune then Plan.Optimizer.prune plan else plan
+
+let plan_sql db ?heuristic ?audits ?prune sql =
+  plan_query db ?heuristic ?audits ?prune (Sql.Parser.query sql)
+
+(** Execute a prepared plan with fresh per-query state. *)
+let run_plan db plan =
+  install_audit_sets db;
+  Exec.Exec_ctx.reset_query_state db.ctx;
+  Exec.Executor.run_list db.ctx plan
+
+(* ------------------------------------------------------------------ *)
+(* Statement execution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let temp_table db ~name ~schema rows =
+  let t = Table.create ~name schema in
+  List.iter (Table.insert t) rows;
+  Catalog.put db.catalog t;
+  t
+
+let drop_temp db name =
+  if Catalog.mem db.catalog name then Catalog.remove db.catalog name
+
+let rec exec_statement db (stmt : Sql.Ast.statement) : result =
+  match stmt with
+  | Sql.Ast.S_select q -> exec_select db q
+  | Sql.Ast.S_create_table { table; columns } ->
+    if Catalog.mem db.catalog table then err "table %s already exists" table;
+    let schema =
+      Schema.of_list
+        (List.map
+           (fun (c : Sql.Ast.column_def) ->
+             Schema.column c.Sql.Ast.col_name c.Sql.Ast.col_type)
+           columns)
+    in
+    let key =
+      List.find_index (fun (c : Sql.Ast.column_def) -> c.Sql.Ast.col_pk) columns
+    in
+    Catalog.add db.catalog (Table.create ?key ~name:table schema);
+    Done (Printf.sprintf "table %s created" table)
+  | Sql.Ast.S_drop_table name ->
+    Catalog.remove db.catalog name;
+    Done (Printf.sprintf "table %s dropped" name)
+  | Sql.Ast.S_insert { table; columns; source } -> exec_insert db table columns source
+  | Sql.Ast.S_update { table; sets; where } -> exec_update db table sets where
+  | Sql.Ast.S_delete { table; where } -> exec_delete db table where
+  | Sql.Ast.S_create_audit { audit_name; definition; sensitive_table; partition_by }
+    ->
+    if Hashtbl.mem db.audits (norm audit_name) then
+      err "audit expression %s already exists" audit_name;
+    let expr =
+      Audit_core.Audit_expr.create db.catalog ~name:audit_name ~definition
+        ~sensitive_table ~partition_by
+    in
+    let view = Audit_core.Sensitive_view.create db.catalog expr in
+    Hashtbl.replace db.audits (norm audit_name) { expr; view };
+    Done
+      (Printf.sprintf "audit expression %s created (%d sensitive IDs)"
+         audit_name
+         (Audit_core.Sensitive_view.cardinality view))
+  | Sql.Ast.S_drop_audit name ->
+    if not (Hashtbl.mem db.audits (norm name)) then
+      err "unknown audit expression %s" name;
+    Hashtbl.remove db.audits (norm name);
+    Done (Printf.sprintf "audit expression %s dropped" name)
+  | Sql.Ast.S_create_trigger { trigger_name; event; timing; body } ->
+    (match event with
+    | Sql.Ast.On_access a ->
+      if not (Hashtbl.mem db.audits (norm a)) then
+        err "trigger %s references unknown audit expression %s" trigger_name a
+    | Sql.Ast.On_dml (tbl, _) ->
+      if not (Catalog.mem db.catalog tbl) then
+        err "trigger %s references unknown table %s" trigger_name tbl;
+      if timing = Sql.Ast.Before_return then
+        err "trigger %s: BEFORE RETURN is only valid for ON ACCESS triggers"
+          trigger_name);
+    Audit_core.Trigger.add db.triggers
+      { Audit_core.Trigger.name = trigger_name; event; timing; body };
+    Done (Printf.sprintf "trigger %s created" trigger_name)
+  | Sql.Ast.S_drop_trigger name ->
+    Audit_core.Trigger.remove db.triggers name;
+    Done (Printf.sprintf "trigger %s dropped" name)
+  | Sql.Ast.S_if (cond, body) ->
+    let v = eval_standalone db cond in
+    if v = Value.Bool true then begin
+      List.iter (fun s -> ignore (exec_statement db s)) body;
+      Done "if: executed"
+    end
+    else Done "if: skipped"
+  | Sql.Ast.S_create_index { index_name; table; column } ->
+    let t =
+      match Catalog.find_opt db.catalog table with
+      | Some t -> t
+      | None -> err "unknown table %s" table
+    in
+    let col =
+      match Schema.find_opt (Table.schema t) column with
+      | Some c -> c
+      | None -> err "unknown column %s on table %s" column table
+    in
+    (try Table.create_index t ~name:index_name ~col
+     with Table.Index_exists n -> err "index %s already exists" n);
+    Done (Printf.sprintf "index %s created on %s(%s)" index_name table column)
+  | Sql.Ast.S_drop_index { index_name; table } ->
+    let t =
+      match Catalog.find_opt db.catalog table with
+      | Some t -> t
+      | None -> err "unknown table %s" table
+    in
+    (try Table.drop_index t index_name
+     with Table.Unknown_index n -> err "unknown index %s" n);
+    Done (Printf.sprintf "index %s dropped" index_name)
+  | Sql.Ast.S_explain q ->
+    let plan = plan_query db q in
+    Done (Plan.Logical.to_string plan)
+  | Sql.Ast.S_notify msg ->
+    db.notifications <- msg :: db.notifications;
+    Done (Printf.sprintf "notify: %s" msg)
+  | Sql.Ast.S_deny msg ->
+    if db.in_before_trigger then raise (Deny_signal msg)
+    else err "DENY is only valid inside a BEFORE RETURN trigger action"
+
+(** Evaluate a standalone expression (trigger IF conditions) by wrapping it
+    in a FROM-less SELECT, so scalar subqueries work. *)
+and eval_standalone db (e : Sql.Ast.expr) : Value.t =
+  let q =
+    { Sql.Ast.empty_query with Sql.Ast.select = [ Sql.Ast.Si_expr (e, None) ] }
+  in
+  let plan =
+    Plan.Binder.query db.catalog q |> Plan.Optimizer.logical_optimize
+  in
+  match Exec.Executor.run_list db.ctx plan with
+  | [ row ] when Array.length row = 1 -> row.(0)
+  | _ -> err "IF condition did not evaluate to a single value"
+
+(* --------------------------------------------------------------- *)
+(* SELECT with audit pipeline                                       *)
+(* --------------------------------------------------------------- *)
+
+and exec_select db (q : Sql.Ast.query) : result =
+  let top_level = db.trigger_depth = 0 in
+  let plan = plan_query db q in
+  install_audit_sets db;
+  if top_level then Exec.Exec_ctx.reset_query_state db.ctx;
+  let record () =
+    if top_level then
+      db.last_accessed <-
+        List.map
+          (fun name ->
+            (name, Exec.Exec_ctx.accessed_list db.ctx ~audit_name:name))
+          (audit_names db)
+        |> List.filter (fun (_, ids) -> ids <> [])
+  in
+  (* §II: the action executes even if the query aborts after a partial
+     read — accesses recorded so far are still accesses. *)
+  match Exec.Executor.run_list db.ctx plan with
+  | rows ->
+    if not top_level then Rows { schema = Plan.Logical.schema plan; rows }
+    else begin
+      record ();
+      (* BEFORE RETURN triggers run first and may DENY. The AFTER triggers
+         run regardless: the access happened and must be audited even when
+         the result is withheld. *)
+      let denial = fire_select_triggers db ~timing:Sql.Ast.Before_return in
+      ignore (fire_select_triggers db ~timing:Sql.Ast.After);
+      match denial with
+      | Some msg -> raise (Access_denied msg)
+      | None -> Rows { schema = Plan.Logical.schema plan; rows }
+    end
+  | exception e ->
+    if top_level then begin
+      record ();
+      ignore (fire_select_triggers db ~timing:Sql.Ast.After)
+    end;
+    raise e
+
+(** Fire the SELECT triggers of [timing] whose audit expression recorded
+    accesses; returns the first DENY message, if any. *)
+and fire_select_triggers db ~timing : string option =
+  let fired = ref [] in
+  Hashtbl.iter
+    (fun name entry ->
+      let ids = Exec.Exec_ctx.accessed_list db.ctx ~audit_name:name in
+      if ids <> [] then
+        let ts =
+          Audit_core.Trigger.on_access ~timing db.triggers ~audit_name:name
+        in
+        if ts <> [] then fired := (entry, ids, ts) :: !fired)
+    db.audits;
+  let denial = ref None in
+  List.iter
+    (fun (entry, ids, ts) ->
+      let expr = entry.expr in
+      let table =
+        Catalog.find db.catalog expr.Audit_core.Audit_expr.sensitive_table
+      in
+      let key_idx =
+        Schema.find (Table.schema table) expr.Audit_core.Audit_expr.partition_by
+      in
+      let key_col = Schema.col (Table.schema table) key_idx in
+      let schema =
+        Schema.of_list
+          [ Schema.column expr.Audit_core.Audit_expr.partition_by key_col.Schema.ty ]
+      in
+      let rows = List.map (fun id -> [| id |]) ids in
+      List.iter
+        (fun tr ->
+          match run_trigger db tr ~accessed:(schema, rows) with
+          | None -> ()
+          | Some msg -> if !denial = None then denial := Some msg)
+        ts)
+    !fired;
+  !denial
+
+(** Execute one trigger action with ACCESSED bound. Returns the DENY
+    message when a BEFORE RETURN action denied the query. *)
+and run_trigger db (tr : Audit_core.Trigger.t) ~accessed:(schema, rows) :
+    string option =
+  if db.trigger_depth >= max_trigger_depth then
+    err "trigger cascade depth limit (%d) exceeded at trigger %s"
+      max_trigger_depth tr.Audit_core.Trigger.name;
+  db.trigger_depth <- db.trigger_depth + 1;
+  let saved_before = db.in_before_trigger in
+  db.in_before_trigger <- tr.Audit_core.Trigger.timing = Sql.Ast.Before_return;
+  let _ = temp_table db ~name:"accessed" ~schema rows in
+  Fun.protect
+    ~finally:(fun () ->
+      drop_temp db "accessed";
+      db.in_before_trigger <- saved_before;
+      db.trigger_depth <- db.trigger_depth - 1)
+    (fun () ->
+      match
+        List.iter
+          (fun s -> ignore (exec_statement db s))
+          tr.Audit_core.Trigger.body
+      with
+      | () -> None
+      | exception Deny_signal msg -> Some msg)
+
+and run_dml_triggers db ~table ~event ~new_rows ~old_rows ~row_schema =
+  let ts = Audit_core.Trigger.on_dml db.triggers ~table ~event in
+  if ts <> [] then begin
+    if db.trigger_depth >= max_trigger_depth then
+      err "trigger cascade depth limit (%d) exceeded on table %s"
+        max_trigger_depth table;
+    db.trigger_depth <- db.trigger_depth + 1;
+    let _ = temp_table db ~name:"new" ~schema:row_schema new_rows in
+    let _ = temp_table db ~name:"old" ~schema:row_schema old_rows in
+    Fun.protect
+      ~finally:(fun () ->
+        drop_temp db "new";
+        drop_temp db "old";
+        db.trigger_depth <- db.trigger_depth - 1)
+      (fun () ->
+        List.iter
+          (fun tr ->
+            List.iter
+              (fun s -> ignore (exec_statement db s))
+              tr.Audit_core.Trigger.body)
+          ts)
+  end
+
+(* §II-B: UPDATE and DELETE read the rows they modify, so the affected
+   sensitive rows count as accessed (traditional trigger semantics,
+   consistent with Definition 2.5). Sensitivity is decided against the
+   *pre-statement* view (a DELETE removes the ID from the view before any
+   post-hoc check could see it). *)
+and capture_dml_accesses db ~table ~(rows : Tuple.t list) :
+    (string * Value.t list) list =
+  if rows = [] then []
+  else
+    Hashtbl.fold
+      (fun name entry acc ->
+        let expr = entry.expr in
+        if Schema.equal_names expr.Audit_core.Audit_expr.sensitive_table table
+        then begin
+          let key_idx = entry.view.Audit_core.Sensitive_view.key_idx in
+          let ids =
+            List.filter_map
+              (fun row ->
+                let id = Tuple.get row key_idx in
+                if Audit_core.Sensitive_view.contains entry.view id then
+                  Some id
+                else None)
+              rows
+          in
+          if ids = [] then acc else (name, ids) :: acc
+        end
+        else acc)
+      db.audits []
+
+and apply_dml_accesses db (captured : (string * Value.t list) list) =
+  if captured <> [] then begin
+    List.iter
+      (fun (name, ids) ->
+        List.iter
+          (fun id ->
+            Exec.Exec_ctx.add_extra_accessed db.ctx ~audit_name:name id)
+          ids)
+      captured;
+    ignore (fire_select_triggers db ~timing:Sql.Ast.After)
+  end
+
+(* --------------------------------------------------------------- *)
+(* DML                                                              *)
+(* --------------------------------------------------------------- *)
+
+and exec_insert db table columns source : result =
+  let t =
+    match Catalog.find_opt db.catalog table with
+    | Some t -> t
+    | None -> err "unknown table %s" table
+  in
+  let schema = Table.schema t in
+  let arity = Schema.arity schema in
+  let position_of =
+    match columns with
+    | None -> fun i -> i
+    | Some names ->
+      let idxs =
+        List.map
+          (fun n ->
+            match Schema.find_opt schema n with
+            | Some i -> i
+            | None -> err "unknown column %s in INSERT INTO %s" n table)
+          names
+      in
+      let arr = Array.of_list idxs in
+      fun i -> arr.(i)
+  in
+  let expected =
+    match columns with None -> arity | Some names -> List.length names
+  in
+  let make_row values =
+    if List.length values <> expected then
+      err "INSERT INTO %s expects %d values, got %d" table expected
+        (List.length values);
+    let row = Array.make arity Value.Null in
+    List.iteri (fun i v -> row.(position_of i) <- v) values;
+    row
+  in
+  let rows =
+    match source with
+    | Sql.Ast.Ins_values rows ->
+      List.map
+        (fun exprs ->
+          make_row
+            (List.map
+               (fun e ->
+                 let s = Plan.Binder.scalar db.catalog [||] e in
+                 Exec.Eval.eval db.ctx [||] s)
+               exprs))
+        rows
+    | Sql.Ast.Ins_query q ->
+      (* The SELECT side of INSERT ... SELECT reads data like any query: it
+         is instrumented and fires SELECT triggers (copying a sensitive row
+         into a private table must not evade auditing). Trigger actions'
+         own INSERT ... SELECT FROM accessed stays un-instrumented via the
+         depth guard below. *)
+      let plan = plan_query db q in
+      install_audit_sets db;
+      let out = Exec.Executor.run_list db.ctx plan in
+      if db.trigger_depth = 0 then
+        ignore (fire_select_triggers db ~timing:Sql.Ast.After);
+      List.map (fun r -> make_row (Array.to_list r)) out
+  in
+  List.iter (Table.insert t) rows;
+  let inserted = List.map (Table.coerce_row t) rows in
+  run_dml_triggers db ~table ~event:Sql.Ast.Ev_insert ~new_rows:inserted
+    ~old_rows:[] ~row_schema:schema;
+  Affected (List.length rows)
+
+and exec_update db table sets where : result =
+  let t =
+    match Catalog.find_opt db.catalog table with
+    | Some t -> t
+    | None -> err "unknown table %s" table
+  in
+  let schema = Table.schema t in
+  let set_bound =
+    List.map
+      (fun (c, e) ->
+        match Schema.find_opt schema c with
+        | Some i -> (i, Plan.Binder.scalar db.catalog schema e)
+        | None -> err "unknown column %s in UPDATE %s" c table)
+      sets
+  in
+  let pred =
+    match where with
+    | None -> fun _ -> true
+    | Some w ->
+      let s = Plan.Binder.scalar db.catalog schema w in
+      fun row -> Exec.Eval.truthy db.ctx row s
+  in
+  let preview = Table.fold t (fun acc row -> if pred row then row :: acc else acc) [] in
+  let captured = capture_dml_accesses db ~table ~rows:preview in
+  let changes = ref [] in
+  let n =
+    Table.update_where t pred (fun row ->
+        let row' = Array.copy row in
+        List.iter
+          (fun (i, s) -> row'.(i) <- Exec.Eval.eval db.ctx row s)
+          set_bound;
+        changes := (row, row') :: !changes;
+        row')
+  in
+  run_dml_triggers db ~table ~event:Sql.Ast.Ev_update
+    ~new_rows:(List.rev_map snd !changes)
+    ~old_rows:(List.rev_map fst !changes)
+    ~row_schema:schema;
+  apply_dml_accesses db captured;
+  Affected n
+
+and exec_delete db table where : result =
+  let t =
+    match Catalog.find_opt db.catalog table with
+    | Some t -> t
+    | None -> err "unknown table %s" table
+  in
+  let schema = Table.schema t in
+  let pred =
+    match where with
+    | None -> fun _ -> true
+    | Some w ->
+      let s = Plan.Binder.scalar db.catalog schema w in
+      fun row -> Exec.Eval.truthy db.ctx row s
+  in
+  let preview = Table.fold t (fun acc row -> if pred row then row :: acc else acc) [] in
+  let captured = capture_dml_accesses db ~table ~rows:preview in
+  let deleted = ref [] in
+  let n =
+    Table.delete_where t (fun row ->
+        if pred row then begin
+          deleted := row :: !deleted;
+          true
+        end
+        else false)
+  in
+  run_dml_triggers db ~table ~event:Sql.Ast.Ev_delete ~new_rows:[]
+    ~old_rows:(List.rev !deleted) ~row_schema:schema;
+  apply_dml_accesses db captured;
+  Affected n
+
+(* ------------------------------------------------------------------ *)
+(* Public entry points                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let wrap_errors f =
+  try f () with
+  | Sql.Lexer.Lex_error (m, off) -> err "lex error at offset %d: %s" off m
+  | Sql.Parser.Parse_error (m, off) -> err "parse error at offset %d: %s" off m
+  | Plan.Binder.Bind_error m -> err "bind error: %s" m
+  | Schema.Unknown_column c -> err "unknown column %s" c
+  | Schema.Ambiguous_column c -> err "ambiguous column %s" c
+  | Catalog.Unknown_table t -> err "unknown table %s" t
+  | Catalog.Table_exists t -> err "table %s already exists" t
+  | Table.Duplicate_key m | Table.Schema_mismatch m -> err "%s" m
+  | Value.Type_error m -> err "type error: %s" m
+  | Exec.Eval.Eval_error m -> err "evaluation error: %s" m
+  | Exec.Executor.Exec_error m -> err "execution error: %s" m
+  | Audit_core.Audit_expr.Invalid_audit m -> err "%s" m
+  | Audit_core.Placement.Placement_error m -> err "placement error: %s" m
+  | Audit_core.Trigger.Trigger_exists n -> err "trigger %s already exists" n
+  | Audit_core.Trigger.Unknown_trigger n -> err "unknown trigger %s" n
+
+(** Execute one SQL statement. *)
+let exec db sql : result =
+  wrap_errors (fun () ->
+      let stmt = Sql.Parser.statement sql in
+      if db.trigger_depth = 0 then begin
+        db.ctx.Exec.Exec_ctx.now <- db.ctx.Exec.Exec_ctx.now + 1;
+        db.ctx.Exec.Exec_ctx.sql <- String.trim sql;
+        Exec.Exec_ctx.reset_query_state db.ctx
+      end;
+      exec_statement db stmt)
+
+(** Execute a ';'-separated script; returns the results in order. *)
+let exec_script db sql : result list =
+  wrap_errors (fun () ->
+      let stmts = Sql.Parser.script sql in
+      List.map
+        (fun stmt ->
+          if db.trigger_depth = 0 then begin
+            db.ctx.Exec.Exec_ctx.now <- db.ctx.Exec.Exec_ctx.now + 1;
+            db.ctx.Exec.Exec_ctx.sql <- Sql.Ast.statement_to_string stmt;
+            Exec.Exec_ctx.reset_query_state db.ctx
+          end;
+          exec_statement db stmt)
+        stmts)
+
+(** Run a SELECT and return its rows (convenience). *)
+let query db sql : Tuple.t list =
+  match exec db sql with
+  | Rows { rows; _ } -> rows
+  | Affected _ | Done _ -> err "expected a SELECT"
+
+(** Run a SELECT expected to return a single value. *)
+let query_value db sql : Value.t =
+  match query db sql with
+  | [ row ] when Array.length row >= 1 -> row.(0)
+  | rows -> err "expected a single value, got %d rows" (List.length rows)
+
+(* ------------------------------------------------------------------ *)
+(* Dump / restore                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** SQL dump of the whole database — schema, data, audit expressions and
+    triggers — replayable with {!exec_script}. *)
+let dump db : string =
+  let b = Buffer.create 4096 in
+  let stmt s = Buffer.add_string b (s ^ ";\n") in
+  let tables =
+    Catalog.names db.catalog
+    |> List.filter_map (fun n -> Catalog.find_opt db.catalog n)
+  in
+  List.iter
+    (fun t ->
+      let columns =
+        List.mapi
+          (fun i (c : Schema.column) ->
+            {
+              Sql.Ast.col_name = c.Schema.name;
+              col_type = c.Schema.ty;
+              col_pk = Table.key t = Some i;
+            })
+          (Schema.columns (Table.schema t))
+      in
+      stmt
+        (Sql.Ast.statement_to_string
+           (Sql.Ast.S_create_table { table = Table.name t; columns })))
+    tables;
+  List.iter
+    (fun t ->
+      List.iter
+        (fun (idx_name, col) ->
+          stmt
+            (Sql.Ast.statement_to_string
+               (Sql.Ast.S_create_index
+                  {
+                    index_name = idx_name;
+                    table = Table.name t;
+                    column = (Schema.col (Table.schema t) col).Schema.name;
+                  })))
+        (Table.index_names t))
+    tables;
+  List.iter
+    (fun t ->
+      let rows = Table.to_list t in
+      let rec batches = function
+        | [] -> ()
+        | rows ->
+          let rec take n acc = function
+            | [] -> (List.rev acc, [])
+            | rest when n = 0 -> (List.rev acc, rest)
+            | r :: rest -> take (n - 1) (r :: acc) rest
+          in
+          let batch, rest = take 100 [] rows in
+          let values =
+            List.map
+              (fun row ->
+                Printf.sprintf "(%s)"
+                  (String.concat ", "
+                     (List.map Value.to_sql_literal (Array.to_list row))))
+              batch
+          in
+          stmt
+            (Printf.sprintf "INSERT INTO %s VALUES %s" (Table.name t)
+               (String.concat ", " values));
+          batches rest
+      in
+      batches rows)
+    tables;
+  List.iter
+    (fun name ->
+      let e = audit_expr db name in
+      stmt
+        (Sql.Ast.statement_to_string
+           (Sql.Ast.S_create_audit
+              {
+                audit_name = e.Audit_core.Audit_expr.name;
+                definition = e.Audit_core.Audit_expr.definition;
+                sensitive_table = e.Audit_core.Audit_expr.sensitive_table;
+                partition_by = e.Audit_core.Audit_expr.partition_by;
+              })))
+    (audit_names db);
+  List.iter
+    (fun (tr : Audit_core.Trigger.t) ->
+      stmt
+        (Sql.Ast.statement_to_string
+           (Sql.Ast.S_create_trigger
+              {
+                trigger_name = tr.Audit_core.Trigger.name;
+                event = tr.Audit_core.Trigger.event;
+                timing = tr.Audit_core.Trigger.timing;
+                body = tr.Audit_core.Trigger.body;
+              })))
+    (Audit_core.Trigger.all db.triggers);
+  Buffer.contents b
+
+(** Rebuild a fresh database from a {!dump}. *)
+let restore sql : t =
+  let db = create () in
+  ignore (exec_script db sql);
+  db

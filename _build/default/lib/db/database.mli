@@ -1,0 +1,113 @@
+(** The database facade: a single-session engine with SELECT triggers.
+
+    [exec] runs one statement through the full pipeline: parse → bind →
+    logical optimize → audit-operator placement (for every audit expression
+    watched by a SELECT trigger) → column pruning → execute → fire
+    triggers. See the implementation header for the trigger semantics
+    (§II): AFTER and BEFORE RETURN timings, cascades with a depth limit,
+    the [ACCESSED]/[new]/[old] pseudo-relations, and the logical clock
+    behind [now()]. *)
+
+open Storage
+
+exception Db_error of string
+
+exception Access_denied of string
+(** a BEFORE RETURN trigger executed [DENY]: the query ran and was audited,
+    but its result is withheld *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Session} *)
+
+val catalog : t -> Catalog.t
+val context : t -> Exec.Exec_ctx.t
+val set_user : t -> string -> unit
+val user : t -> string
+
+(** Placement heuristic used to instrument queries (default {!Audit_core.Placement.Hcn}). *)
+val set_heuristic : t -> Audit_core.Placement.heuristic -> unit
+
+(** Master switch for SELECT-trigger instrumentation (default on). *)
+val set_instrumentation : t -> bool -> unit
+
+(** NOTIFY output, oldest first. *)
+val notifications : t -> string list
+
+val clear_notifications : t -> unit
+
+(** Per-audit ACCESSED IDs of the last top-level SELECT (diagnostics). *)
+val last_accessed : t -> (string * Value.t list) list
+
+val trigger_manager : t -> Audit_core.Trigger.manager
+
+(** {1 Audit expressions} *)
+
+val audit_view : t -> string -> Audit_core.Sensitive_view.t
+val audit_expr : t -> string -> Audit_core.Audit_expr.t
+val audit_names : t -> string list
+
+(** {1 Results} *)
+
+type result =
+  | Rows of { schema : Schema.t; rows : Tuple.t list }
+  | Affected of int
+  | Done of string
+
+val result_to_string : result -> string
+
+(** {1 Statement execution} *)
+
+(** Execute one SQL statement. Raises {!Db_error} (with parse/bind/execute
+    context) or {!Access_denied}. *)
+val exec : t -> string -> result
+
+(** Execute a ';'-separated script, returning results in order. *)
+val exec_script : t -> string -> result list
+
+(** Run a SELECT, returning its rows. *)
+val query : t -> string -> Tuple.t list
+
+(** Run a SELECT expected to return exactly one value. *)
+val query_value : t -> string -> Value.t
+
+(** {1 Lower-level planning API (benchmarks, tests)} *)
+
+(** Compile a SELECT to a physical-ready plan. [audits] selects the
+    instrumenting audit expressions (default: those watched by triggers,
+    if instrumentation is on); [heuristic] overrides the session default;
+    [prune] controls column pruning (on by default). *)
+val plan_query :
+  t ->
+  ?heuristic:Audit_core.Placement.heuristic ->
+  ?audits:string list ->
+  ?prune:bool ->
+  Sql.Ast.query ->
+  Plan.Logical.t
+
+val plan_sql :
+  t ->
+  ?heuristic:Audit_core.Placement.heuristic ->
+  ?audits:string list ->
+  ?prune:bool ->
+  string ->
+  Plan.Logical.t
+
+(** Install every audit expression's sensitive-ID table into the execution
+    context (required before running an instrumented plan directly). *)
+val install_audit_sets : t -> unit
+
+(** Execute a prepared plan with fresh per-query state; does not fire
+    triggers. *)
+val run_plan : t -> Plan.Logical.t -> Tuple.t list
+
+(** {1 Dump / restore} *)
+
+(** SQL dump of the whole database — schema, data, audit expressions and
+    triggers — replayable with {!exec_script} (or {!restore}). *)
+val dump : t -> string
+
+(** Build a fresh database from a {!dump}. *)
+val restore : string -> t

@@ -1,0 +1,1 @@
+lib/exec/aggregate.ml: Float Logical Plan Storage Value

@@ -1,0 +1,1 @@
+lib/exec/aggregate.mli: Plan Storage Value

@@ -1,0 +1,1 @@
+lib/exec/eval.ml: Array Exec_ctx Float Fmt List Plan Scalar Sql Storage String Tuple Value

@@ -1,0 +1,1 @@
+lib/exec/eval.mli: Exec_ctx Plan Storage Tuple Value

@@ -1,0 +1,1 @@
+lib/exec/exec_ctx.ml: Catalog Hashtbl List Storage String Tuple Value

@@ -1,0 +1,1 @@
+lib/exec/exec_ctx.mli: Catalog Hashtbl Storage Tuple Value

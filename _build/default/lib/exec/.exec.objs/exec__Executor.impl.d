@@ -1,0 +1,1 @@
+lib/exec/executor.ml: Aggregate Array Catalog Eval Exec_ctx Fun List Logical Option Plan Printf Scalar Sql Storage String Table Tuple Value

@@ -1,0 +1,1 @@
+lib/exec/executor.mli: Exec_ctx Plan Storage Tuple

@@ -1,0 +1,14 @@
+(** Aggregate accumulators with SQL semantics: NULLs are skipped,
+    [COUNT(<star>)] counts rows, SUM/MIN/MAX over empty input yield NULL,
+    DISTINCT filters duplicates per group. *)
+
+open Storage
+
+type state
+
+val create : Plan.Logical.agg -> state
+
+(** Feed one input value; [None] only for [COUNT(<star>)]. *)
+val update : state -> Value.t option -> unit
+
+val final : state -> Value.t

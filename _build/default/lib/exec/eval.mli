@@ -1,0 +1,14 @@
+(** Scalar evaluation with SQL three-valued logic: NULL-propagating
+    comparisons, Kleene AND/OR, LIKE, CASE, date intervals and the session
+    functions [now()]/[user_id()]/[sql_text()]. *)
+
+open Storage
+
+exception Eval_error of string
+
+(** Evaluate a bound expression against a row. [Param]s read the top of the
+    context's correlation stack. *)
+val eval : Exec_ctx.t -> Tuple.t -> Plan.Scalar.t -> Value.t
+
+(** A predicate holds only when it evaluates to [Bool true] (not NULL). *)
+val truthy : Exec_ctx.t -> Tuple.t -> Plan.Scalar.t -> bool

@@ -1,0 +1,116 @@
+(** Execution context.
+
+    Carries everything a running plan needs besides its own operators:
+
+    - the catalog (scans resolve tables at open time, so the transient
+      [ACCESSED] relation can be registered just before a trigger action);
+    - session state backing [now()], [user_id()] and [sql_text()] — the
+      clock is logical (statement counter) so runs are deterministic;
+    - the audit machinery: per-audit-expression sensitive-ID sets probed by
+      audit operators, and the per-query [ACCESSED] internal state they
+      populate (§II, §IV-A2);
+    - [hide]: a (table, key) pair virtually deleted from scans, used by the
+      exact offline auditor to evaluate Q(D - t) (Definition 2.3);
+    - the parameter stack for correlated [Apply] operators. *)
+
+open Storage
+
+type t = {
+  catalog : Catalog.t;
+  mutable now : int;
+  mutable user : string;
+  mutable sql : string;
+  mutable hide : (string * int * Value.t) option;
+      (** (table, column index, value): scans of that table skip matching
+          rows — the virtual deletion behind Definition 2.3 *)
+  audit_sets : (string, int ref Value.Hashtbl_v.t) Hashtbl.t;
+      (** per audit expression: sensitive ID -> generation mark. A probe is
+          a single hash lookup; marking an accessed ID is an int store into
+          the probe table itself, exactly the paper's "IDs that are joined
+          are marked as auditIDs" (§IV-A2). *)
+  mutable generation : int;
+      (** current query generation; an ID is in ACCESSED iff its mark
+          equals this *)
+  extra_accessed : (string, unit Value.Hashtbl_v.t) Hashtbl.t;
+      (** accesses that cannot live as marks because the ID left the
+          sensitive view during the statement (e.g. DELETE of a sensitive
+          row, which *read* it first — §II-B) *)
+  mutable params : Tuple.t list;
+  (* Statistics *)
+  mutable audit_probes : int;  (** rows seen by audit operators *)
+  mutable audit_hits : int;  (** rows matching a sensitive ID *)
+  mutable rows_scanned : int;
+}
+
+let create catalog =
+  {
+    catalog;
+    now = 0;
+    user = "admin";
+    sql = "";
+    hide = None;
+    audit_sets = Hashtbl.create 4;
+    generation = 1;
+    extra_accessed = Hashtbl.create 4;
+    params = [];
+    audit_probes = 0;
+    audit_hits = 0;
+    rows_scanned = 0;
+  }
+
+let norm = String.lowercase_ascii
+
+(** Install the sensitive-ID mark table an audit operator probes. *)
+let set_audit_ids ctx ~audit_name ids =
+  Hashtbl.replace ctx.audit_sets (norm audit_name) ids
+
+let audit_ids ctx ~audit_name =
+  Hashtbl.find_opt ctx.audit_sets (norm audit_name)
+
+(** Start a fresh query: bumping the generation invalidates every ACCESSED
+    mark in O(1). *)
+let reset_query_state ctx =
+  ctx.generation <- ctx.generation + 1;
+  Hashtbl.reset ctx.extra_accessed;
+  ctx.params <- [];
+  ctx.audit_probes <- 0;
+  ctx.audit_hits <- 0;
+  ctx.rows_scanned <- 0
+
+(** Record an access for an ID that may no longer be in the sensitive view
+    (DML read-accesses, §II-B). *)
+let add_extra_accessed ctx ~audit_name v =
+  let key = norm audit_name in
+  let tbl =
+    match Hashtbl.find_opt ctx.extra_accessed key with
+    | Some t -> t
+    | None ->
+      let t = Value.Hashtbl_v.create 8 in
+      Hashtbl.replace ctx.extra_accessed key t;
+      t
+  in
+  if not (Value.Hashtbl_v.mem tbl v) then Value.Hashtbl_v.add tbl v ()
+
+(** Sorted list of accessed IDs for an audit expression (current query). *)
+let accessed_list ctx ~audit_name =
+  let marked =
+    match Hashtbl.find_opt ctx.audit_sets (norm audit_name) with
+    | None -> []
+    | Some marks ->
+      Value.Hashtbl_v.fold
+        (fun v r acc -> if !r = ctx.generation then v :: acc else acc)
+        marks []
+  in
+  let extra =
+    match Hashtbl.find_opt ctx.extra_accessed (norm audit_name) with
+    | None -> []
+    | Some tbl ->
+      Value.Hashtbl_v.fold
+        (fun v () acc ->
+          if List.exists (Value.equal v) marked then acc else v :: acc)
+        tbl []
+  in
+  List.sort Value.compare_total (extra @ marked)
+
+let accessed_count ctx ~audit_name =
+  List.length (accessed_list ctx ~audit_name)

@@ -1,0 +1,58 @@
+(** Execution context: everything a running plan needs besides its
+    operators — the catalog, session state, correlation parameters, the
+    audit machinery, and the virtual-deletion hook used by the exact
+    offline auditor.
+
+    ACCESSED representation (§IV-A2): each audit expression's sensitive-ID
+    table maps IDs to {e generation marks}. The audit operator records an
+    access by storing the current query generation into the probed entry —
+    probe-and-mark is one hash lookup — and bumping the generation
+    invalidates every mark in O(1). *)
+
+open Storage
+
+type t = {
+  catalog : Catalog.t;
+  mutable now : int;  (** logical clock behind [now()] *)
+  mutable user : string;  (** session user behind [user_id()] *)
+  mutable sql : string;  (** statement text behind [sql_text()] *)
+  mutable hide : (string * int * Value.t) option;
+      (** virtually delete the rows of [table] whose column equals the
+          value — evaluates Q(D - t) for Definition 2.3 without mutating
+          the database *)
+  audit_sets : (string, int ref Value.Hashtbl_v.t) Hashtbl.t;
+      (** per audit expression: sensitive ID -> generation mark *)
+  mutable generation : int;
+  extra_accessed : (string, unit Value.Hashtbl_v.t) Hashtbl.t;
+      (** accesses whose ID left the sensitive view mid-statement (DML
+          read-accesses, §II-B) *)
+  mutable params : Tuple.t list;
+      (** correlation stack: the nearest enclosing Apply's outer row is the
+          head *)
+  mutable audit_probes : int;  (** statistics: rows seen by audit operators *)
+  mutable audit_hits : int;  (** statistics: rows matching a sensitive ID *)
+  mutable rows_scanned : int;
+}
+
+val create : Catalog.t -> t
+
+(** Install the sensitive-ID mark table an audit operator probes
+    (normally via [Db.Database.install_audit_sets]). *)
+val set_audit_ids :
+  t -> audit_name:string -> int ref Value.Hashtbl_v.t -> unit
+
+val audit_ids : t -> audit_name:string -> int ref Value.Hashtbl_v.t option
+
+(** Record an access for an ID that may no longer be in the sensitive view
+    (DML read-accesses, §II-B). *)
+val add_extra_accessed : t -> audit_name:string -> Value.t -> unit
+
+(** Start a fresh query: bumps the generation (clearing ACCESSED in O(1))
+    and resets the correlation stack and counters. *)
+val reset_query_state : t -> unit
+
+(** Sorted ACCESSED IDs of the current generation for an audit
+    expression. *)
+val accessed_list : t -> audit_name:string -> Value.t list
+
+val accessed_count : t -> audit_name:string -> int

@@ -1,0 +1,623 @@
+(** Volcano-style plan execution.
+
+    [compile ctx plan] performs the physical planning once (hash- vs
+    nested-loop join selection, equi-key extraction) and returns a cursor
+    *factory*; invoking the factory opens a fresh execution. Correlated
+    [Apply] operators invoke their inner factory once per outer row, with the
+    outer row pushed on the context's parameter stack.
+
+    The physical audit operator (§IV-A2) is a no-op hash probe: it looks up
+    the ID column of every passing row in the audit expression's materialized
+    sensitive-ID set and records hits in the per-query ACCESSED state. It
+    never filters — instrumented plans return exactly the rows of the plain
+    plan. *)
+
+open Storage
+open Plan
+
+exception Exec_error of string
+
+type cursor = unit -> Tuple.t option
+type factory = unit -> cursor
+
+let drain (c : cursor) : Tuple.t list =
+  let rec go acc = match c () with None -> List.rev acc | Some r -> go (r :: acc) in
+  go []
+
+(* Equi-join key extraction: partition join-predicate conjuncts into
+   (left_key, right_key) pairs and a residual predicate. *)
+let split_equi ~left_arity pred =
+  let conjs = match pred with None -> [] | Some p -> Scalar.conjuncts p in
+  let la = left_arity in
+  let classify c =
+    match c with
+    | Scalar.Binop (Sql.Ast.Eq, a, b) -> (
+      let fa = Scalar.free_cols a and fb = Scalar.free_cols b in
+      let all_left l = l <> [] && List.for_all (fun i -> i < la) l in
+      let all_right l = l <> [] && List.for_all (fun i -> i >= la) l in
+      let shift = Scalar.shift_cols (fun i -> i - la) in
+      if all_left fa && all_right fb then `Equi (a, shift b)
+      else if all_left fb && all_right fa then `Equi (b, shift a)
+      else `Residual c)
+    | _ -> `Residual c
+  in
+  List.fold_left
+    (fun (keys, res) c ->
+      match classify c with
+      | `Equi (l, r) -> ((l, r) :: keys, res)
+      | `Residual c -> (keys, c :: res))
+    ([], []) conjs
+  |> fun (keys, res) -> (List.rev keys, List.rev res)
+
+let rec compile (ctx : Exec_ctx.t) (plan : Logical.t) : factory =
+  match plan with
+  | Logical.Scan { table; cols; _ } -> compile_scan ctx table cols
+  | Logical.Filter { pred; child } ->
+    let cf = compile ctx child in
+    fun () ->
+      let c = cf () in
+      let rec next () =
+        match c () with
+        | None -> None
+        | Some row -> if Eval.truthy ctx row pred then Some row else next ()
+      in
+      next
+  | Logical.Project { cols; child } ->
+    let cf = compile ctx child in
+    let exprs = Array.of_list (List.map fst cols) in
+    fun () ->
+      let c = cf () in
+      fun () ->
+        (match c () with
+        | None -> None
+        | Some row -> Some (Array.map (Eval.eval ctx row) exprs))
+  | Logical.Join { kind; pred; left; right } ->
+    compile_join ctx kind pred left right
+  | Logical.Semi_join { anti; left; left_key; right; right_key } ->
+    let lf = compile ctx left in
+    let rf = compile ctx right in
+    fun () ->
+      let keys = Value.Hashtbl_v.create 256 in
+      let rc = rf () in
+      let rec build () =
+        match rc () with
+        | None -> ()
+        | Some row ->
+          let k = Eval.eval ctx row right_key in
+          if not (Value.is_null k) then Value.Hashtbl_v.replace keys k ();
+          build ()
+      in
+      build ();
+      let lc = lf () in
+      let rec next () =
+        match lc () with
+        | None -> None
+        | Some row ->
+          let k = Eval.eval ctx row left_key in
+          let matched =
+            (not (Value.is_null k)) && Value.Hashtbl_v.mem keys k
+          in
+          if matched <> anti then Some row else next ()
+      in
+      next
+  | Logical.Apply { kind; outer; inner; _ } -> compile_apply ctx kind outer inner
+  | Logical.Group_by { keys; aggs; child } -> compile_group ctx keys aggs child
+  | Logical.Sort { keys; child } -> compile_sort ctx keys child
+  | Logical.Limit { n; child } ->
+    let cf = compile ctx child in
+    fun () ->
+      let c = cf () in
+      let remaining = ref n in
+      fun () ->
+        if !remaining <= 0 then None
+        else begin
+          match c () with
+          | None -> None
+          | Some row ->
+            decr remaining;
+            Some row
+        end
+  | Logical.Distinct child ->
+    let cf = compile ctx child in
+    fun () ->
+      let c = cf () in
+      let seen = Tuple.Hashtbl_t.create 256 in
+      let rec next () =
+        match c () with
+        | None -> None
+        | Some row ->
+          if Tuple.Hashtbl_t.mem seen row then next ()
+          else begin
+            Tuple.Hashtbl_t.replace seen row ();
+            Some row
+          end
+      in
+      next
+  | Logical.Set_op { op; left; right } -> (
+    let lf = compile ctx left in
+    let rf = compile ctx right in
+    match op with
+    | Sql.Ast.Union_all ->
+      fun () ->
+        let lc = lf () in
+        let rc = rf () in
+        let on_left = ref true in
+        let rec next () =
+          if !on_left then
+            match lc () with
+            | Some r -> Some r
+            | None ->
+              on_left := false;
+              next ()
+          else rc ()
+        in
+        next
+    | Sql.Ast.Union ->
+      fun () ->
+        let seen = Tuple.Hashtbl_t.create 256 in
+        let lc = lf () in
+        let rc = rf () in
+        let on_left = ref true in
+        let rec next () =
+          let candidate =
+            if !on_left then
+              match lc () with
+              | Some r -> Some r
+              | None ->
+                on_left := false;
+                rc ()
+            else rc ()
+          in
+          match candidate with
+          | None -> None
+          | Some row ->
+            if Tuple.Hashtbl_t.mem seen row then next ()
+            else begin
+              Tuple.Hashtbl_t.replace seen row ();
+              Some row
+            end
+        in
+        next
+    | Sql.Ast.Except | Sql.Ast.Intersect ->
+      let keep_if_in_right = op = Sql.Ast.Intersect in
+      fun () ->
+        let right_set = Tuple.Hashtbl_t.create 256 in
+        let rc = rf () in
+        let rec build () =
+          match rc () with
+          | None -> ()
+          | Some r ->
+            Tuple.Hashtbl_t.replace right_set r ();
+            build ()
+        in
+        build ();
+        let emitted = Tuple.Hashtbl_t.create 256 in
+        let lc = lf () in
+        let rec next () =
+          match lc () with
+          | None -> None
+          | Some row ->
+            if
+              Tuple.Hashtbl_t.mem right_set row = keep_if_in_right
+              && not (Tuple.Hashtbl_t.mem emitted row)
+            then begin
+              Tuple.Hashtbl_t.replace emitted row ();
+              Some row
+            end
+            else next ()
+        in
+        next)
+  | Logical.Audit { audit_name; id_col; child } ->
+    let cf = compile ctx child in
+    let name = String.lowercase_ascii audit_name in
+    fun () ->
+      let sensitive =
+        match Exec_ctx.audit_ids ctx ~audit_name:name with
+        | Some s -> s
+        | None ->
+          raise
+            (Exec_error
+               (Printf.sprintf
+                  "audit operator for %s: sensitive-ID set not installed"
+                  audit_name))
+      in
+      let c = cf () in
+      fun () ->
+        match c () with
+        | None -> None
+        | Some row ->
+          ctx.Exec_ctx.audit_probes <- ctx.Exec_ctx.audit_probes + 1;
+          (* One hash probe per row; a hit marks the ID as accessed by
+             storing the query generation into the probe table entry. *)
+          (match Value.Hashtbl_v.find_opt sensitive row.(id_col) with
+          | Some mark ->
+            ctx.Exec_ctx.audit_hits <- ctx.Exec_ctx.audit_hits + 1;
+            if !mark <> ctx.Exec_ctx.generation then
+              mark := ctx.Exec_ctx.generation
+          | None -> ());
+          Some row
+
+and compile_scan ctx table cols : factory =
+  if table = "$dual" then (fun () ->
+    let done_ = ref false in
+    fun () ->
+      if !done_ then None
+      else begin
+        done_ := true;
+        Some [||]
+      end)
+  else
+    fun () ->
+      let t =
+        match Catalog.find_opt ctx.Exec_ctx.catalog table with
+        | Some t -> t
+        | None -> raise (Exec_error (Printf.sprintf "unknown table %s" table))
+      in
+      let hide =
+        match ctx.Exec_ctx.hide with
+        | Some (ht, col, v)
+          when String.lowercase_ascii ht = String.lowercase_ascii table ->
+          Some (col, v)
+        | _ -> None
+      in
+      let c = Table.cursor ?hide t in
+      fun () ->
+        match c () with
+        | None -> None
+        | Some row ->
+          ctx.Exec_ctx.rows_scanned <- ctx.Exec_ctx.rows_scanned + 1;
+          Some
+            (match cols with
+            | None -> row
+            | Some idxs -> Tuple.project row idxs)
+
+(* A right side usable for index nested loops: a chain of Filter/Audit
+   operators over a bare Scan. Returns the scan info and the chain bottom-up. *)
+and probe_chain (plan : Logical.t) :
+    (string * int array option
+    * [ `Filter of Scalar.t | `Audit of string * int ] list)
+    option =
+  match plan with
+  | Logical.Scan { table; cols; _ } -> Some (table, cols, [])
+  | Logical.Filter { pred; child } ->
+    Option.map
+      (fun (t, c, ops) -> (t, c, ops @ [ `Filter pred ]))
+      (probe_chain child)
+  | Logical.Audit { audit_name; id_col; child } ->
+    Option.map
+      (fun (t, c, ops) -> (t, c, ops @ [ `Audit (audit_name, id_col) ]))
+      (probe_chain child)
+  | _ -> None
+
+and compile_join ctx kind pred left right : factory =
+  let la = Logical.arity left in
+  let ra = Logical.arity right in
+  let lf = compile ctx left in
+  let rf = compile ctx right in
+  let keys, residual = split_equi ~left_arity:la pred in
+  let residual = if residual = [] then None else Some (Scalar.conjoin residual) in
+  let null_pad = Array.make ra Value.Null in
+  let lkeys = Array.of_list (List.map fst keys) in
+  let rkeys = Array.of_list (List.map snd keys) in
+  let use_hash = Array.length lkeys > 0 in
+  (* Index nested loops: single equi key, right side a Filter chain over a
+     scan, join column indexed (PK or secondary), and the left side
+     estimated well below the right table — then per-left-row lookups beat
+     building a hash of the whole right side.
+
+     Exception: if the probe chain carries an audit operator, stay with the
+     scan-based plan. An audit operator inside an index lookup would observe
+     only the fetched rows, making audit cardinalities depend on the
+     physical plan — §III explicitly requires false positives to be
+     independent of the physical operators chosen. *)
+  let inl =
+    match keys with
+    | [ (lk, Scalar.Col j) ] -> (
+      match probe_chain right with
+      | Some (_, _, ops)
+        when List.exists (function `Audit _ -> true | `Filter _ -> false) ops
+        ->
+        None
+      | Some (table, cols, ops) -> (
+        let base_col =
+          match cols with None -> j | Some idxs -> idxs.(j)
+        in
+        match Catalog.find_opt ctx.Exec_ctx.catalog table with
+        | Some t
+          when (t |> Table.key) = Some base_col
+               || List.mem base_col (Table.indexed_columns t) ->
+          let left_est =
+            Plan.Cardinality.estimate ctx.Exec_ctx.catalog left
+          in
+          if left_est *. 4.0 < float_of_int (Table.cardinality t) then
+            Some (lk, base_col, table, cols, ops)
+          else None
+        | _ -> None)
+      | None -> None)
+    | _ -> None
+  in
+  match inl with
+  | Some (lk, base_col, table, cols, ops) ->
+    compile_inl_join ctx kind ~left:lf ~left_key:lk ~base_col ~table ~cols
+      ~ops ~residual ~null_pad
+  | None ->
+  fun () ->
+    (* Materialize and (for equi joins) hash the build side. *)
+    let rc = rf () in
+    let right_rows = drain rc in
+    let probe : Tuple.t -> Tuple.t list =
+      if use_hash then begin
+        let tbl = Tuple.Hashtbl_t.create 1024 in
+        List.iter
+          (fun row ->
+            let k = Array.map (Eval.eval ctx row) rkeys in
+            if not (Array.exists Value.is_null k) then
+              Tuple.Hashtbl_t.replace tbl k
+                (row :: (try Tuple.Hashtbl_t.find tbl k with Not_found -> [])))
+          right_rows;
+        fun lrow ->
+          let k = Array.map (Eval.eval ctx lrow) lkeys in
+          if Array.exists Value.is_null k then []
+          else
+            match Tuple.Hashtbl_t.find_opt tbl k with
+            | Some rows -> List.rev rows
+            | None -> []
+      end
+      else fun _ -> right_rows
+    in
+    let lc = lf () in
+    let current_left = ref None in
+    let matches = ref [] in
+    let rec next () =
+      match !matches with
+      | m :: rest ->
+        matches := rest;
+        Some m
+      | [] -> (
+        match lc () with
+        | None -> None
+        | Some lrow ->
+          current_left := Some lrow;
+          let cands = probe lrow in
+          let joined =
+            List.filter_map
+              (fun rrow ->
+                let combined = Tuple.append lrow rrow in
+                match residual with
+                | None -> Some combined
+                | Some p ->
+                  if Eval.truthy ctx combined p then Some combined else None)
+              cands
+          in
+          (match (joined, kind) with
+          | [], Logical.J_left -> matches := [ Tuple.append lrow null_pad ]
+          | _, _ -> matches := joined);
+          next ())
+    in
+    ignore current_left;
+    next
+
+(* Index-nested-loop join: per left row, an index lookup on the right base
+   table, each fetched row pushed through the right side's Filter/Audit
+   chain — so a leaf audit operator on the probe side observes exactly the
+   fetched rows. *)
+and compile_inl_join ctx kind ~left ~left_key ~base_col ~table ~cols ~ops
+    ~residual ~null_pad : factory =
+ fun () ->
+  let t =
+    match Catalog.find_opt ctx.Exec_ctx.catalog table with
+    | Some t -> t
+    | None -> raise (Exec_error (Printf.sprintf "unknown table %s" table))
+  in
+  let hide =
+    match ctx.Exec_ctx.hide with
+    | Some (ht, col, v)
+      when String.lowercase_ascii ht = String.lowercase_ascii table ->
+      Some (col, v)
+    | _ -> None
+  in
+  (* Compile the chain ops into closures (audit mark tables resolved now). *)
+  let compiled_ops =
+    List.map
+      (function
+        | `Filter pred -> fun row -> if Eval.truthy ctx row pred then Some row else None
+        | `Audit (audit_name, id_col) -> (
+          let name = String.lowercase_ascii audit_name in
+          match Exec_ctx.audit_ids ctx ~audit_name:name with
+          | None ->
+            raise
+              (Exec_error
+                 (Printf.sprintf
+                    "audit operator for %s: sensitive-ID set not installed"
+                    audit_name))
+          | Some sensitive ->
+            fun row ->
+              ctx.Exec_ctx.audit_probes <- ctx.Exec_ctx.audit_probes + 1;
+              (match Value.Hashtbl_v.find_opt sensitive row.(id_col) with
+              | Some mark ->
+                ctx.Exec_ctx.audit_hits <- ctx.Exec_ctx.audit_hits + 1;
+                if !mark <> ctx.Exec_ctx.generation then
+                  mark := ctx.Exec_ctx.generation
+              | None -> ());
+              Some row))
+      ops
+  in
+  let through_chain base_row =
+    ctx.Exec_ctx.rows_scanned <- ctx.Exec_ctx.rows_scanned + 1;
+    let projected =
+      match cols with None -> base_row | Some idxs -> Tuple.project base_row idxs
+    in
+    List.fold_left
+      (fun acc op -> match acc with Some r -> op r | None -> None)
+      (Some projected) compiled_ops
+  in
+  let lc = left () in
+  let matches = ref [] in
+  let rec next () =
+    match !matches with
+    | m :: rest ->
+      matches := rest;
+      Some m
+    | [] -> (
+      match lc () with
+      | None -> None
+      | Some lrow ->
+        let v = Eval.eval ctx lrow left_key in
+        let fetched =
+          if Value.is_null v then []
+          else
+            match Table.lookup ?hide t ~col:base_col v with
+            | Some rows -> rows
+            | None -> []
+        in
+        let joined =
+          List.filter_map
+            (fun base_row ->
+              match through_chain base_row with
+              | None -> None
+              | Some rrow -> (
+                let combined = Tuple.append lrow rrow in
+                match residual with
+                | None -> Some combined
+                | Some p ->
+                  if Eval.truthy ctx combined p then Some combined else None))
+            fetched
+        in
+        (match (joined, kind) with
+        | [], Logical.J_left -> matches := [ Tuple.append lrow null_pad ]
+        | _, _ -> matches := joined);
+        next ())
+  in
+  next
+
+and compile_apply ctx kind outer inner : factory =
+  let of_ = compile ctx outer in
+  let inf = compile ctx inner in
+  fun () ->
+    let oc = of_ () in
+    let with_params row f =
+      ctx.Exec_ctx.params <- row :: ctx.Exec_ctx.params;
+      Fun.protect
+        ~finally:(fun () ->
+          ctx.Exec_ctx.params <- List.tl ctx.Exec_ctx.params)
+        f
+    in
+    let rec next () =
+      match oc () with
+      | None -> None
+      | Some row -> (
+        match kind with
+        | Logical.A_semi | Logical.A_anti ->
+          let has_row = with_params row (fun () -> inf () () <> None) in
+          let keep = if kind = Logical.A_semi then has_row else not has_row in
+          if keep then Some row else next ()
+        | Logical.A_scalar ->
+          let v =
+            with_params row (fun () ->
+                match inf () () with
+                | Some r when Array.length r > 0 -> r.(0)
+                | _ -> Value.Null)
+          in
+          Some (Tuple.append row [| v |]))
+    in
+    next
+
+and compile_group ctx keys aggs child : factory =
+  let cf = compile ctx child in
+  let key_exprs = Array.of_list (List.map fst keys) in
+  let agg_list = Array.of_list aggs in
+  fun () ->
+    let c = cf () in
+    let groups : Aggregate.state array Tuple.Hashtbl_t.t =
+      Tuple.Hashtbl_t.create 256
+    in
+    let order = ref [] in
+    let rec consume () =
+      match c () with
+      | None -> ()
+      | Some row ->
+        let k = Array.map (Eval.eval ctx row) key_exprs in
+        let states =
+          match Tuple.Hashtbl_t.find_opt groups k with
+          | Some s -> s
+          | None ->
+            let s = Array.map Aggregate.create agg_list in
+            Tuple.Hashtbl_t.replace groups k s;
+            order := k :: !order;
+            s
+        in
+        Array.iteri
+          (fun i st ->
+            let v =
+              match agg_list.(i).Logical.arg with
+              | None -> None
+              | Some e -> Some (Eval.eval ctx row e)
+            in
+            Aggregate.update st v)
+          states;
+        consume ()
+    in
+    consume ();
+    let emit k =
+      let states = Tuple.Hashtbl_t.find groups k in
+      Tuple.append k (Array.map Aggregate.final states)
+    in
+    let pending =
+      if Array.length key_exprs = 0 && Tuple.Hashtbl_t.length groups = 0 then begin
+        (* Scalar aggregate over empty input: one default row. *)
+        let states = Array.map Aggregate.create agg_list in
+        [ Array.map Aggregate.final states ]
+      end
+      else List.rev_map emit !order
+    in
+    let remaining = ref pending in
+    fun () ->
+      match !remaining with
+      | [] -> None
+      | r :: rest ->
+        remaining := rest;
+        Some r
+
+and compile_sort ctx keys child : factory =
+  let cf = compile ctx child in
+  let key_exprs = Array.of_list keys in
+  fun () ->
+    let rows = drain (cf ()) in
+    let decorated =
+      List.map
+        (fun row ->
+          (Array.map (fun (e, _) -> Eval.eval ctx row e) key_exprs, row))
+        rows
+    in
+    let cmp (ka, _) (kb, _) =
+      let rec go i =
+        if i = Array.length key_exprs then 0
+        else
+          let _, dir = key_exprs.(i) in
+          let c = Value.compare_total ka.(i) kb.(i) in
+          let c = match dir with Sql.Ast.Asc -> c | Sql.Ast.Desc -> -c in
+          if c <> 0 then c else go (i + 1)
+      in
+      go 0
+    in
+    let sorted = List.stable_sort cmp decorated in
+    let remaining = ref sorted in
+    fun () ->
+      match !remaining with
+      | [] -> None
+      | (_, r) :: rest ->
+        remaining := rest;
+        Some r
+
+(* ------------------------------------------------------------------ *)
+(* Convenience entry points                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Compile and run, materializing all result rows. *)
+let run_list ctx plan : Tuple.t list = drain (compile ctx plan ())
+
+(** Compile and run, consuming rows without materializing (benchmarks). *)
+let run_count ctx plan : int =
+  let c = compile ctx plan () in
+  let rec go n = match c () with None -> n | Some _ -> go (n + 1) in
+  go 0

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Array Audit_core Benchkit Db Exec Int List Plan Printf Report Setup Sql String Timing Tpch

@@ -1,0 +1,1 @@
+lib/experiments/pipeline.ml: Audit_core Benchkit Db Exec Float List Printf Report Setup Timing Tpch

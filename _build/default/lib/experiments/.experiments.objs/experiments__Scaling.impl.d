@@ -1,0 +1,1 @@
+lib/experiments/scaling.ml: Audit_core Benchkit List Printf Report Setup Timing Tpch

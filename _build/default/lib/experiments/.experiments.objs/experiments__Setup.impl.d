@@ -1,0 +1,1 @@
+lib/experiments/setup.ml: Audit_core Benchkit Db Exec List Printf Sys Tpch

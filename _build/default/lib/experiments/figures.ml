@@ -1,0 +1,507 @@
+(** Reproductions of every figure in the paper's evaluation (§V), plus the
+    ablations DESIGN.md calls out. Each function prints one titled table;
+    the structured rows are also returned so tests can assert on shapes. *)
+
+open Benchkit
+
+let selectivities = [ 0.1; 0.2; 0.3; 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ]
+
+let micro_sql sel =
+  Tpch.Queries.micro_join ~acctbal:0.0
+    ~orderdate:(Tpch.Queries.orderdate_cutoff ~selectivity:sel)
+
+(* --------------------------------------------------------------- *)
+(* Figure 6: micro-benchmark false positives                        *)
+(* --------------------------------------------------------------- *)
+
+type fig6_row = {
+  f6_selectivity : float;
+  f6_offline : int;
+  f6_hcn : int;
+  f6_leaf : int;
+}
+
+let fig6 (env : Setup.env) =
+  Report.print_title
+    "Figure 6 — Micro-benchmark: false positives (audit cardinality vs \
+     orders-predicate selectivity)";
+  Report.print_note (Setup.describe env);
+  Report.print_note
+    "Paper shape: leaf-node cardinality far above offline at low \
+     selectivity, converging as selectivity -> 100%; hcn = offline exactly \
+     (SJ query, Theorem 3.7).";
+  let rows =
+    List.map
+      (fun sel ->
+        let sql = micro_sql sel in
+        let offline = Setup.offline_cardinality env sql in
+        let hcn =
+          Setup.audit_cardinality env
+            (Setup.plan env ~heuristic:Audit_core.Placement.Hcn sql)
+        in
+        let leaf =
+          Setup.audit_cardinality env
+            (Setup.plan env ~heuristic:Audit_core.Placement.Leaf sql)
+        in
+        { f6_selectivity = sel; f6_offline = offline; f6_hcn = hcn; f6_leaf = leaf })
+      selectivities
+  in
+  Report.print_table
+    ~headers:[ "selectivity"; "offline accessedIDs"; "hcn auditIDs"; "leaf auditIDs" ]
+    (List.map
+       (fun r ->
+         [
+           Printf.sprintf "%.0f%%" (r.f6_selectivity *. 100.0);
+           Report.int r.f6_offline;
+           Report.int r.f6_hcn;
+           Report.int r.f6_leaf;
+         ])
+       rows);
+  rows
+
+(* --------------------------------------------------------------- *)
+(* Figure 7: micro-benchmark overheads vs selectivity               *)
+(* --------------------------------------------------------------- *)
+
+type fig7_row = {
+  f7_selectivity : float;
+  f7_base : float;
+  f7_leaf_pct : float;
+  f7_hcn_pct : float;
+  f7_leaf_probes : int;
+  f7_hcn_probes : int;
+}
+
+let fig7 (env : Setup.env) =
+  Report.print_title
+    "Figure 7 — Micro-benchmark: audit overhead (%) vs orders-predicate \
+     selectivity";
+  Report.print_note
+    "Paper shape: audit overheads stay bounded while the query cost grows \
+     with selectivity; the paper's leaf-node growth came from persisting \
+     false-positive IDs (I/O) in SQL Server's plan — the probe-count \
+     columns expose the same driver here (leaf probes the whole Customer \
+     table regardless of the join; hcn probes the join output).";
+  let rows =
+    List.map
+      (fun sel ->
+        let sql = micro_sql sel in
+        let base_p = Setup.plan env sql in
+        let leaf_p = Setup.plan env ~heuristic:Audit_core.Placement.Leaf sql in
+        let hcn_p = Setup.plan env ~heuristic:Audit_core.Placement.Hcn sql in
+        let times = Setup.compare_times env [ base_p; leaf_p; hcn_p ] in
+        let base, leaf, hcn =
+          match times with
+          | [ a; b; c ] -> (a, b, c)
+          | _ -> assert false
+        in
+        let leaf_probes, _ = Setup.probe_stats env leaf_p in
+        let hcn_probes, _ = Setup.probe_stats env hcn_p in
+        {
+          f7_selectivity = sel;
+          f7_base = base;
+          f7_leaf_pct = Timing.overhead_pct ~base leaf;
+          f7_hcn_pct = Timing.overhead_pct ~base hcn;
+          f7_leaf_probes = leaf_probes;
+          f7_hcn_probes = hcn_probes;
+        })
+      selectivities
+  in
+  Report.print_table
+    ~headers:
+      [
+        "selectivity"; "base time"; "leaf overhead"; "hcn overhead";
+        "leaf probes"; "hcn probes";
+      ]
+    (List.map
+       (fun r ->
+         [
+           Printf.sprintf "%.0f%%" (r.f7_selectivity *. 100.0);
+           Report.secs r.f7_base;
+           Report.pct r.f7_leaf_pct;
+           Report.pct r.f7_hcn_pct;
+           Report.int r.f7_leaf_probes;
+           Report.int r.f7_hcn_probes;
+         ])
+       rows);
+  rows
+
+(* --------------------------------------------------------------- *)
+(* Figure 8: hcn overhead vs audit-expression cardinality           *)
+(* --------------------------------------------------------------- *)
+
+type fig8_row = { f8_cardinality : int; f8_base : float; f8_hcn_pct : float }
+
+let fig8 (env : Setup.env) =
+  Report.print_title
+    "Figure 8 — hcn overhead (%) vs audit-expression cardinality (join \
+     fixed at the 40% selectivity point)";
+  Report.print_note
+    "Paper shape: overhead stays small (~2% at one million audited \
+     customers) across four orders of magnitude of audit cardinality. The \
+     sweep uses audit expressions [c_custkey <= N].";
+  let sql = micro_sql 0.4 in
+  let ncust = env.Setup.sizes.Tpch.Dbgen.customers in
+  let cards =
+    List.filter (fun n -> n <= ncust) [ 1; 10; 100; 1_000; 10_000; 100_000; 1_000_000 ]
+    @ [ ncust ]
+    |> List.sort_uniq Int.compare
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let name = Printf.sprintf "audit_card_%d" n in
+        ignore
+          (Db.Database.exec env.Setup.db
+             (Printf.sprintf
+                "CREATE AUDIT EXPRESSION %s AS SELECT * FROM customer WHERE \
+                 c_custkey <= %d FOR SENSITIVE TABLE customer, PARTITION BY \
+                 c_custkey"
+                name n));
+        let p =
+          Db.Database.plan_sql env.Setup.db ~audits:[ name ]
+            ~heuristic:Audit_core.Placement.Hcn sql
+        in
+        let base, t =
+          match Setup.compare_times env [ Setup.plan env sql; p ] with
+          | [ a; b ] -> (a, b)
+          | _ -> assert false
+        in
+        ignore
+          (Db.Database.exec env.Setup.db ("DROP AUDIT EXPRESSION " ^ name));
+        {
+          f8_cardinality = n;
+          f8_base = base;
+          f8_hcn_pct = Timing.overhead_pct ~base t;
+        })
+      cards
+  in
+  Report.print_table
+    ~headers:[ "audit cardinality"; "base time"; "hcn overhead" ]
+    (List.map
+       (fun r ->
+         [
+           Report.int r.f8_cardinality;
+           Report.secs r.f8_base;
+           Report.pct r.f8_hcn_pct;
+         ])
+       rows);
+  rows
+
+(* --------------------------------------------------------------- *)
+(* Figure 9: false positives on the TPC-H customer workload         *)
+(* --------------------------------------------------------------- *)
+
+type fig9_row = {
+  f9_query : string;
+  f9_offline : int;
+  f9_hcn : int;
+  f9_leaf : int;
+}
+
+let fig9 (env : Setup.env) =
+  Report.print_title
+    "Figure 9 — Complex TPC-H queries: audit cardinality (offline vs hcn \
+     vs leaf-node)";
+  Report.print_note
+    "Paper shape: leaf-node flags (almost) the whole audited segment for \
+     every query (TPC-H queries place no predicate on Customer); hcn is \
+     close to offline except on the top-k query Q10 (and our Q3, which also \
+     carries TOP).";
+  let rows =
+    List.map
+      (fun (q : Tpch.Queries.query) ->
+        let offline = Setup.offline_cardinality env q.Tpch.Queries.sql in
+        let hcn =
+          Setup.audit_cardinality env
+            (Setup.plan env ~heuristic:Audit_core.Placement.Hcn
+               q.Tpch.Queries.sql)
+        in
+        let leaf =
+          Setup.audit_cardinality env
+            (Setup.plan env ~heuristic:Audit_core.Placement.Leaf
+               q.Tpch.Queries.sql)
+        in
+        { f9_query = q.Tpch.Queries.id; f9_offline = offline; f9_hcn = hcn; f9_leaf = leaf })
+      Tpch.Queries.customer_workload
+  in
+  Report.print_table
+    ~headers:[ "query"; "offline accessedIDs"; "hcn auditIDs"; "leaf auditIDs" ]
+    (List.map
+       (fun r ->
+         [ r.f9_query; Report.int r.f9_offline; Report.int r.f9_hcn; Report.int r.f9_leaf ])
+       rows);
+  rows
+
+(* --------------------------------------------------------------- *)
+(* Figure 10: hcn overheads on the TPC-H customer workload          *)
+(* --------------------------------------------------------------- *)
+
+type fig10_row = { f10_query : string; f10_base : float; f10_hcn_pct : float }
+
+let fig10 (env : Setup.env) =
+  Report.print_title
+    "Figure 10 — Complex TPC-H queries: hcn audit overhead (%)";
+  Report.print_note
+    "Paper shape: low single-digit overheads (~1%) across the workload, \
+     including the cost of forced ID propagation.";
+  let rows =
+    List.map
+      (fun (q : Tpch.Queries.query) ->
+        let base, hcn =
+          match
+            Setup.compare_times env
+              [
+                Setup.plan env q.Tpch.Queries.sql;
+                Setup.plan env ~heuristic:Audit_core.Placement.Hcn
+                  q.Tpch.Queries.sql;
+              ]
+          with
+          | [ a; b ] -> (a, b)
+          | _ -> assert false
+        in
+        {
+          f10_query = q.Tpch.Queries.id;
+          f10_base = base;
+          f10_hcn_pct = Timing.overhead_pct ~base hcn;
+        })
+      Tpch.Queries.customer_workload
+  in
+  Report.print_table
+    ~headers:[ "query"; "base time"; "hcn overhead" ]
+    (List.map
+       (fun r -> [ r.f10_query; Report.secs r.f10_base; Report.pct r.f10_hcn_pct ])
+       rows);
+  rows
+
+(* --------------------------------------------------------------- *)
+(* Ablation: forced ID propagation (§IV-A2)                         *)
+(* --------------------------------------------------------------- *)
+
+type idprop_row = { ip_query : string; ip_base : float; ip_idprop_pct : float }
+
+let ablation_idprop (env : Setup.env) =
+  Report.print_title
+    "Ablation (§IV-A2) — cost of forced ID propagation alone (< 1% in the \
+     paper)";
+  Report.print_note
+    "Plans are instrumented (hcn), then audit operators are stripped after \
+     column pruning: what remains is exactly the plan that carries the \
+     partition-key columns the audit operator needed, without any probing.";
+  let rows =
+    List.map
+      (fun (q : Tpch.Queries.query) ->
+        let idprop_plan =
+          Plan.Logical.strip_audits
+            (Setup.plan env ~heuristic:Audit_core.Placement.Hcn
+               q.Tpch.Queries.sql)
+        in
+        let base, t =
+          match
+            Setup.compare_times env
+              [ Setup.plan env q.Tpch.Queries.sql; idprop_plan ]
+          with
+          | [ a; b ] -> (a, b)
+          | _ -> assert false
+        in
+        {
+          ip_query = q.Tpch.Queries.id;
+          ip_base = base;
+          ip_idprop_pct = Timing.overhead_pct ~base t;
+        })
+      Tpch.Queries.customer_workload
+  in
+  Report.print_table
+    ~headers:[ "query"; "base time"; "ID-propagation overhead" ]
+    (List.map
+       (fun r -> [ r.ip_query; Report.secs r.ip_base; Report.pct r.ip_idprop_pct ])
+       rows);
+  rows
+
+(* --------------------------------------------------------------- *)
+(* Ablation: provenance execution vs audit operator (§III / [6])    *)
+(* --------------------------------------------------------------- *)
+
+type prov_row = {
+  pr_query : string;
+  pr_base : float;
+  pr_hcn_pct : float;
+  pr_lineage_factor : float;  (** lineage time / base time *)
+}
+
+let ablation_provenance (env : Setup.env) =
+  Report.print_title
+    "Ablation (§III) — annotation-propagating provenance vs the audit \
+     operator";
+  Report.print_note
+    "Paper context: full provenance computation costs up to 5x on TPC-H \
+     [6], which is why SELECT triggers use the no-op audit operator \
+     instead. Columns: hcn overhead (%) vs lineage slowdown (x).";
+  let ctx = Db.Database.context env.Setup.db in
+  let rows =
+    List.map
+      (fun (q : Tpch.Queries.query) ->
+        let base_p = Setup.plan env q.Tpch.Queries.sql in
+        let hcn_p =
+          Setup.plan env ~heuristic:Audit_core.Placement.Hcn
+            q.Tpch.Queries.sql
+        in
+        let unpruned = Setup.plan env ~prune:false q.Tpch.Queries.sql in
+        Db.Database.install_audit_sets env.Setup.db;
+        let run p () =
+          Exec.Exec_ctx.reset_query_state ctx;
+          ignore (Exec.Executor.run_count ctx p)
+        in
+        let lineage () =
+          Exec.Exec_ctx.reset_query_state ctx;
+          ignore (Audit_core.Lineage.accessed ctx ~view:env.Setup.view unpruned)
+        in
+        let base, hcn, lineage_t =
+          match
+            Timing.compare_thunks ~warmup:env.Setup.cfg.warmup
+              ~repeats:env.Setup.cfg.repeats
+              [ run base_p; run hcn_p; lineage ]
+          with
+          | [ a; b; c ] -> (a, b, c)
+          | _ -> assert false
+        in
+        {
+          pr_query = q.Tpch.Queries.id;
+          pr_base = base;
+          pr_hcn_pct = Timing.overhead_pct ~base hcn;
+          pr_lineage_factor = lineage_t /. base;
+        })
+      Tpch.Queries.customer_workload
+  in
+  Report.print_table
+    ~headers:[ "query"; "base time"; "hcn overhead"; "lineage slowdown" ]
+    (List.map
+       (fun r ->
+         [
+           r.pr_query;
+           Report.secs r.pr_base;
+           Report.pct r.pr_hcn_pct;
+           Printf.sprintf "%.2fx" r.pr_lineage_factor;
+         ])
+       rows);
+  rows
+
+(* --------------------------------------------------------------- *)
+(* Ablation: several audit expressions at once (§III-C2)            *)
+(* --------------------------------------------------------------- *)
+
+type multi_row = { mu_count : int; mu_base : float; mu_pct : float }
+
+let ablation_multi (env : Setup.env) =
+  Report.print_title
+    "Ablation (§III-C2) — several audit expressions instrumenting one query";
+  Report.print_note
+    "The paper notes placement generalizes to multiple simultaneous audit \
+     expressions; each adds one audit operator (here: one per market \
+     segment, all on Customer), so overhead should grow roughly linearly \
+     with a small slope.";
+  let sql = micro_sql 0.4 in
+  let segments = Tpch.Tpch_schema.market_segments in
+  let names =
+    Array.to_list
+      (Array.map (fun s -> "audit_multi_" ^ String.lowercase_ascii s) segments)
+  in
+  List.iteri
+    (fun i name ->
+      ignore
+        (Db.Database.exec env.Setup.db
+           (Tpch.Queries.audit_segment ~name ~segment:segments.(i) ())))
+    names;
+  let rows =
+    List.map
+      (fun k ->
+        let audits = List.filteri (fun i _ -> i < k) names in
+        let p =
+          Db.Database.plan_sql env.Setup.db ~audits
+            ~heuristic:Audit_core.Placement.Hcn sql
+        in
+        let base, t =
+          match Setup.compare_times env [ Setup.plan env sql; p ] with
+          | [ a; b ] -> (a, b)
+          | _ -> assert false
+        in
+        { mu_count = k; mu_base = base; mu_pct = Timing.overhead_pct ~base t })
+      [ 0; 1; 2; 3; 4; 5 ]
+  in
+  List.iter
+    (fun name ->
+      ignore (Db.Database.exec env.Setup.db ("DROP AUDIT EXPRESSION " ^ name)))
+    names;
+  Report.print_table
+    ~headers:[ "audit expressions"; "base time"; "hcn overhead" ]
+    (List.map
+       (fun r -> [ Report.int r.mu_count; Report.secs r.mu_base; Report.pct r.mu_pct ])
+       rows);
+  rows
+
+(* --------------------------------------------------------------- *)
+(* Ablation: static analysis baseline (§VI / Example 6.1)           *)
+(* --------------------------------------------------------------- *)
+
+type static_row = {
+  st_query : string;
+  st_verdict : Audit_core.Static_analyzer.verdict;
+  st_offline : int;
+  st_hcn : int;
+}
+
+let ablation_static (env : Setup.env) =
+  Report.print_title
+    "Ablation (§VI) — static analysis (Oracle FGA style) vs execution-based \
+     auditing";
+  Report.print_note
+    "Paper claim: predicate-intersection static analysis flags almost \
+     every evaluation query (no customer predicate => cannot rule out \
+     intersection); only Q3, which constrains c_mktsegment to a concrete \
+     segment, can be decided statically. The audit expression below uses \
+     segment FURNITURE so Q3's BUILDING predicate is disjoint.";
+  let audit_name = "audit_static_demo" in
+  ignore
+    (Db.Database.exec env.Setup.db
+       (Tpch.Queries.audit_segment ~name:audit_name ~segment:"FURNITURE" ()));
+  let audit = Db.Database.audit_expr env.Setup.db audit_name in
+  let view = Db.Database.audit_view env.Setup.db audit_name in
+  let ctx = Db.Database.context env.Setup.db in
+  let rows =
+    List.map
+      (fun (q : Tpch.Queries.query) ->
+        let verdict =
+          Audit_core.Static_analyzer.analyze
+            (Db.Database.catalog env.Setup.db)
+            ~audit
+            (Sql.Parser.query q.Tpch.Queries.sql)
+        in
+        let unpruned = Setup.plan env ~prune:false q.Tpch.Queries.sql in
+        Exec.Exec_ctx.reset_query_state ctx;
+        let offline =
+          List.length (Audit_core.Lineage.accessed ctx ~view unpruned)
+        in
+        let hcn_plan =
+          Db.Database.plan_sql env.Setup.db ~audits:[ audit_name ]
+            ~heuristic:Audit_core.Placement.Hcn q.Tpch.Queries.sql
+        in
+        Db.Database.install_audit_sets env.Setup.db;
+        Exec.Exec_ctx.reset_query_state ctx;
+        ignore (Exec.Executor.run_count ctx hcn_plan);
+        let hcn = Exec.Exec_ctx.accessed_count ctx ~audit_name in
+        { st_query = q.Tpch.Queries.id; st_verdict = verdict; st_offline = offline; st_hcn = hcn })
+      Tpch.Queries.customer_workload
+  in
+  ignore (Db.Database.exec env.Setup.db ("DROP AUDIT EXPRESSION " ^ audit_name));
+  Report.print_table
+    ~headers:[ "query"; "static verdict"; "offline accessedIDs"; "hcn auditIDs" ]
+    (List.map
+       (fun r ->
+         [
+           r.st_query;
+           Audit_core.Static_analyzer.string_of_verdict r.st_verdict;
+           Report.int r.st_offline;
+           Report.int r.st_hcn;
+         ])
+       rows);
+  rows

@@ -1,0 +1,106 @@
+(** Shared experiment environment: a loaded TPC-H database with the §V audit
+    expression (one market segment of the Customer table). *)
+
+type config = {
+  sf : float;  (** TPC-H scale factor *)
+  seed : int;
+  repeats : int;  (** timing repetitions (median taken) *)
+  warmup : int;
+}
+
+let default_config = { sf = 0.01; seed = 42; repeats = 3; warmup = 1 }
+
+let config_of_env () =
+  let getf name d =
+    match Sys.getenv_opt name with
+    | Some s -> ( match float_of_string_opt s with Some f -> f | None -> d)
+    | None -> d
+  in
+  let geti name d =
+    match Sys.getenv_opt name with
+    | Some s -> ( match int_of_string_opt s with Some i -> i | None -> d)
+    | None -> d
+  in
+  {
+    sf = getf "TPCH_SF" default_config.sf;
+    seed = geti "TPCH_SEED" default_config.seed;
+    repeats = geti "BENCH_REPEATS" default_config.repeats;
+    warmup = geti "BENCH_WARMUP" default_config.warmup;
+  }
+
+type env = {
+  cfg : config;
+  db : Db.Database.t;
+  sizes : Tpch.Dbgen.sizes;
+  audit_name : string;
+  view : Audit_core.Sensitive_view.t;
+}
+
+(** Load TPC-H and declare the audit expression
+    [c_mktsegment = 'BUILDING' PARTITION BY c_custkey]. *)
+let prepare (cfg : config) : env =
+  let db = Db.Database.create () in
+  let sizes = Tpch.Dbgen.load ~seed:cfg.seed db ~sf:cfg.sf in
+  ignore (Db.Database.exec db (Tpch.Queries.audit_segment ()));
+  let view = Db.Database.audit_view db "audit_customer" in
+  { cfg; db; sizes; audit_name = "audit_customer"; view }
+
+let describe env =
+  Printf.sprintf
+    "TPC-H sf=%g (%d customers, %d orders, %d sensitive IDs in segment \
+     BUILDING), %d repeats"
+    env.cfg.sf env.sizes.Tpch.Dbgen.customers env.sizes.Tpch.Dbgen.orders
+    (Audit_core.Sensitive_view.cardinality env.view)
+    env.cfg.repeats
+
+(* --------------------------------------------------------------- *)
+(* Common measurement helpers                                       *)
+(* --------------------------------------------------------------- *)
+
+(** Plan a SQL text with a given heuristic (or uninstrumented). *)
+let plan env ?heuristic ?(prune = true) sql =
+  match heuristic with
+  | None -> Db.Database.plan_sql env.db ~audits:[] ~prune sql
+  | Some h ->
+    Db.Database.plan_sql env.db ~audits:[ env.audit_name ] ~heuristic:h ~prune
+      sql
+
+(** Run a plan, returning the number of distinct audited IDs. *)
+let audit_cardinality env p =
+  ignore (Db.Database.run_plan env.db p);
+  Exec.Exec_ctx.accessed_count
+    (Db.Database.context env.db)
+    ~audit_name:env.audit_name
+
+(** Compare execution times of several plans fairly (auto-batched,
+    interleaved, min-of-samples — see {!Benchkit.Timing.compare_thunks}).
+    Returns one time per plan, in order. *)
+let compare_times env plans =
+  let ctx = Db.Database.context env.db in
+  Db.Database.install_audit_sets env.db;
+  let thunk p () =
+    Exec.Exec_ctx.reset_query_state ctx;
+    ignore (Exec.Executor.run_count ctx p)
+  in
+  Benchkit.Timing.compare_thunks ~warmup:env.cfg.warmup
+    ~repeats:env.cfg.repeats (List.map thunk plans)
+
+(** Wall-clock of fully consuming a plan's output (single plan). *)
+let plan_time env p =
+  match compare_times env [ p ] with [ t ] -> t | _ -> assert false
+
+(** Per-plan audit-operator activity: rows probed, sensitive hits. *)
+let probe_stats env p =
+  let ctx = Db.Database.context env.db in
+  Db.Database.install_audit_sets env.db;
+  Exec.Exec_ctx.reset_query_state ctx;
+  ignore (Exec.Executor.run_count ctx p);
+  (ctx.Exec.Exec_ctx.audit_probes, ctx.Exec.Exec_ctx.audit_hits)
+
+(** Offline (lineage) accessed cardinality for a SQL text. *)
+let offline_cardinality env sql =
+  let p = plan env ~prune:false sql in
+  let ctx = Db.Database.context env.db in
+  Db.Database.install_audit_sets env.db;
+  Exec.Exec_ctx.reset_query_state ctx;
+  List.length (Audit_core.Lineage.accessed ctx ~view:env.view p)

@@ -1,0 +1,1 @@
+lib/plan/binder.ml: Array Catalog Datatype Fmt List Logical Option Printf Scalar Schema Sql Storage String Table Value

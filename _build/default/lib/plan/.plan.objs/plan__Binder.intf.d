@@ -1,0 +1,1 @@
+lib/plan/binder.mli: Catalog Datatype Logical Scalar Schema Sql Storage

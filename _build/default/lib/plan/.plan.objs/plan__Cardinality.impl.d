@@ -1,0 +1,1 @@
+lib/plan/cardinality.ml: Array Catalog Float List Logical Scalar Sql Storage Table Value

@@ -1,0 +1,1 @@
+lib/plan/cardinality.mli: Logical Scalar Storage

@@ -1,0 +1,1 @@
+lib/plan/join_reorder.ml: Array Cardinality Catalog Fun Int List Logical Scalar Schema Storage

@@ -1,0 +1,1 @@
+lib/plan/logical.ml: Array Datatype Fmt List Printf Scalar Schema Sql Storage String

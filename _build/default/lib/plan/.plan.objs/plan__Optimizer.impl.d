@@ -1,0 +1,1 @@
+lib/plan/optimizer.ml: Array Fun Int Join_reorder List Logical Option Scalar Schema Set Sql Storage Value

@@ -1,0 +1,1 @@
+lib/plan/optimizer.mli: Logical Scalar Storage

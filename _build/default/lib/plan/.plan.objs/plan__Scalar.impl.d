@@ -1,0 +1,1 @@
+lib/plan/scalar.ml: Fmt Int List Option Sql Stdlib Storage String Value

@@ -1,0 +1,13 @@
+(** Textbook cardinality estimation (System-R style selectivities) driving
+    the greedy join reorderer. Estimates rank plans; they do not predict
+    exact row counts. *)
+
+(** Heuristic selectivity of a predicate in [0, 1]. *)
+val selectivity : Scalar.t -> float
+
+(** Estimated output size of joining inputs of sizes [l] and [r] under the
+    given conjuncts (column–column equalities count as equi-join keys). *)
+val join_cardinality : l:float -> r:float -> Scalar.t list -> float
+
+(** Estimated output cardinality of a plan (≥ 1, except empty limits). *)
+val estimate : Storage.Catalog.t -> Logical.t -> float

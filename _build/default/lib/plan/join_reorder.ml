@@ -1,0 +1,202 @@
+(** Greedy cost-based join reordering.
+
+    The binder produces joins in FROM-clause order; after predicate
+    pushdown this pass flattens each maximal inner-join chain into its leaf
+    inputs and join conjuncts, then rebuilds a left-deep tree greedily:
+    start from the smallest input and repeatedly attach the input that
+    minimizes the estimated intermediate result, preferring inputs
+    connected by a join predicate (avoiding Cartesian products).
+
+    Column bookkeeping: the original chain's output is the in-order
+    concatenation of its leaves, so every conjunct is first rebased to
+    those flat positions; after reordering, a projection restoring the
+    original column order is added on top (only when the leaf permutation
+    is not the identity), so parents are unaffected. The projection is
+    1:1 on rows, so audit-operator placement semantics are unchanged —
+    placement runs after this pass, and for the audit operator the edge
+    below a permutation is equivalent to the edge above it. *)
+
+open Storage
+
+(* Flatten a maximal inner-join chain: returns the leaves in order and the
+   conjuncts rebased to flat column positions. Children that are not inner
+   joins are recursively reordered first. *)
+let rec flatten (catalog : Catalog.t) (p : Logical.t) :
+    Logical.t list * Scalar.t list =
+  match p with
+  | Logical.Join { kind = Logical.J_inner; pred; left; right } ->
+    let lleaves, lconjs = flatten catalog left in
+    let rleaves, rconjs = flatten catalog right in
+    let loff =
+      List.fold_left (fun acc l -> acc + Logical.arity l) 0 lleaves
+    in
+    let rconjs = List.map (Scalar.shift_cols (fun i -> i + loff)) rconjs in
+    let own =
+      match pred with
+      | None -> []
+      | Some pr -> Scalar.conjuncts pr
+      (* already over left++right = flat coordinates of this subtree *)
+    in
+    (lleaves @ rleaves, lconjs @ rconjs @ own)
+  | _ -> ([ reorder catalog p ], [])
+
+(* Greedy ordering over the flattened leaves. *)
+and rebuild (catalog : Catalog.t) (leaves : Logical.t list)
+    (conjuncts : Scalar.t list) : Logical.t =
+  let leaves = Array.of_list leaves in
+  let n = Array.length leaves in
+  (* Flat column ranges per leaf. *)
+  let offsets = Array.make n 0 in
+  for i = 1 to n - 1 do
+    offsets.(i) <- offsets.(i - 1) + Logical.arity leaves.(i - 1)
+  done;
+  let total_arity = offsets.(n - 1) + Logical.arity leaves.(n - 1) in
+  let owner = Array.make total_arity 0 in
+  for i = 0 to n - 1 do
+    for c = offsets.(i) to offsets.(i) + Logical.arity leaves.(i) - 1 do
+      owner.(c) <- i
+    done
+  done;
+  let cards = Array.map (Cardinality.estimate catalog) leaves in
+  let leaf_set_of_conj c =
+    List.sort_uniq Int.compare
+      (List.map (fun col -> owner.(col)) (Scalar.free_cols c))
+  in
+  let conj_leaves = List.map (fun c -> (c, leaf_set_of_conj c)) conjuncts in
+  let chosen = Array.make n false in
+  let pick_first () =
+    let best = ref 0 in
+    for i = 1 to n - 1 do
+      if cards.(i) < cards.(!best) then best := i
+    done;
+    !best
+  in
+  (* Conjuncts applicable once [cand] joins the current set. *)
+  let applicable in_set cand remaining =
+    List.filter
+      (fun (_, ls) ->
+        List.mem cand ls
+        && List.for_all (fun l -> l = cand || in_set.(l)) ls)
+      remaining
+  in
+  let first = pick_first () in
+  chosen.(first) <- true;
+  (* new-column mapping: flat index -> position in the rebuilt schema *)
+  let mapping = Array.make total_arity (-1) in
+  let next_col = ref 0 in
+  let assign leaf =
+    for c = offsets.(leaf) to offsets.(leaf) + Logical.arity leaves.(leaf) - 1
+    do
+      mapping.(c) <- !next_col;
+      incr next_col
+    done
+  in
+  assign first;
+  let plan = ref leaves.(first) in
+  let cur_card = ref cards.(first) in
+  let remaining_conjs = ref conj_leaves in
+  for _ = 2 to n do
+    (* Score every unchosen leaf. *)
+    let best = ref (-1) in
+    let best_card = ref infinity in
+    let best_connected = ref false in
+    for cand = 0 to n - 1 do
+      if not chosen.(cand) then begin
+        let app = applicable chosen cand !remaining_conjs in
+        let connected = app <> [] in
+        let est =
+          Cardinality.join_cardinality ~l:!cur_card ~r:cards.(cand)
+            (List.map fst app)
+        in
+        let better =
+          match (connected, !best_connected) with
+          | true, false -> true
+          | false, true -> false
+          | _ -> est < !best_card
+        in
+        if !best < 0 || better then begin
+          best := cand;
+          best_card := est;
+          best_connected := connected
+        end
+      end
+    done;
+    let cand = !best in
+    let app = applicable chosen cand !remaining_conjs in
+    chosen.(cand) <- true;
+    (* Columns of [cand] follow the current schema. *)
+    assign cand;
+    let pred =
+      match List.map fst app with
+      | [] -> None
+      | cs ->
+        Some (Scalar.conjoin (List.map (Scalar.shift_cols (fun i -> mapping.(i))) cs))
+    in
+    remaining_conjs :=
+      List.filter (fun (c, _) -> not (List.memq c (List.map fst app)))
+        !remaining_conjs;
+    plan :=
+      Logical.Join
+        { kind = Logical.J_inner; pred; left = !plan; right = leaves.(cand) };
+    cur_card := !best_card
+  done;
+  (* Leftover conjuncts (none expected, but stay safe). *)
+  (match !remaining_conjs with
+  | [] -> ()
+  | cs ->
+    plan :=
+      Logical.Filter
+        {
+          pred =
+            Scalar.conjoin
+              (List.map
+                 (fun (c, _) -> Scalar.shift_cols (fun i -> mapping.(i)) c)
+                 cs);
+          child = !plan;
+        });
+  (* Restore the original column order for parents. *)
+  let identity = Array.for_all2 ( = ) mapping (Array.init total_arity Fun.id) in
+  if identity then !plan
+  else begin
+    let flat_schema =
+      Array.of_list (List.concat_map (fun l -> Schema.columns (Logical.schema l))
+        (Array.to_list leaves))
+    in
+    Logical.Project
+      {
+        cols =
+          List.init total_arity (fun i ->
+              (Scalar.Col mapping.(i), flat_schema.(i)));
+        child = !plan;
+      }
+  end
+
+(** Reorder every maximal inner-join chain in the plan. *)
+and reorder (catalog : Catalog.t) (p : Logical.t) : Logical.t =
+  match p with
+  | Logical.Join { kind = Logical.J_inner; _ } -> (
+    let leaves, conjs = flatten catalog p in
+    match leaves with
+    | [] -> p
+    | [ single ] -> single
+    | _ -> rebuild catalog leaves conjs)
+  | Logical.Scan _ -> p
+  | Logical.Filter f -> Logical.Filter { f with child = reorder catalog f.child }
+  | Logical.Project pr -> Logical.Project { pr with child = reorder catalog pr.child }
+  | Logical.Join j ->
+    Logical.Join
+      { j with left = reorder catalog j.left; right = reorder catalog j.right }
+  | Logical.Semi_join s ->
+    Logical.Semi_join
+      { s with left = reorder catalog s.left; right = reorder catalog s.right }
+  | Logical.Apply a ->
+    Logical.Apply
+      { a with outer = reorder catalog a.outer; inner = reorder catalog a.inner }
+  | Logical.Group_by g -> Logical.Group_by { g with child = reorder catalog g.child }
+  | Logical.Sort s -> Logical.Sort { s with child = reorder catalog s.child }
+  | Logical.Limit l -> Logical.Limit { l with child = reorder catalog l.child }
+  | Logical.Distinct c -> Logical.Distinct (reorder catalog c)
+  | Logical.Audit a -> Logical.Audit { a with child = reorder catalog a.child }
+  | Logical.Set_op so ->
+    Logical.Set_op
+      { so with left = reorder catalog so.left; right = reorder catalog so.right }

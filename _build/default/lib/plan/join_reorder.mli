@@ -1,0 +1,11 @@
+(** Greedy cost-based join reordering.
+
+    Flattens each maximal inner-join chain (after predicate pushdown) into
+    leaves and conjuncts, then rebuilds a left-deep tree starting from the
+    smallest input, repeatedly attaching the input that minimizes the
+    estimated intermediate size — preferring predicate-connected inputs
+    over Cartesian products. A 1:1 projection restoring the original column
+    order is added when the leaf permutation changed, so parents (and
+    audit-operator placement, which runs later) are unaffected. *)
+
+val reorder : Storage.Catalog.t -> Logical.t -> Logical.t

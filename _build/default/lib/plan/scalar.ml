@@ -1,0 +1,153 @@
+(** Bound scalar expressions.
+
+    Column references are positional ([Col i] indexes the input tuple).
+    [Param i] references column [i] of the outer row of the nearest enclosing
+    [Apply] operator (correlated subqueries). Subqueries themselves never
+    appear here — the binder hoists them into plan operators. *)
+
+open Storage
+
+type func =
+  | F_extract_year
+  | F_extract_month
+  | F_substring
+  | F_upper
+  | F_lower
+  | F_abs
+  | F_coalesce
+  | F_date_add of Sql.Ast.interval_unit
+  | F_date_sub of Sql.Ast.interval_unit
+  | F_now  (** session logical timestamp *)
+  | F_user_id  (** session user *)
+  | F_sql_text  (** SQL text of the triggering statement *)
+
+type t =
+  | Col of int
+  | Const of Value.t
+  | Param of int
+  | Binop of Sql.Ast.binop * t * t
+  | Neg of t
+  | Not of t
+  | Is_null of t * bool  (** negated = IS NOT NULL *)
+  | Like of t * t * bool  (** negated *)
+  | In_list of t * Value.t array * bool  (** negated *)
+  | Case of (t * t) list * t option
+  | Func of func * t list
+
+let func_name = function
+  | F_extract_year -> "extract_year"
+  | F_extract_month -> "extract_month"
+  | F_substring -> "substring"
+  | F_upper -> "upper"
+  | F_lower -> "lower"
+  | F_abs -> "abs"
+  | F_coalesce -> "coalesce"
+  | F_date_add u -> "date_add_" ^ String.lowercase_ascii (Sql.Ast.string_of_unit u)
+  | F_date_sub u -> "date_sub_" ^ String.lowercase_ascii (Sql.Ast.string_of_unit u)
+  | F_now -> "now"
+  | F_user_id -> "user_id"
+  | F_sql_text -> "sql_text"
+
+let rec pp ppf = function
+  | Col i -> Fmt.pf ppf "#%d" i
+  | Const v -> Fmt.pf ppf "%s" (Value.to_sql_literal v)
+  | Param i -> Fmt.pf ppf "?%d" i
+  | Binop (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" pp a (Sql.Ast.string_of_binop op) pp b
+  | Neg e -> Fmt.pf ppf "(-%a)" pp e
+  | Not e -> Fmt.pf ppf "(NOT %a)" pp e
+  | Is_null (e, false) -> Fmt.pf ppf "(%a IS NULL)" pp e
+  | Is_null (e, true) -> Fmt.pf ppf "(%a IS NOT NULL)" pp e
+  | Like (e, p, neg) ->
+    Fmt.pf ppf "(%a %sLIKE %a)" pp e (if neg then "NOT " else "") pp p
+  | In_list (e, vs, neg) ->
+    Fmt.pf ppf "(%a %sIN (%a))" pp e
+      (if neg then "NOT " else "")
+      Fmt.(array ~sep:(any ", ") Value.pp)
+      vs
+  | Case (whens, els) ->
+    Fmt.pf ppf "CASE";
+    List.iter (fun (c, v) -> Fmt.pf ppf " WHEN %a THEN %a" pp c pp v) whens;
+    (match els with Some e -> Fmt.pf ppf " ELSE %a" pp e | None -> ());
+    Fmt.pf ppf " END"
+  | Func (f, args) ->
+    Fmt.pf ppf "%s(%a)" (func_name f) Fmt.(list ~sep:(any ", ") pp) args
+
+let to_string e = Fmt.str "%a" pp e
+
+(* ------------------------------------------------------------------ *)
+(* Structural traversals                                               *)
+(* ------------------------------------------------------------------ *)
+
+let rec fold f acc e =
+  let acc = f acc e in
+  match e with
+  | Col _ | Const _ | Param _ -> acc
+  | Neg a | Not a | Is_null (a, _) -> fold f acc a
+  | Binop (_, a, b) | Like (a, b, _) -> fold f (fold f acc a) b
+  | In_list (a, _, _) -> fold f acc a
+  | Case (whens, els) ->
+    let acc =
+      List.fold_left (fun acc (c, v) -> fold f (fold f acc c) v) acc whens
+    in
+    (match els with Some e -> fold f acc e | None -> acc)
+  | Func (_, args) -> List.fold_left (fold f) acc args
+
+(** Set of input-column indexes referenced. *)
+let free_cols e =
+  fold (fun acc -> function Col i -> i :: acc | _ -> acc) [] e
+  |> List.sort_uniq Int.compare
+
+(** Set of outer-row (correlation) parameters referenced. *)
+let free_params e =
+  fold (fun acc -> function Param i -> i :: acc | _ -> acc) [] e
+  |> List.sort_uniq Int.compare
+
+let rec map_cols f e =
+  match e with
+  | Col i -> f i
+  | Const _ | Param _ -> e
+  | Binop (op, a, b) -> Binop (op, map_cols f a, map_cols f b)
+  | Neg a -> Neg (map_cols f a)
+  | Not a -> Not (map_cols f a)
+  | Is_null (a, n) -> Is_null (map_cols f a, n)
+  | Like (a, b, n) -> Like (map_cols f a, map_cols f b, n)
+  | In_list (a, vs, n) -> In_list (map_cols f a, vs, n)
+  | Case (whens, els) ->
+    Case
+      ( List.map (fun (c, v) -> (map_cols f c, map_cols f v)) whens,
+        Option.map (map_cols f) els )
+  | Func (fn, args) -> Func (fn, List.map (map_cols f) args)
+
+(** Renumber column references via [m] (total on referenced columns). *)
+let shift_cols m e = map_cols (fun i -> Col (m i)) e
+
+(** Substitute each column reference by a scalar (inlining a projection). *)
+let subst_cols defs e = map_cols (fun i -> defs i) e
+
+let rec map_params f e =
+  match e with
+  | Param i -> f i
+  | Col _ | Const _ -> e
+  | Binop (op, a, b) -> Binop (op, map_params f a, map_params f b)
+  | Neg a -> Neg (map_params f a)
+  | Not a -> Not (map_params f a)
+  | Is_null (a, n) -> Is_null (map_params f a, n)
+  | Like (a, b, n) -> Like (map_params f a, map_params f b, n)
+  | In_list (a, vs, n) -> In_list (map_params f a, vs, n)
+  | Case (whens, els) ->
+    Case
+      ( List.map (fun (c, v) -> (map_params f c, map_params f v)) whens,
+        Option.map (map_params f) els )
+  | Func (fn, args) -> Func (fn, List.map (map_params f) args)
+
+(** Conjunction splitting: [a AND b AND c] -> [a; b; c]. *)
+let rec conjuncts = function
+  | Binop (Sql.Ast.And, a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let conjoin = function
+  | [] -> Const (Value.Bool true)
+  | e :: es -> List.fold_left (fun acc e -> Binop (Sql.Ast.And, acc, e)) e es
+
+let equal : t -> t -> bool = Stdlib.( = )

@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Array Ast Fmt Lexer List Option Storage String Token

@@ -1,0 +1,370 @@
+(** Abstract syntax for the SQL dialect.
+
+    The dialect covers what the paper's evaluation needs: select–project–join
+    queries with inner/left-outer joins, WHERE/GROUP BY/HAVING/ORDER BY,
+    TOP n / LIMIT n, DISTINCT, aggregates (with DISTINCT), scalar functions,
+    CASE, LIKE, BETWEEN, IN (list or subquery), EXISTS, scalar subqueries and
+    date interval arithmetic — plus DML, DDL, and the paper's extensions:
+    [CREATE AUDIT EXPRESSION] (§II-A) and [CREATE TRIGGER ... ON ACCESS TO]
+    (§II-C). *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+  | Concat
+
+type interval_unit = Days | Months | Years
+
+type order_dir = Asc | Desc
+
+type join_type = Inner | Left_outer | Cross
+
+type set_op = Union | Union_all | Except | Intersect
+
+type expr =
+  | E_null
+  | E_bool of bool
+  | E_int of int
+  | E_float of float
+  | E_string of string
+  | E_date of string  (** DATE 'YYYY-MM-DD' *)
+  | E_interval of int * interval_unit  (** INTERVAL 'n' unit *)
+  | E_column of string option * string  (** [qualifier.]name *)
+  | E_binop of binop * expr * expr
+  | E_neg of expr
+  | E_not of expr
+  | E_is_null of expr * bool  (** bool = negated (IS NOT NULL) *)
+  | E_like of expr * expr * bool  (** negated *)
+  | E_between of expr * expr * expr
+  | E_in_list of expr * expr list * bool  (** negated *)
+  | E_in_query of expr * query * bool  (** negated *)
+  | E_exists of query * bool  (** negated *)
+  | E_case of (expr * expr) list * expr option
+  | E_func of string * expr list  (** scalar function call *)
+  | E_agg of { func : string; arg : expr option; distinct : bool }
+      (** aggregate; [arg = None] means [COUNT(<star>)] *)
+  | E_subquery of query  (** scalar subquery *)
+
+and select_item =
+  | Si_star
+  | Si_table_star of string  (** t.* *)
+  | Si_expr of expr * string option  (** expr [AS alias] *)
+
+and table_ref =
+  | Tr_table of string * string option  (** name [AS alias] *)
+  | Tr_subquery of query * string  (** (query) AS alias *)
+  | Tr_join of table_ref * join_type * table_ref * expr option
+
+and query = {
+  distinct : bool;
+  top : int option;
+  select : select_item list;
+  from : table_ref list;  (** comma-separated = cross product *)
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : (expr * order_dir) list;
+  limit : int option;
+  set_ops : (set_op * query) list;
+      (** trailing [UNION [ALL] | EXCEPT | INTERSECT] components, in source
+          order. ORDER BY/LIMIT of the *last* component order the combined
+          result (matching SQL's textual layout); earlier components must
+          not carry them. *)
+}
+
+type column_def = {
+  col_name : string;
+  col_type : Storage.Datatype.t;
+  col_pk : bool;
+}
+
+type dml_event = Ev_insert | Ev_update | Ev_delete
+
+type trigger_timing =
+  | After  (** default: the action runs after the query completes (§II) *)
+  | Before_return
+      (** the action runs after execution but before the result is released
+          to the client — the §II variant enabling warnings and real-time
+          denial ([DENY]) of queries that touched sensitive data *)
+
+type trigger_event =
+  | On_access of string  (** audit expression name *)
+  | On_dml of string * dml_event  (** table, AFTER event *)
+
+type statement =
+  | S_select of query
+  | S_create_table of { table : string; columns : column_def list }
+  | S_drop_table of string
+  | S_insert of {
+      table : string;
+      columns : string list option;
+      source : insert_source;
+    }
+  | S_update of {
+      table : string;
+      sets : (string * expr) list;
+      where : expr option;
+    }
+  | S_delete of { table : string; where : expr option }
+  | S_create_audit of {
+      audit_name : string;
+      definition : query;
+      sensitive_table : string;
+      partition_by : string;
+    }
+  | S_drop_audit of string
+  | S_create_trigger of {
+      trigger_name : string;
+      event : trigger_event;
+      timing : trigger_timing;
+      body : statement list;
+    }
+  | S_drop_trigger of string
+  | S_if of expr * statement list  (** trigger bodies: IF (cond) stmts END *)
+  | S_notify of string  (** trigger bodies: NOTIFY 'message' *)
+  | S_deny of string
+      (** trigger bodies (BEFORE RETURN only): abort the query and withhold
+          its result from the client *)
+  | S_explain of query
+      (** show the instrumented, optimized plan instead of executing *)
+  | S_create_index of { index_name : string; table : string; column : string }
+  | S_drop_index of { index_name : string; table : string }
+
+and insert_source = Ins_values of expr list list | Ins_query of query
+
+(* ------------------------------------------------------------------ *)
+(* Convenience constructors                                            *)
+(* ------------------------------------------------------------------ *)
+
+let empty_query =
+  {
+    distinct = false;
+    top = None;
+    select = [];
+    from = [];
+    where = None;
+    group_by = [];
+    having = None;
+    order_by = [];
+    limit = None;
+    set_ops = [];
+  }
+
+let col ?q name = E_column (q, name)
+let ( &&& ) a b = E_binop (And, a, b)
+let ( ||| ) a b = E_binop (Or, a, b)
+let ( === ) a b = E_binop (Eq, a, b)
+
+(* ------------------------------------------------------------------ *)
+(* Printing (used in error messages, plan display and tests)           *)
+(* ------------------------------------------------------------------ *)
+
+let string_of_binop = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "AND" | Or -> "OR" | Concat -> "||"
+
+let string_of_unit = function
+  | Days -> "DAY"
+  | Months -> "MONTH"
+  | Years -> "YEAR"
+
+let rec pp_expr ppf = function
+  | E_null -> Fmt.string ppf "NULL"
+  | E_bool b -> Fmt.string ppf (if b then "TRUE" else "FALSE")
+  | E_int i -> Fmt.int ppf i
+  | E_float f ->
+    (* Keep the literal recognizably a float so printing reparses to the
+       same AST. *)
+    let s = Printf.sprintf "%.12g" f in
+    let is_floaty =
+      String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s
+    in
+    Fmt.string ppf (if is_floaty then s else s ^ ".0")
+  | E_string s -> Fmt.pf ppf "'%s'" s
+  | E_date s -> Fmt.pf ppf "DATE '%s'" s
+  | E_interval (n, u) -> Fmt.pf ppf "INTERVAL '%d' %s" n (string_of_unit u)
+  | E_column (None, c) -> Fmt.string ppf c
+  | E_column (Some q, c) -> Fmt.pf ppf "%s.%s" q c
+  | E_binop (op, a, b) ->
+    Fmt.pf ppf "(%a %s %a)" pp_expr a (string_of_binop op) pp_expr b
+  | E_neg e -> Fmt.pf ppf "(-%a)" pp_expr e
+  | E_not e -> Fmt.pf ppf "(NOT %a)" pp_expr e
+  | E_is_null (e, false) -> Fmt.pf ppf "(%a IS NULL)" pp_expr e
+  | E_is_null (e, true) -> Fmt.pf ppf "(%a IS NOT NULL)" pp_expr e
+  | E_like (e, p, neg) ->
+    Fmt.pf ppf "(%a %sLIKE %a)" pp_expr e (if neg then "NOT " else "") pp_expr p
+  | E_between (e, lo, hi) ->
+    Fmt.pf ppf "(%a BETWEEN %a AND %a)" pp_expr e pp_expr lo pp_expr hi
+  | E_in_list (e, vs, neg) ->
+    Fmt.pf ppf "(%a %sIN (%a))" pp_expr e
+      (if neg then "NOT " else "")
+      Fmt.(list ~sep:(any ", ") pp_expr)
+      vs
+  | E_in_query (e, q, neg) ->
+    Fmt.pf ppf "(%a %sIN (%a))" pp_expr e
+      (if neg then "NOT " else "")
+      pp_query q
+  | E_exists (q, neg) ->
+    Fmt.pf ppf "(%sEXISTS (%a))" (if neg then "NOT " else "") pp_query q
+  | E_case (whens, els) ->
+    Fmt.pf ppf "CASE";
+    List.iter
+      (fun (c, v) -> Fmt.pf ppf " WHEN %a THEN %a" pp_expr c pp_expr v)
+      whens;
+    (match els with
+    | Some e -> Fmt.pf ppf " ELSE %a" pp_expr e
+    | None -> ());
+    Fmt.pf ppf " END"
+  | E_func (f, args) ->
+    Fmt.pf ppf "%s(%a)" f Fmt.(list ~sep:(any ", ") pp_expr) args
+  | E_agg { func; arg = None; _ } -> Fmt.pf ppf "%s(*)" func
+  | E_agg { func; arg = Some e; distinct } ->
+    Fmt.pf ppf "%s(%s%a)" func (if distinct then "DISTINCT " else "") pp_expr e
+  | E_subquery q -> Fmt.pf ppf "(%a)" pp_query q
+
+and pp_select_item ppf = function
+  | Si_star -> Fmt.string ppf "*"
+  | Si_table_star t -> Fmt.pf ppf "%s.*" t
+  | Si_expr (e, None) -> pp_expr ppf e
+  | Si_expr (e, Some a) -> Fmt.pf ppf "%a AS %s" pp_expr e a
+
+and pp_table_ref ppf = function
+  | Tr_table (t, None) -> Fmt.string ppf t
+  | Tr_table (t, Some a) -> Fmt.pf ppf "%s %s" t a
+  | Tr_subquery (q, a) -> Fmt.pf ppf "(%a) %s" pp_query q a
+  | Tr_join (l, jt, r, on) ->
+    let kw =
+      match jt with
+      | Inner -> "JOIN"
+      | Left_outer -> "LEFT JOIN"
+      | Cross -> "CROSS JOIN"
+    in
+    Fmt.pf ppf "%a %s %a" pp_table_ref l kw pp_table_ref r;
+    (match on with Some e -> Fmt.pf ppf " ON %a" pp_expr e | None -> ())
+
+and pp_query ppf q =
+  Fmt.pf ppf "SELECT ";
+  if q.distinct then Fmt.pf ppf "DISTINCT ";
+  (match q.top with Some n -> Fmt.pf ppf "TOP %d " n | None -> ());
+  Fmt.pf ppf "%a" Fmt.(list ~sep:(any ", ") pp_select_item) q.select;
+  if q.from <> [] then
+    Fmt.pf ppf " FROM %a" Fmt.(list ~sep:(any ", ") pp_table_ref) q.from;
+  (match q.where with Some e -> Fmt.pf ppf " WHERE %a" pp_expr e | None -> ());
+  if q.group_by <> [] then
+    Fmt.pf ppf " GROUP BY %a" Fmt.(list ~sep:(any ", ") pp_expr) q.group_by;
+  (match q.having with
+  | Some e -> Fmt.pf ppf " HAVING %a" pp_expr e
+  | None -> ());
+  if q.order_by <> [] then begin
+    let pp_ord ppf (e, d) =
+      Fmt.pf ppf "%a %s" pp_expr e (match d with Asc -> "ASC" | Desc -> "DESC")
+    in
+    Fmt.pf ppf " ORDER BY %a" Fmt.(list ~sep:(any ", ") pp_ord) q.order_by
+  end;
+  (match q.limit with Some n -> Fmt.pf ppf " LIMIT %d" n | None -> ());
+  List.iter
+    (fun (op, sub) ->
+      let kw =
+        match op with
+        | Union -> "UNION"
+        | Union_all -> "UNION ALL"
+        | Except -> "EXCEPT"
+        | Intersect -> "INTERSECT"
+      in
+      Fmt.pf ppf " %s %a" kw pp_query sub)
+    q.set_ops
+
+let expr_to_string e = Fmt.str "%a" pp_expr e
+let query_to_string q = Fmt.str "%a" pp_query q
+
+(* ------------------------------------------------------------------ *)
+(* Statement printing (dump/restore and diagnostics)                   *)
+(* ------------------------------------------------------------------ *)
+
+let quote_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '\'';
+  String.iter
+    (fun c -> if c = '\'' then Buffer.add_string b "''" else Buffer.add_char b c)
+    s;
+  Buffer.add_char b '\'';
+  Buffer.contents b
+
+let rec pp_statement ppf = function
+  | S_select q -> pp_query ppf q
+  | S_explain q -> Fmt.pf ppf "EXPLAIN %a" pp_query q
+  | S_create_table { table; columns } ->
+    let pp_col ppf (c : column_def) =
+      Fmt.pf ppf "%s %s%s" c.col_name
+        (Storage.Datatype.to_string c.col_type)
+        (if c.col_pk then " PRIMARY KEY" else "")
+    in
+    Fmt.pf ppf "CREATE TABLE %s (%a)" table
+      Fmt.(list ~sep:(any ", ") pp_col)
+      columns
+  | S_drop_table t -> Fmt.pf ppf "DROP TABLE %s" t
+  | S_create_index { index_name; table; column } ->
+    Fmt.pf ppf "CREATE INDEX %s ON %s (%s)" index_name table column
+  | S_drop_index { index_name; table } ->
+    Fmt.pf ppf "DROP INDEX %s ON %s" index_name table
+  | S_insert { table; columns; source } ->
+    Fmt.pf ppf "INSERT INTO %s" table;
+    (match columns with
+    | Some cs -> Fmt.pf ppf " (%s)" (String.concat ", " cs)
+    | None -> ());
+    (match source with
+    | Ins_values rows ->
+      let pp_row ppf vs =
+        Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp_expr) vs
+      in
+      Fmt.pf ppf " VALUES %a" Fmt.(list ~sep:(any ", ") pp_row) rows
+    | Ins_query q -> Fmt.pf ppf " %a" pp_query q)
+  | S_update { table; sets; where } ->
+    let pp_set ppf (c, e) = Fmt.pf ppf "%s = %a" c pp_expr e in
+    Fmt.pf ppf "UPDATE %s SET %a" table
+      Fmt.(list ~sep:(any ", ") pp_set)
+      sets;
+    (match where with
+    | Some w -> Fmt.pf ppf " WHERE %a" pp_expr w
+    | None -> ())
+  | S_delete { table; where } ->
+    Fmt.pf ppf "DELETE FROM %s" table;
+    (match where with
+    | Some w -> Fmt.pf ppf " WHERE %a" pp_expr w
+    | None -> ())
+  | S_create_audit { audit_name; definition; sensitive_table; partition_by } ->
+    Fmt.pf ppf
+      "CREATE AUDIT EXPRESSION %s AS %a FOR SENSITIVE TABLE %s, PARTITION \
+       BY %s"
+      audit_name pp_query definition sensitive_table partition_by
+  | S_drop_audit n -> Fmt.pf ppf "DROP AUDIT EXPRESSION %s" n
+  | S_create_trigger { trigger_name; event; timing; body } ->
+    Fmt.pf ppf "CREATE TRIGGER %s ON " trigger_name;
+    (match event with
+    | On_access a -> Fmt.pf ppf "ACCESS TO %s" a
+    | On_dml (t, ev) ->
+      Fmt.pf ppf "%s AFTER %s" t
+        (match ev with
+        | Ev_insert -> "INSERT"
+        | Ev_update -> "UPDATE"
+        | Ev_delete -> "DELETE"));
+    (match timing with
+    | Before_return -> Fmt.pf ppf " BEFORE RETURN"
+    | After -> ());
+    Fmt.pf ppf " AS %a" pp_trigger_body body
+  | S_drop_trigger n -> Fmt.pf ppf "DROP TRIGGER %s" n
+  | S_if (cond, body) ->
+    Fmt.pf ppf "IF (%a) %a" pp_expr cond pp_trigger_body body
+  | S_notify msg -> Fmt.pf ppf "NOTIFY %s" (quote_string msg)
+  | S_deny msg -> Fmt.pf ppf "DENY %s" (quote_string msg)
+
+and pp_trigger_body ppf = function
+  | [ s ] -> pp_statement ppf s
+  | stmts ->
+    Fmt.pf ppf "BEGIN %a END"
+      Fmt.(list ~sep:(any "; ") pp_statement)
+      stmts
+
+let statement_to_string s = Fmt.str "%a" pp_statement s

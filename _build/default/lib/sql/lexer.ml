@@ -1,0 +1,136 @@
+(** Hand-written SQL lexer with position tracking.
+
+    Supports: identifiers (incl. quoted "ident"), integer and float literals,
+    single-quoted strings with '' escaping, line comments ([-- ...]) and block
+    comments. *)
+
+exception Lex_error of string * int  (** message, offset *)
+
+type lexed = { token : Token.t; pos : int }
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : lexed list =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit tok pos = toks := { token = tok; pos } :: !toks in
+  let rec skip_block_comment i depth =
+    if i + 1 >= n then raise (Lex_error ("unterminated comment", i))
+    else if src.[i] = '*' && src.[i + 1] = '/' then
+      if depth = 1 then i + 2 else skip_block_comment (i + 2) (depth - 1)
+    else if src.[i] = '/' && src.[i + 1] = '*' then
+      skip_block_comment (i + 2) (depth + 1)
+    else skip_block_comment (i + 1) depth
+  in
+  let rec go i =
+    if i >= n then emit Token.Eof i
+    else
+      let c = src.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1)
+      else if c = '-' && i + 1 < n && src.[i + 1] = '-' then begin
+        let rec eol j = if j < n && src.[j] <> '\n' then eol (j + 1) else j in
+        go (eol (i + 2))
+      end
+      else if c = '/' && i + 1 < n && src.[i + 1] = '*' then
+        go (skip_block_comment (i + 2) 1)
+      else if is_ident_start c then begin
+        let j = ref (i + 1) in
+        while !j < n && is_ident_char src.[!j] do incr j done;
+        emit (Token.Ident (String.sub src i (!j - i))) i;
+        go !j
+      end
+      else if is_digit c then begin
+        let j = ref i in
+        while !j < n && is_digit src.[!j] do incr j done;
+        let is_float =
+          (!j < n && src.[!j] = '.' && !j + 1 < n && is_digit src.[!j + 1])
+        in
+        if is_float then begin
+          incr j;
+          while !j < n && is_digit src.[!j] do incr j done
+        end;
+        let has_exp =
+          !j < n
+          && (src.[!j] = 'e' || src.[!j] = 'E')
+          && !j + 1 < n
+          && (is_digit src.[!j + 1]
+             || ((src.[!j + 1] = '+' || src.[!j + 1] = '-')
+                && !j + 2 < n && is_digit src.[!j + 2]))
+        in
+        if has_exp then begin
+          incr j;
+          if src.[!j] = '+' || src.[!j] = '-' then incr j;
+          while !j < n && is_digit src.[!j] do incr j done
+        end;
+        let text = String.sub src i (!j - i) in
+        if is_float || has_exp then emit (Token.Float_lit (float_of_string text)) i
+        else begin
+          match int_of_string_opt text with
+          | Some v -> emit (Token.Int_lit v) i
+          | None -> raise (Lex_error ("integer literal too large: " ^ text, i))
+        end;
+        go !j
+      end
+      else if c = '\'' then begin
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then raise (Lex_error ("unterminated string literal", i))
+          else if src.[j] = '\'' then
+            if j + 1 < n && src.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              str (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf src.[j];
+            str (j + 1)
+          end
+        in
+        let j = str (i + 1) in
+        emit (Token.String_lit (Buffer.contents buf)) i;
+        go j
+      end
+      else if c = '"' then begin
+        (* Quoted identifier. *)
+        let rec str j =
+          if j >= n then raise (Lex_error ("unterminated quoted identifier", i))
+          else if src.[j] = '"' then j
+          else str (j + 1)
+        in
+        let j = str (i + 1) in
+        emit (Token.Ident (String.sub src (i + 1) (j - i - 1))) i;
+        go (j + 1)
+      end
+      else begin
+        let two = if i + 1 < n then String.sub src i 2 else "" in
+        match two with
+        | "<>" | "!=" -> emit Token.Neq i; go (i + 2)
+        | "<=" -> emit Token.Le i; go (i + 2)
+        | ">=" -> emit Token.Ge i; go (i + 2)
+        | "||" -> emit Token.Concat i; go (i + 2)
+        | _ -> (
+          let simple tok = emit tok i; go (i + 1) in
+          match c with
+          | '(' -> simple Token.Lparen
+          | ')' -> simple Token.Rparen
+          | ',' -> simple Token.Comma
+          | '.' -> simple Token.Dot
+          | ';' -> simple Token.Semicolon
+          | '*' -> simple Token.Star
+          | '+' -> simple Token.Plus
+          | '-' -> simple Token.Minus
+          | '/' -> simple Token.Slash
+          | '%' -> simple Token.Percent
+          | '=' -> simple Token.Eq
+          | '<' -> simple Token.Lt
+          | '>' -> simple Token.Gt
+          | _ ->
+            raise (Lex_error (Printf.sprintf "unexpected character %C" c, i)))
+      end
+  in
+  go 0;
+  List.rev !toks

@@ -1,0 +1,11 @@
+(** SQL lexer: identifiers (plain and ["quoted"]), integer/float literals,
+    ['...'-]strings with [''] escaping, line ([--]) and nested block
+    comments, multi-character operators. *)
+
+exception Lex_error of string * int  (** message, source offset *)
+
+type lexed = { token : Token.t; pos : int }
+
+(** Tokenize a whole input; the result always ends with {!Token.Eof}.
+    Raises {!Lex_error}. *)
+val tokenize : string -> lexed list

@@ -1,0 +1,888 @@
+(** Recursive-descent SQL parser.
+
+    Keywords are recognized case-insensitively. Operator precedence, tightest
+    first: unary minus; [* / %]; [+ - ||]; comparisons / IS NULL / LIKE /
+    BETWEEN / IN / EXISTS; NOT; AND; OR. *)
+
+exception Parse_error of string * int  (** message, source offset *)
+
+type state = { toks : Lexer.lexed array; mutable pos : int }
+
+let error st fmt =
+  let off =
+    if st.pos < Array.length st.toks then st.toks.(st.pos).Lexer.pos else 0
+  in
+  Fmt.kstr (fun msg -> raise (Parse_error (msg, off))) fmt
+
+let peek st = st.toks.(st.pos).Lexer.token
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1).Lexer.token
+  else Token.Eof
+
+let advance st = st.pos <- st.pos + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error st "expected %s but found %s" (Token.to_string tok)
+      (Token.to_string (peek st))
+
+(* Keyword helpers: a keyword is an identifier compared case-insensitively. *)
+let kw_of st =
+  match peek st with
+  | Token.Ident s -> Some (String.uppercase_ascii s)
+  | _ -> None
+
+let is_kw st k = kw_of st = Some k
+
+let accept_kw st k =
+  if is_kw st k then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_kw st k =
+  if not (accept_kw st k) then
+    error st "expected keyword %s but found %s" k (Token.to_string (peek st))
+
+let ident st =
+  match next st with
+  | Token.Ident s -> s
+  | t -> error st "expected identifier, found %s" (Token.to_string t)
+
+let int_lit st =
+  match next st with
+  | Token.Int_lit i -> i
+  | t -> error st "expected integer, found %s" (Token.to_string t)
+
+let string_lit st =
+  match next st with
+  | Token.String_lit s -> s
+  | t -> error st "expected string literal, found %s" (Token.to_string t)
+
+(* Words that terminate an implicit alias ("FROM t WHERE ..." must not read
+   WHERE as t's alias). *)
+let reserved =
+  [
+    "SELECT"; "FROM"; "WHERE"; "GROUP"; "HAVING"; "ORDER"; "LIMIT"; "TOP";
+    "JOIN"; "INNER"; "LEFT"; "RIGHT"; "FULL"; "CROSS"; "OUTER"; "ON"; "AND";
+    "OR"; "NOT"; "AS"; "BY"; "ASC"; "DESC"; "UNION"; "VALUES"; "SET"; "FOR";
+    "PARTITION"; "IN"; "IS"; "LIKE"; "BETWEEN"; "EXISTS"; "CASE"; "WHEN";
+    "EXCEPT"; "INTERSECT"; "ALL"; "EXPLAIN"; "INDEX"; "WITH";
+    "THEN"; "ELSE"; "END"; "DISTINCT"; "INSERT"; "UPDATE"; "DELETE"; "CREATE";
+    "DROP"; "INTO"; "BEGIN"; "IF"; "NOTIFY"; "DENY"; "AFTER"; "BEFORE";
+    "ACCESS"; "TO"; "TRIGGER"; "AUDIT"; "EXPRESSION"; "TABLE"; "SENSITIVE";
+  ]
+
+let is_reserved s = List.mem (String.uppercase_ascii s) reserved
+
+let interval_unit st =
+  let u = String.uppercase_ascii (ident st) in
+  match u with
+  | "DAY" | "DAYS" -> Ast.Days
+  | "MONTH" | "MONTHS" -> Ast.Months
+  | "YEAR" | "YEARS" -> Ast.Years
+  | _ -> error st "unknown interval unit %s" u
+
+let aggregate_names = [ "COUNT"; "SUM"; "AVG"; "MIN"; "MAX" ]
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if accept_kw st "OR" then Ast.E_binop (Ast.Or, lhs, parse_or st) else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if accept_kw st "AND" then Ast.E_binop (Ast.And, lhs, parse_and st) else lhs
+
+and parse_not st =
+  if accept_kw st "NOT" then Ast.E_not (parse_not st) else parse_predicate st
+
+and parse_predicate st =
+  let lhs = parse_additive st in
+  let negated = accept_kw st "NOT" in
+  match kw_of st with
+  | Some "IS" when not negated ->
+    advance st;
+    let neg = accept_kw st "NOT" in
+    expect_kw st "NULL";
+    Ast.E_is_null (lhs, neg)
+  | Some "LIKE" ->
+    advance st;
+    Ast.E_like (lhs, parse_additive st, negated)
+  | Some "BETWEEN" ->
+    advance st;
+    let lo = parse_additive st in
+    expect_kw st "AND";
+    let hi = parse_additive st in
+    let b = Ast.E_between (lhs, lo, hi) in
+    if negated then Ast.E_not b else b
+  | Some "IN" ->
+    advance st;
+    expect st Token.Lparen;
+    if is_kw st "SELECT" || is_kw st "WITH" then begin
+      let q = parse_query st in
+      expect st Token.Rparen;
+      Ast.E_in_query (lhs, q, negated)
+    end
+    else begin
+      let items = parse_expr_list st in
+      expect st Token.Rparen;
+      Ast.E_in_list (lhs, items, negated)
+    end
+  | _ when negated -> error st "expected LIKE, BETWEEN or IN after NOT"
+  | _ -> (
+    let bin op =
+      advance st;
+      Ast.E_binop (op, lhs, parse_additive st)
+    in
+    match peek st with
+    | Token.Eq -> bin Ast.Eq
+    | Token.Neq -> bin Ast.Neq
+    | Token.Lt -> bin Ast.Lt
+    | Token.Le -> bin Ast.Le
+    | Token.Gt -> bin Ast.Gt
+    | Token.Ge -> bin Ast.Ge
+    | _ -> lhs)
+
+and parse_additive st =
+  let rec go lhs =
+    match peek st with
+    | Token.Plus ->
+      advance st;
+      go (Ast.E_binop (Ast.Add, lhs, parse_multiplicative st))
+    | Token.Minus ->
+      advance st;
+      go (Ast.E_binop (Ast.Sub, lhs, parse_multiplicative st))
+    | Token.Concat ->
+      advance st;
+      go (Ast.E_binop (Ast.Concat, lhs, parse_multiplicative st))
+    | _ -> lhs
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec go lhs =
+    match peek st with
+    | Token.Star ->
+      advance st;
+      go (Ast.E_binop (Ast.Mul, lhs, parse_unary st))
+    | Token.Slash ->
+      advance st;
+      go (Ast.E_binop (Ast.Div, lhs, parse_unary st))
+    | Token.Percent ->
+      advance st;
+      go (Ast.E_binop (Ast.Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Token.Minus ->
+    advance st;
+    Ast.E_neg (parse_unary st)
+  | Token.Plus ->
+    advance st;
+    parse_unary st
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Token.Int_lit i ->
+    advance st;
+    Ast.E_int i
+  | Token.Float_lit f ->
+    advance st;
+    Ast.E_float f
+  | Token.String_lit s ->
+    advance st;
+    Ast.E_string s
+  | Token.Lparen ->
+    advance st;
+    if is_kw st "SELECT" || is_kw st "WITH" then begin
+      let q = parse_query st in
+      expect st Token.Rparen;
+      Ast.E_subquery q
+    end
+    else begin
+      let e = parse_expr st in
+      expect st Token.Rparen;
+      e
+    end
+  | Token.Ident _ -> parse_ident_expr st
+  | t -> error st "unexpected token %s in expression" (Token.to_string t)
+
+and parse_ident_expr st =
+  match kw_of st with
+  | Some "NULL" ->
+    advance st;
+    Ast.E_null
+  | Some "TRUE" ->
+    advance st;
+    Ast.E_bool true
+  | Some "FALSE" ->
+    advance st;
+    Ast.E_bool false
+  | Some "DATE" when (match peek2 st with Token.String_lit _ -> true | _ -> false) ->
+    advance st;
+    Ast.E_date (string_lit st)
+  | Some "INTERVAL" ->
+    advance st;
+    let n =
+      match next st with
+      | Token.String_lit s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n -> n
+        | None -> error st "invalid interval quantity %S" s)
+      | Token.Int_lit n -> n
+      | t -> error st "expected interval quantity, found %s" (Token.to_string t)
+    in
+    Ast.E_interval (n, interval_unit st)
+  | Some "CASE" ->
+    advance st;
+    let rec whens acc =
+      if accept_kw st "WHEN" then begin
+        let c = parse_expr st in
+        expect_kw st "THEN";
+        let v = parse_expr st in
+        whens ((c, v) :: acc)
+      end
+      else List.rev acc
+    in
+    let branches = whens [] in
+    if branches = [] then error st "CASE requires at least one WHEN";
+    let els = if accept_kw st "ELSE" then Some (parse_expr st) else None in
+    expect_kw st "END";
+    Ast.E_case (branches, els)
+  | Some "EXISTS" ->
+    advance st;
+    expect st Token.Lparen;
+    let q = parse_query st in
+    expect st Token.Rparen;
+    Ast.E_exists (q, false)
+  | Some "EXTRACT" ->
+    advance st;
+    expect st Token.Lparen;
+    let field = String.uppercase_ascii (ident st) in
+    expect_kw st "FROM";
+    let e = parse_expr st in
+    expect st Token.Rparen;
+    (match field with
+    | "YEAR" -> Ast.E_func ("extract_year", [ e ])
+    | "MONTH" -> Ast.E_func ("extract_month", [ e ])
+    | _ -> error st "unsupported EXTRACT field %s" field)
+  | Some "SUBSTRING" ->
+    advance st;
+    expect st Token.Lparen;
+    let e = parse_expr st in
+    let lo, len =
+      if accept_kw st "FROM" then begin
+        let lo = parse_expr st in
+        let len = if accept_kw st "FOR" then Some (parse_expr st) else None in
+        (lo, len)
+      end
+      else begin
+        expect st Token.Comma;
+        let lo = parse_expr st in
+        let len =
+          if peek st = Token.Comma then begin
+            advance st;
+            Some (parse_expr st)
+          end
+          else None
+        in
+        (lo, len)
+      end
+    in
+    expect st Token.Rparen;
+    (match len with
+    | Some n -> Ast.E_func ("substring", [ e; lo; n ])
+    | None -> Ast.E_func ("substring", [ e; lo ]))
+  | Some up when List.mem up aggregate_names && peek2 st = Token.Lparen ->
+    advance st;
+    advance st;
+    (* past '(' *)
+    if peek st = Token.Star then begin
+      advance st;
+      expect st Token.Rparen;
+      if up <> "COUNT" then error st "%s(*) is not valid" up;
+      Ast.E_agg { func = "count"; arg = None; distinct = false }
+    end
+    else begin
+      let distinct = accept_kw st "DISTINCT" in
+      let e = parse_expr st in
+      expect st Token.Rparen;
+      Ast.E_agg { func = String.lowercase_ascii up; arg = Some e; distinct }
+    end
+  | _ -> (
+    let name = ident st in
+    match peek st with
+    | Token.Lparen ->
+      advance st;
+      let args =
+        if peek st = Token.Rparen then [] else parse_expr_list st
+      in
+      expect st Token.Rparen;
+      Ast.E_func (String.lowercase_ascii name, args)
+    | Token.Dot ->
+      advance st;
+      let field = ident st in
+      Ast.E_column (Some name, field)
+    | _ -> Ast.E_column (None, name))
+
+and parse_expr_list st =
+  let e = parse_expr st in
+  if peek st = Token.Comma then begin
+    advance st;
+    e :: parse_expr_list st
+  end
+  else [ e ]
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+and parse_select_item st =
+  if peek st = Token.Star then begin
+    advance st;
+    Ast.Si_star
+  end
+  else
+    match (peek st, peek2 st) with
+    | Token.Ident t, Token.Dot
+      when st.pos + 2 < Array.length st.toks
+           && st.toks.(st.pos + 2).Lexer.token = Token.Star ->
+      advance st;
+      advance st;
+      advance st;
+      Ast.Si_table_star t
+    | _ ->
+      let e = parse_expr st in
+      let alias =
+        if accept_kw st "AS" then Some (ident st)
+        else
+          match peek st with
+          | Token.Ident a when not (is_reserved a) ->
+            advance st;
+            Some a
+          | _ -> None
+      in
+      Ast.Si_expr (e, alias)
+
+and parse_table_primary st =
+  if peek st = Token.Lparen then begin
+    advance st;
+    let q = parse_query st in
+    expect st Token.Rparen;
+    let _ = accept_kw st "AS" in
+    Ast.Tr_subquery (q, ident st)
+  end
+  else begin
+    let name = ident st in
+    if is_reserved name then error st "unexpected keyword %s in FROM" name;
+    let alias =
+      if accept_kw st "AS" then Some (ident st)
+      else
+        match peek st with
+        | Token.Ident a when not (is_reserved a) ->
+          advance st;
+          Some a
+        | _ -> None
+    in
+    Ast.Tr_table (name, alias)
+  end
+
+and parse_table_ref st =
+  let rec joins lhs =
+    match kw_of st with
+    | Some "JOIN" ->
+      advance st;
+      with_on lhs Ast.Inner
+    | Some "INNER" ->
+      advance st;
+      expect_kw st "JOIN";
+      with_on lhs Ast.Inner
+    | Some "LEFT" ->
+      advance st;
+      let _ = accept_kw st "OUTER" in
+      expect_kw st "JOIN";
+      with_on lhs Ast.Left_outer
+    | Some "CROSS" ->
+      advance st;
+      expect_kw st "JOIN";
+      let rhs = parse_table_primary st in
+      joins (Ast.Tr_join (lhs, Ast.Cross, rhs, None))
+    | _ -> lhs
+  and with_on lhs jt =
+    let rhs = parse_table_primary st in
+    expect_kw st "ON";
+    let on = parse_expr st in
+    joins (Ast.Tr_join (lhs, jt, rhs, Some on))
+  in
+  joins (parse_table_primary st)
+
+(* ------------------------------------------------------------------ *)
+(* WITH (common table expressions): parsed bindings are inlined at     *)
+(* their use sites - each reference becomes a derived table, so the    *)
+(* rest of the pipeline needs no new operator.                         *)
+(* ------------------------------------------------------------------ *)
+
+and subst_ctes_expr ctes (e : Ast.expr) : Ast.expr =
+  let go = subst_ctes_expr ctes in
+  match e with
+  | Ast.E_null | Ast.E_bool _ | Ast.E_int _ | Ast.E_float _ | Ast.E_string _
+  | Ast.E_date _ | Ast.E_interval _ | Ast.E_column _ ->
+    e
+  | Ast.E_binop (op, a, b) -> Ast.E_binop (op, go a, go b)
+  | Ast.E_neg a -> Ast.E_neg (go a)
+  | Ast.E_not a -> Ast.E_not (go a)
+  | Ast.E_is_null (a, n) -> Ast.E_is_null (go a, n)
+  | Ast.E_like (a, pat, n) -> Ast.E_like (go a, go pat, n)
+  | Ast.E_between (a, lo, hi) -> Ast.E_between (go a, go lo, go hi)
+  | Ast.E_in_list (a, items, n) -> Ast.E_in_list (go a, List.map go items, n)
+  | Ast.E_in_query (a, q, n) -> Ast.E_in_query (go a, subst_ctes ctes q, n)
+  | Ast.E_exists (q, n) -> Ast.E_exists (subst_ctes ctes q, n)
+  | Ast.E_case (whens, els) ->
+    Ast.E_case
+      (List.map (fun (c, v) -> (go c, go v)) whens, Option.map go els)
+  | Ast.E_func (f, args) -> Ast.E_func (f, List.map go args)
+  | Ast.E_agg { func; arg; distinct } ->
+    Ast.E_agg { func; arg = Option.map go arg; distinct }
+  | Ast.E_subquery q -> Ast.E_subquery (subst_ctes ctes q)
+
+and subst_ctes_tref ctes (tr : Ast.table_ref) : Ast.table_ref =
+  match tr with
+  | Ast.Tr_table (name, alias) -> (
+    match
+      List.find_opt
+        (fun (n, _) ->
+          String.lowercase_ascii n = String.lowercase_ascii name)
+        ctes
+    with
+    | Some (_, q) -> Ast.Tr_subquery (q, Option.value alias ~default:name)
+    | None -> tr)
+  | Ast.Tr_subquery (q, alias) -> Ast.Tr_subquery (subst_ctes ctes q, alias)
+  | Ast.Tr_join (l, jt, r, on) ->
+    Ast.Tr_join
+      ( subst_ctes_tref ctes l,
+        jt,
+        subst_ctes_tref ctes r,
+        Option.map (subst_ctes_expr ctes) on )
+
+and subst_ctes ctes (q : Ast.query) : Ast.query =
+  if ctes = [] then q
+  else
+    {
+      q with
+      Ast.select =
+        List.map
+          (function
+            | Ast.Si_expr (e, a) -> Ast.Si_expr (subst_ctes_expr ctes e, a)
+            | item -> item)
+          q.Ast.select;
+      from = List.map (subst_ctes_tref ctes) q.Ast.from;
+      where = Option.map (subst_ctes_expr ctes) q.Ast.where;
+      group_by = List.map (subst_ctes_expr ctes) q.Ast.group_by;
+      having = Option.map (subst_ctes_expr ctes) q.Ast.having;
+      order_by =
+        List.map (fun (e, d) -> (subst_ctes_expr ctes e, d)) q.Ast.order_by;
+      set_ops =
+        List.map (fun (op, sub) -> (op, subst_ctes ctes sub)) q.Ast.set_ops;
+    }
+
+and parse_query st : Ast.query =
+  let ctes =
+    if accept_kw st "WITH" then begin
+      let rec bindings acc =
+        let name = ident st in
+        expect_kw st "AS";
+        expect st Token.Lparen;
+        let q = parse_query st in
+        expect st Token.Rparen;
+        (* Later CTEs may reference earlier ones: inline eagerly. *)
+        let q = subst_ctes acc q in
+        let acc = acc @ [ (name, q) ] in
+        if peek st = Token.Comma then begin
+          advance st;
+          bindings acc
+        end
+        else acc
+      in
+      bindings []
+    end
+    else []
+  in
+  let q = parse_query_plain st in
+  subst_ctes ctes q
+
+and parse_query_plain st : Ast.query =
+  let first = parse_query_core st in
+  (* Trailing set operations are parsed flat at this level, giving SQL's
+     left-associative grouping. *)
+  let rec set_ops acc =
+    match kw_of st with
+    | Some "UNION" ->
+      advance st;
+      let op = if accept_kw st "ALL" then Ast.Union_all else Ast.Union in
+      set_ops ((op, parse_query_core st) :: acc)
+    | Some "EXCEPT" ->
+      advance st;
+      set_ops ((Ast.Except, parse_query_core st) :: acc)
+    | Some "INTERSECT" ->
+      advance st;
+      set_ops ((Ast.Intersect, parse_query_core st) :: acc)
+    | _ -> List.rev acc
+  in
+  { first with Ast.set_ops = set_ops [] }
+
+and parse_query_core st : Ast.query =
+  expect_kw st "SELECT";
+  let distinct = accept_kw st "DISTINCT" in
+  let top = if accept_kw st "TOP" then Some (int_lit st) else None in
+  let rec items acc =
+    let it = parse_select_item st in
+    if peek st = Token.Comma then begin
+      advance st;
+      items (it :: acc)
+    end
+    else List.rev (it :: acc)
+  in
+  let select = items [] in
+  let from =
+    if accept_kw st "FROM" then begin
+      let rec refs acc =
+        let r = parse_table_ref st in
+        if peek st = Token.Comma then begin
+          advance st;
+          refs (r :: acc)
+        end
+        else List.rev (r :: acc)
+      in
+      refs []
+    end
+    else []
+  in
+  let where = if accept_kw st "WHERE" then Some (parse_expr st) else None in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      parse_expr_list st
+    end
+    else []
+  in
+  let having = if accept_kw st "HAVING" then Some (parse_expr st) else None in
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect_kw st "BY";
+      let rec go acc =
+        let e = parse_expr st in
+        let dir =
+          if accept_kw st "DESC" then Ast.Desc
+          else begin
+            let _ = accept_kw st "ASC" in
+            Ast.Asc
+          end
+        in
+        if peek st = Token.Comma then begin
+          advance st;
+          go ((e, dir) :: acc)
+        end
+        else List.rev ((e, dir) :: acc)
+      in
+      go []
+    end
+    else []
+  in
+  let limit = if accept_kw st "LIMIT" then Some (int_lit st) else None in
+  { Ast.distinct; top; select; from; where; group_by; having; order_by;
+    limit; set_ops = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_column_def st =
+  let col_name = ident st in
+  let ty_name = ident st in
+  let col_type =
+    match Storage.Datatype.of_string ty_name with
+    | Some t -> t
+    | None -> error st "unknown type %s" ty_name
+  in
+  (* Swallow an optional length, e.g. VARCHAR(25). *)
+  if peek st = Token.Lparen then begin
+    advance st;
+    let _ = int_lit st in
+    (match peek st with
+    | Token.Comma ->
+      advance st;
+      let _ = int_lit st in
+      ()
+    | _ -> ());
+    expect st Token.Rparen
+  end;
+  let col_pk =
+    if accept_kw st "PRIMARY" then begin
+      expect_kw st "KEY";
+      true
+    end
+    else false
+  in
+  let _ = accept_kw st "NOT" && (expect_kw st "NULL"; true) in
+  { Ast.col_name; col_type; col_pk }
+
+let rec parse_statement st : Ast.statement =
+  match kw_of st with
+  | Some "SELECT" | Some "WITH" -> Ast.S_select (parse_query st)
+  | Some "EXPLAIN" ->
+    advance st;
+    Ast.S_explain (parse_query st)
+  | Some "CREATE" -> parse_create st
+  | Some "DROP" -> parse_drop st
+  | Some "INSERT" ->
+    advance st;
+    expect_kw st "INTO";
+    let table = ident st in
+    let columns =
+      if peek st = Token.Lparen then begin
+        advance st;
+        let rec cols acc =
+          let c = ident st in
+          if peek st = Token.Comma then begin
+            advance st;
+            cols (c :: acc)
+          end
+          else List.rev (c :: acc)
+        in
+        let cs = cols [] in
+        expect st Token.Rparen;
+        Some cs
+      end
+      else None
+    in
+    let source =
+      if accept_kw st "VALUES" then begin
+        let rec rows acc =
+          expect st Token.Lparen;
+          let vs = parse_expr_list st in
+          expect st Token.Rparen;
+          if peek st = Token.Comma then begin
+            advance st;
+            rows (vs :: acc)
+          end
+          else List.rev (vs :: acc)
+        in
+        Ast.Ins_values (rows [])
+      end
+      else Ast.Ins_query (parse_query st)
+    in
+    Ast.S_insert { table; columns; source }
+  | Some "UPDATE" ->
+    advance st;
+    let table = ident st in
+    expect_kw st "SET";
+    let rec sets acc =
+      let c = ident st in
+      expect st Token.Eq;
+      let e = parse_expr st in
+      if peek st = Token.Comma then begin
+        advance st;
+        sets ((c, e) :: acc)
+      end
+      else List.rev ((c, e) :: acc)
+    in
+    let sets = sets [] in
+    let where = if accept_kw st "WHERE" then Some (parse_expr st) else None in
+    Ast.S_update { table; sets; where }
+  | Some "DELETE" ->
+    advance st;
+    expect_kw st "FROM";
+    let table = ident st in
+    let where = if accept_kw st "WHERE" then Some (parse_expr st) else None in
+    Ast.S_delete { table; where }
+  | Some "IF" ->
+    advance st;
+    expect st Token.Lparen;
+    let cond = parse_expr st in
+    expect st Token.Rparen;
+    let body = parse_trigger_body st in
+    Ast.S_if (cond, body)
+  | Some "NOTIFY" ->
+    advance st;
+    Ast.S_notify (string_lit st)
+  | Some "DENY" ->
+    advance st;
+    Ast.S_deny (string_lit st)
+  | Some k -> error st "unexpected keyword %s at start of statement" k
+  | None -> error st "expected a statement, found %s" (Token.to_string (peek st))
+
+and parse_create st =
+  expect_kw st "CREATE";
+  match kw_of st with
+  | Some "TABLE" ->
+    advance st;
+    let table = ident st in
+    expect st Token.Lparen;
+    let rec cols acc =
+      let c = parse_column_def st in
+      if peek st = Token.Comma then begin
+        advance st;
+        cols (c :: acc)
+      end
+      else List.rev (c :: acc)
+    in
+    let columns = cols [] in
+    expect st Token.Rparen;
+    Ast.S_create_table { table; columns }
+  | Some "INDEX" ->
+    advance st;
+    let index_name = ident st in
+    expect_kw st "ON";
+    let table = ident st in
+    expect st Token.Lparen;
+    let column = ident st in
+    expect st Token.Rparen;
+    Ast.S_create_index { index_name; table; column }
+  | Some "AUDIT" ->
+    advance st;
+    expect_kw st "EXPRESSION";
+    let audit_name = ident st in
+    expect_kw st "AS";
+    let definition = parse_query st in
+    expect_kw st "FOR";
+    expect_kw st "SENSITIVE";
+    expect_kw st "TABLE";
+    let sensitive_table = ident st in
+    let _ = peek st = Token.Comma && (advance st; true) in
+    expect_kw st "PARTITION";
+    expect_kw st "BY";
+    let partition_by = ident st in
+    Ast.S_create_audit { audit_name; definition; sensitive_table; partition_by }
+  | Some "TRIGGER" ->
+    advance st;
+    let trigger_name = ident st in
+    expect_kw st "ON";
+    let event =
+      if accept_kw st "ACCESS" then begin
+        expect_kw st "TO";
+        Ast.On_access (ident st)
+      end
+      else begin
+        let table = ident st in
+        expect_kw st "AFTER";
+        let ev =
+          match kw_of st with
+          | Some "INSERT" ->
+            advance st;
+            Ast.Ev_insert
+          | Some "UPDATE" ->
+            advance st;
+            Ast.Ev_update
+          | Some "DELETE" ->
+            advance st;
+            Ast.Ev_delete
+          | _ -> error st "expected INSERT, UPDATE or DELETE after AFTER"
+        in
+        Ast.On_dml (table, ev)
+      end
+    in
+    let timing =
+      if accept_kw st "BEFORE" then begin
+        expect_kw st "RETURN";
+        Ast.Before_return
+      end
+      else Ast.After
+    in
+    expect_kw st "AS";
+    let body = parse_trigger_body st in
+    Ast.S_create_trigger { trigger_name; event; timing; body }
+  | _ -> error st "expected TABLE, INDEX, AUDIT or TRIGGER after CREATE"
+
+and parse_drop st =
+  expect_kw st "DROP";
+  match kw_of st with
+  | Some "TABLE" ->
+    advance st;
+    Ast.S_drop_table (ident st)
+  | Some "INDEX" ->
+    advance st;
+    let index_name = ident st in
+    expect_kw st "ON";
+    let table = ident st in
+    Ast.S_drop_index { index_name; table }
+  | Some "AUDIT" ->
+    advance st;
+    expect_kw st "EXPRESSION";
+    Ast.S_drop_audit (ident st)
+  | Some "TRIGGER" ->
+    advance st;
+    Ast.S_drop_trigger (ident st)
+  | _ -> error st "expected TABLE, INDEX, AUDIT or TRIGGER after DROP"
+
+and parse_trigger_body st : Ast.statement list =
+  if accept_kw st "BEGIN" then begin
+    let rec go acc =
+      if accept_kw st "END" then List.rev acc
+      else begin
+        let s = parse_statement st in
+        let _ = peek st = Token.Semicolon && (advance st; true) in
+        go (s :: acc)
+      end
+    in
+    go []
+  end
+  else [ parse_statement st ]
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let make_state src = { toks = Array.of_list (Lexer.tokenize src); pos = 0 }
+
+(** Parse a single statement; trailing semicolon allowed. *)
+let statement src =
+  let st = make_state src in
+  let s = parse_statement st in
+  let _ = peek st = Token.Semicolon && (advance st; true) in
+  if peek st <> Token.Eof then
+    error st "trailing input after statement: %s" (Token.to_string (peek st));
+  s
+
+(** Parse a script of ';'-separated statements. *)
+let script src =
+  let st = make_state src in
+  let rec go acc =
+    if peek st = Token.Eof then List.rev acc
+    else if peek st = Token.Semicolon then begin
+      advance st;
+      go acc
+    end
+    else go (parse_statement st :: acc)
+  in
+  go []
+
+(** Parse a single SELECT query. *)
+let query src =
+  match statement src with
+  | Ast.S_select q -> q
+  | _ -> raise (Parse_error ("expected a SELECT query", 0))
+
+(** Parse a single scalar/boolean expression (used in tests). *)
+let expression src =
+  let st = make_state src in
+  let e = parse_expr st in
+  if peek st <> Token.Eof then
+    error st "trailing input after expression: %s" (Token.to_string (peek st));
+  e

@@ -1,0 +1,16 @@
+(** Recursive-descent SQL parser. Keywords are case-insensitive; see
+    {!Sql.Ast} for the dialect. *)
+
+exception Parse_error of string * int  (** message, source offset *)
+
+(** Parse a single statement (trailing [';'] allowed). *)
+val statement : string -> Ast.statement
+
+(** Parse a [';']-separated script. *)
+val script : string -> Ast.statement list
+
+(** Parse a single SELECT query; raises {!Parse_error} on anything else. *)
+val query : string -> Ast.query
+
+(** Parse a standalone scalar/boolean expression. *)
+val expression : string -> Ast.expr

@@ -1,0 +1,51 @@
+(** Lexical tokens. Keywords are not distinguished from identifiers here —
+    SQL keywords are case-insensitive and context-dependent, so the parser
+    classifies them. *)
+
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | String_lit of string
+  | Lparen
+  | Rparen
+  | Comma
+  | Dot
+  | Semicolon
+  | Star
+  | Plus
+  | Minus
+  | Slash
+  | Percent
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Concat  (** || *)
+  | Eof
+
+let to_string = function
+  | Ident s -> s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | String_lit s -> Printf.sprintf "'%s'" s
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Comma -> ","
+  | Dot -> "."
+  | Semicolon -> ";"
+  | Star -> "*"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Concat -> "||"
+  | Eof -> "<eof>"

@@ -1,0 +1,1 @@
+lib/storage/datatype.ml: Fmt String Value

@@ -1,0 +1,1 @@
+lib/storage/datatype.mli: Format Value

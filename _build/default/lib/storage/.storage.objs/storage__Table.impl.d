@@ -1,0 +1,1 @@
+lib/storage/table.ml: Array Datatype List Printf Schema Tuple Value

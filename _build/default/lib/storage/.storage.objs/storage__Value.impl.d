@@ -1,0 +1,1 @@
+lib/storage/value.ml: Bool Buffer Float Fmt Hashtbl Int Map Printf Set String

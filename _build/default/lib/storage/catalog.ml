@@ -1,0 +1,38 @@
+(** The catalog: a case-insensitive namespace of tables.
+
+    Besides user tables it also hosts transient relations — the per-query
+    [ACCESSED] state is registered here under a reserved name while a trigger
+    action runs, which is how actions can reference it as a plain table. *)
+
+type t = { tables : (string, Table.t) Hashtbl.t }
+
+exception Unknown_table of string
+exception Table_exists of string
+
+let norm = String.lowercase_ascii
+let create () = { tables = Hashtbl.create 32 }
+let mem c name = Hashtbl.mem c.tables (norm name)
+
+let add c table =
+  let n = norm (Table.name table) in
+  if Hashtbl.mem c.tables n then raise (Table_exists (Table.name table));
+  Hashtbl.replace c.tables n table
+
+(** Replace-or-add, used for transient relations like ACCESSED. *)
+let put c table = Hashtbl.replace c.tables (norm (Table.name table)) table
+
+let remove c name =
+  let n = norm name in
+  if not (Hashtbl.mem c.tables n) then raise (Unknown_table name);
+  Hashtbl.remove c.tables n
+
+let find c name =
+  match Hashtbl.find_opt c.tables (norm name) with
+  | Some t -> t
+  | None -> raise (Unknown_table name)
+
+let find_opt c name = Hashtbl.find_opt c.tables (norm name)
+
+let names c =
+  Hashtbl.fold (fun _ t acc -> Table.name t :: acc) c.tables []
+  |> List.sort String.compare

@@ -1,0 +1,27 @@
+(** The catalog: a case-insensitive namespace of tables, including transient
+    relations (the per-trigger [ACCESSED]/[new]/[old] pseudo-tables). *)
+
+type t
+
+exception Unknown_table of string
+exception Table_exists of string
+
+val create : unit -> t
+val mem : t -> string -> bool
+
+(** Add a table; raises {!Table_exists} on name clashes. *)
+val add : t -> Table.t -> unit
+
+(** Replace-or-add (transient relations). *)
+val put : t -> Table.t -> unit
+
+(** Raises {!Unknown_table}. *)
+val remove : t -> string -> unit
+
+(** Raises {!Unknown_table}. *)
+val find : t -> string -> Table.t
+
+val find_opt : t -> string -> Table.t option
+
+(** Sorted table names. *)
+val names : t -> string list

@@ -1,0 +1,46 @@
+(** Column datatypes. *)
+
+type t = T_bool | T_int | T_float | T_string | T_date
+
+let to_string = function
+  | T_bool -> "BOOLEAN"
+  | T_int -> "INTEGER"
+  | T_float -> "FLOAT"
+  | T_string -> "VARCHAR"
+  | T_date -> "DATE"
+
+let pp ppf t = Fmt.string ppf (to_string t)
+let equal (a : t) b = a = b
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "BOOL" | "BOOLEAN" -> Some T_bool
+  | "INT" | "INTEGER" | "BIGINT" | "SMALLINT" -> Some T_int
+  | "FLOAT" | "REAL" | "DOUBLE" | "DECIMAL" | "NUMERIC" -> Some T_float
+  | "VARCHAR" | "CHAR" | "TEXT" | "STRING" -> Some T_string
+  | "DATE" -> Some T_date
+  | _ -> None
+
+(** Checks a value against a type; NULL inhabits every type, and integers are
+    accepted where floats are expected (numeric promotion). *)
+let admits t (v : Value.t) =
+  match (t, v) with
+  | _, Value.Null -> true
+  | T_bool, Value.Bool _ -> true
+  | T_int, Value.Int _ -> true
+  | T_float, (Value.Float _ | Value.Int _) -> true
+  | T_string, Value.Str _ -> true
+  | T_date, Value.Date _ -> true
+  | _ -> false
+
+(** Coerce a value to a type where a lossless conversion exists (int→float,
+    string→date). Raises [Value.Type_error] otherwise. *)
+let coerce t (v : Value.t) : Value.t =
+  match (t, v) with
+  | _, Value.Null -> Value.Null
+  | T_float, Value.Int i -> Value.Float (float_of_int i)
+  | T_date, Value.Str s -> Value.Date (Value.date_of_string s)
+  | _ when admits t v -> v
+  | _ ->
+    Value.type_error "value %s does not fit type %s" (Value.to_string v)
+      (to_string t)

@@ -1,0 +1,18 @@
+(** Column datatypes. *)
+
+type t = T_bool | T_int | T_float | T_string | T_date
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+(** Parse SQL type names ([INT], [VARCHAR], [DECIMAL], ...). *)
+val of_string : string -> t option
+
+(** Does a value inhabit the type? NULL inhabits every type; integers are
+    admitted where floats are expected. *)
+val admits : t -> Value.t -> bool
+
+(** Lossless coercion (int→float, string→date); raises
+    {!Value.Type_error} otherwise. *)
+val coerce : t -> Value.t -> Value.t

@@ -1,0 +1,75 @@
+(** Schemas: ordered lists of named, typed columns.
+
+    During planning, every column carries an optional [qualifier] (the table
+    alias it came from) so that name resolution can distinguish [p.id] from
+    [d.id] after a join concatenates schemas. *)
+
+type column = {
+  name : string;
+  qualifier : string option;
+  ty : Datatype.t;
+}
+
+type t = column array
+
+exception Ambiguous_column of string
+exception Unknown_column of string
+
+let column ?qualifier name ty = { name; qualifier; ty }
+let of_list cols : t = Array.of_list cols
+let arity (s : t) = Array.length s
+let col (s : t) i = s.(i)
+let columns (s : t) = Array.to_list s
+
+let equal_names a b = String.lowercase_ascii a = String.lowercase_ascii b
+
+(** Concatenation of two schemas, as produced by a join. *)
+let append (a : t) (b : t) : t = Array.append a b
+
+(** Re-qualify every column, as when a subquery gets an alias. *)
+let with_qualifier q (s : t) : t =
+  Array.map (fun c -> { c with qualifier = Some q }) s
+
+(** All indexes whose column matches [?qualifier].[name]. An unqualified
+    lookup matches any qualifier. *)
+let find_all (s : t) ?qualifier name =
+  let matches c =
+    equal_names c.name name
+    &&
+    match qualifier with
+    | None -> true
+    | Some q -> (
+      match c.qualifier with Some cq -> equal_names cq q | None -> false)
+  in
+  let acc = ref [] in
+  Array.iteri (fun i c -> if matches c then acc := i :: !acc) s;
+  List.rev !acc
+
+(** Resolve a column reference to its index. Raises [Unknown_column] or
+    [Ambiguous_column]. *)
+let find (s : t) ?qualifier name =
+  match find_all s ?qualifier name with
+  | [ i ] -> i
+  | [] ->
+    let shown =
+      match qualifier with Some q -> q ^ "." ^ name | None -> name
+    in
+    raise (Unknown_column shown)
+  | _ :: _ :: _ ->
+    let shown =
+      match qualifier with Some q -> q ^ "." ^ name | None -> name
+    in
+    raise (Ambiguous_column shown)
+
+let find_opt (s : t) ?qualifier name =
+  match find_all s ?qualifier name with [ i ] -> Some i | _ -> None
+
+let pp_column ppf c =
+  match c.qualifier with
+  | Some q -> Fmt.pf ppf "%s.%s:%a" q c.name Datatype.pp c.ty
+  | None -> Fmt.pf ppf "%s:%a" c.name Datatype.pp c.ty
+
+let pp ppf (s : t) =
+  Fmt.pf ppf "(%a)" Fmt.(array ~sep:(any ", ") pp_column) s
+
+let to_string s = Fmt.str "%a" pp s

@@ -1,0 +1,41 @@
+(** Schemas: ordered, named, typed columns with optional table-alias
+    qualifiers for name resolution. *)
+
+type column = {
+  name : string;
+  qualifier : string option;  (** table alias the column came from *)
+  ty : Datatype.t;
+}
+
+type t = column array
+
+exception Ambiguous_column of string
+exception Unknown_column of string
+
+val column : ?qualifier:string -> string -> Datatype.t -> column
+val of_list : column list -> t
+val arity : t -> int
+val col : t -> int -> column
+val columns : t -> column list
+
+(** Case-insensitive name equality (SQL identifiers). *)
+val equal_names : string -> string -> bool
+
+(** Concatenation, as produced by a join. *)
+val append : t -> t -> t
+
+(** Re-qualify every column (derived table aliasing). *)
+val with_qualifier : string -> t -> t
+
+(** All indexes matching [?qualifier].[name]; an unqualified lookup matches
+    any qualifier. *)
+val find_all : t -> ?qualifier:string -> string -> int list
+
+(** Resolve to a unique index. Raises {!Unknown_column} or
+    {!Ambiguous_column}. *)
+val find : t -> ?qualifier:string -> string -> int
+
+val find_opt : t -> ?qualifier:string -> string -> int option
+val pp_column : Format.formatter -> column -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

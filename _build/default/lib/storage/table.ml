@@ -1,0 +1,317 @@
+(** Heap tables.
+
+    Rows live in a growable array of slots; deletion leaves a hole so row
+    identifiers (slot numbers) stay stable. A clustered hash index maps the
+    primary-key value to its slot, mirroring the paper's observation (§IV-A1)
+    that the partition-by key usually coincides with the clustered index and
+    is therefore read "for free".
+
+    Change hooks let the audit subsystem maintain materialized sensitive-ID
+    views incrementally (standard materialized-view maintenance, §IV-A1). *)
+
+type change =
+  | Inserted of Tuple.t
+  | Deleted of Tuple.t
+  | Updated of { before : Tuple.t; after : Tuple.t }
+
+type index = {
+  idx_name : string;
+  idx_col : int;
+  idx_map : int list ref Value.Hashtbl_v.t;  (** value -> slots *)
+}
+
+type t = {
+  name : string;
+  schema : Schema.t;
+  key : int option;  (** primary-key column index, if any *)
+  mutable slots : Tuple.t option array;
+  mutable next_slot : int;
+  mutable live : int;
+  pk_index : int Value.Hashtbl_v.t;  (** pk value -> slot *)
+  mutable indexes : index list;  (** secondary (non-unique) indexes *)
+  mutable hooks : (change -> unit) list;
+}
+
+exception Duplicate_key of string
+exception Schema_mismatch of string
+
+let create ?key ~name schema =
+  (match key with
+  | Some k when k < 0 || k >= Schema.arity schema ->
+    invalid_arg "Table.create: key index out of range"
+  | _ -> ());
+  {
+    name;
+    schema;
+    key;
+    slots = Array.make 16 None;
+    next_slot = 0;
+    live = 0;
+    pk_index = Value.Hashtbl_v.create 64;
+    indexes = [];
+    hooks = [];
+  }
+
+let name t = t.name
+let schema t = t.schema
+let key t = t.key
+
+(* ------------------------------------------------------------------ *)
+(* Secondary indexes                                                   *)
+(* ------------------------------------------------------------------ *)
+
+exception Index_exists of string
+exception Unknown_index of string
+
+let index_add idx v slot =
+  match Value.Hashtbl_v.find_opt idx.idx_map v with
+  | Some slots -> slots := slot :: !slots
+  | None -> Value.Hashtbl_v.add idx.idx_map v (ref [ slot ])
+
+let index_remove idx v slot =
+  match Value.Hashtbl_v.find_opt idx.idx_map v with
+  | Some slots ->
+    slots := List.filter (fun s -> s <> slot) !slots;
+    if !slots = [] then Value.Hashtbl_v.remove idx.idx_map v
+  | None -> ()
+
+(** Create a (non-unique) secondary index on column [col], populated from
+    the current rows and maintained by every subsequent change. *)
+let create_index t ~name:idx_name ~col =
+  if col < 0 || col >= Schema.arity t.schema then
+    invalid_arg "Table.create_index: column out of range";
+  if List.exists (fun i -> i.idx_name = idx_name) t.indexes then
+    raise (Index_exists idx_name);
+  let idx = { idx_name; idx_col = col; idx_map = Value.Hashtbl_v.create 256 } in
+  for slot = 0 to t.next_slot - 1 do
+    match t.slots.(slot) with
+    | Some row -> index_add idx (Tuple.get row col) slot
+    | None -> ()
+  done;
+  t.indexes <- idx :: t.indexes
+
+let drop_index t idx_name =
+  if not (List.exists (fun i -> i.idx_name = idx_name) t.indexes) then
+    raise (Unknown_index idx_name);
+  t.indexes <- List.filter (fun i -> i.idx_name <> idx_name) t.indexes
+
+(** Columns with a secondary index. *)
+let indexed_columns t = List.map (fun i -> i.idx_col) t.indexes
+
+let index_names t = List.map (fun i -> (i.idx_name, i.idx_col)) t.indexes
+
+(** Live rows whose column [col] equals [v], via an index. [None] when no
+    index (and no primary key) covers the column. *)
+let lookup ?hide t ~col v : Tuple.t list option =
+  let hidden row =
+    match hide with
+    | Some (hcol, hv) -> Value.equal (Tuple.get row hcol) hv
+    | None -> false
+  in
+  if t.key = Some col then
+    Some
+      (match Value.Hashtbl_v.find_opt t.pk_index v with
+      | Some slot -> (
+        match t.slots.(slot) with
+        | Some row when not (hidden row) -> [ row ]
+        | _ -> [])
+      | None -> [])
+  else
+    match List.find_opt (fun i -> i.idx_col = col) t.indexes with
+    | None -> None
+    | Some idx ->
+      Some
+        (match Value.Hashtbl_v.find_opt idx.idx_map v with
+        | None -> []
+        | Some slots ->
+          List.filter_map
+            (fun slot ->
+              match t.slots.(slot) with
+              | Some row when not (hidden row) -> Some row
+              | _ -> None)
+            !slots)
+let cardinality t = t.live
+let on_change t f = t.hooks <- f :: t.hooks
+let notify t c = List.iter (fun f -> f c) t.hooks
+
+let check_row t (row : Tuple.t) =
+  if Tuple.arity row <> Schema.arity t.schema then
+    raise
+      (Schema_mismatch
+         (Printf.sprintf "table %s expects %d columns, got %d" t.name
+            (Schema.arity t.schema) (Tuple.arity row)));
+  Array.iteri
+    (fun i v ->
+      let c = Schema.col t.schema i in
+      if not (Datatype.admits c.Schema.ty v) then
+        raise
+          (Schema_mismatch
+             (Printf.sprintf "table %s column %s: value %s does not fit %s"
+                t.name c.Schema.name (Value.to_string v)
+                (Datatype.to_string c.Schema.ty))))
+    row
+
+(* Coerce each cell to the declared column type (int->float, string->date). *)
+let coerce_row t (row : Tuple.t) : Tuple.t =
+  Array.mapi
+    (fun i v -> Datatype.coerce (Schema.col t.schema i).Schema.ty v)
+    row
+
+let ensure_capacity t =
+  if t.next_slot = Array.length t.slots then begin
+    let bigger = Array.make (2 * Array.length t.slots) None in
+    Array.blit t.slots 0 bigger 0 t.next_slot;
+    t.slots <- bigger
+  end
+
+let insert t row =
+  let row = coerce_row t row in
+  check_row t row;
+  (match t.key with
+  | Some k ->
+    let kv = Tuple.get row k in
+    if Value.is_null kv then
+      raise (Duplicate_key (Printf.sprintf "table %s: NULL primary key" t.name));
+    if Value.Hashtbl_v.mem t.pk_index kv then
+      raise
+        (Duplicate_key
+           (Printf.sprintf "table %s: duplicate key %s" t.name
+              (Value.to_string kv)))
+  | None -> ());
+  ensure_capacity t;
+  let slot = t.next_slot in
+  t.slots.(slot) <- Some row;
+  t.next_slot <- slot + 1;
+  t.live <- t.live + 1;
+  (match t.key with
+  | Some k -> Value.Hashtbl_v.replace t.pk_index (Tuple.get row k) slot
+  | None -> ());
+  List.iter (fun idx -> index_add idx (Tuple.get row idx.idx_col) slot) t.indexes;
+  notify t (Inserted row)
+
+(** Clustered-index lookup by primary key. *)
+let find_by_key t kv =
+  match t.key with
+  | None -> None
+  | Some _ -> (
+    match Value.Hashtbl_v.find_opt t.pk_index kv with
+    | None -> None
+    | Some slot -> t.slots.(slot))
+
+let delete_slot t slot =
+  match t.slots.(slot) with
+  | None -> ()
+  | Some row ->
+    t.slots.(slot) <- None;
+    t.live <- t.live - 1;
+    (match t.key with
+    | Some k -> Value.Hashtbl_v.remove t.pk_index (Tuple.get row k)
+    | None -> ());
+    List.iter
+      (fun idx -> index_remove idx (Tuple.get row idx.idx_col) slot)
+      t.indexes;
+    notify t (Deleted row)
+
+(** Delete all rows satisfying [pred]; returns how many were deleted. *)
+let delete_where t pred =
+  let n = ref 0 in
+  for slot = 0 to t.next_slot - 1 do
+    match t.slots.(slot) with
+    | Some row when pred row ->
+      delete_slot t slot;
+      incr n
+    | _ -> ()
+  done;
+  !n
+
+(** In-place update of all rows satisfying [pred]; [f] builds the new row.
+    Key updates are allowed as long as they do not collide. *)
+let update_where t pred f =
+  let n = ref 0 in
+  for slot = 0 to t.next_slot - 1 do
+    match t.slots.(slot) with
+    | Some row when pred row ->
+      let row' = coerce_row t (f row) in
+      check_row t row';
+      (match t.key with
+      | Some k ->
+        let old_kv = Tuple.get row k and new_kv = Tuple.get row' k in
+        if not (Value.equal old_kv new_kv) then begin
+          if Value.Hashtbl_v.mem t.pk_index new_kv then
+            raise
+              (Duplicate_key
+                 (Printf.sprintf "table %s: duplicate key %s on update" t.name
+                    (Value.to_string new_kv)));
+          Value.Hashtbl_v.remove t.pk_index old_kv;
+          Value.Hashtbl_v.replace t.pk_index new_kv slot
+        end
+      | None -> ());
+      t.slots.(slot) <- Some row';
+      List.iter
+        (fun idx ->
+          let old_v = Tuple.get row idx.idx_col in
+          let new_v = Tuple.get row' idx.idx_col in
+          if not (Value.equal old_v new_v) then begin
+            index_remove idx old_v slot;
+            index_add idx new_v slot
+          end)
+        t.indexes;
+      incr n;
+      notify t (Updated { before = row; after = row' })
+    | _ -> ()
+  done;
+  !n
+
+(** Sequential scan. [hide = (col, v)] virtually deletes the rows whose
+    column [col] equals [v] without mutating the table — this is how the
+    exact offline auditor evaluates Q(D - t) (Definition 2.3). *)
+let iter ?hide t f =
+  let hidden row =
+    match hide with
+    | Some (col, v) -> Value.equal (Tuple.get row col) v
+    | None -> false
+  in
+  for slot = 0 to t.next_slot - 1 do
+    match t.slots.(slot) with
+    | Some row when not (hidden row) -> f row
+    | _ -> ()
+  done
+
+(** Pull-based cursor over live rows (used by the executor's scans).
+    [?hide] virtually deletes every row whose column [col] equals [v] —
+    with a non-unique column this hides the whole partition, matching the
+    paper's per-individual deletion semantics. *)
+let cursor ?hide t =
+  let hidden row =
+    match hide with
+    | Some (col, v) -> Value.equal (Tuple.get row col) v
+    | None -> false
+  in
+  let slot = ref 0 in
+  let rec next () =
+    if !slot >= t.next_slot then None
+    else begin
+      let s = !slot in
+      incr slot;
+      match t.slots.(s) with
+      | Some row when not (hidden row) -> Some row
+      | _ -> next ()
+    end
+  in
+  next
+
+let fold ?hide t f init =
+  let acc = ref init in
+  iter ?hide t (fun row -> acc := f !acc row);
+  !acc
+
+let to_list t = List.rev (fold t (fun acc r -> r :: acc) [])
+
+(** Snapshot of live rows in slot order, for stable scans while mutating. *)
+let snapshot t = Array.of_list (to_list t)
+
+let clear t =
+  for slot = 0 to t.next_slot - 1 do
+    delete_slot t slot
+  done;
+  t.next_slot <- 0

@@ -1,0 +1,83 @@
+(** Heap tables with a clustered primary-key hash index and change hooks.
+
+    Change hooks are how materialized sensitive-ID views stay fresh
+    ({!Audit_core.Sensitive_view}): every insert/delete/update notifies
+    subscribers with the affected rows. *)
+
+type change =
+  | Inserted of Tuple.t
+  | Deleted of Tuple.t
+  | Updated of { before : Tuple.t; after : Tuple.t }
+
+type t
+
+exception Duplicate_key of string
+exception Schema_mismatch of string
+
+(** [create ?key ~name schema] — [key] is the primary-key column index;
+    when present, inserts maintain a clustered hash index on it. *)
+val create : ?key:int -> name:string -> Schema.t -> t
+
+val name : t -> string
+val schema : t -> Schema.t
+val key : t -> int option
+
+(** Number of live rows. *)
+val cardinality : t -> int
+
+(** Subscribe to every subsequent change. *)
+val on_change : t -> (change -> unit) -> unit
+
+(** Coerce each cell to its declared column type (int→float,
+    string→date). *)
+val coerce_row : t -> Tuple.t -> Tuple.t
+
+(** Insert a row. Raises {!Schema_mismatch} on arity/type errors and
+    {!Duplicate_key} on key conflicts (or NULL keys). *)
+val insert : t -> Tuple.t -> unit
+
+(** Clustered-index point lookup. *)
+val find_by_key : t -> Value.t -> Tuple.t option
+
+(** {1 Secondary indexes} *)
+
+exception Index_exists of string
+exception Unknown_index of string
+
+(** Create a (non-unique) secondary index on a column, populated from the
+    current rows and maintained through every change. *)
+val create_index : t -> name:string -> col:int -> unit
+
+val drop_index : t -> string -> unit
+val indexed_columns : t -> int list
+val index_names : t -> (string * int) list
+
+(** Live rows whose column equals the value, via the primary-key or a
+    secondary index; [None] when no index covers the column. [?hide] as in
+    {!cursor}. *)
+val lookup :
+  ?hide:int * Value.t -> t -> col:int -> Value.t -> Tuple.t list option
+
+(** Delete all rows satisfying the predicate; returns the count. *)
+val delete_where : t -> (Tuple.t -> bool) -> int
+
+(** Update rows satisfying the predicate via the mapping function; key
+    changes are allowed unless they collide. Returns the count. *)
+val update_where : t -> (Tuple.t -> bool) -> (Tuple.t -> Tuple.t) -> int
+
+(** Pull-based cursor over live rows. [?hide:(col, v)] virtually deletes
+    every row whose column [col] equals [v] for the duration of the scan —
+    how the exact offline auditor evaluates Q(D - t) without mutating
+    anything (a non-unique column hides the whole partition, the paper's
+    per-individual unit). *)
+val cursor : ?hide:int * Value.t -> t -> unit -> Tuple.t option
+
+val iter : ?hide:int * Value.t -> t -> (Tuple.t -> unit) -> unit
+val fold : ?hide:int * Value.t -> t -> ('a -> Tuple.t -> 'a) -> 'a -> 'a
+val to_list : t -> Tuple.t list
+
+(** Stable array snapshot of the live rows. *)
+val snapshot : t -> Tuple.t array
+
+(** Delete every row (hooks fire per row). *)
+val clear : t -> unit

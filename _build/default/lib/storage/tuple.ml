@@ -1,0 +1,41 @@
+(** Tuples are flat arrays of values. Physical operators index them by
+    position; all name resolution happens at bind time. *)
+
+type t = Value.t array
+
+let arity (t : t) = Array.length t
+let get (t : t) i = t.(i)
+let of_list = Array.of_list
+let to_list = Array.to_list
+let append (a : t) (b : t) : t = Array.append a b
+let sub (t : t) pos len : t = Array.sub t pos len
+let project (t : t) idxs : t = Array.map (fun i -> t.(i)) idxs
+let equal (a : t) (b : t) = a = b || Array.for_all2 Value.equal a b
+
+let compare (a : t) (b : t) =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i =
+    if i = n then Int.compare (Array.length a) (Array.length b)
+    else
+      match Value.compare_total a.(i) b.(i) with 0 -> go (i + 1) | c -> c
+  in
+  go 0
+
+let hash (t : t) =
+  Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 t
+
+module Key = struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+  let compare = compare
+end
+
+module Hashtbl_t = Hashtbl.Make (Key)
+module Map_t = Map.Make (Key)
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "(%a)" Fmt.(array ~sep:(any ", ") Value.pp) t
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,35 @@
+(** Tuples: flat value arrays, indexed positionally. *)
+
+type t = Value.t array
+
+val arity : t -> int
+val get : t -> int -> Value.t
+val of_list : Value.t list -> t
+val to_list : t -> Value.t list
+val append : t -> t -> t
+val sub : t -> int -> int -> t
+
+(** [project t idxs] keeps the columns at [idxs], in that order. *)
+val project : t -> int array -> t
+
+val equal : t -> t -> bool
+
+(** Lexicographic order via {!Value.compare_total}. *)
+val compare : t -> t -> int
+
+(** Consistent with {!equal}; used for join/distinct hashing. *)
+val hash : t -> int
+
+module Key : sig
+  type nonrec t = t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val compare : t -> t -> int
+end
+
+module Hashtbl_t : Hashtbl.S with type key = t
+module Map_t : Map.S with type key = t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

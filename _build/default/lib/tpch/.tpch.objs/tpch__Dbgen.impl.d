@@ -1,0 +1,1 @@
+lib/tpch/dbgen.ml: Array Catalog Db Float Int64 List Printf Storage Table Tpch_schema Value

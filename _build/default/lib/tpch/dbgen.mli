@@ -1,0 +1,45 @@
+(** Deterministic TPC-H data generator (splitmix64-seeded dbgen). Standard
+    cardinalities scaled by [sf]; the distributions the evaluation depends
+    on follow the spec (uniform market segments, uniform orderdates over
+    1992-01-01..1998-08-02, exact key–FK relationships). *)
+
+(** Deterministic PRNG, identical across runs and platforms. *)
+module Rng : sig
+  type t
+
+  val create : int -> t
+  val next : t -> int64
+
+  (** Uniform in [\[0, n)]. *)
+  val int : t -> int -> int
+
+  (** Uniform in [\[lo, hi\]]. *)
+  val range : t -> int -> int -> int
+
+  val float : t -> float -> float -> float
+  val choice : t -> 'a array -> 'a
+
+  (** True with probability [p]. *)
+  val bool : t -> float -> bool
+end
+
+type sizes = {
+  customers : int;
+  orders : int;
+  suppliers : int;
+  parts : int;
+}
+
+(** Cardinalities for a scale factor ([customers = 150,000·sf], ...). *)
+val sizes_of_sf : float -> sizes
+
+val start_date : int
+val end_date : int
+
+(** Create the eight empty TPC-H tables in the database via DDL. *)
+val create_tables : Db.Database.t -> unit
+
+(** Create and populate all tables at scale factor [sf]. Loading goes
+    through {!Storage.Table.insert}, so view-maintenance hooks observe
+    every row. *)
+val load : ?seed:int -> Db.Database.t -> sf:float -> sizes

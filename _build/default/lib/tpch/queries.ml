@@ -1,0 +1,380 @@
+(** TPC-H query workload.
+
+    [customer_workload] is the paper's evaluation set (§V-C): the seven
+    TPC-H queries that reference the Customer table and contain no self-join
+    of it — Q3, Q5, Q7, Q8, Q10, Q13, Q18. [engine_workload] adds
+    customer-free queries (Q1, Q6, Q12, Q14) used to exercise the engine.
+
+    Parameters are the TPC-H reference parameters except where the small
+    scale factors demand resizing (noted inline). *)
+
+type query = { id : string; description : string; sql : string }
+
+(* --------------------------------------------------------------- *)
+(* §V-A micro-benchmark                                             *)
+(* --------------------------------------------------------------- *)
+
+(** The §V-A join template: [$1] = acctbal threshold, [$2] = orderdate
+    threshold. *)
+let micro_join ~acctbal ~orderdate =
+  Printf.sprintf
+    "SELECT * FROM orders, customer WHERE c_custkey = o_custkey AND \
+     c_acctbal > %g AND o_orderdate > DATE '%s'"
+    acctbal orderdate
+
+let orderdate_lo = Storage.Value.date_of_string "1992-01-01"
+let orderdate_hi = Storage.Value.date_of_string "1998-08-02"
+
+(** Orderdate cutoff such that [o_orderdate > cutoff] selects a fraction
+    [selectivity] of uniformly distributed orders. *)
+let orderdate_cutoff ~selectivity =
+  let span = float_of_int (orderdate_hi - orderdate_lo) in
+  let d = orderdate_hi - int_of_float (selectivity *. span) in
+  Storage.Value.string_of_date d
+
+(** The §V audit expression: every customer of one market segment
+    (≈ 20 % of the Customer table), partitioned by [c_custkey]. *)
+let audit_segment ?(name = "audit_customer") ?(segment = "BUILDING") () =
+  Printf.sprintf
+    "CREATE AUDIT EXPRESSION %s AS SELECT * FROM customer WHERE \
+     c_mktsegment = '%s' FOR SENSITIVE TABLE customer, PARTITION BY \
+     c_custkey"
+    name segment
+
+(* --------------------------------------------------------------- *)
+(* The seven customer queries of §V-C                               *)
+(* --------------------------------------------------------------- *)
+
+let q3 =
+  {
+    id = "Q3";
+    description = "shipping priority (top-10 revenue, BUILDING segment)";
+    sql =
+      "SELECT TOP 10 l_orderkey, sum(l_extendedprice * (1 - l_discount)) AS \
+       revenue, o_orderdate, o_shippriority FROM customer, orders, lineitem \
+       WHERE c_mktsegment = 'BUILDING' AND c_custkey = o_custkey AND \
+       l_orderkey = o_orderkey AND o_orderdate < DATE '1995-03-15' AND \
+       l_shipdate > DATE '1995-03-15' GROUP BY l_orderkey, o_orderdate, \
+       o_shippriority ORDER BY revenue DESC, o_orderdate";
+  }
+
+let q5 =
+  {
+    id = "Q5";
+    description = "local supplier volume (ASIA, 1994)";
+    sql =
+      "SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue \
+       FROM customer, orders, lineitem, supplier, nation, region WHERE \
+       c_custkey = o_custkey AND l_orderkey = o_orderkey AND l_suppkey = \
+       s_suppkey AND c_nationkey = s_nationkey AND s_nationkey = \
+       n_nationkey AND n_regionkey = r_regionkey AND r_name = 'ASIA' AND \
+       o_orderdate >= DATE '1994-01-01' AND o_orderdate < DATE '1994-01-01' \
+       + INTERVAL '1' YEAR GROUP BY n_name ORDER BY revenue DESC";
+  }
+
+let q7 =
+  {
+    id = "Q7";
+    description = "volume shipping (FRANCE <-> GERMANY)";
+    sql =
+      "SELECT supp_nation, cust_nation, l_year, sum(volume) AS revenue FROM \
+       (SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation, \
+       extract(YEAR FROM l_shipdate) AS l_year, l_extendedprice * (1 - \
+       l_discount) AS volume FROM supplier, lineitem, orders, customer, \
+       nation n1, nation n2 WHERE s_suppkey = l_suppkey AND o_orderkey = \
+       l_orderkey AND c_custkey = o_custkey AND s_nationkey = \
+       n1.n_nationkey AND c_nationkey = n2.n_nationkey AND ((n1.n_name = \
+       'FRANCE' AND n2.n_name = 'GERMANY') OR (n1.n_name = 'GERMANY' AND \
+       n2.n_name = 'FRANCE')) AND l_shipdate BETWEEN DATE '1995-01-01' AND \
+       DATE '1996-12-31') shipping GROUP BY supp_nation, cust_nation, \
+       l_year ORDER BY supp_nation, cust_nation, l_year";
+  }
+
+let q8 =
+  {
+    id = "Q8";
+    description = "national market share (BRAZIL in AMERICA)";
+    sql =
+      "SELECT o_year, sum(CASE WHEN nation = 'BRAZIL' THEN volume ELSE 0 \
+       END) / sum(volume) AS mkt_share FROM (SELECT extract(YEAR FROM \
+       o_orderdate) AS o_year, l_extendedprice * (1 - l_discount) AS \
+       volume, n2.n_name AS nation FROM part, supplier, lineitem, orders, \
+       customer, nation n1, nation n2, region WHERE p_partkey = l_partkey \
+       AND s_suppkey = l_suppkey AND l_orderkey = o_orderkey AND o_custkey \
+       = c_custkey AND c_nationkey = n1.n_nationkey AND n1.n_regionkey = \
+       r_regionkey AND r_name = 'AMERICA' AND s_nationkey = n2.n_nationkey \
+       AND o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31' AND \
+       p_type = 'ECONOMY ANODIZED STEEL') all_nations GROUP BY o_year ORDER \
+       BY o_year";
+  }
+
+let q10 =
+  {
+    id = "Q10";
+    description = "returned item reporting (top-20 customers by revenue)";
+    sql =
+      "SELECT TOP 20 c_custkey, c_name, sum(l_extendedprice * (1 - \
+       l_discount)) AS revenue, c_acctbal, n_name, c_address, c_phone, \
+       c_comment FROM customer, orders, lineitem, nation WHERE c_custkey = \
+       o_custkey AND l_orderkey = o_orderkey AND o_orderdate >= DATE \
+       '1993-10-01' AND o_orderdate < DATE '1993-10-01' + INTERVAL '3' \
+       MONTH AND l_returnflag = 'R' AND c_nationkey = n_nationkey GROUP BY \
+       c_custkey, c_name, c_acctbal, c_phone, n_name, c_address, c_comment \
+       ORDER BY revenue DESC";
+  }
+
+let q13 =
+  {
+    id = "Q13";
+    description = "customer distribution (left outer join, NOT LIKE)";
+    sql =
+      "SELECT c_count, count(*) AS custdist FROM (SELECT c_custkey AS \
+       custkey, count(o_orderkey) AS c_count FROM customer LEFT OUTER JOIN \
+       orders ON c_custkey = o_custkey AND o_comment NOT LIKE \
+       '%special%requests%' GROUP BY c_custkey) c_orders GROUP BY c_count \
+       ORDER BY custdist DESC, c_count DESC";
+  }
+
+(* TPC-H uses sum(l_quantity) > 300; with 1–7 lines per order the maximum is
+   350, so 300 selects almost nothing at small scale. 250 keeps the query
+   shape (IN + GROUP BY/HAVING) while returning a workload. *)
+let q18 =
+  {
+    id = "Q18";
+    description = "large volume customer (IN subquery with HAVING, top-100)";
+    sql =
+      "SELECT TOP 100 c_name, c_custkey, o_orderkey, o_orderdate, \
+       o_totalprice, sum(l_quantity) AS total_qty FROM customer, orders, \
+       lineitem WHERE o_orderkey IN (SELECT l_orderkey FROM lineitem GROUP \
+       BY l_orderkey HAVING sum(l_quantity) > 250) AND c_custkey = \
+       o_custkey AND o_orderkey = l_orderkey GROUP BY c_name, c_custkey, \
+       o_orderkey, o_orderdate, o_totalprice ORDER BY o_totalprice DESC, \
+       o_orderdate";
+  }
+
+let customer_workload = [ q3; q5; q7; q8; q10; q13; q18 ]
+
+(* --------------------------------------------------------------- *)
+(* Customer-free queries for engine coverage                        *)
+(* --------------------------------------------------------------- *)
+
+let q1 =
+  {
+    id = "Q1";
+    description = "pricing summary report";
+    sql =
+      "SELECT l_returnflag, l_linestatus, sum(l_quantity) AS sum_qty, \
+       sum(l_extendedprice) AS sum_base_price, sum(l_extendedprice * (1 - \
+       l_discount)) AS sum_disc_price, sum(l_extendedprice * (1 - \
+       l_discount) * (1 + l_tax)) AS sum_charge, avg(l_quantity) AS \
+       avg_qty, avg(l_extendedprice) AS avg_price, avg(l_discount) AS \
+       avg_disc, count(*) AS count_order FROM lineitem WHERE l_shipdate <= \
+       DATE '1998-12-01' - INTERVAL '90' DAY GROUP BY l_returnflag, \
+       l_linestatus ORDER BY l_returnflag, l_linestatus";
+  }
+
+let q6 =
+  {
+    id = "Q6";
+    description = "forecasting revenue change (scalar aggregate)";
+    sql =
+      "SELECT sum(l_extendedprice * l_discount) AS revenue FROM lineitem \
+       WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE \
+       '1994-01-01' + INTERVAL '1' YEAR AND l_discount BETWEEN 0.05 AND \
+       0.07 AND l_quantity < 24";
+  }
+
+let q12 =
+  {
+    id = "Q12";
+    description = "shipping modes and order priority (CASE aggregation)";
+    sql =
+      "SELECT l_shipmode, sum(CASE WHEN o_orderpriority = '1-URGENT' OR \
+       o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END) AS high_line_count, \
+       sum(CASE WHEN o_orderpriority <> '1-URGENT' AND o_orderpriority <> \
+       '2-HIGH' THEN 1 ELSE 0 END) AS low_line_count FROM orders, lineitem \
+       WHERE o_orderkey = l_orderkey AND l_shipmode IN ('MAIL', 'SHIP') AND \
+       l_commitdate < l_receiptdate AND l_shipdate < l_commitdate AND \
+       l_receiptdate >= DATE '1994-01-01' AND l_receiptdate < DATE \
+       '1994-01-01' + INTERVAL '1' YEAR GROUP BY l_shipmode ORDER BY \
+       l_shipmode";
+  }
+
+let q14 =
+  {
+    id = "Q14";
+    description = "promotion effect (conditional aggregate ratio)";
+    sql =
+      "SELECT 100.00 * sum(CASE WHEN p_type LIKE 'PROMO%' THEN \
+       l_extendedprice * (1 - l_discount) ELSE 0 END) / \
+       sum(l_extendedprice * (1 - l_discount)) AS promo_revenue FROM \
+       lineitem, part WHERE l_partkey = p_partkey AND l_shipdate >= DATE \
+       '1995-09-01' AND l_shipdate < DATE '1995-09-01' + INTERVAL '1' \
+       MONTH";
+  }
+
+let q2 =
+  {
+    id = "Q2";
+    description = "minimum cost supplier (correlated scalar MIN subquery)";
+    sql =
+      "SELECT TOP 100 s_acctbal, s_name, n_name, p_partkey, p_mfgr, \
+       s_address, s_phone FROM part, supplier, partsupp, nation, region \
+       WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey AND p_size = \
+       15 AND p_type LIKE '%STEEL' AND s_nationkey = n_nationkey AND \
+       n_regionkey = r_regionkey AND r_name = 'EUROPE' AND ps_supplycost = \
+       (SELECT min(ps_supplycost) FROM partsupp, supplier, nation, region \
+       WHERE p_partkey = ps_partkey AND s_suppkey = ps_suppkey AND \
+       s_nationkey = n_nationkey AND n_regionkey = r_regionkey AND r_name = \
+       'EUROPE') ORDER BY s_acctbal DESC, n_name, s_name, p_partkey";
+  }
+
+let q4 =
+  {
+    id = "Q4";
+    description = "order priority checking (correlated EXISTS)";
+    sql =
+      "SELECT o_orderpriority, count(*) AS order_count FROM orders WHERE \
+       o_orderdate >= DATE '1993-07-01' AND o_orderdate < DATE '1993-07-01' \
+       + INTERVAL '3' MONTH AND EXISTS (SELECT * FROM lineitem WHERE \
+       l_orderkey = o_orderkey AND l_commitdate < l_receiptdate) GROUP BY \
+       o_orderpriority ORDER BY o_orderpriority";
+  }
+
+(* TPC-H puts the threshold subquery in HAVING; our binder does not hoist
+   subqueries above GROUP BY, so the standard derived-table formulation is
+   used (identical result). *)
+let q11 =
+  {
+    id = "Q11";
+    description = "important stock identification (HAVING-threshold via derived table)";
+    sql =
+      "SELECT pk, val FROM (SELECT ps_partkey AS pk, sum(ps_supplycost * \
+       ps_availqty) AS val FROM partsupp, supplier, nation WHERE ps_suppkey \
+       = s_suppkey AND s_nationkey = n_nationkey AND n_name = 'GERMANY' \
+       GROUP BY ps_partkey) t WHERE val > (SELECT sum(ps_supplycost * \
+       ps_availqty) * 0.0001 FROM partsupp, supplier, nation WHERE \
+       ps_suppkey = s_suppkey AND s_nationkey = n_nationkey AND n_name = \
+       'GERMANY') ORDER BY val DESC";
+  }
+
+let q9 =
+  {
+    id = "Q9";
+    description = "product type profit (6-way join over a derived table)";
+    sql =
+      "SELECT nation, o_year, sum(amount) AS sum_profit FROM (SELECT n_name \
+       AS nation, extract(YEAR FROM o_orderdate) AS o_year, l_extendedprice \
+       * (1 - l_discount) - ps_supplycost * l_quantity AS amount FROM part, \
+       supplier, lineitem, partsupp, orders, nation WHERE s_suppkey = \
+       l_suppkey AND ps_suppkey = l_suppkey AND ps_partkey = l_partkey AND \
+       p_partkey = l_partkey AND o_orderkey = l_orderkey AND s_nationkey = \
+       n_nationkey AND p_name LIKE '%azure%') profit GROUP BY nation, \
+       o_year ORDER BY nation, o_year DESC";
+  }
+
+(* The reference formulation uses CREATE VIEW revenue0; the WITH form is
+   equivalent and exercises the CTE inliner (the CTE is referenced twice). *)
+let q15 =
+  {
+    id = "Q15";
+    description = "top supplier (revenue CTE referenced twice + scalar MAX)";
+    sql =
+      "WITH revenue0 AS (SELECT l_suppkey AS supplier_no, \
+       sum(l_extendedprice * (1 - l_discount)) AS total_revenue FROM \
+       lineitem WHERE l_shipdate >= DATE '1996-01-01' AND l_shipdate < DATE \
+       '1996-01-01' + INTERVAL '3' MONTH GROUP BY l_suppkey) SELECT \
+       s_suppkey, s_name, s_address, s_phone, total_revenue FROM supplier, \
+       revenue0 WHERE s_suppkey = supplier_no AND total_revenue = (SELECT \
+       max(total_revenue) FROM revenue0 r2) ORDER BY s_suppkey";
+  }
+
+let q16 =
+  {
+    id = "Q16";
+    description = "parts/supplier relationship (NOT IN subquery, COUNT DISTINCT)";
+    sql =
+      "SELECT p_brand, p_type, p_size, count(DISTINCT ps_suppkey) AS \
+       supplier_cnt FROM partsupp, part WHERE p_partkey = ps_partkey AND \
+       p_brand <> 'Brand#45' AND p_type NOT LIKE 'MEDIUM%' AND p_size IN \
+       (49, 14, 23, 45, 19, 3, 36, 9) AND ps_suppkey NOT IN (SELECT \
+       s_suppkey FROM supplier WHERE s_comment LIKE '%Customer%Complaints%') \
+       GROUP BY p_brand, p_type, p_size ORDER BY supplier_cnt DESC, \
+       p_brand, p_type, p_size";
+  }
+
+let q17 =
+  {
+    id = "Q17";
+    description = "small-quantity-order revenue (correlated scalar AVG)";
+    sql =
+      "SELECT sum(l_extendedprice) / 7.0 AS avg_yearly FROM lineitem, part \
+       WHERE p_partkey = l_partkey AND p_brand = 'Brand#23' AND p_container \
+       = 'MED BAG' AND l_quantity < (SELECT 0.2 * avg(l_quantity) FROM \
+       lineitem WHERE l_partkey = p_partkey)";
+  }
+
+(* TPC-H writes Q19 as a disjunction of three conjunctions each repeating
+   the join predicate; the standard optimized form factors out the common
+   conjuncts so the equi join stays hashable. *)
+let q19 =
+  {
+    id = "Q19";
+    description = "discounted revenue (disjunctive predicates)";
+    sql =
+      "SELECT sum(l_extendedprice * (1 - l_discount)) AS revenue FROM \
+       lineitem, part WHERE p_partkey = l_partkey AND l_shipinstruct = \
+       'DELIVER IN PERSON' AND l_shipmode IN ('AIR', 'REG AIR') AND \
+       ((p_brand = 'Brand#12' AND p_container = 'SM CASE' AND l_quantity \
+       BETWEEN 1 AND 11 AND p_size BETWEEN 1 AND 5) OR (p_brand = \
+       'Brand#23' AND p_container = 'MED BAG' AND l_quantity BETWEEN 10 AND \
+       20 AND p_size BETWEEN 1 AND 10) OR (p_brand = 'Brand#34' AND \
+       p_container = 'LG BOX' AND l_quantity BETWEEN 20 AND 30 AND p_size \
+       BETWEEN 1 AND 15))";
+  }
+
+let q20 =
+  {
+    id = "Q20";
+    description = "potential part promotion (nested IN + correlated scalar)";
+    sql =
+      "SELECT s_name, s_address FROM supplier, nation WHERE s_suppkey IN \
+       (SELECT ps_suppkey FROM partsupp WHERE ps_partkey IN (SELECT \
+       p_partkey FROM part WHERE p_name LIKE 'a%') AND ps_availqty > \
+       (SELECT 0.5 * sum(l_quantity) FROM lineitem WHERE l_partkey = \
+       ps_partkey AND l_suppkey = ps_suppkey AND l_shipdate >= DATE \
+       '1994-01-01' AND l_shipdate < DATE '1994-01-01' + INTERVAL '1' \
+       YEAR)) AND s_nationkey = n_nationkey AND n_name = 'CANADA' ORDER BY \
+       s_name";
+  }
+
+let q22 =
+  {
+    id = "Q22";
+    description = "global sales opportunity (NOT EXISTS + scalar AVG + substring)";
+    sql =
+      "SELECT cntrycode, count(*) AS numcust, sum(acctbal) AS totacctbal \
+       FROM (SELECT substring(c_phone, 1, 2) AS cntrycode, c_acctbal AS \
+       acctbal FROM customer WHERE substring(c_phone, 1, 2) IN ('13', '31', \
+       '23', '29', '30', '18', '17') AND c_acctbal > (SELECT avg(c_acctbal) \
+       FROM customer WHERE c_acctbal > 0.00 AND substring(c_phone, 1, 2) IN \
+       ('13', '31', '23', '29', '30', '18', '17')) AND NOT EXISTS (SELECT * \
+       FROM orders WHERE o_custkey = c_custkey)) custsale GROUP BY \
+       cntrycode ORDER BY cntrycode";
+  }
+
+(** Customer-free (or self-joining) queries used to exercise the engine.
+    Together with {!customer_workload} this covers 20 of the 22 TPC-H
+    queries; Q10/Q13/Q18 etc. are above, and only Q21 is omitted (its
+    correlated EXISTS/NOT EXISTS self-joins of lineitem need decorrelation
+    into composite-key semi joins to run in reasonable time — future
+    work). *)
+let engine_workload =
+  [ q1; q2; q4; q6; q9; q11; q12; q14; q15; q16; q17; q19; q20; q22 ]
+
+let all = engine_workload @ customer_workload
+
+let find id =
+  match List.find_opt (fun q -> q.id = id) all with
+  | Some q -> q
+  | None -> invalid_arg ("unknown TPC-H query " ^ id)

@@ -1,0 +1,57 @@
+(** The TPC-H query workload of the paper's evaluation (§V). *)
+
+type query = { id : string; description : string; sql : string }
+
+(** The §V-A micro-benchmark join template:
+    [SELECT * FROM orders, customer WHERE c_custkey = o_custkey AND
+    c_acctbal > $1 AND o_orderdate > $2]. *)
+val micro_join : acctbal:float -> orderdate:string -> string
+
+val orderdate_lo : int
+val orderdate_hi : int
+
+(** Cutoff date such that [o_orderdate > cutoff] selects the given fraction
+    of (uniformly distributed) orders. *)
+val orderdate_cutoff : selectivity:float -> string
+
+(** The §V audit expression: every customer of one market segment
+    (≈ 20 % of Customer), partitioned by [c_custkey]. Returns the
+    [CREATE AUDIT EXPRESSION] statement. *)
+val audit_segment : ?name:string -> ?segment:string -> unit -> string
+
+val q3 : query
+val q5 : query
+val q7 : query
+val q8 : query
+val q10 : query
+val q13 : query
+val q18 : query
+
+(** The seven customer-referencing, self-join-free TPC-H queries of §V-C:
+    Q3, Q5, Q7, Q8, Q10, Q13, Q18. *)
+val customer_workload : query list
+
+val q1 : query
+val q2 : query
+val q4 : query
+val q6 : query
+val q9 : query
+val q11 : query
+val q12 : query
+val q14 : query
+val q15 : query
+val q16 : query
+val q17 : query
+val q19 : query
+val q20 : query
+val q22 : query
+
+(** Customer-free (or self-joining) queries used to exercise the engine;
+    with {!customer_workload} this covers 20 of the 22 TPC-H queries (only
+    Q21 is omitted — see the implementation note). *)
+val engine_workload : query list
+
+val all : query list
+
+(** Find by id ("Q3", ...); raises [Invalid_argument] on unknown ids. *)
+val find : string -> query

@@ -1,0 +1,76 @@
+(** TPC-H schema DDL (all eight tables, full column sets). *)
+
+let region =
+  "CREATE TABLE region (r_regionkey INT PRIMARY KEY, r_name VARCHAR, \
+   r_comment VARCHAR)"
+
+let nation =
+  "CREATE TABLE nation (n_nationkey INT PRIMARY KEY, n_name VARCHAR, \
+   n_regionkey INT, n_comment VARCHAR)"
+
+let supplier =
+  "CREATE TABLE supplier (s_suppkey INT PRIMARY KEY, s_name VARCHAR, \
+   s_address VARCHAR, s_nationkey INT, s_phone VARCHAR, s_acctbal FLOAT, \
+   s_comment VARCHAR)"
+
+let customer =
+  "CREATE TABLE customer (c_custkey INT PRIMARY KEY, c_name VARCHAR, \
+   c_address VARCHAR, c_nationkey INT, c_phone VARCHAR, c_acctbal FLOAT, \
+   c_mktsegment VARCHAR, c_comment VARCHAR)"
+
+let part =
+  "CREATE TABLE part (p_partkey INT PRIMARY KEY, p_name VARCHAR, p_mfgr \
+   VARCHAR, p_brand VARCHAR, p_type VARCHAR, p_size INT, p_container \
+   VARCHAR, p_retailprice FLOAT, p_comment VARCHAR)"
+
+let partsupp =
+  "CREATE TABLE partsupp (ps_partkey INT, ps_suppkey INT, ps_availqty INT, \
+   ps_supplycost FLOAT, ps_comment VARCHAR)"
+
+let orders =
+  "CREATE TABLE orders (o_orderkey INT PRIMARY KEY, o_custkey INT, \
+   o_orderstatus VARCHAR, o_totalprice FLOAT, o_orderdate DATE, \
+   o_orderpriority VARCHAR, o_clerk VARCHAR, o_shippriority INT, o_comment \
+   VARCHAR)"
+
+let lineitem =
+  "CREATE TABLE lineitem (l_orderkey INT, l_partkey INT, l_suppkey INT, \
+   l_linenumber INT, l_quantity FLOAT, l_extendedprice FLOAT, l_discount \
+   FLOAT, l_tax FLOAT, l_returnflag VARCHAR, l_linestatus VARCHAR, \
+   l_shipdate DATE, l_commitdate DATE, l_receiptdate DATE, l_shipinstruct \
+   VARCHAR, l_shipmode VARCHAR, l_comment VARCHAR)"
+
+let all =
+  [ region; nation; supplier; customer; part; partsupp; orders; lineitem ]
+
+let market_segments =
+  [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+
+(* The 25 TPC-H nations with their region keys. *)
+let nations =
+  [|
+    ("ALGERIA", 0); ("ARGENTINA", 1); ("BRAZIL", 1); ("CANADA", 1);
+    ("EGYPT", 4); ("ETHIOPIA", 0); ("FRANCE", 3); ("GERMANY", 3);
+    ("INDIA", 2); ("INDONESIA", 2); ("IRAN", 4); ("IRAQ", 4); ("JAPAN", 2);
+    ("JORDAN", 4); ("KENYA", 0); ("MOROCCO", 0); ("MOZAMBIQUE", 0);
+    ("PERU", 1); ("CHINA", 2); ("ROMANIA", 3); ("SAUDI ARABIA", 4);
+    ("VIETNAM", 2); ("RUSSIA", 3); ("UNITED KINGDOM", 3);
+    ("UNITED STATES", 1);
+  |]
+
+let regions = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let order_priorities =
+  [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+
+let ship_modes = [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+let ship_instructs = [| "DELIVER IN PERSON"; "COLLECT COD"; "NONE"; "TAKE BACK RETURN" |]
+let containers = [| "SM CASE"; "LG BOX"; "MED BAG"; "JUMBO JAR"; "WRAP PACK" |]
+let brands = [| "Brand#11"; "Brand#12"; "Brand#23"; "Brand#34"; "Brand#45" |]
+
+let part_types =
+  [|
+    "ECONOMY ANODIZED STEEL"; "STANDARD POLISHED TIN"; "SMALL PLATED COPPER";
+    "MEDIUM BURNISHED NICKEL"; "PROMO BRUSHED BRASS"; "LARGE POLISHED STEEL";
+    "ECONOMY BRUSHED COPPER"; "STANDARD ANODIZED BRASS";
+  |]

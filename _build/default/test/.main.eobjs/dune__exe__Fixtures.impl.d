@@ -1,0 +1,1 @@
+test/fixtures.ml: Alcotest Audit_core Db Exec List Storage Tuple Value

@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Audit_core Db Fixtures List Printf QCheck QCheck_alcotest Storage Value

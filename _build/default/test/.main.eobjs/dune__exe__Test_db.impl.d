@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest Audit_core Db Fixtures List Storage String Value

@@ -1,0 +1,1 @@
+test/test_disclosure.ml: Alcotest Audit_core Db Fixtures List Storage Value

@@ -1,0 +1,1 @@
+test/test_dml_access.ml: Alcotest Audit_core Db Fixtures List Storage Value

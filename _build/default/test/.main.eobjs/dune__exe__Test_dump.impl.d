@@ -1,0 +1,1 @@
+test/test_dump.ml: Alcotest Db Fixtures List Printexc Sql String

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Db Fixtures List Storage String Value

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Audit_core Catalog Db Exec Fixtures List Printf Storage Table Tuple Value

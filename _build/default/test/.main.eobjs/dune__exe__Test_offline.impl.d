@@ -1,0 +1,1 @@
+test/test_offline.ml: Alcotest Audit_core Db Exec Fixtures List Printf Storage Value

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Array Binder Db Exec Fixtures List Logical Optimizer Plan Printf Scalar Sql Storage Tuple Value

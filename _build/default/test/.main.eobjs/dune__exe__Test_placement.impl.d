@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Audit_core Db Exec Fixtures List Plan Printf Storage Tuple Value

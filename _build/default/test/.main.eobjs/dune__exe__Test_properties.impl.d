@@ -1,0 +1,1 @@
+test/test_properties.ml: Audit_core Db Exec Fixtures List Plan Printf QCheck QCheck_alcotest Sql Storage Tuple

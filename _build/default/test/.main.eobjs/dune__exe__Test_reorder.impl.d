@@ -1,0 +1,1 @@
+test/test_reorder.ml: Alcotest Array Audit_core Binder Cardinality Db Exec Fixtures Float Join_reorder Lazy List Logical Optimizer Plan Printf Scalar Schema Sql Storage Tpch Tuple Value

@@ -1,0 +1,1 @@
+test/test_scalar.ml: Alcotest Catalog Exec Fixtures Lazy List Plan Scalar Sql Storage Value

@@ -1,0 +1,1 @@
+test/test_setops.ml: Alcotest Audit_core Db Fixtures List Plan Printf Storage Tuple Value

@@ -1,0 +1,1 @@
+test/test_static.ml: Alcotest Audit_core Db Fixtures Fmt Sql

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Catalog Datatype Fixtures List Schema Storage Table Value

@@ -1,0 +1,1 @@
+test/test_tpch.ml: Alcotest Array Audit_core Db Fixtures Float Lazy List Printexc Printf Storage Tpch Value

@@ -1,0 +1,1 @@
+test/test_triggers.ml: Alcotest Db Fixtures List Storage String Value

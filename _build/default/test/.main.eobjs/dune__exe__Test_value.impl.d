@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Fixtures List Printf QCheck QCheck_alcotest Storage String Value

@@ -1,0 +1,82 @@
+(** Shared test fixtures. *)
+
+open Storage
+
+let v_int i = Value.Int i
+let v_str s = Value.Str s
+
+(** The paper's healthcare database (§I-III examples): Alice and Dave have
+    cancer, Bob and Carol have flu, Eve has diabetes. *)
+let healthcare () =
+  let db = Db.Database.create () in
+  let e sql = ignore (Db.Database.exec db sql) in
+  e
+    "CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR, age \
+     INT, zip INT)";
+  e "CREATE TABLE disease (patientid INT, disease VARCHAR)";
+  e "CREATE TABLE departments (patientid INT, deptid INT)";
+  e
+    "INSERT INTO patients VALUES (1,'Alice',34,48109),(2,'Bob',22,48109),\
+     (3,'Carol',67,98052),(4,'Dave',45,98052),(5,'Eve',29,10001)";
+  e
+    "INSERT INTO disease VALUES (1,'cancer'),(2,'flu'),(3,'flu'),\
+     (4,'cancer'),(5,'diabetes')";
+  e "INSERT INTO departments VALUES (1,10),(2,20),(3,20),(4,10),(5,30)";
+  db
+
+(** Healthcare DB with the Alice audit expression declared. *)
+let healthcare_with_alice () =
+  let db = healthcare () in
+  ignore
+    (Db.Database.exec db
+       "CREATE AUDIT EXPRESSION audit_alice AS SELECT * FROM patients WHERE \
+        name = 'Alice' FOR SENSITIVE TABLE patients, PARTITION BY patientid");
+  db
+
+(** Audit expression covering every patient. *)
+let audit_all_sql =
+  "CREATE AUDIT EXPRESSION audit_all AS SELECT * FROM patients FOR \
+   SENSITIVE TABLE patients, PARTITION BY patientid"
+
+(* --------------------------------------------------------------- *)
+(* Alcotest testables                                               *)
+(* --------------------------------------------------------------- *)
+
+let value : Value.t Alcotest.testable =
+  Alcotest.testable Value.pp Value.equal
+
+let tuple : Tuple.t Alcotest.testable =
+  Alcotest.testable Tuple.pp Tuple.equal
+
+let values = Alcotest.list value
+let tuples = Alcotest.list tuple
+
+(** Run a SELECT and get rows, sorted for order-insensitive comparison. *)
+let rows_sorted db sql =
+  List.sort Tuple.compare (Db.Database.query db sql)
+
+let ids_of_values vs = List.map (fun v -> Value.to_string v) vs
+
+(** Accessed IDs for [audit] after running [sql] under [heuristic]. *)
+let audit_ids db ~audit ~heuristic sql =
+  let plan = Db.Database.plan_sql db ~audits:[ audit ] ~heuristic sql in
+  ignore (Db.Database.run_plan db plan);
+  Exec.Exec_ctx.accessed_list (Db.Database.context db) ~audit_name:audit
+
+(** Offline-exact accessed IDs for [audit] on [sql]. *)
+let exact_ids db ~audit sql =
+  let view = Db.Database.audit_view db audit in
+  let plan = Db.Database.plan_sql db ~audits:[] ~prune:false sql in
+  let ctx = Db.Database.context db in
+  Exec.Exec_ctx.reset_query_state ctx;
+  Audit_core.Offline_exact.accessed ctx ~view plan
+
+(** Lineage accessed IDs for [audit] on [sql]. *)
+let lineage_ids db ~audit sql =
+  let view = Db.Database.audit_view db audit in
+  let plan = Db.Database.plan_sql db ~audits:[] ~prune:false sql in
+  let ctx = Db.Database.context db in
+  Exec.Exec_ctx.reset_query_state ctx;
+  Audit_core.Lineage.accessed ctx ~view plan
+
+let subset a b = List.for_all (fun x -> List.exists (Value.equal x) b) a

@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "select_triggers"
+    [
+      ("value", Test_value.suite);
+      ("storage", Test_storage.suite);
+      ("parser", Test_parser.suite);
+      ("scalar", Test_scalar.suite);
+      ("exec", Test_exec.suite);
+      ("optimizer", Test_optimizer.suite);
+      ("placement", Test_placement.suite);
+      ("audit", Test_audit.suite);
+      ("triggers", Test_triggers.suite);
+      ("dml_access", Test_dml_access.suite);
+      ("offline", Test_offline.suite);
+      ("static", Test_static.suite);
+      ("tpch", Test_tpch.suite);
+      ("setops", Test_setops.suite);
+      ("db", Test_db.suite);
+      ("disclosure", Test_disclosure.suite);
+      ("dump", Test_dump.suite);
+      ("index", Test_index.suite);
+      ("reorder", Test_reorder.suite);
+      ("properties", Test_properties.suite);
+    ]

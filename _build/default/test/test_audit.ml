@@ -1,0 +1,188 @@
+(** Audit expressions and materialized sensitive-ID views: validation rules
+    (§II-A restrictions), compilation to IDs (§IV-A1), and incremental /
+    conservative maintenance under DML. *)
+
+open Storage
+
+let check = Alcotest.check
+let vi i = Value.Int i
+
+let view db name = Db.Database.audit_view db name
+let ids db name = Audit_core.Sensitive_view.to_list (view db name)
+
+(* --------------------------------------------------------------- *)
+(* Validation                                                       *)
+(* --------------------------------------------------------------- *)
+
+let expect_db_error db sql =
+  match Db.Database.exec db sql with
+  | exception Db.Database.Db_error _ -> ()
+  | _ -> Alcotest.failf "expected an error for %s" sql
+
+let test_validation () =
+  let db = Fixtures.healthcare () in
+  (* Subqueries are not allowed (§II-A / [9] privacy restrictions). *)
+  expect_db_error db
+    "CREATE AUDIT EXPRESSION bad1 AS SELECT * FROM patients WHERE \
+     patientid IN (SELECT patientid FROM disease) FOR SENSITIVE TABLE \
+     patients, PARTITION BY patientid";
+  (* Sensitive table must be in FROM. *)
+  expect_db_error db
+    "CREATE AUDIT EXPRESSION bad2 AS SELECT * FROM disease FOR SENSITIVE \
+     TABLE patients, PARTITION BY patientid";
+  (* Partition key must exist on the sensitive table. *)
+  expect_db_error db
+    "CREATE AUDIT EXPRESSION bad3 AS SELECT * FROM patients FOR SENSITIVE \
+     TABLE patients, PARTITION BY nope";
+  (* No GROUP BY / DISTINCT / TOP. *)
+  expect_db_error db
+    "CREATE AUDIT EXPRESSION bad4 AS SELECT zip FROM patients GROUP BY zip \
+     FOR SENSITIVE TABLE patients, PARTITION BY patientid";
+  expect_db_error db
+    "CREATE AUDIT EXPRESSION bad5 AS SELECT DISTINCT * FROM patients FOR \
+     SENSITIVE TABLE patients, PARTITION BY patientid";
+  (* Duplicate names rejected. *)
+  ignore (Db.Database.exec db Fixtures.audit_all_sql);
+  expect_db_error db Fixtures.audit_all_sql
+
+(* --------------------------------------------------------------- *)
+(* Compilation to IDs                                               *)
+(* --------------------------------------------------------------- *)
+
+let test_single_table_ids () =
+  let db = Fixtures.healthcare_with_alice () in
+  check Fixtures.values "only Alice" [ vi 1 ] (ids db "audit_alice");
+  ignore
+    (Db.Database.exec db
+       "CREATE AUDIT EXPRESSION audit_ann_arbor AS SELECT * FROM patients \
+        WHERE zip = 48109 FOR SENSITIVE TABLE patients, PARTITION BY \
+        patientid");
+  check Fixtures.values "zip predicate" [ vi 1; vi 2 ] (ids db "audit_ann_arbor")
+
+let test_join_expression_ids () =
+  let db = Fixtures.healthcare () in
+  ignore
+    (Db.Database.exec db
+       "CREATE AUDIT EXPRESSION audit_cancer AS SELECT p.* FROM patients p, \
+        disease d WHERE p.patientid = d.patientid AND disease = 'cancer' \
+        FOR SENSITIVE TABLE patients, PARTITION BY patientid");
+  check Fixtures.values "Example 2.2: cancer patients" [ vi 1; vi 4 ]
+    (ids db "audit_cancer")
+
+(* --------------------------------------------------------------- *)
+(* Incremental maintenance (single-table expressions)               *)
+(* --------------------------------------------------------------- *)
+
+let test_incremental_insert_delete () =
+  let db = Fixtures.healthcare_with_alice () in
+  let v = view db "audit_alice" in
+  ignore (Db.Database.exec db "INSERT INTO patients VALUES (9,'Alice',41,2)");
+  check Alcotest.bool "insert picked up (no refresh)" true
+    (Audit_core.Sensitive_view.contains v (vi 9));
+  check Alcotest.int "cardinality 2" 2 (Audit_core.Sensitive_view.cardinality v);
+  ignore (Db.Database.exec db "DELETE FROM patients WHERE patientid = 9");
+  check Alcotest.bool "delete picked up" false
+    (Audit_core.Sensitive_view.contains v (vi 9))
+
+let test_incremental_update () =
+  let db = Fixtures.healthcare_with_alice () in
+  let v = view db "audit_alice" in
+  (* Bob becomes Alice. *)
+  ignore (Db.Database.exec db "UPDATE patients SET name = 'Alice' WHERE patientid = 2");
+  check Alcotest.bool "rename into the predicate" true
+    (Audit_core.Sensitive_view.contains v (vi 2));
+  (* Alice 1 renamed away. *)
+  ignore (Db.Database.exec db "UPDATE patients SET name = 'Alicia' WHERE patientid = 1");
+  check Alcotest.bool "rename out of the predicate" false
+    (Audit_core.Sensitive_view.contains v (vi 1));
+  check Fixtures.values "final view" [ vi 2 ]
+    (Audit_core.Sensitive_view.to_list v)
+
+let test_incremental_key_update () =
+  let db = Fixtures.healthcare_with_alice () in
+  let v = view db "audit_alice" in
+  ignore (Db.Database.exec db "UPDATE patients SET patientid = 100 WHERE patientid = 1");
+  check Fixtures.values "key change tracked" [ vi 100 ]
+    (Audit_core.Sensitive_view.to_list v)
+
+(* --------------------------------------------------------------- *)
+(* Conservative maintenance (join expressions)                      *)
+(* --------------------------------------------------------------- *)
+
+let test_join_view_refresh_on_other_table () =
+  let db = Fixtures.healthcare () in
+  ignore
+    (Db.Database.exec db
+       "CREATE AUDIT EXPRESSION audit_cancer AS SELECT p.* FROM patients p, \
+        disease d WHERE p.patientid = d.patientid AND disease = 'cancer' \
+        FOR SENSITIVE TABLE patients, PARTITION BY patientid");
+  let v = view db "audit_cancer" in
+  (* Eve develops cancer: the Disease table changes, the view must follow. *)
+  ignore (Db.Database.exec db "INSERT INTO disease VALUES (5,'cancer')");
+  check Fixtures.values "refresh after joined-table change" [ vi 1; vi 4; vi 5 ]
+    (Audit_core.Sensitive_view.to_list v);
+  ignore (Db.Database.exec db "DELETE FROM disease WHERE disease = 'cancer'");
+  check Fixtures.values "all cancer rows gone" []
+    (Audit_core.Sensitive_view.to_list v)
+
+(* Maintenance agrees with recomputation under a random DML workload. *)
+let prop_maintenance_matches_recompute =
+  QCheck.Test.make ~count:30 ~name:"view maintenance = recompute (random DML)"
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 25) (pair (int_range 0 3) (int_range 1 40)))
+    (fun ops ->
+      let db = Fixtures.healthcare () in
+      ignore
+        (Db.Database.exec db
+           "CREATE AUDIT EXPRESSION audit_young AS SELECT * FROM patients \
+            WHERE age < 40 FOR SENSITIVE TABLE patients, PARTITION BY \
+            patientid");
+      let v = view db "audit_young" in
+      let next_id = ref 100 in
+      List.iter
+        (fun (op, x) ->
+          match op with
+          | 0 ->
+            incr next_id;
+            ignore
+              (Db.Database.exec db
+                 (Printf.sprintf
+                    "INSERT INTO patients VALUES (%d,'P%d',%d,1)" !next_id x
+                    (x + 10)))
+          | 1 ->
+            ignore
+              (Db.Database.exec db
+                 (Printf.sprintf "DELETE FROM patients WHERE patientid %% 7 = %d"
+                    (x mod 7)))
+          | 2 ->
+            ignore
+              (Db.Database.exec db
+                 (Printf.sprintf
+                    "UPDATE patients SET age = %d WHERE patientid %% 5 = %d"
+                    (x + 5) (x mod 5)))
+          | _ ->
+            ignore
+              (Db.Database.exec db
+                 (Printf.sprintf
+                    "UPDATE patients SET name = 'N%d' WHERE age > %d" x x)))
+        ops;
+      let maintained = Audit_core.Sensitive_view.to_list v in
+      Audit_core.Sensitive_view.recompute v;
+      let recomputed = Audit_core.Sensitive_view.to_list v in
+      maintained = recomputed)
+
+let suite =
+  [
+    Alcotest.test_case "validation rules" `Quick test_validation;
+    Alcotest.test_case "single-table compilation to IDs" `Quick
+      test_single_table_ids;
+    Alcotest.test_case "join expression (Example 2.2)" `Quick
+      test_join_expression_ids;
+    Alcotest.test_case "incremental insert/delete" `Quick
+      test_incremental_insert_delete;
+    Alcotest.test_case "incremental update" `Quick test_incremental_update;
+    Alcotest.test_case "incremental key update" `Quick
+      test_incremental_key_update;
+    Alcotest.test_case "join view refreshes on other tables" `Quick
+      test_join_view_refresh_on_other_table;
+    QCheck_alcotest.to_alcotest prop_maintenance_matches_recompute;
+  ]

@@ -1,0 +1,92 @@
+(** §II-B: UPDATE and DELETE read rows before modifying them — the affected
+    sensitive rows are accesses under traditional trigger semantics and
+    fire ON ACCESS triggers. *)
+
+open Storage
+
+let check = Alcotest.check
+let vi i = Value.Int i
+
+let setup () =
+  let db = Fixtures.healthcare_with_alice () in
+  ignore (Db.Database.exec db "CREATE TABLE log (ts INT, patientid INT)");
+  ignore
+    (Db.Database.exec db
+       "CREATE TRIGGER log_alice ON ACCESS TO audit_alice AS INSERT INTO \
+        log SELECT now(), patientid FROM accessed");
+  db
+
+let log db = Fixtures.rows_sorted db "SELECT patientid FROM log"
+
+let test_update_records_access () =
+  let db = setup () in
+  ignore (Db.Database.exec db "UPDATE patients SET age = age + 1 WHERE name = 'Alice'");
+  check Fixtures.tuples "update read Alice" [ [| vi 1 |] ] (log db)
+
+let test_update_renaming_away_still_access () =
+  (* The row was sensitive when it was read, even though the update makes
+     it non-sensitive. *)
+  let db = setup () in
+  ignore (Db.Database.exec db "UPDATE patients SET name = 'Alicia' WHERE patientid = 1");
+  check Fixtures.tuples "rename-away is an access" [ [| vi 1 |] ] (log db);
+  (* And the view no longer contains her. *)
+  check Alcotest.int "view updated" 0
+    (Audit_core.Sensitive_view.cardinality
+       (Db.Database.audit_view db "audit_alice"))
+
+let test_delete_records_access () =
+  let db = setup () in
+  ignore (Db.Database.exec db "DELETE FROM disease WHERE patientid = 1");
+  check Fixtures.tuples "deleting another table: no access" [] (log db);
+  ignore (Db.Database.exec db "DELETE FROM patients WHERE patientid = 1");
+  check Fixtures.tuples "deleting Alice is an access" [ [| vi 1 |] ] (log db)
+
+let test_untouched_rows_not_accessed () =
+  let db = setup () in
+  ignore (Db.Database.exec db "UPDATE patients SET age = 0 WHERE name = 'Bob'");
+  ignore (Db.Database.exec db "DELETE FROM patients WHERE name = 'Carol'");
+  check Fixtures.tuples "no Alice access" [] (log db)
+
+let test_insert_is_not_access () =
+  let db = setup () in
+  ignore (Db.Database.exec db "INSERT INTO patients VALUES (9, 'Alice', 1, 1)");
+  check Fixtures.tuples "INSERT VALUES reads nothing" [] (log db)
+
+let test_insert_select_is_audited () =
+  (* Copying sensitive rows into a private table must not evade auditing:
+     the SELECT side of INSERT ... SELECT is instrumented and fires. *)
+  let db = setup () in
+  ignore (Db.Database.exec db "CREATE TABLE stash (patientid INT, name VARCHAR)");
+  ignore
+    (Db.Database.exec db
+       "INSERT INTO stash SELECT patientid, name FROM patients WHERE name = \
+        'Alice'");
+  check Fixtures.tuples "exfiltration logged" [ [| vi 1 |] ] (log db);
+  check Alcotest.int "rows still inserted" 1
+    (List.length (Db.Database.query db "SELECT * FROM stash"))
+
+let test_accessed_state_reset_between_statements () =
+  let db = setup () in
+  ignore (Db.Database.exec db "SELECT * FROM patients WHERE name = 'Alice'");
+  check Alcotest.int "one entry from the select" 1 (List.length (log db));
+  (* A following unrelated statement must not re-fire with stale state. *)
+  ignore (Db.Database.exec db "UPDATE patients SET age = 0 WHERE name = 'Bob'");
+  check Alcotest.int "still one entry" 1 (List.length (log db))
+
+let suite =
+  [
+    Alcotest.test_case "UPDATE records read-access" `Quick
+      test_update_records_access;
+    Alcotest.test_case "UPDATE that renames away still accesses" `Quick
+      test_update_renaming_away_still_access;
+    Alcotest.test_case "DELETE records read-access" `Quick
+      test_delete_records_access;
+    Alcotest.test_case "untouched rows are not accessed" `Quick
+      test_untouched_rows_not_accessed;
+    Alcotest.test_case "INSERT is not an access" `Quick
+      test_insert_is_not_access;
+    Alcotest.test_case "INSERT ... SELECT is audited" `Quick
+      test_insert_select_is_audited;
+    Alcotest.test_case "no stale ACCESSED across statements" `Quick
+      test_accessed_state_reset_between_statements;
+  ]

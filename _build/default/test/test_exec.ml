@@ -1,0 +1,353 @@
+(** End-to-end SQL semantics: every operator and expression form the engine
+    supports, executed through the full parse→bind→optimize→prune→execute
+    pipeline on small fixtures with hand-computed expected results. *)
+
+open Storage
+
+let check = Alcotest.check
+let vi i = Value.Int i
+let vs s = Value.Str s
+let vf f = Value.Float f
+
+let fixture () =
+  let db = Fixtures.healthcare () in
+  ignore
+    (Db.Database.exec db
+       "CREATE TABLE visits (visitid INT PRIMARY KEY, patientid INT, day \
+        DATE, cost FLOAT)");
+  ignore
+    (Db.Database.exec db
+       "INSERT INTO visits VALUES (1, 1, DATE '1995-01-10', 100.0), (2, 1, \
+        DATE '1995-02-10', 250.0), (3, 2, DATE '1995-01-15', 50.0), (4, 3, \
+        DATE '1996-07-01', 75.0), (5, 9, DATE '1996-08-01', 20.0)");
+  db
+
+let q db sql = Fixtures.rows_sorted db sql
+let qo db sql = Db.Database.query db sql (* order-preserving *)
+
+let test_projection_and_filter () =
+  let db = fixture () in
+  check Fixtures.tuples "simple filter"
+    [ [| vi 2; vs "Bob" |] ]
+    (q db "SELECT patientid, name FROM patients WHERE age < 30 AND zip = 48109");
+  check Fixtures.tuples "expression projection"
+    [ [| vi 44 |] ]
+    (q db "SELECT age + 10 FROM patients WHERE name = 'Alice'");
+  check Fixtures.tuples "select star count" []
+    (q db "SELECT * FROM patients WHERE age > 100")
+
+let test_inner_join () =
+  let db = fixture () in
+  check Fixtures.tuples "equi join"
+    [ [| vs "Alice"; vs "cancer" |]; [| vs "Dave"; vs "cancer" |] ]
+    (q db
+       "SELECT name, disease FROM patients p, disease d WHERE p.patientid = \
+        d.patientid AND disease = 'cancer'");
+  (* Join with non-equi residual. *)
+  check Fixtures.tuples "residual predicate"
+    [ [| vs "Carol" |] ]
+    (q db
+       "SELECT name FROM patients p JOIN visits v ON p.patientid = \
+        v.patientid AND p.age > 60")
+
+let test_left_outer_join () =
+  let db = fixture () in
+  (* Eve (5) has no visit; visit 5 references a missing patient. *)
+  check Fixtures.tuples "loj null padding"
+    [
+      [| vs "Alice"; vf 100.0 |]; [| vs "Alice"; vf 250.0 |];
+      [| vs "Bob"; vf 50.0 |]; [| vs "Carol"; vf 75.0 |];
+      [| vs "Dave"; Value.Null |]; [| vs "Eve"; Value.Null |];
+    ]
+    (q db
+       "SELECT name, cost FROM patients p LEFT JOIN visits v ON p.patientid \
+        = v.patientid")
+
+let test_loj_on_vs_where () =
+  let db = fixture () in
+  (* Predicate in ON keeps unmatched left rows; in WHERE it filters them. *)
+  check Alcotest.int "ON predicate" 6
+    (List.length
+       (q db
+          "SELECT name, cost FROM patients p LEFT JOIN visits v ON \
+           p.patientid = v.patientid AND cost > 60"));
+  check Alcotest.int "WHERE predicate" 3
+    (List.length
+       (q db
+          "SELECT name, cost FROM patients p LEFT JOIN visits v ON \
+           p.patientid = v.patientid WHERE cost > 60"))
+
+let test_group_by_having () =
+  let db = fixture () in
+  check Fixtures.tuples "count per disease"
+    [ [| vs "cancer"; vi 2 |]; [| vs "flu"; vi 2 |] ]
+    (q db
+       "SELECT disease, count(*) FROM disease GROUP BY disease HAVING \
+        count(*) > 1");
+  check Fixtures.tuples "sum/avg/min/max"
+    [ [| vi 1; vf 350.0; vf 175.0; vf 100.0; vf 250.0 |] ]
+    (q db
+       "SELECT patientid, sum(cost), avg(cost), min(cost), max(cost) FROM \
+        visits WHERE patientid = 1 GROUP BY patientid")
+
+let test_scalar_aggregate () =
+  let db = fixture () in
+  check Fixtures.tuples "count star" [ [| vi 5 |] ]
+    (q db "SELECT count(*) FROM patients");
+  check Fixtures.tuples "empty input still one row"
+    [ [| vi 0; Value.Null |] ]
+    (q db "SELECT count(*), sum(cost) FROM visits WHERE cost > 10000");
+  check Fixtures.tuples "count distinct"
+    [ [| vi 3 |] ]
+    (q db "SELECT count(DISTINCT disease) FROM disease")
+
+let test_group_by_expression () =
+  let db = fixture () in
+  check Fixtures.tuples "group by extract(year)"
+    [ [| vi 1995; vi 3 |]; [| vi 1996; vi 2 |] ]
+    (q db
+       "SELECT extract(YEAR FROM day), count(*) FROM visits GROUP BY \
+        extract(YEAR FROM day)")
+
+let test_order_by_limit () =
+  let db = fixture () in
+  check Fixtures.tuples "top 2 youngest (ordered)"
+    [ [| vs "Bob"; vi 22 |]; [| vs "Eve"; vi 29 |] ]
+    (qo db "SELECT TOP 2 name, age FROM patients ORDER BY age");
+  check Fixtures.tuples "order by alias desc"
+    [ [| vs "Carol"; vi 67 |]; [| vs "Dave"; vi 45 |] ]
+    (qo db "SELECT name, age AS years FROM patients ORDER BY years DESC LIMIT 2");
+  check Fixtures.tuples "order by agg alias"
+    [ [| vi 1; vf 350.0 |]; [| vi 3; vf 75.0 |] ]
+    (qo db
+       "SELECT TOP 2 patientid, sum(cost) AS total FROM visits GROUP BY \
+        patientid ORDER BY total DESC")
+
+let test_distinct () =
+  let db = fixture () in
+  check Fixtures.tuples "distinct"
+    [ [| vi 10 |]; [| vi 20 |]; [| vi 30 |] ]
+    (q db "SELECT DISTINCT deptid FROM departments");
+  check Fixtures.tuples "distinct with order and limit"
+    [ [| vi 30 |]; [| vi 20 |] ]
+    (qo db "SELECT DISTINCT deptid FROM departments ORDER BY deptid DESC LIMIT 2")
+
+let test_in_exists_subqueries () =
+  let db = fixture () in
+  check Fixtures.tuples "uncorrelated IN"
+    [ [| vs "Alice" |]; [| vs "Dave" |] ]
+    (q db
+       "SELECT name FROM patients WHERE patientid IN (SELECT patientid FROM \
+        disease WHERE disease = 'cancer')");
+  check Fixtures.tuples "NOT IN"
+    [ [| vs "Bob" |]; [| vs "Carol" |]; [| vs "Eve" |] ]
+    (q db
+       "SELECT name FROM patients WHERE patientid NOT IN (SELECT patientid \
+        FROM disease WHERE disease = 'cancer')");
+  check Fixtures.tuples "correlated EXISTS"
+    [ [| vs "Alice" |] ]
+    (q db
+       "SELECT name FROM patients p WHERE EXISTS (SELECT 1 FROM visits v \
+        WHERE v.patientid = p.patientid AND v.cost > 200)");
+  check Fixtures.tuples "correlated NOT EXISTS"
+    [ [| vs "Dave" |]; [| vs "Eve" |] ]
+    (q db
+       "SELECT name FROM patients p WHERE NOT EXISTS (SELECT 1 FROM visits \
+        v WHERE v.patientid = p.patientid)")
+
+let test_correlated_in () =
+  let db = fixture () in
+  (* Paper Fig 4(c) shape: correlated IN over a self-join. *)
+  check Fixtures.tuples "correlated IN self-join" []
+    (q db
+       "SELECT name FROM patients p1 WHERE name IN (SELECT name FROM \
+        patients p2 WHERE p1.zip <> p2.zip)");
+  ignore
+    (Db.Database.exec db
+       "INSERT INTO patients VALUES (6, 'Alice', 50, 11111)");
+  check Fixtures.tuples "now two Alices in different zips"
+    [ [| vi 1 |]; [| vi 6 |] ]
+    (q db
+       "SELECT p1.patientid FROM patients p1 WHERE name IN (SELECT name \
+        FROM patients p2 WHERE p1.zip <> p2.zip)")
+
+let test_scalar_subquery () =
+  let db = fixture () in
+  check Fixtures.tuples "scalar subquery in WHERE"
+    [ [| vs "Carol" |] ]
+    (q db
+       "SELECT name FROM patients WHERE age = (SELECT max(age) FROM \
+        patients)");
+  check Fixtures.tuples "correlated scalar subquery in SELECT"
+    [
+      [| vi 1; vi 2 |]; [| vi 2; vi 1 |]; [| vi 3; vi 1 |]; [| vi 4; vi 0 |];
+      [| vi 5; vi 0 |];
+    ]
+    (q db
+       "SELECT p.patientid, (SELECT count(*) FROM visits v WHERE \
+        v.patientid = p.patientid) FROM patients p")
+
+let test_null_semantics () =
+  let db = fixture () in
+  ignore (Db.Database.exec db "INSERT INTO patients VALUES (7, NULL, NULL, 1)");
+  check Fixtures.tuples "null filtered by comparison" []
+    (q db "SELECT patientid FROM patients WHERE age > 0 AND patientid = 7");
+  check Fixtures.tuples "is null"
+    [ [| vi 7 |] ]
+    (q db "SELECT patientid FROM patients WHERE name IS NULL");
+  check Fixtures.tuples "count skips nulls"
+    [ [| vi 5; vi 6 |] ]
+    (q db "SELECT count(name), count(*) FROM patients");
+  check Fixtures.tuples "avg skips nulls"
+    [ [| vf ((34.0 +. 22.0 +. 67.0 +. 45.0 +. 29.0) /. 5.0) |] ]
+    (q db "SELECT avg(age) FROM patients")
+
+let test_case_like_strings () =
+  let db = fixture () in
+  check Fixtures.tuples "case expression"
+    [ [| vs "Alice"; vs "senior" |] ]
+    (q db
+       "SELECT name, CASE WHEN age >= 30 THEN 'senior' ELSE 'junior' END \
+        FROM patients WHERE name = 'Alice'");
+  check Fixtures.tuples "like"
+    [ [| vs "Carol" |] ]
+    (q db "SELECT name FROM patients WHERE name LIKE 'C%'");
+  check Fixtures.tuples "upper/substring"
+    [ [| vs "ALI" |] ]
+    (q db "SELECT upper(substring(name, 1, 3)) FROM patients WHERE patientid = 1")
+
+let test_date_predicates () =
+  let db = fixture () in
+  check Fixtures.tuples "date range"
+    [ [| vi 1 |]; [| vi 3 |] ]
+    (q db
+       "SELECT visitid FROM visits WHERE day >= DATE '1995-01-01' AND day < \
+        DATE '1995-01-01' + INTERVAL '1' MONTH");
+  check Fixtures.tuples "between dates"
+    [ [| vi 4 |]; [| vi 5 |] ]
+    (q db
+       "SELECT visitid FROM visits WHERE day BETWEEN DATE '1996-01-01' AND \
+        DATE '1996-12-31'")
+
+let test_derived_tables () =
+  let db = fixture () in
+  check Fixtures.tuples "aggregate over derived table"
+    [ [| vi 2; vi 1 |]; [| vi 1; vi 3 |] ]
+    (qo db
+       "SELECT visit_count, count(*) FROM (SELECT patientid AS pid, \
+        count(*) AS visit_count FROM visits GROUP BY patientid) t GROUP BY \
+        visit_count ORDER BY visit_count DESC")
+
+let test_cross_join_and_multi_table () =
+  let db = fixture () in
+  check Fixtures.tuples "three-way join"
+    [ [| vs "Alice"; vs "cancer"; vi 10 |] ]
+    (q db
+       "SELECT name, disease, deptid FROM patients p, disease d, \
+        departments dep WHERE p.patientid = d.patientid AND p.patientid = \
+        dep.patientid AND p.name = 'Alice'");
+  check Alcotest.int "cross product size" 25
+    (List.length (q db "SELECT 1 FROM patients a, patients b"))
+
+let test_insert_select_update_delete () =
+  let db = fixture () in
+  ignore
+    (Db.Database.exec db
+       "CREATE TABLE archive (patientid INT, name VARCHAR)");
+  (match
+     Db.Database.exec db
+       "INSERT INTO archive SELECT patientid, name FROM patients WHERE age \
+        > 40"
+   with
+  | Db.Database.Affected 2 -> ()
+  | r -> Alcotest.failf "expected 2 inserted, got %s" (Db.Database.result_to_string r));
+  (match Db.Database.exec db "UPDATE patients SET age = age + 1 WHERE zip = 48109" with
+  | Db.Database.Affected 2 -> ()
+  | _ -> Alcotest.fail "update count");
+  check Fixtures.tuples "updated"
+    [ [| vi 23 |]; [| vi 35 |] ]
+    (q db "SELECT age FROM patients WHERE zip = 48109");
+  (match Db.Database.exec db "DELETE FROM archive WHERE name = 'Dave'" with
+  | Db.Database.Affected 1 -> ()
+  | _ -> Alcotest.fail "delete count");
+  check Alcotest.int "one archived left" 1
+    (List.length (q db "SELECT * FROM archive"))
+
+let test_with_cte () =
+  let db = fixture () in
+  check Fixtures.tuples "single CTE"
+    [ [| vs "Alice" |]; [| vs "Dave" |] ]
+    (q db
+       "WITH sick AS (SELECT patientid FROM disease WHERE disease = \
+        'cancer') SELECT name FROM patients WHERE patientid IN (SELECT \
+        patientid FROM sick)");
+  check Fixtures.tuples "CTE referenced twice"
+    [ [| vi 2 |] ]
+    (q db
+       "WITH counts AS (SELECT patientid AS pid, count(*) AS n FROM visits \
+        GROUP BY patientid) SELECT n FROM counts WHERE n = (SELECT max(n) \
+        FROM counts c2)");
+  check Fixtures.tuples "CTE referencing an earlier CTE"
+    [ [| vs "Bob" |]; [| vs "Carol" |] ]
+    (q db
+       "WITH sick AS (SELECT patientid FROM disease WHERE disease = 'flu'), \
+        named AS (SELECT name FROM patients p, sick s WHERE p.patientid = \
+        s.patientid) SELECT name FROM named");
+  check Fixtures.tuples "CTE inside a subquery"
+    [ [| vi 5 |] ]
+    (q db
+       "SELECT (WITH c AS (SELECT count(*) AS n FROM patients) SELECT n \
+        FROM c)")
+
+let test_from_less_select () =
+  let db = fixture () in
+  check Fixtures.tuples "constant select" [ [| vi 3 |] ] (q db "SELECT 1 + 2");
+  check Fixtures.tuples "scalar subquery only"
+    [ [| vi 5 |] ]
+    (q db "SELECT (SELECT count(*) FROM patients)")
+
+let string_contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec go i =
+    i + ln <= lh && (String.sub haystack i ln = needle || go (i + 1))
+  in
+  go 0
+
+let test_error_messages () =
+  let db = fixture () in
+  let expect_error sql fragment =
+    match Db.Database.exec db sql with
+    | exception Db.Database.Db_error m ->
+      if not (string_contains m fragment) then
+        Alcotest.failf "error %S does not mention %S" m fragment
+    | _ -> Alcotest.failf "expected error for %s" sql
+  in
+  expect_error "SELECT nope FROM patients" "nope";
+  expect_error "SELECT * FROM nope" "nope";
+  expect_error "SELECT name FROM patients GROUP BY age" "GROUP BY";
+  expect_error "SELECT patientid FROM patients p, disease d" "ambiguous"
+
+let suite =
+  [
+    Alcotest.test_case "projection and filter" `Quick test_projection_and_filter;
+    Alcotest.test_case "inner joins" `Quick test_inner_join;
+    Alcotest.test_case "left outer join" `Quick test_left_outer_join;
+    Alcotest.test_case "LOJ: ON vs WHERE" `Quick test_loj_on_vs_where;
+    Alcotest.test_case "group by / having" `Quick test_group_by_having;
+    Alcotest.test_case "scalar aggregates" `Quick test_scalar_aggregate;
+    Alcotest.test_case "group by expression" `Quick test_group_by_expression;
+    Alcotest.test_case "order by / top / limit" `Quick test_order_by_limit;
+    Alcotest.test_case "distinct" `Quick test_distinct;
+    Alcotest.test_case "IN / EXISTS subqueries" `Quick test_in_exists_subqueries;
+    Alcotest.test_case "correlated IN (Fig 4c shape)" `Quick test_correlated_in;
+    Alcotest.test_case "scalar subqueries" `Quick test_scalar_subquery;
+    Alcotest.test_case "NULL semantics" `Quick test_null_semantics;
+    Alcotest.test_case "CASE / LIKE / string functions" `Quick test_case_like_strings;
+    Alcotest.test_case "date predicates" `Quick test_date_predicates;
+    Alcotest.test_case "derived tables" `Quick test_derived_tables;
+    Alcotest.test_case "multi-table joins" `Quick test_cross_join_and_multi_table;
+    Alcotest.test_case "INSERT/UPDATE/DELETE" `Quick test_insert_select_update_delete;
+    Alcotest.test_case "WITH (CTEs)" `Quick test_with_cte;
+    Alcotest.test_case "FROM-less SELECT" `Quick test_from_less_select;
+    Alcotest.test_case "error messages" `Quick test_error_messages;
+  ]

@@ -1,0 +1,226 @@
+(** Optimizer tests: constant folding, predicate pushdown placement (the
+    leaf-node property), join-predicate extraction, and semantic
+    preservation of every pass (optimized+pruned plans return the same rows
+    as raw bound plans). *)
+
+open Storage
+open Plan
+
+let check = Alcotest.check
+
+(* --------------------------------------------------------------- *)
+(* Constant folding                                                 *)
+(* --------------------------------------------------------------- *)
+
+let test_fold_arith () =
+  let fold = Optimizer.fold_scalar in
+  check Alcotest.string "1+2*3" "7"
+    (Scalar.to_string (fold (Scalar.Binop (Sql.Ast.Add, Scalar.Const (Value.Int 1),
+       Scalar.Binop (Sql.Ast.Mul, Scalar.Const (Value.Int 2), Scalar.Const (Value.Int 3))))));
+  check Alcotest.string "true AND x" "#0"
+    (Scalar.to_string
+       (fold (Scalar.Binop (Sql.Ast.And, Scalar.Const (Value.Bool true), Scalar.Col 0))));
+  check Alcotest.string "false AND x" "FALSE"
+    (Scalar.to_string
+       (fold (Scalar.Binop (Sql.Ast.And, Scalar.Const (Value.Bool false), Scalar.Col 0))));
+  check Alcotest.string "x OR true" "TRUE"
+    (Scalar.to_string
+       (fold (Scalar.Binop (Sql.Ast.Or, Scalar.Col 0, Scalar.Const (Value.Bool true)))))
+
+let test_fold_dates () =
+  let e =
+    Scalar.Func
+      ( Scalar.F_date_add Sql.Ast.Months,
+        [ Scalar.Const (Value.Date (Value.date_of_string "1995-01-31"));
+          Scalar.Const (Value.Int 1) ] )
+  in
+  check Alcotest.string "interval folded" "DATE '1995-02-28'"
+    (Scalar.to_string (Optimizer.fold_scalar e))
+
+let test_fold_like () =
+  let e =
+    Scalar.Like
+      (Scalar.Const (Value.Str "promo pack"), Scalar.Const (Value.Str "PROMO%"), false)
+  in
+  check Alcotest.string "like folded" "FALSE"
+    (Scalar.to_string (Optimizer.fold_scalar e))
+
+(* --------------------------------------------------------------- *)
+(* Pushdown shapes                                                  *)
+(* --------------------------------------------------------------- *)
+
+(* Collect (table, has_filter_directly_above) for each scan. *)
+let rec scan_filters (p : Logical.t) : (string * bool) list =
+  match p with
+  | Logical.Filter { child = Logical.Scan { table; _ }; _ } -> [ (table, true) ]
+  | Logical.Scan { table; _ } -> [ (table, false) ]
+  | Logical.Filter { child; _ }
+  | Logical.Project { child; _ }
+  | Logical.Sort { child; _ }
+  | Logical.Limit { child; _ }
+  | Logical.Group_by { child; _ } ->
+    scan_filters child
+  | Logical.Distinct c -> scan_filters c
+  | Logical.Join { left; right; _ } | Logical.Semi_join { left; right; _ } ->
+    scan_filters left @ scan_filters right
+  | Logical.Apply { outer; inner; _ } -> scan_filters outer @ scan_filters inner
+  | Logical.Set_op { left; right; _ } -> scan_filters left @ scan_filters right
+  | Logical.Audit { child; _ } -> scan_filters child
+
+let rec top_join_pred (p : Logical.t) : Scalar.t option =
+  match p with
+  | Logical.Join { pred; _ } -> pred
+  | Logical.Filter { child; _ }
+  | Logical.Project { child; _ }
+  | Logical.Sort { child; _ }
+  | Logical.Limit { child; _ }
+  | Logical.Group_by { child; _ } ->
+    top_join_pred child
+  | Logical.Distinct c -> top_join_pred c
+  | _ -> None
+
+let plan_of db sql =
+  Binder.query (Db.Database.catalog db) (Sql.Parser.query sql)
+  |> Optimizer.logical_optimize
+
+let test_pushdown_to_leaves () =
+  let db = Fixtures.healthcare () in
+  let p =
+    plan_of db
+      "SELECT name FROM patients p, disease d WHERE p.patientid = \
+       d.patientid AND p.age > 30 AND d.disease = 'flu'"
+  in
+  check
+    Alcotest.(list (pair string bool))
+    "single-table predicates sit on their scans"
+    [ ("patients", true); ("disease", true) ]
+    (scan_filters p);
+  check Alcotest.bool "join predicate extracted" true (top_join_pred p <> None)
+
+let test_pushdown_through_group () =
+  let db = Fixtures.healthcare () in
+  (* HAVING on a grouping key is pushed below the group-by. *)
+  let p =
+    plan_of db
+      "SELECT zip, count(*) FROM patients GROUP BY zip HAVING zip > 20000"
+  in
+  check
+    Alcotest.(list (pair string bool))
+    "key predicate pushed to scan"
+    [ ("patients", true) ]
+    (scan_filters p);
+  (* HAVING on an aggregate must stay above. *)
+  let p2 =
+    plan_of db
+      "SELECT zip, count(*) FROM patients GROUP BY zip HAVING count(*) > 1"
+  in
+  check
+    Alcotest.(list (pair string bool))
+    "aggregate predicate stays above"
+    [ ("patients", false) ]
+    (scan_filters p2)
+
+let test_loj_pushdown_outer_only () =
+  let db = Fixtures.healthcare () in
+  let p =
+    plan_of db
+      "SELECT name FROM patients p LEFT JOIN disease d ON p.patientid = \
+       d.patientid WHERE p.age > 30"
+  in
+  (* Outer-side WHERE predicate is pushed; the plan has no filter above the
+     left join. *)
+  check
+    Alcotest.(list (pair string bool))
+    "pushed to outer side"
+    [ ("patients", true); ("disease", false) ]
+    (scan_filters p)
+
+(* --------------------------------------------------------------- *)
+(* Semantic preservation                                            *)
+(* --------------------------------------------------------------- *)
+
+let exec_plan db p =
+  let ctx = Db.Database.context db in
+  Exec.Exec_ctx.reset_query_state ctx;
+  List.sort Tuple.compare (Exec.Executor.run_list ctx p)
+
+let preservation_cases =
+  [
+    "SELECT * FROM patients WHERE age > 25 AND zip = 48109";
+    "SELECT name, disease FROM patients p, disease d WHERE p.patientid = \
+     d.patientid AND (age > 30 OR disease = 'flu')";
+    "SELECT zip, count(*) FROM patients GROUP BY zip HAVING zip > 20000";
+    "SELECT name FROM patients p LEFT JOIN disease d ON p.patientid = \
+     d.patientid WHERE p.age > 30";
+    "SELECT TOP 3 name FROM patients ORDER BY age DESC";
+    "SELECT DISTINCT disease FROM disease WHERE patientid < 5";
+    "SELECT name FROM patients WHERE patientid IN (SELECT patientid FROM \
+     disease WHERE disease = 'flu') AND age < 100";
+    "SELECT p.name, (SELECT count(*) FROM disease d WHERE d.patientid = \
+     p.patientid) FROM patients p WHERE p.age + 0 > 20";
+    "SELECT name FROM patients p1 WHERE EXISTS (SELECT 1 FROM patients p2 \
+     WHERE p2.zip = p1.zip AND p2.patientid <> p1.patientid)";
+  ]
+
+let test_optimize_preserves_semantics () =
+  let db = Fixtures.healthcare () in
+  List.iter
+    (fun sql ->
+      let raw = Binder.query (Db.Database.catalog db) (Sql.Parser.query sql) in
+      let opt = Optimizer.logical_optimize raw in
+      let pruned = Optimizer.prune opt in
+      let expected = exec_plan db raw in
+      check Fixtures.tuples (Printf.sprintf "optimize: %s" sql) expected
+        (exec_plan db opt);
+      check Fixtures.tuples (Printf.sprintf "prune: %s" sql) expected
+        (exec_plan db pruned);
+      check Alcotest.int
+        (Printf.sprintf "arity preserved: %s" sql)
+        (Logical.arity raw) (Logical.arity pruned))
+    preservation_cases
+
+let test_prune_narrows_scans () =
+  let db = Fixtures.healthcare () in
+  let p =
+    plan_of db
+      "SELECT name FROM patients p, disease d WHERE p.patientid = \
+       d.patientid AND d.disease = 'flu'"
+    |> Optimizer.prune
+  in
+  let rec scan_widths (p : Logical.t) =
+    match p with
+    | Logical.Scan { schema; cols; _ } ->
+      [ (match cols with None -> Storage.Schema.arity schema | Some c -> Array.length c) ]
+    | Logical.Filter { child; _ }
+    | Logical.Project { child; _ }
+    | Logical.Sort { child; _ }
+    | Logical.Limit { child; _ }
+    | Logical.Group_by { child; _ } ->
+      scan_widths child
+    | Logical.Distinct c -> scan_widths c
+    | Logical.Join { left; right; _ } | Logical.Semi_join { left; right; _ } ->
+      scan_widths left @ scan_widths right
+    | Logical.Apply { outer; inner; _ } -> scan_widths outer @ scan_widths inner
+    | Logical.Set_op { left; right; _ } -> scan_widths left @ scan_widths right
+    | Logical.Audit { child; _ } -> scan_widths child
+  in
+  check
+    Alcotest.(list int)
+    "patients: id+name, disease: id+disease" [ 2; 2 ] (scan_widths p)
+
+let suite =
+  [
+    Alcotest.test_case "fold arithmetic and boolean shortcuts" `Quick
+      test_fold_arith;
+    Alcotest.test_case "fold interval arithmetic" `Quick test_fold_dates;
+    Alcotest.test_case "fold LIKE" `Quick test_fold_like;
+    Alcotest.test_case "pushdown to leaves + join extraction" `Quick
+      test_pushdown_to_leaves;
+    Alcotest.test_case "pushdown through GROUP BY keys only" `Quick
+      test_pushdown_through_group;
+    Alcotest.test_case "LOJ pushdown to outer side only" `Quick
+      test_loj_pushdown_outer_only;
+    Alcotest.test_case "optimize/prune preserve semantics" `Quick
+      test_optimize_preserves_semantics;
+    Alcotest.test_case "pruning narrows scans" `Quick test_prune_narrows_scans;
+  ]

@@ -1,0 +1,281 @@
+(** Lexer and parser tests: token shapes, precedence, statement forms,
+    error positions, and a reparse-fixpoint property (pretty-print then
+    reparse yields the same AST). *)
+
+let check = Alcotest.check
+
+(* --------------------------------------------------------------- *)
+(* Lexer                                                            *)
+(* --------------------------------------------------------------- *)
+
+let tokens src =
+  List.map (fun l -> l.Sql.Lexer.token) (Sql.Lexer.tokenize src)
+
+let test_lexer_basics () =
+  check Alcotest.int "count (incl. EOF)" 9
+    (List.length (tokens "SELECT a FROM t WHERE x = 1"));
+  (match tokens "'it''s'" with
+  | [ Sql.Token.String_lit s; Sql.Token.Eof ] ->
+    check Alcotest.string "escaped quote" "it's" s
+  | _ -> Alcotest.fail "expected a string literal");
+  (match tokens "3.25 1e3 42" with
+  | [ Sql.Token.Float_lit a; Sql.Token.Float_lit b; Sql.Token.Int_lit c;
+      Sql.Token.Eof ] ->
+    check (Alcotest.float 0.0001) "float" 3.25 a;
+    check (Alcotest.float 0.0001) "exponent" 1000.0 b;
+    check Alcotest.int "int" 42 c
+  | _ -> Alcotest.fail "number lexing")
+
+let test_lexer_comments () =
+  check Alcotest.int "line comment" 2 (List.length (tokens "a -- comment\n"));
+  check Alcotest.int "block comment" 3
+    (List.length (tokens "a /* multi \n line */ b"));
+  check Alcotest.int "nested block" 2
+    (List.length (tokens "/* a /* b */ c */ x"))
+
+let test_lexer_operators () =
+  match tokens "<> != <= >= || < >" with
+  | [ Sql.Token.Neq; Sql.Token.Neq; Sql.Token.Le; Sql.Token.Ge;
+      Sql.Token.Concat; Sql.Token.Lt; Sql.Token.Gt; Sql.Token.Eof ] ->
+    ()
+  | _ -> Alcotest.fail "operator lexing"
+
+let test_lexer_errors () =
+  (try
+     ignore (tokens "a $ b");
+     Alcotest.fail "expected lex error"
+   with Sql.Lexer.Lex_error (_, off) -> check Alcotest.int "offset" 2 off);
+  try
+    ignore (tokens "'unterminated");
+    Alcotest.fail "expected lex error"
+  with Sql.Lexer.Lex_error (_, _) -> ()
+
+(* --------------------------------------------------------------- *)
+(* Expressions and precedence                                       *)
+(* --------------------------------------------------------------- *)
+
+let expr = Sql.Parser.expression
+
+let test_precedence () =
+  check Alcotest.string "mul binds tighter"
+    "(1 + (2 * 3))"
+    (Sql.Ast.expr_to_string (expr "1 + 2 * 3"));
+  check Alcotest.string "and/or"
+    "((a AND b) OR (c AND d))"
+    (Sql.Ast.expr_to_string (expr "a AND b OR c AND d"));
+  check Alcotest.string "comparison vs arith"
+    "((a + 1) < (b * 2))"
+    (Sql.Ast.expr_to_string (expr "a + 1 < b * 2"));
+  check Alcotest.string "not"
+    "(NOT (a = 1))"
+    (Sql.Ast.expr_to_string (expr "NOT a = 1"))
+
+let test_predicates () =
+  check Alcotest.string "between"
+    "(x BETWEEN 1 AND 10)"
+    (Sql.Ast.expr_to_string (expr "x BETWEEN 1 AND 10"));
+  check Alcotest.string "not like"
+    "(c NOT LIKE '%x%')"
+    (Sql.Ast.expr_to_string (expr "c NOT LIKE '%x%'"));
+  check Alcotest.string "in list"
+    "(m IN ('MAIL', 'SHIP'))"
+    (Sql.Ast.expr_to_string (expr "m IN ('MAIL','SHIP')"));
+  check Alcotest.string "is not null"
+    "(x IS NOT NULL)"
+    (Sql.Ast.expr_to_string (expr "x IS NOT NULL"));
+  check Alcotest.string "case"
+    "CASE WHEN (a = 1) THEN 'one' ELSE 'other' END"
+    (Sql.Ast.expr_to_string
+       (expr "CASE WHEN a = 1 THEN 'one' ELSE 'other' END"))
+
+let test_date_interval () =
+  check Alcotest.string "date literal" "DATE '1995-01-01'"
+    (Sql.Ast.expr_to_string (expr "DATE '1995-01-01'"));
+  check Alcotest.string "interval"
+    "(DATE '1995-01-01' + INTERVAL '3' MONTH)"
+    (Sql.Ast.expr_to_string (expr "DATE '1995-01-01' + INTERVAL '3' MONTH"))
+
+let test_functions_and_aggs () =
+  (match expr "count(*)" with
+  | Sql.Ast.E_agg { func = "count"; arg = None; distinct = false } -> ()
+  | _ -> Alcotest.fail "count(*)");
+  (match expr "count(DISTINCT x)" with
+  | Sql.Ast.E_agg { func = "count"; arg = Some _; distinct = true } -> ()
+  | _ -> Alcotest.fail "count distinct");
+  (match expr "extract(YEAR FROM d)" with
+  | Sql.Ast.E_func ("extract_year", [ _ ]) -> ()
+  | _ -> Alcotest.fail "extract");
+  match expr "substring(s FROM 1 FOR 2)" with
+  | Sql.Ast.E_func ("substring", [ _; _; _ ]) -> ()
+  | _ -> Alcotest.fail "substring"
+
+(* --------------------------------------------------------------- *)
+(* Statements                                                       *)
+(* --------------------------------------------------------------- *)
+
+let test_select_clauses () =
+  let q =
+    Sql.Parser.query
+      "SELECT DISTINCT TOP 5 a, b AS bee FROM t1, t2 x WHERE a = 1 GROUP BY \
+       a, b HAVING count(*) > 2 ORDER BY a DESC, b LIMIT 3"
+  in
+  check Alcotest.bool "distinct" true q.Sql.Ast.distinct;
+  check Alcotest.(option int) "top" (Some 5) q.Sql.Ast.top;
+  check Alcotest.int "select items" 2 (List.length q.Sql.Ast.select);
+  check Alcotest.int "from" 2 (List.length q.Sql.Ast.from);
+  check Alcotest.bool "where" true (q.Sql.Ast.where <> None);
+  check Alcotest.int "group by" 2 (List.length q.Sql.Ast.group_by);
+  check Alcotest.bool "having" true (q.Sql.Ast.having <> None);
+  check Alcotest.int "order by" 2 (List.length q.Sql.Ast.order_by);
+  check Alcotest.(option int) "limit" (Some 3) q.Sql.Ast.limit
+
+let test_joins () =
+  let q =
+    Sql.Parser.query
+      "SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y JOIN c ON b.z = c.z"
+  in
+  match q.Sql.Ast.from with
+  | [ Sql.Ast.Tr_join (Sql.Ast.Tr_join (_, Sql.Ast.Left_outer, _, Some _),
+                       Sql.Ast.Inner, _, Some _) ] ->
+    ()
+  | _ -> Alcotest.fail "join tree shape"
+
+let test_derived_table () =
+  let q = Sql.Parser.query "SELECT * FROM (SELECT a FROM t) sub" in
+  match q.Sql.Ast.from with
+  | [ Sql.Ast.Tr_subquery (_, "sub") ] -> ()
+  | _ -> Alcotest.fail "derived table"
+
+let test_create_audit () =
+  match
+    Sql.Parser.statement
+      "CREATE AUDIT EXPRESSION a1 AS SELECT * FROM patients WHERE name = \
+       'Alice' FOR SENSITIVE TABLE patients, PARTITION BY patientid"
+  with
+  | Sql.Ast.S_create_audit
+      { audit_name = "a1"; sensitive_table = "patients";
+        partition_by = "patientid"; _ } ->
+    ()
+  | _ -> Alcotest.fail "create audit"
+
+let test_create_trigger_on_access () =
+  match
+    Sql.Parser.statement
+      "CREATE TRIGGER t1 ON ACCESS TO a1 AS INSERT INTO log SELECT now(), \
+       patientid FROM accessed"
+  with
+  | Sql.Ast.S_create_trigger
+      { trigger_name = "t1"; event = Sql.Ast.On_access "a1";
+        timing = Sql.Ast.After; body = [ _ ] } ->
+    ()
+  | _ -> Alcotest.fail "create trigger"
+
+let test_create_trigger_dml_block () =
+  match
+    Sql.Parser.statement
+      "CREATE TRIGGER t2 ON log AFTER INSERT AS BEGIN NOTIFY 'hi'; IF (1 > \
+       0) NOTIFY 'also'; END"
+  with
+  | Sql.Ast.S_create_trigger
+      { event = Sql.Ast.On_dml ("log", Sql.Ast.Ev_insert);
+        body = [ Sql.Ast.S_notify "hi"; Sql.Ast.S_if (_, [ Sql.Ast.S_notify "also" ]) ];
+        _ } ->
+    ()
+  | _ -> Alcotest.fail "dml trigger with block body"
+
+let test_dml_statements () =
+  (match Sql.Parser.statement "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')" with
+  | Sql.Ast.S_insert { columns = Some [ "a"; "b" ];
+                       source = Sql.Ast.Ins_values [ _; _ ]; _ } ->
+    ()
+  | _ -> Alcotest.fail "insert values");
+  (match Sql.Parser.statement "INSERT INTO t SELECT a FROM s" with
+  | Sql.Ast.S_insert { source = Sql.Ast.Ins_query _; _ } -> ()
+  | _ -> Alcotest.fail "insert select");
+  (match Sql.Parser.statement "UPDATE t SET a = a + 1, b = 'z' WHERE a > 0" with
+  | Sql.Ast.S_update { sets = [ _; _ ]; where = Some _; _ } -> ()
+  | _ -> Alcotest.fail "update");
+  match Sql.Parser.statement "DELETE FROM t WHERE a = 1" with
+  | Sql.Ast.S_delete { where = Some _; _ } -> ()
+  | _ -> Alcotest.fail "delete"
+
+let test_script () =
+  let stmts = Sql.Parser.script "SELECT 1; SELECT 2;; SELECT 3" in
+  check Alcotest.int "three statements" 3 (List.length stmts)
+
+let test_parse_errors () =
+  List.iter
+    (fun sql ->
+      try
+        ignore (Sql.Parser.statement sql);
+        Alcotest.failf "expected parse error for %s" sql
+      with Sql.Parser.Parse_error _ -> ())
+    [
+      "SELECT";
+      "SELECT * FROM";
+      "SELECT * FROM t WHERE";
+      "INSERT t VALUES (1)";
+      "CREATE AUDIT a AS SELECT 1";
+      "SELECT * FROM t GROUP";
+      "SELECT a FROM t ORDER";
+      "SELECT sum(*) FROM t";
+    ]
+
+(* --------------------------------------------------------------- *)
+(* Reparse fixpoint: pp(parse(q)) reparses to the same AST          *)
+(* --------------------------------------------------------------- *)
+
+let test_reparse_fixpoint () =
+  let sqls =
+    [
+      "SELECT a, b FROM t WHERE a = 1 AND b < 2 OR c IS NULL";
+      "SELECT count(DISTINCT a) FROM t GROUP BY b HAVING count(*) > 1";
+      "SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c ON b.z = c.w";
+      "SELECT TOP 3 a FROM t ORDER BY a DESC";
+      "SELECT a FROM t WHERE a IN (SELECT b FROM s WHERE s.k = t.k)";
+      "SELECT a FROM t WHERE EXISTS (SELECT 1 FROM s)";
+      "SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t";
+      "SELECT a FROM t WHERE d > DATE '1995-06-01' + INTERVAL '2' MONTH";
+    ]
+    @ List.map (fun q -> q.Tpch.Queries.sql) Tpch.Queries.all
+  in
+  List.iter
+    (fun sql ->
+      let q1 = Sql.Parser.query sql in
+      let printed = Sql.Ast.query_to_string q1 in
+      let q2 =
+        try Sql.Parser.query printed
+        with e ->
+          Alcotest.failf "reparse of %S failed: %s" printed
+            (Printexc.to_string e)
+      in
+      if q1 <> q2 then
+        Alcotest.failf "reparse fixpoint failed for %s\nprinted: %s" sql
+          printed)
+    sqls
+
+let suite =
+  [
+    Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer operators" `Quick test_lexer_operators;
+    Alcotest.test_case "lexer errors carry offsets" `Quick test_lexer_errors;
+    Alcotest.test_case "operator precedence" `Quick test_precedence;
+    Alcotest.test_case "predicate forms" `Quick test_predicates;
+    Alcotest.test_case "dates and intervals" `Quick test_date_interval;
+    Alcotest.test_case "functions and aggregates" `Quick
+      test_functions_and_aggs;
+    Alcotest.test_case "SELECT clause coverage" `Quick test_select_clauses;
+    Alcotest.test_case "join trees" `Quick test_joins;
+    Alcotest.test_case "derived tables" `Quick test_derived_table;
+    Alcotest.test_case "CREATE AUDIT EXPRESSION" `Quick test_create_audit;
+    Alcotest.test_case "CREATE TRIGGER ON ACCESS" `Quick
+      test_create_trigger_on_access;
+    Alcotest.test_case "DML trigger with BEGIN/END body" `Quick
+      test_create_trigger_dml_block;
+    Alcotest.test_case "DML statements" `Quick test_dml_statements;
+    Alcotest.test_case "script splitting" `Quick test_script;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "pretty-print/reparse fixpoint (incl. TPC-H)" `Quick
+      test_reparse_fixpoint;
+  ]

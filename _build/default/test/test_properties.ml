@@ -1,0 +1,227 @@
+(** Property-based tests of the paper's central guarantees over random
+    databases and random queries:
+
+    - audit operators are no-ops (instrumented plan ≡ plain plan);
+    - no false negatives (Claims 3.5/3.6): exact ⊆ hcn and exact ⊆ leaf;
+    - monotonicity of placement: lineage ⊆ hcn ⊆ leaf;
+    - Theorem 3.7: hcn = exact on select–join queries;
+    - the optimizer (pushdown + pruning) preserves semantics.
+
+    Queries avoid NOT EXISTS / NOT IN so that exact ⊆ lineage also holds
+    (negated subqueries can make *blocked* witnesses influential — see
+    {!Audit_core.Lineage}). *)
+
+open Storage
+
+(* --------------------------------------------------------------- *)
+(* Random databases                                                 *)
+(* --------------------------------------------------------------- *)
+
+type dataset = {
+  patients : (int * int * int) list;  (** pid, age, zip *)
+  visits : (int * int * int) list;  (** vid, pid, cost *)
+  with_index : bool;
+      (** create a secondary index on visits.pid, letting the executor pick
+          index-nested-loop plans for some generated queries *)
+}
+
+let gen_dataset =
+  QCheck.Gen.(
+    let* npat = int_range 0 12 in
+    let* ages = list_repeat npat (int_range 0 9) in
+    let* zips = list_repeat npat (int_range 0 2) in
+    let patients = List.mapi (fun i (a, z) -> (i + 1, a, z)) (List.combine ages zips) in
+    let* nvis = int_range 0 18 in
+    let* pids = list_repeat nvis (int_range 1 (max 1 (npat + 2))) in
+    let* costs = list_repeat nvis (int_range 0 9) in
+    let visits = List.mapi (fun i (p, c) -> (i + 1, p, c)) (List.combine pids costs) in
+    let* with_index = bool in
+    return { patients; visits; with_index })
+
+let build_db (d : dataset) =
+  let db = Db.Database.create () in
+  let e sql = ignore (Db.Database.exec db sql) in
+  e "CREATE TABLE patients (pid INT PRIMARY KEY, age INT, zip INT)";
+  e "CREATE TABLE visits (vid INT PRIMARY KEY, pid INT, cost INT)";
+  List.iter
+    (fun (p, a, z) ->
+      e (Printf.sprintf "INSERT INTO patients VALUES (%d,%d,%d)" p a z))
+    d.patients;
+  List.iter
+    (fun (v, p, c) ->
+      e (Printf.sprintf "INSERT INTO visits VALUES (%d,%d,%d)" v p c))
+    d.visits;
+  if d.with_index then e "CREATE INDEX visits_pid ON visits (pid)";
+  e
+    "CREATE AUDIT EXPRESSION audit_pat AS SELECT * FROM patients FOR \
+     SENSITIVE TABLE patients, PARTITION BY pid";
+  db
+
+(* --------------------------------------------------------------- *)
+(* Random queries                                                   *)
+(* --------------------------------------------------------------- *)
+
+type qshape = Sj | Agg | Topk | Dist | Sub | Un
+
+let gen_query =
+  QCheck.Gen.(
+    let* shape = oneofl [ Sj; Sj; Agg; Topk; Dist; Sub; Un ] in
+    let* join = bool in
+    let* k1 = int_range 0 9 in
+    let* k2 = int_range 0 9 in
+    let* op1 = oneofl [ ">"; "<"; "=" ] in
+    let* op2 = oneofl [ ">"; "<="; "<>" ] in
+    let* desc = bool in
+    let* topn = int_range 1 4 in
+    let base_from, base_where =
+      if join then
+        ("patients p, visits v", Printf.sprintf "p.pid = v.pid AND v.cost %s %d AND " op2 k2)
+      else ("patients p", "")
+    in
+    let where c = Printf.sprintf "%s%s" base_where c in
+    let sql, is_sj =
+      match shape with
+      | Sj ->
+        ( Printf.sprintf "SELECT p.pid, p.age FROM %s WHERE %s" base_from
+            (where (Printf.sprintf "p.age %s %d" op1 k1)),
+          true )
+      | Agg ->
+        ( Printf.sprintf
+            "SELECT p.zip, count(*), sum(p.age) FROM %s WHERE %s GROUP BY \
+             p.zip HAVING count(*) > 1"
+            base_from
+            (where (Printf.sprintf "p.age %s %d" op1 k1)),
+          false )
+      | Topk ->
+        ( Printf.sprintf
+            "SELECT TOP %d p.pid FROM %s WHERE %s ORDER BY p.age %s, p.pid"
+            topn base_from
+            (where (Printf.sprintf "p.zip <= %d" (k1 mod 3)))
+            (if desc then "DESC" else "ASC"),
+          false )
+      | Dist ->
+        ( Printf.sprintf "SELECT DISTINCT p.zip FROM %s WHERE %s" base_from
+            (where (Printf.sprintf "p.age %s %d" op1 k1)),
+          false )
+      | Sub ->
+        ( Printf.sprintf
+            "SELECT p.pid FROM patients p WHERE EXISTS (SELECT 1 FROM \
+             visits v WHERE v.pid = p.pid AND v.cost %s %d) AND p.age %s %d"
+            op2 k2 op1 k1,
+          false )
+      | Un ->
+        let kw = if desc then "UNION ALL" else "UNION" in
+        ( Printf.sprintf
+            "SELECT p.pid, p.zip FROM patients p WHERE p.age %s %d %s \
+             SELECT p.pid, p.age FROM patients p WHERE p.zip <= %d"
+            op1 k1 kw (k2 mod 3),
+          false )
+    in
+    return (sql, is_sj))
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (d, (sql, _)) ->
+      Printf.sprintf "patients=%d visits=%d index=%b\n%s"
+        (List.length d.patients) (List.length d.visits) d.with_index sql)
+    QCheck.Gen.(pair gen_dataset gen_query)
+
+(* --------------------------------------------------------------- *)
+(* Property bodies                                                  *)
+(* --------------------------------------------------------------- *)
+
+let sorted rows = List.sort Tuple.compare rows
+
+let run_plain db sql =
+  sorted (Db.Database.run_plan db (Db.Database.plan_sql db ~audits:[] sql))
+
+let run_instr db h sql =
+  sorted
+    (Db.Database.run_plan db
+       (Db.Database.plan_sql db ~audits:[ "audit_pat" ] ~heuristic:h sql))
+
+let prop_noop =
+  QCheck.Test.make ~count:120 ~name:"audit operators are no-ops" arb_case
+    (fun (d, (sql, _)) ->
+      let db = build_db d in
+      let base = run_plain db sql in
+      List.for_all
+        (fun h -> run_instr db h sql = base)
+        Audit_core.Placement.[ Leaf; Hcn; Highest ])
+
+let prop_no_false_negatives =
+  QCheck.Test.make ~count:100 ~name:"no false negatives (exact subset hcn/leaf)"
+    arb_case (fun (d, (sql, _)) ->
+      let db = build_db d in
+      let exact = Fixtures.exact_ids db ~audit:"audit_pat" sql in
+      let hcn =
+        Fixtures.audit_ids db ~audit:"audit_pat"
+          ~heuristic:Audit_core.Placement.Hcn sql
+      in
+      let leaf =
+        Fixtures.audit_ids db ~audit:"audit_pat"
+          ~heuristic:Audit_core.Placement.Leaf sql
+      in
+      Fixtures.subset exact hcn && Fixtures.subset exact leaf)
+
+let prop_placement_monotone =
+  QCheck.Test.make ~count:100 ~name:"lineage subset hcn subset leaf" arb_case
+    (fun (d, (sql, _)) ->
+      let db = build_db d in
+      let lineage = Fixtures.lineage_ids db ~audit:"audit_pat" sql in
+      let hcn =
+        Fixtures.audit_ids db ~audit:"audit_pat"
+          ~heuristic:Audit_core.Placement.Hcn sql
+      in
+      let leaf =
+        Fixtures.audit_ids db ~audit:"audit_pat"
+          ~heuristic:Audit_core.Placement.Leaf sql
+      in
+      Fixtures.subset lineage hcn && Fixtures.subset hcn leaf)
+
+let prop_exact_subset_lineage =
+  QCheck.Test.make ~count:100 ~name:"exact subset lineage (no negated subqueries)"
+    arb_case (fun (d, (sql, _)) ->
+      let db = build_db d in
+      let exact = Fixtures.exact_ids db ~audit:"audit_pat" sql in
+      let lineage = Fixtures.lineage_ids db ~audit:"audit_pat" sql in
+      Fixtures.subset exact lineage)
+
+let prop_sj_exact =
+  QCheck.Test.make ~count:120 ~name:"Theorem 3.7: hcn exact on SJ queries"
+    arb_case (fun (d, (sql, is_sj)) ->
+      QCheck.assume is_sj;
+      let db = build_db d in
+      let exact = Fixtures.exact_ids db ~audit:"audit_pat" sql in
+      let hcn =
+        Fixtures.audit_ids db ~audit:"audit_pat"
+          ~heuristic:Audit_core.Placement.Hcn sql
+      in
+      exact = hcn)
+
+let prop_optimizer_equivalence =
+  QCheck.Test.make ~count:120 ~name:"optimize+prune preserves results" arb_case
+    (fun (d, (sql, _)) ->
+      let db = build_db d in
+      let catalog = Db.Database.catalog db in
+      let raw = Plan.Binder.query catalog (Sql.Parser.query sql) in
+      let opt =
+        Plan.Optimizer.prune (Plan.Optimizer.logical_optimize ~catalog raw)
+      in
+      let ctx = Db.Database.context db in
+      Exec.Exec_ctx.reset_query_state ctx;
+      let a = sorted (Exec.Executor.run_list ctx raw) in
+      Exec.Exec_ctx.reset_query_state ctx;
+      let b = sorted (Exec.Executor.run_list ctx opt) in
+      a = b)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_noop;
+      prop_no_false_negatives;
+      prop_placement_monotone;
+      prop_exact_subset_lineage;
+      prop_sj_exact;
+      prop_optimizer_equivalence;
+    ]

@@ -1,0 +1,104 @@
+(** Static-analysis baseline tests — Example 6.1 and the predicate
+    intersection cases. *)
+
+let check = Alcotest.check
+
+let verdict : Audit_core.Static_analyzer.verdict Alcotest.testable =
+  Alcotest.testable
+    (fun ppf v ->
+      Fmt.string ppf (Audit_core.Static_analyzer.string_of_verdict v))
+    ( = )
+
+let dept_db () =
+  let db = Db.Database.create () in
+  ignore
+    (Db.Database.exec db
+       "CREATE TABLE departmentnames (deptid INT PRIMARY KEY, deptname \
+        VARCHAR)");
+  ignore
+    (Db.Database.exec db
+       "INSERT INTO departmentnames VALUES (10, 'Oncology'), (11, \
+        'Dermatology')");
+  ignore
+    (Db.Database.exec db
+       "CREATE AUDIT EXPRESSION audit_derm AS SELECT * FROM \
+        departmentnames WHERE deptname = 'Dermatology' FOR SENSITIVE TABLE \
+        departmentnames, PARTITION BY deptid");
+  db
+
+let analyze db sql =
+  Audit_core.Static_analyzer.analyze
+    (Db.Database.catalog db)
+    ~audit:(Db.Database.audit_expr db "audit_derm")
+    (Sql.Parser.query sql)
+
+let test_example_6_1 () =
+  let db = dept_db () in
+  (* First query: same column, different constant — provably disjoint. *)
+  check verdict "deptname = 'Oncology' is ruled out"
+    Audit_core.Static_analyzer.No_access
+    (analyze db "SELECT * FROM departmentnames WHERE deptname = 'Oncology'");
+  (* Second query: semantically identical but via DeptID — static analysis
+     cannot rule it out and false-positives. *)
+  check verdict "deptid = 10 cannot be ruled out (FGA false positive)"
+    Audit_core.Static_analyzer.May_access
+    (analyze db "SELECT * FROM departmentnames WHERE deptid = 10");
+  (* The execution-based auditors do not share the false positive. *)
+  let exact =
+    Fixtures.exact_ids db ~audit:"audit_derm"
+      "SELECT * FROM departmentnames WHERE deptid = 10"
+  in
+  check Fixtures.values "audit operators: no access" [] exact
+
+let test_ranges_and_in () =
+  let db = dept_db () in
+  check verdict "overlapping range" Audit_core.Static_analyzer.May_access
+    (analyze db "SELECT * FROM departmentnames WHERE deptname >= 'D'");
+  check verdict "disjoint range" Audit_core.Static_analyzer.No_access
+    (analyze db "SELECT * FROM departmentnames WHERE deptname < 'B'");
+  check verdict "IN list containing the value"
+    Audit_core.Static_analyzer.May_access
+    (analyze db
+       "SELECT * FROM departmentnames WHERE deptname IN ('Dermatology', \
+        'Oncology')");
+  check verdict "IN list without the value"
+    Audit_core.Static_analyzer.No_access
+    (analyze db
+       "SELECT * FROM departmentnames WHERE deptname IN ('Oncology', \
+        'Radiology')");
+  check verdict "inequality on the audited value"
+    Audit_core.Static_analyzer.No_access
+    (analyze db
+       "SELECT * FROM departmentnames WHERE deptname <> 'Dermatology' AND \
+        deptname = 'Dermatology'")
+
+let test_unconstrained_flags () =
+  let db = dept_db () in
+  check verdict "no predicate: flagged" Audit_core.Static_analyzer.May_access
+    (analyze db "SELECT * FROM departmentnames");
+  check verdict "opaque predicate (LIKE): flagged"
+    Audit_core.Static_analyzer.May_access
+    (analyze db "SELECT * FROM departmentnames WHERE deptname LIKE 'Derm%'");
+  check verdict "disjunction: flagged (conservative)"
+    Audit_core.Static_analyzer.May_access
+    (analyze db
+       "SELECT * FROM departmentnames WHERE deptname = 'Oncology' OR deptid \
+        = 3")
+
+let test_between () =
+  let db = dept_db () in
+  check verdict "between covering" Audit_core.Static_analyzer.May_access
+    (analyze db
+       "SELECT * FROM departmentnames WHERE deptname BETWEEN 'A' AND 'Z'");
+  check verdict "between disjoint" Audit_core.Static_analyzer.No_access
+    (analyze db
+       "SELECT * FROM departmentnames WHERE deptname BETWEEN 'E' AND 'K'")
+
+let suite =
+  [
+    Alcotest.test_case "Example 6.1" `Quick test_example_6_1;
+    Alcotest.test_case "ranges and IN lists" `Quick test_ranges_and_in;
+    Alcotest.test_case "unconstrained/opaque cases flag" `Quick
+      test_unconstrained_flags;
+    Alcotest.test_case "BETWEEN" `Quick test_between;
+  ]

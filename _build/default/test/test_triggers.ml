@@ -1,0 +1,271 @@
+(** SELECT triggers and the trigger manager: firing semantics (§II), the
+    ACCESSED relation, session functions, cascading into DML triggers, the
+    depth limit, and DROP TRIGGER. *)
+
+open Storage
+
+let check = Alcotest.check
+let vi i = Value.Int i
+
+let db_with_log () =
+  let db = Fixtures.healthcare_with_alice () in
+  ignore
+    (Db.Database.exec db
+       "CREATE TABLE log (ts INT, usr VARCHAR, sqltext VARCHAR, patientid INT)");
+  ignore
+    (Db.Database.exec db
+       "CREATE TRIGGER log_alice ON ACCESS TO audit_alice AS INSERT INTO \
+        log SELECT now(), user_id(), sql_text(), patientid FROM accessed");
+  db
+
+let log_rows db = Db.Database.query db "SELECT * FROM log"
+
+let test_select_trigger_fires () =
+  let db = db_with_log () in
+  Db.Database.set_user db "mallory";
+  let sql = "SELECT * FROM patients WHERE name = 'Alice'" in
+  ignore (Db.Database.exec db sql);
+  match log_rows db with
+  | [ [| _; Value.Str u; Value.Str s; Value.Int 1 |] ] ->
+    check Alcotest.string "user recorded" "mallory" u;
+    check Alcotest.string "sql text recorded" sql s
+  | rows -> Alcotest.failf "unexpected log: %d rows" (List.length rows)
+
+let test_no_access_no_fire () =
+  let db = db_with_log () in
+  ignore (Db.Database.exec db "SELECT * FROM patients WHERE name = 'Bob'");
+  check Alcotest.int "log empty" 0 (List.length (log_rows db));
+  (* A query on an unrelated table cannot fire it either. *)
+  ignore (Db.Database.exec db "SELECT * FROM disease");
+  check Alcotest.int "still empty" 0 (List.length (log_rows db))
+
+let test_accessed_contains_all_ids () =
+  let db = Fixtures.healthcare () in
+  ignore (Db.Database.exec db Fixtures.audit_all_sql);
+  ignore
+    (Db.Database.exec db "CREATE TABLE log (patientid INT)");
+  ignore
+    (Db.Database.exec db
+       "CREATE TRIGGER log_all ON ACCESS TO audit_all AS INSERT INTO log \
+        SELECT patientid FROM accessed");
+  ignore (Db.Database.exec db "SELECT * FROM patients WHERE age < 40");
+  check Fixtures.tuples "all accessed ids logged"
+    [ [| vi 1 |]; [| vi 2 |]; [| vi 5 |] ]
+    (Fixtures.rows_sorted db "SELECT * FROM log")
+
+let test_accessed_relation_dropped_after () =
+  let db = db_with_log () in
+  ignore (Db.Database.exec db "SELECT * FROM patients WHERE name = 'Alice'");
+  match Db.Database.exec db "SELECT * FROM accessed" with
+  | exception Db.Database.Db_error _ -> ()
+  | _ -> Alcotest.fail "accessed should not outlive the trigger action"
+
+let test_logical_clock_increments () =
+  let db = db_with_log () in
+  ignore (Db.Database.exec db "SELECT * FROM patients WHERE name = 'Alice'");
+  ignore (Db.Database.exec db "SELECT * FROM patients WHERE name = 'Alice'");
+  match log_rows db with
+  | [ [| Value.Int t1; _; _; _ |]; [| Value.Int t2; _; _; _ |] ] ->
+    check Alcotest.bool "clock strictly increases" true (t2 > t1)
+  | _ -> Alcotest.fail "expected two log entries"
+
+let test_join_action () =
+  (* §II-C: action joining ACCESSED against another table. *)
+  let db = Fixtures.healthcare () in
+  ignore
+    (Db.Database.exec db
+       "CREATE AUDIT EXPRESSION audit_cancer AS SELECT p.* FROM patients p, \
+        disease d WHERE p.patientid = d.patientid AND disease = 'cancer' \
+        FOR SENSITIVE TABLE patients, PARTITION BY patientid");
+  ignore (Db.Database.exec db "CREATE TABLE log (deptid INT)");
+  ignore
+    (Db.Database.exec db
+       "CREATE TRIGGER log_depts ON ACCESS TO audit_cancer AS INSERT INTO \
+        log SELECT DISTINCT d.deptid FROM accessed a, departments d WHERE \
+        a.patientid = d.patientid");
+  ignore (Db.Database.exec db "SELECT * FROM patients WHERE name = 'Alice'");
+  check Fixtures.tuples "department of the accessed cancer patient"
+    [ [| vi 10 |] ]
+    (Fixtures.rows_sorted db "SELECT * FROM log")
+
+let test_cascade_to_dml_trigger () =
+  let db = db_with_log () in
+  ignore
+    (Db.Database.exec db
+       "CREATE TRIGGER notify_on_log ON log AFTER INSERT AS NOTIFY 'logged'");
+  ignore (Db.Database.exec db "SELECT * FROM patients WHERE name = 'Alice'");
+  check
+    Alcotest.(list string)
+    "SELECT trigger cascaded into the INSERT trigger" [ "logged" ]
+    (Db.Database.notifications db)
+
+let test_conditional_notify () =
+  (* The §II-C Notify pattern: alert when a user crosses a threshold. *)
+  let db = Fixtures.healthcare () in
+  ignore (Db.Database.exec db Fixtures.audit_all_sql);
+  ignore (Db.Database.exec db "CREATE TABLE log (usr VARCHAR, patientid INT)");
+  ignore
+    (Db.Database.exec db
+       "CREATE TRIGGER log_all ON ACCESS TO audit_all AS INSERT INTO log \
+        SELECT user_id(), patientid FROM accessed");
+  ignore
+    (Db.Database.exec db
+       "CREATE TRIGGER bulk ON log AFTER INSERT AS IF ((SELECT \
+        count(DISTINCT l.patientid) FROM log l, new n WHERE l.usr = n.usr) \
+        > 3) NOTIFY 'bulk'");
+  Db.Database.set_user db "ok_user";
+  ignore (Db.Database.exec db "SELECT * FROM patients WHERE age < 30");
+  check Alcotest.int "2 patients: no alert" 0
+    (List.length (Db.Database.notifications db));
+  Db.Database.set_user db "greedy";
+  ignore (Db.Database.exec db "SELECT * FROM patients");
+  check Alcotest.int "5 patients: alert" 1
+    (List.length (Db.Database.notifications db))
+
+let test_dml_triggers_old_new () =
+  let db = Fixtures.healthcare () in
+  ignore (Db.Database.exec db "CREATE TABLE audit_trail (op VARCHAR, patientid INT)");
+  List.iter
+    (fun sql -> ignore (Db.Database.exec db sql))
+    [
+      "CREATE TRIGGER t_ins ON patients AFTER INSERT AS INSERT INTO \
+       audit_trail SELECT 'ins', patientid FROM new";
+      "CREATE TRIGGER t_del ON patients AFTER DELETE AS INSERT INTO \
+       audit_trail SELECT 'del', patientid FROM old";
+      "CREATE TRIGGER t_upd ON patients AFTER UPDATE AS INSERT INTO \
+       audit_trail SELECT 'upd', patientid FROM new";
+    ];
+  ignore (Db.Database.exec db "INSERT INTO patients VALUES (10,'Zed',50,1)");
+  ignore (Db.Database.exec db "UPDATE patients SET age = 51 WHERE patientid = 10");
+  ignore (Db.Database.exec db "DELETE FROM patients WHERE patientid = 10");
+  check Fixtures.tuples "trail"
+    [
+      [| Value.Str "del"; vi 10 |]; [| Value.Str "ins"; vi 10 |];
+      [| Value.Str "upd"; vi 10 |];
+    ]
+    (Fixtures.rows_sorted db "SELECT * FROM audit_trail")
+
+let test_depth_limit () =
+  let db = Fixtures.healthcare () in
+  ignore (Db.Database.exec db "CREATE TABLE a (x INT)");
+  ignore (Db.Database.exec db "CREATE TABLE b (x INT)");
+  ignore
+    (Db.Database.exec db
+       "CREATE TRIGGER ping ON a AFTER INSERT AS INSERT INTO b SELECT x FROM new");
+  ignore
+    (Db.Database.exec db
+       "CREATE TRIGGER pong ON b AFTER INSERT AS INSERT INTO a SELECT x FROM new");
+  match Db.Database.exec db "INSERT INTO a VALUES (1)" with
+  | exception Db.Database.Db_error m ->
+    check Alcotest.bool "mentions depth" true
+      (String.length m > 0
+      &&
+      let rec has i =
+        i + 5 <= String.length m && (String.sub m i 5 = "depth" || has (i + 1))
+      in
+      has 0)
+  | _ -> Alcotest.fail "expected cascade depth error"
+
+let test_drop_trigger () =
+  let db = db_with_log () in
+  ignore (Db.Database.exec db "DROP TRIGGER log_alice");
+  ignore (Db.Database.exec db "SELECT * FROM patients WHERE name = 'Alice'");
+  check Alcotest.int "no longer fires" 0 (List.length (log_rows db));
+  match Db.Database.exec db "DROP TRIGGER log_alice" with
+  | exception Db.Database.Db_error _ -> ()
+  | _ -> Alcotest.fail "double drop should fail"
+
+let test_multiple_triggers_same_audit () =
+  let db = db_with_log () in
+  ignore (Db.Database.exec db "CREATE TABLE log2 (patientid INT)");
+  ignore
+    (Db.Database.exec db
+       "CREATE TRIGGER second ON ACCESS TO audit_alice AS INSERT INTO log2 \
+        SELECT patientid FROM accessed");
+  ignore (Db.Database.exec db "SELECT * FROM patients WHERE name = 'Alice'");
+  check Alcotest.int "first trigger fired" 1 (List.length (log_rows db));
+  check Alcotest.int "second trigger fired" 1
+    (List.length (Db.Database.query db "SELECT * FROM log2"))
+
+let test_before_return_deny () =
+  (* §II variant: a BEFORE RETURN trigger can deny the query's result while
+     the AFTER trigger still audits the access. *)
+  let db = db_with_log () in
+  ignore
+    (Db.Database.exec db
+       "CREATE TRIGGER guard ON ACCESS TO audit_alice BEFORE RETURN AS IF \
+        ((SELECT count(*) FROM accessed) > 0) DENY 'Alice is off limits'");
+  (match Db.Database.exec db "SELECT * FROM patients WHERE name = 'Alice'" with
+  | exception Db.Database.Access_denied msg ->
+    check Alcotest.string "denial message" "Alice is off limits" msg
+  | _ -> Alcotest.fail "expected Access_denied");
+  (* The AFTER trigger audited the denied query anyway. *)
+  check Alcotest.int "denied access still logged" 1 (List.length (log_rows db));
+  (* Queries not touching Alice are unaffected. *)
+  check Alcotest.int "other queries pass" 1
+    (List.length (Db.Database.query db "SELECT * FROM patients WHERE name = 'Bob'"))
+
+let test_before_return_warn_only () =
+  (* A BEFORE RETURN action without DENY is a warning: result flows. *)
+  let db = Fixtures.healthcare_with_alice () in
+  ignore
+    (Db.Database.exec db
+       "CREATE TRIGGER warn ON ACCESS TO audit_alice BEFORE RETURN AS \
+        NOTIFY 'sensitive data ahead'");
+  let rows = Db.Database.query db "SELECT * FROM patients WHERE name = 'Alice'" in
+  check Alcotest.int "result returned" 1 (List.length rows);
+  check Alcotest.(list string) "warning raised" [ "sensitive data ahead" ]
+    (Db.Database.notifications db)
+
+let test_deny_restrictions () =
+  let db = Fixtures.healthcare_with_alice () in
+  (* DENY outside a BEFORE RETURN action is an error. *)
+  (match Db.Database.exec db "DENY 'nope'" with
+  | exception Db.Database.Db_error _ -> ()
+  | _ -> Alcotest.fail "top-level DENY should fail");
+  (* BEFORE RETURN on a DML trigger is rejected. *)
+  match
+    Db.Database.exec db
+      "CREATE TRIGGER bad ON patients AFTER INSERT BEFORE RETURN AS NOTIFY 'x'"
+  with
+  | exception Db.Database.Db_error _ -> ()
+  | _ -> Alcotest.fail "BEFORE RETURN on DML trigger should fail"
+
+let test_unknown_audit_rejected () =
+  let db = Fixtures.healthcare () in
+  match
+    Db.Database.exec db
+      "CREATE TRIGGER t ON ACCESS TO nonexistent AS NOTIFY 'x'"
+  with
+  | exception Db.Database.Db_error _ -> ()
+  | _ -> Alcotest.fail "expected unknown-audit error"
+
+let suite =
+  [
+    Alcotest.test_case "SELECT trigger fires and logs" `Quick
+      test_select_trigger_fires;
+    Alcotest.test_case "no access, no firing" `Quick test_no_access_no_fire;
+    Alcotest.test_case "ACCESSED contains every audited ID" `Quick
+      test_accessed_contains_all_ids;
+    Alcotest.test_case "ACCESSED is transient" `Quick
+      test_accessed_relation_dropped_after;
+    Alcotest.test_case "logical clock" `Quick test_logical_clock_increments;
+    Alcotest.test_case "action joins ACCESSED (§II-C)" `Quick test_join_action;
+    Alcotest.test_case "SELECT trigger cascades to DML trigger" `Quick
+      test_cascade_to_dml_trigger;
+    Alcotest.test_case "conditional NOTIFY threshold (§II-C)" `Quick
+      test_conditional_notify;
+    Alcotest.test_case "DML triggers with old/new" `Quick
+      test_dml_triggers_old_new;
+    Alcotest.test_case "cascade depth limit" `Quick test_depth_limit;
+    Alcotest.test_case "DROP TRIGGER" `Quick test_drop_trigger;
+    Alcotest.test_case "multiple triggers per audit" `Quick
+      test_multiple_triggers_same_audit;
+    Alcotest.test_case "unknown audit rejected" `Quick
+      test_unknown_audit_rejected;
+    Alcotest.test_case "BEFORE RETURN + DENY (real-time control)" `Quick
+      test_before_return_deny;
+    Alcotest.test_case "BEFORE RETURN warning" `Quick
+      test_before_return_warn_only;
+    Alcotest.test_case "DENY restrictions" `Quick test_deny_restrictions;
+  ]

@@ -1,0 +1,186 @@
+(** Unit + property tests for {!Storage.Value}: calendar arithmetic,
+    SQL comparisons, numeric promotion, LIKE matching, hashing. *)
+
+open Storage
+
+let check = Alcotest.check
+let vt = Fixtures.value
+
+(* --------------------------------------------------------------- *)
+(* Dates                                                            *)
+(* --------------------------------------------------------------- *)
+
+let test_date_roundtrip_known () =
+  List.iter
+    (fun s -> check Alcotest.string s s (Value.string_of_date (Value.date_of_string s)))
+    [
+      "1970-01-01"; "1992-01-01"; "1998-08-02"; "2000-02-29"; "1900-02-28";
+      "2024-12-31"; "1969-12-31"; "1600-03-01";
+    ]
+
+let test_date_epoch () =
+  check Alcotest.int "epoch day zero" 0 (Value.date_of_string "1970-01-01");
+  check Alcotest.int "day one" 1 (Value.date_of_string "1970-01-02");
+  check Alcotest.int "before epoch" (-1) (Value.date_of_string "1969-12-31")
+
+let test_date_add_months () =
+  let d s = Value.date_of_string s in
+  check Alcotest.int "plus one month" (d "1995-02-28")
+    (Value.add_months (d "1995-01-28") 1);
+  check Alcotest.int "clamps to month end" (d "1995-02-28")
+    (Value.add_months (d "1995-01-31") 1);
+  check Alcotest.int "leap clamp" (d "1996-02-29")
+    (Value.add_months (d "1996-01-31") 1);
+  check Alcotest.int "across year" (d "1996-01-15")
+    (Value.add_months (d "1995-10-15") 3);
+  check Alcotest.int "negative months" (d "1994-11-30")
+    (Value.add_months (d "1994-12-31") (-1));
+  check Alcotest.int "plus a year" (d "1995-01-01")
+    (Value.add_years (d "1994-01-01") 1)
+
+let test_date_invalid () =
+  List.iter
+    (fun s ->
+      Alcotest.check_raises ("invalid " ^ s)
+        (Value.Type_error
+           (Printf.sprintf "invalid date literal %S (expected YYYY-MM-DD)" s))
+        (fun () -> ignore (Value.date_of_string s)))
+    [ "1995-13-01"; "1995-02-30"; "1995-00-10"; "hello"; "1995/01/01" ]
+
+let prop_date_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"civil<->days roundtrip"
+    QCheck.(int_range (-200_000) 200_000)
+    (fun z ->
+      let y, m, d = Value.civil_of_days z in
+      Value.days_of_civil ~year:y ~month:m ~day:d = z
+      && m >= 1 && m <= 12 && d >= 1
+      && d <= Value.days_in_month y m)
+
+let prop_add_months_inverse =
+  QCheck.Test.make ~count:500 ~name:"add_months n then -n is <= original (clamping)"
+    QCheck.(pair (int_range 0 20000) (int_range (-50) 50))
+    (fun (z, n) ->
+      let there = Value.add_months z n in
+      let back = Value.add_months there (-n) in
+      (* Clamping can lose at most a few days, never gain. *)
+      abs (back - z) <= 3)
+
+(* --------------------------------------------------------------- *)
+(* Comparison and arithmetic                                        *)
+(* --------------------------------------------------------------- *)
+
+let test_compare_sql_nulls () =
+  check Alcotest.(option int) "null vs int" None
+    (Value.compare_sql Value.Null (Value.Int 3));
+  check Alcotest.(option int) "int vs null" None
+    (Value.compare_sql (Value.Int 3) Value.Null);
+  check Alcotest.(option int) "null vs null" None
+    (Value.compare_sql Value.Null Value.Null)
+
+let test_numeric_promotion () =
+  check vt "int+int" (Value.Int 5) (Value.add (Value.Int 2) (Value.Int 3));
+  check vt "int+float" (Value.Float 5.5)
+    (Value.add (Value.Int 2) (Value.Float 3.5));
+  check vt "int/int truncates" (Value.Int 0)
+    (Value.div (Value.Int 56) (Value.Int 1000));
+  check vt "int/int negative" (Value.Int (-2))
+    (Value.div (Value.Int (-5)) (Value.Int 2));
+  check vt "float division" (Value.Float 2.5)
+    (Value.div (Value.Float 5.0) (Value.Int 2));
+  check vt "null propagates" Value.Null (Value.add Value.Null (Value.Int 1))
+
+let test_int_float_equality () =
+  check Alcotest.bool "Int 2 = Float 2.0" true
+    (Value.equal (Value.Int 2) (Value.Float 2.0));
+  check Alcotest.bool "hash consistent with equal" true
+    (Value.hash (Value.Int 2) = Value.hash (Value.Float 2.0))
+
+let test_date_arith () =
+  let d s = Value.Date (Value.date_of_string s) in
+  check vt "date + int days" (d "1995-01-11") (Value.add (d "1995-01-01") (Value.Int 10));
+  check vt "date - date" (Value.Int 10) (Value.sub (d "1995-01-11") (d "1995-01-01"))
+
+let test_division_by_zero () =
+  Alcotest.check_raises "div by zero" (Value.Type_error "division by zero")
+    (fun () -> ignore (Value.div (Value.Int 1) (Value.Int 0)))
+
+(* --------------------------------------------------------------- *)
+(* LIKE                                                             *)
+(* --------------------------------------------------------------- *)
+
+let test_like_basics () =
+  let m p s = Value.like_match ~pattern:p s in
+  check Alcotest.bool "exact" true (m "abc" "abc");
+  check Alcotest.bool "mismatch" false (m "abc" "abd");
+  check Alcotest.bool "prefix pct" true (m "ab%" "abcdef");
+  check Alcotest.bool "suffix pct" true (m "%ef" "abcdef");
+  check Alcotest.bool "infix pct" true (m "a%f" "abcdef");
+  check Alcotest.bool "double pct" true (m "%special%requests%" "was special handling requests carefully");
+  check Alcotest.bool "double pct no match" false (m "%special%requests%" "special reqs only");
+  check Alcotest.bool "underscore" true (m "a_c" "abc");
+  check Alcotest.bool "underscore exact len" false (m "a_c" "abbc");
+  check Alcotest.bool "empty pattern empty string" true (m "" "");
+  check Alcotest.bool "pct matches empty" true (m "%" "");
+  check Alcotest.bool "trailing pcts" true (m "abc%%" "abc")
+
+let prop_like_pct_prefix =
+  QCheck.Test.make ~count:500 ~name:"'pre%' matches iff prefix"
+    QCheck.(pair (string_of_size (QCheck.Gen.int_bound 5)) (string_of_size (QCheck.Gen.int_bound 8)))
+    (fun (pre, s) ->
+      QCheck.assume (not (String.contains pre '%' || String.contains pre '_'));
+      QCheck.assume (not (String.contains s '%' || String.contains s '_'));
+      Value.like_match ~pattern:(pre ^ "%") s
+      = (String.length s >= String.length pre
+        && String.sub s 0 (String.length pre) = pre))
+
+(* --------------------------------------------------------------- *)
+(* Total order                                                      *)
+(* --------------------------------------------------------------- *)
+
+let gen_value =
+  QCheck.Gen.(
+    oneof
+      [
+        return Value.Null;
+        map (fun b -> Value.Bool b) bool;
+        map (fun i -> Value.Int i) (int_range (-100) 100);
+        map (fun f -> Value.Float f) (float_range (-100.0) 100.0);
+        map (fun s -> Value.Str s) (string_size (int_bound 6));
+        map (fun d -> Value.Date d) (int_range 0 20000);
+      ])
+
+let arb_value = QCheck.make ~print:Value.to_string gen_value
+
+let prop_compare_total_order =
+  QCheck.Test.make ~count:1000 ~name:"compare_total is a total order"
+    QCheck.(triple arb_value arb_value arb_value)
+    (fun (a, b, c) ->
+      let ( <= ) x y = Value.compare_total x y <= 0 in
+      (* antisymmetry + transitivity spot checks *)
+      (if a <= b && b <= a then Value.compare_total a b = 0 else true)
+      && if a <= b && b <= c then a <= c else true)
+
+let prop_hash_respects_equal =
+  QCheck.Test.make ~count:1000 ~name:"equal values hash equally"
+    QCheck.(pair arb_value arb_value)
+    (fun (a, b) ->
+      if Value.equal a b then Value.hash a = Value.hash b else true)
+
+let suite =
+  [
+    Alcotest.test_case "date roundtrip (known)" `Quick test_date_roundtrip_known;
+    Alcotest.test_case "date epoch anchoring" `Quick test_date_epoch;
+    Alcotest.test_case "add_months clamping" `Quick test_date_add_months;
+    Alcotest.test_case "invalid dates rejected" `Quick test_date_invalid;
+    Alcotest.test_case "NULL comparisons are unknown" `Quick test_compare_sql_nulls;
+    Alcotest.test_case "numeric promotion" `Quick test_numeric_promotion;
+    Alcotest.test_case "int/float equality & hash" `Quick test_int_float_equality;
+    Alcotest.test_case "date arithmetic" `Quick test_date_arith;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+    Alcotest.test_case "LIKE matching" `Quick test_like_basics;
+    QCheck_alcotest.to_alcotest prop_date_roundtrip;
+    QCheck_alcotest.to_alcotest prop_add_months_inverse;
+    QCheck_alcotest.to_alcotest prop_like_pct_prefix;
+    QCheck_alcotest.to_alcotest prop_compare_total_order;
+    QCheck_alcotest.to_alcotest prop_hash_respects_equal;
+  ]
