@@ -1,14 +1,26 @@
 (* Benchmark harness: regenerates every figure of the paper's evaluation
    (Figures 6-10) plus the DESIGN.md ablations, then runs Bechamel
-   micro-benchmarks of the physical operators involved.
+   micro-benchmarks of the physical operators involved. Alongside the text
+   tables it writes a machine-readable JSON report (per-figure rows,
+   per-operator timings from the execution-metrics layer, and audit
+   overhead percentages) for the CI perf trajectory.
 
    Configuration via environment:
      TPCH_SF        scale factor (default 0.01)
      TPCH_SEED      generator seed (default 42)
      BENCH_REPEATS  timing repetitions (default 3)
-     BENCH_ONLY     comma-separated subset, e.g. "fig6,fig9,micro" *)
+     BENCH_ONLY     comma-separated subset, e.g. "fig6,fig9,micro"
+                    (unknown names abort with exit code 2)
+     BENCH_JSON     report path (default BENCH_PR1.json) *)
 
 open Experiments
+
+let known_benchmarks =
+  [
+    "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "ablation-idprop";
+    "ablation-multi"; "ablation-provenance"; "ablation-static"; "pipeline";
+    "scaling"; "micro";
+  ]
 
 let wanted only name = only = [] || List.mem name only
 
@@ -16,7 +28,7 @@ let wanted only name = only = [] || List.mem name only
 (* Bechamel micro-benchmarks of the physical operators                 *)
 (* ------------------------------------------------------------------ *)
 
-let micro_benchmarks (env : Setup.env) =
+let micro_benchmarks (env : Setup.env) : (string * float option) list =
   Benchkit.Report.print_title
     "Operator micro-benchmarks (Bechamel, per-row costs)";
   Benchkit.Report.print_note
@@ -79,13 +91,23 @@ let micro_benchmarks (env : Setup.env) =
     (fun name ols ->
       let est =
         match Analyze.OLS.estimates ols with
-        | Some [ e ] -> Printf.sprintf "%.1f ns/run" e
-        | _ -> "n/a"
+        | Some [ e ] -> Some e
+        | _ -> None
       in
-      rows := [ name; est ] :: !rows)
+      rows := (name, est) :: !rows)
     results;
+  let rows = List.sort compare !rows in
   Benchkit.Report.print_table ~headers:[ "operation"; "cost" ]
-    (List.sort compare !rows)
+    (List.map
+       (fun (name, est) ->
+         let cost =
+           match est with
+           | Some e -> Printf.sprintf "%.1f ns/run" e
+           | None -> "n/a"
+         in
+         [ name; cost ])
+       rows);
+  rows
 
 (* ------------------------------------------------------------------ *)
 
@@ -93,9 +115,22 @@ let () =
   let cfg = Setup.config_of_env () in
   let only =
     match Sys.getenv_opt "BENCH_ONLY" with
-    | Some s -> String.split_on_char ',' (String.trim s)
     | None -> []
+    | Some s ->
+      String.split_on_char ',' s
+      |> List.map String.trim
+      |> List.filter (fun n -> n <> "")
   in
+  (* A typo in BENCH_ONLY used to silently run zero benchmarks — poison for
+     CI smoke runs. Fail fast instead. *)
+  let unknown = List.filter (fun n -> not (List.mem n known_benchmarks)) only in
+  if unknown <> [] then begin
+    Printf.eprintf
+      "error: BENCH_ONLY names no known benchmark: %s\nknown: %s\n"
+      (String.concat ", " unknown)
+      (String.concat ", " known_benchmarks);
+    exit 2
+  end;
   Printf.printf
     "SELECT Triggers for Data Auditing — evaluation harness\n\
      =======================================================\n\
@@ -106,18 +141,36 @@ let () =
   Printf.printf "Loaded in %.1fs: %s\n%!"
     (Unix.gettimeofday () -. t0)
     (Setup.describe env);
-  if wanted only "fig6" then ignore (Figures.fig6 env);
-  if wanted only "fig7" then ignore (Figures.fig7 env);
-  if wanted only "fig8" then ignore (Figures.fig8 env);
-  if wanted only "fig9" then ignore (Figures.fig9 env);
-  if wanted only "fig10" then ignore (Figures.fig10 env);
-  if wanted only "ablation-idprop" then ignore (Figures.ablation_idprop env);
-  if wanted only "ablation-multi" then ignore (Figures.ablation_multi env);
+  let sections = ref [] in
+  let add name json = sections := (name, json) :: !sections in
+  if wanted only "fig6" then
+    add "fig6" (Json_report.fig6_json env (Figures.fig6 env));
+  if wanted only "fig7" then add "fig7" (Json_report.fig7_json (Figures.fig7 env));
+  if wanted only "fig8" then add "fig8" (Json_report.fig8_json (Figures.fig8 env));
+  if wanted only "fig9" then
+    add "fig9" (Json_report.fig9_json env (Figures.fig9 env));
+  if wanted only "fig10" then
+    add "fig10" (Json_report.fig10_json (Figures.fig10 env));
+  if wanted only "ablation-idprop" then
+    add "ablation_idprop" (Json_report.ablation_idprop_json (Figures.ablation_idprop env));
+  if wanted only "ablation-multi" then
+    add "ablation_multi" (Json_report.ablation_multi_json (Figures.ablation_multi env));
   if wanted only "ablation-provenance" then
-    ignore (Figures.ablation_provenance env);
-  if wanted only "ablation-static" then ignore (Figures.ablation_static env);
+    add "ablation_provenance"
+      (Json_report.ablation_provenance_json (Figures.ablation_provenance env));
+  if wanted only "ablation-static" then
+    add "ablation_static" (Json_report.ablation_static_json (Figures.ablation_static env));
   if wanted only "pipeline" then ignore (Pipeline.run env);
   if wanted only "scaling" then
     ignore (Scaling.run ~seed:cfg.Setup.seed ~repeats:cfg.Setup.repeats ());
-  if wanted only "micro" then micro_benchmarks env;
-  Printf.printf "\nDone in %.1fs total.\n" (Unix.gettimeofday () -. t0)
+  if wanted only "micro" then add "micro" (Json_report.micro_json (micro_benchmarks env));
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let path =
+    match Sys.getenv_opt "BENCH_JSON" with
+    | Some p when String.trim p <> "" -> p
+    | _ -> "BENCH_PR1.json"
+  in
+  Benchkit.Json.write_file path
+    (Json_report.assemble env ~sections:(List.rev !sections) ~elapsed_s:elapsed);
+  Printf.printf "\nWrote %s (%d sections).\nDone in %.1fs total.\n" path
+    (List.length !sections) elapsed

@@ -8,6 +8,8 @@
      \notifications         show (and clear) NOTIFY output
      \accessed              ACCESSED state of the last SELECT
      \plan <sql>            show the instrumented plan for a query
+     \analyze <sql>         EXPLAIN ANALYZE: run the query, show the plan
+                            annotated with actual row counts and timings
      \dump [file]           SQL dump of the database (to stdout or file)
      \heuristic <h>         leaf | hcn | highest
      \user <name>           set session user
@@ -16,8 +18,8 @@
 
 let usage_commands =
   "commands: \\q \\tables \\audits \\triggers \\notifications \\accessed \
-   \\plan <sql> \\dump [file] \\heuristic <leaf|hcn|highest> \\user <name> \
-   \\tpch <sf>"
+   \\plan <sql> \\analyze <sql> \\dump [file] \\heuristic <leaf|hcn|highest> \
+   \\user <name> \\tpch <sf>"
 
 let print_result r = print_endline (Db.Database.result_to_string r)
 
@@ -71,6 +73,11 @@ let handle_command db line =
     let sql = String.concat " " rest in
     let plan = Db.Database.plan_sql db sql in
     print_string (Plan.Logical.to_string plan)
+  | "\\analyze" :: rest -> (
+    let sql = String.concat " " rest in
+    match Db.Database.exec db ("EXPLAIN ANALYZE " ^ sql) with
+    | r -> print_result r
+    | exception Db.Database.Db_error m -> Printf.printf "error: %s\n" m)
   | [ "\\heuristic"; h ] -> (
     match String.lowercase_ascii h with
     | "leaf" -> Db.Database.set_heuristic db Audit_core.Placement.Leaf

@@ -1,0 +1,91 @@
+(** Minimal JSON emitter for machine-readable benchmark reports.
+
+    The container ships no JSON library, and the harness only ever *writes*
+    JSON, so a small value type and printer suffice. Non-finite floats are
+    emitted as [null] (JSON has no NaN/inf). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_repr f =
+  if Float.is_finite f then
+    (* %.17g roundtrips but is noisy; %.12g is plenty for timings. *)
+    let s = Printf.sprintf "%.12g" f in
+    (* "1." or "1" are valid OCaml floats but JSON needs a digit after the
+       point; %g never emits a trailing point, so s is already valid. *)
+    s
+  else "null"
+
+(** Pretty-print with two-space indentation (reports are meant to be
+    human-diffable artifacts as well as machine-readable). *)
+let to_string (v : t) : string =
+  let b = Buffer.create 4096 in
+  let pad n = Buffer.add_string b (String.make n ' ') in
+  let rec go indent = function
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (if x then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f -> Buffer.add_string b (float_repr f)
+    | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (indent + 2);
+          go (indent + 2) item)
+        items;
+      Buffer.add_char b '\n';
+      pad indent;
+      Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (indent + 2);
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\": ";
+          go (indent + 2) v)
+        fields;
+      Buffer.add_char b '\n';
+      pad indent;
+      Buffer.add_char b '}'
+  in
+  go 0 v;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let write_file path v =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string v))

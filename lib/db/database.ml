@@ -46,6 +46,8 @@ type t = {
   mutable in_before_trigger : bool;
   mutable last_accessed : (string * Value.t list) list;
       (** per-audit ACCESSED of the last top-level SELECT (diagnostics) *)
+  mutable last_stats : Exec.Metrics.op_report list option;
+      (** per-operator stats of the last metrics-collected query *)
 }
 
 let max_trigger_depth = 8
@@ -63,6 +65,7 @@ let create () =
     trigger_depth = 0;
     in_before_trigger = false;
     last_accessed = [];
+    last_stats = None;
   }
 
 let catalog db = db.catalog
@@ -75,6 +78,14 @@ let notifications db = List.rev db.notifications
 let clear_notifications db = db.notifications <- []
 let last_accessed db = db.last_accessed
 let trigger_manager db = db.triggers
+
+(** Collect per-operator metrics for every subsequent query (also switched
+    on transiently by EXPLAIN ANALYZE). Off by default: the wrapper costs
+    two clock reads per row per operator. *)
+let set_collect_metrics db b =
+  Exec.Metrics.set_enabled db.ctx.Exec.Exec_ctx.metrics b
+
+let last_query_stats db = db.last_stats
 
 let norm = String.lowercase_ascii
 
@@ -270,9 +281,23 @@ let rec exec_statement db (stmt : Sql.Ast.statement) : result =
     (try Table.drop_index t index_name
      with Table.Unknown_index n -> err "unknown index %s" n);
     Done (Printf.sprintf "index %s dropped" index_name)
-  | Sql.Ast.S_explain q ->
-    let plan = plan_query db q in
+  | Sql.Ast.S_explain { analyze = false; query } ->
+    let plan = plan_query db query in
     Done (Plan.Logical.to_string plan)
+  | Sql.Ast.S_explain { analyze = true; query } ->
+    (* Execute the instrumented plan with metrics collection on and render
+       the tree with actual row counts/timings. Diagnostic only: triggers
+       do not fire, mirroring run_plan. *)
+    let plan = plan_query db query in
+    let m = db.ctx.Exec.Exec_ctx.metrics in
+    let was = Exec.Metrics.enabled m in
+    Exec.Metrics.set_enabled m true;
+    Fun.protect
+      ~finally:(fun () -> Exec.Metrics.set_enabled m was)
+      (fun () ->
+        ignore (run_plan db plan);
+        db.last_stats <- Some (Exec.Metrics.report m);
+        Done (Exec.Explain.render db.ctx plan))
   | Sql.Ast.S_notify msg ->
     db.notifications <- msg :: db.notifications;
     Done (Printf.sprintf "notify: %s" msg)
@@ -303,13 +328,16 @@ and exec_select db (q : Sql.Ast.query) : result =
   install_audit_sets db;
   if top_level then Exec.Exec_ctx.reset_query_state db.ctx;
   let record () =
-    if top_level then
+    if top_level then begin
       db.last_accessed <-
-        List.map
-          (fun name ->
-            (name, Exec.Exec_ctx.accessed_list db.ctx ~audit_name:name))
-          (audit_names db)
-        |> List.filter (fun (_, ids) -> ids <> [])
+        (List.map
+           (fun name ->
+             (name, Exec.Exec_ctx.accessed_list db.ctx ~audit_name:name))
+           (audit_names db)
+        |> List.filter (fun (_, ids) -> ids <> []));
+      if Exec.Metrics.enabled db.ctx.Exec.Exec_ctx.metrics then
+        db.last_stats <- Some (Exec.Metrics.report db.ctx.Exec.Exec_ctx.metrics)
+    end
   in
   (* §II: the action executes even if the query aborts after a partial
      read — accesses recorded so far are still accesses. *)

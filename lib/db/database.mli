@@ -41,6 +41,15 @@ val clear_notifications : t -> unit
 (** Per-audit ACCESSED IDs of the last top-level SELECT (diagnostics). *)
 val last_accessed : t -> (string * Value.t list) list
 
+(** Collect per-operator execution metrics for every subsequent query
+    (EXPLAIN ANALYZE enables this transiently on its own). Off by default:
+    the instrumentation costs two clock reads per row per operator. *)
+val set_collect_metrics : t -> bool -> unit
+
+(** Per-operator stats of the last metrics-collected top-level SELECT or
+    EXPLAIN ANALYZE, in plan pre-order. [None] until one ran. *)
+val last_query_stats : t -> Exec.Metrics.op_report list option
+
 val trigger_manager : t -> Audit_core.Trigger.manager
 
 (** {1 Audit expressions} *)

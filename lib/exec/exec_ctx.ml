@@ -40,6 +40,9 @@ type t = {
   mutable audit_probes : int;  (** rows seen by audit operators *)
   mutable audit_hits : int;  (** rows matching a sensitive ID *)
   mutable rows_scanned : int;
+  metrics : Metrics.t;
+      (** per-operator registry; populated only when metrics collection is
+          enabled (EXPLAIN ANALYZE, benchmarks) *)
 }
 
 let create catalog =
@@ -56,6 +59,7 @@ let create catalog =
     audit_probes = 0;
     audit_hits = 0;
     rows_scanned = 0;
+    metrics = Metrics.create ();
   }
 
 let norm = String.lowercase_ascii
@@ -75,7 +79,8 @@ let reset_query_state ctx =
   ctx.params <- [];
   ctx.audit_probes <- 0;
   ctx.audit_hits <- 0;
-  ctx.rows_scanned <- 0
+  ctx.rows_scanned <- 0;
+  Metrics.clear ctx.metrics
 
 (** Record an access for an ID that may no longer be in the sensitive view
     (DML read-accesses, §II-B). *)

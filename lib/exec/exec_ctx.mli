@@ -32,6 +32,9 @@ type t = {
   mutable audit_probes : int;  (** statistics: rows seen by audit operators *)
   mutable audit_hits : int;  (** statistics: rows matching a sensitive ID *)
   mutable rows_scanned : int;
+  metrics : Metrics.t;
+      (** per-operator stats registry; populated only while metrics
+          collection is enabled (EXPLAIN ANALYZE, benchmarks) *)
 }
 
 val create : Catalog.t -> t

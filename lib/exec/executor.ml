@@ -49,7 +49,31 @@ let split_equi ~left_arity pred =
     ([], []) conjs
   |> fun (keys, res) -> (List.rev keys, List.rev res)
 
+(* When metrics collection is enabled, every compiled operator is wrapped so
+   each getNext call is counted and timed against the node's [op_stats].
+   Registration happens before children compile, so reports come out in plan
+   pre-order; the record is found again later by physical node identity
+   (EXPLAIN ANALYZE walks the same tree). *)
 let rec compile (ctx : Exec_ctx.t) (plan : Logical.t) : factory =
+  if not (Metrics.enabled ctx.Exec_ctx.metrics) then compile_op ctx plan
+  else begin
+    let st = Metrics.register ctx.Exec_ctx.metrics plan in
+    let f = compile_op ctx plan in
+    fun () ->
+      st.Metrics.opens <- st.Metrics.opens + 1;
+      let c = f () in
+      fun () ->
+        let t0 = Metrics.now_s () in
+        let r = c () in
+        st.Metrics.time_s <- st.Metrics.time_s +. (Metrics.now_s () -. t0);
+        st.Metrics.calls <- st.Metrics.calls + 1;
+        (match r with
+        | Some _ -> st.Metrics.rows <- st.Metrics.rows + 1
+        | None -> ());
+        r
+  end
+
+and compile_op (ctx : Exec_ctx.t) (plan : Logical.t) : factory =
   match plan with
   | Logical.Scan { table; cols; _ } -> compile_scan ctx table cols
   | Logical.Filter { pred; child } ->
@@ -72,7 +96,7 @@ let rec compile (ctx : Exec_ctx.t) (plan : Logical.t) : factory =
         | None -> None
         | Some row -> Some (Array.map (Eval.eval ctx row) exprs))
   | Logical.Join { kind; pred; left; right } ->
-    compile_join ctx kind pred left right
+    compile_join ctx ~node:plan kind pred left right
   | Logical.Semi_join { anti; left; left_key; right; right_key } ->
     let lf = compile ctx left in
     let rf = compile ctx right in
@@ -210,6 +234,7 @@ let rec compile (ctx : Exec_ctx.t) (plan : Logical.t) : factory =
   | Logical.Audit { audit_name; id_col; child } ->
     let cf = compile ctx child in
     let name = String.lowercase_ascii audit_name in
+    let st = Metrics.find ctx.Exec_ctx.metrics plan in
     fun () ->
       let sensitive =
         match Exec_ctx.audit_ids ctx ~audit_name:name with
@@ -227,11 +252,17 @@ let rec compile (ctx : Exec_ctx.t) (plan : Logical.t) : factory =
         | None -> None
         | Some row ->
           ctx.Exec_ctx.audit_probes <- ctx.Exec_ctx.audit_probes + 1;
+          (match st with
+          | Some s -> s.Metrics.probes <- s.Metrics.probes + 1
+          | None -> ());
           (* One hash probe per row; a hit marks the ID as accessed by
              storing the query generation into the probe table entry. *)
           (match Value.Hashtbl_v.find_opt sensitive row.(id_col) with
           | Some mark ->
             ctx.Exec_ctx.audit_hits <- ctx.Exec_ctx.audit_hits + 1;
+            (match st with
+            | Some s -> s.Metrics.hits <- s.Metrics.hits + 1
+            | None -> ());
             if !mark <> ctx.Exec_ctx.generation then
               mark := ctx.Exec_ctx.generation
           | None -> ());
@@ -272,24 +303,26 @@ and compile_scan ctx table cols : factory =
             | Some idxs -> Tuple.project row idxs)
 
 (* A right side usable for index nested loops: a chain of Filter/Audit
-   operators over a bare Scan. Returns the scan info and the chain bottom-up. *)
+   operators over a bare Scan. Returns the scan info and the chain bottom-up;
+   each chain op carries its plan node so metrics can be attributed to it. *)
 and probe_chain (plan : Logical.t) :
-    (string * int array option
-    * [ `Filter of Scalar.t | `Audit of string * int ] list)
+    (string * int array option * Logical.t
+    * ([ `Filter of Scalar.t | `Audit of string * int ] * Logical.t) list)
     option =
   match plan with
-  | Logical.Scan { table; cols; _ } -> Some (table, cols, [])
+  | Logical.Scan { table; cols; _ } -> Some (table, cols, plan, [])
   | Logical.Filter { pred; child } ->
     Option.map
-      (fun (t, c, ops) -> (t, c, ops @ [ `Filter pred ]))
+      (fun (t, c, scan, ops) -> (t, c, scan, ops @ [ (`Filter pred, plan) ]))
       (probe_chain child)
   | Logical.Audit { audit_name; id_col; child } ->
     Option.map
-      (fun (t, c, ops) -> (t, c, ops @ [ `Audit (audit_name, id_col) ]))
+      (fun (t, c, scan, ops) ->
+        (t, c, scan, ops @ [ (`Audit (audit_name, id_col), plan) ]))
       (probe_chain child)
   | _ -> None
 
-and compile_join ctx kind pred left right : factory =
+and compile_join ctx ~node kind pred left right : factory =
   let la = Logical.arity left in
   let ra = Logical.arity right in
   let lf = compile ctx left in
@@ -314,11 +347,14 @@ and compile_join ctx kind pred left right : factory =
     match keys with
     | [ (lk, Scalar.Col j) ] -> (
       match probe_chain right with
-      | Some (_, _, ops)
-        when List.exists (function `Audit _ -> true | `Filter _ -> false) ops
+      | Some (_, _, _, ops)
+        when List.exists
+               (fun (op, _) ->
+                 match op with `Audit _ -> true | `Filter _ -> false)
+               ops
         ->
         None
-      | Some (table, cols, ops) -> (
+      | Some (table, cols, scan_node, ops) -> (
         let base_col =
           match cols with None -> j | Some idxs -> idxs.(j)
         in
@@ -330,17 +366,23 @@ and compile_join ctx kind pred left right : factory =
             Plan.Cardinality.estimate ctx.Exec_ctx.catalog left
           in
           if left_est *. 4.0 < float_of_int (Table.cardinality t) then
-            Some (lk, base_col, table, cols, ops)
+            Some (lk, base_col, table, cols, scan_node, ops)
           else None
         | _ -> None)
       | None -> None)
     | _ -> None
   in
+  let join_phys p =
+    let dir = match kind with Logical.J_inner -> "" | Logical.J_left -> "Left" in
+    Metrics.set_phys ctx.Exec_ctx.metrics node (dir ^ p)
+  in
   match inl with
-  | Some (lk, base_col, table, cols, ops) ->
+  | Some (lk, base_col, table, cols, scan_node, ops) ->
+    join_phys "IndexNLJoin";
     compile_inl_join ctx kind ~left:lf ~left_key:lk ~base_col ~table ~cols
-      ~ops ~residual ~null_pad
+      ~scan_node ~ops ~residual ~null_pad
   | None ->
+  join_phys (if use_hash then "HashJoin" else "NLJoin");
   fun () ->
     (* Materialize and (for equi joins) hash the build side. *)
     let rc = rf () in
@@ -401,9 +443,18 @@ and compile_join ctx kind pred left right : factory =
    table, each fetched row pushed through the right side's Filter/Audit
    chain — so a leaf audit operator on the probe side observes exactly the
    fetched rows. *)
-and compile_inl_join ctx kind ~left ~left_key ~base_col ~table ~cols ~ops
-    ~residual ~null_pad : factory =
- fun () ->
+and compile_inl_join ctx kind ~left ~left_key ~base_col ~table ~cols
+    ~scan_node ~ops ~residual ~null_pad : factory =
+  (* Chain nodes were registered when the right subtree was compiled for the
+     (unused) scan-based fallback; re-attribute their row/probe activity even
+     though the cursors are folded into the lookup. Time stays on the join. *)
+  let stats_of n =
+    if Metrics.enabled ctx.Exec_ctx.metrics then
+      Some (Metrics.register ctx.Exec_ctx.metrics n)
+    else None
+  in
+  let scan_st = stats_of scan_node in
+  fun () ->
   let t =
     match Catalog.find_opt ctx.Exec_ctx.catalog table with
     | Some t -> t
@@ -419,8 +470,17 @@ and compile_inl_join ctx kind ~left ~left_key ~base_col ~table ~cols ~ops
   (* Compile the chain ops into closures (audit mark tables resolved now). *)
   let compiled_ops =
     List.map
-      (function
-        | `Filter pred -> fun row -> if Eval.truthy ctx row pred then Some row else None
+      (fun (op, op_node) ->
+        let st = stats_of op_node in
+        let count_row row =
+          (match st with
+          | Some s -> s.Metrics.rows <- s.Metrics.rows + 1
+          | None -> ());
+          Some row
+        in
+        match op with
+        | `Filter pred ->
+          fun row -> if Eval.truthy ctx row pred then count_row row else None
         | `Audit (audit_name, id_col) -> (
           let name = String.lowercase_ascii audit_name in
           match Exec_ctx.audit_ids ctx ~audit_name:name with
@@ -433,17 +493,26 @@ and compile_inl_join ctx kind ~left ~left_key ~base_col ~table ~cols ~ops
           | Some sensitive ->
             fun row ->
               ctx.Exec_ctx.audit_probes <- ctx.Exec_ctx.audit_probes + 1;
+              (match st with
+              | Some s -> s.Metrics.probes <- s.Metrics.probes + 1
+              | None -> ());
               (match Value.Hashtbl_v.find_opt sensitive row.(id_col) with
               | Some mark ->
                 ctx.Exec_ctx.audit_hits <- ctx.Exec_ctx.audit_hits + 1;
+                (match st with
+                | Some s -> s.Metrics.hits <- s.Metrics.hits + 1
+                | None -> ());
                 if !mark <> ctx.Exec_ctx.generation then
                   mark := ctx.Exec_ctx.generation
               | None -> ());
-              Some row))
+              count_row row))
       ops
   in
   let through_chain base_row =
     ctx.Exec_ctx.rows_scanned <- ctx.Exec_ctx.rows_scanned + 1;
+    (match scan_st with
+    | Some s -> s.Metrics.rows <- s.Metrics.rows + 1
+    | None -> ());
     let projected =
       match cols with None -> base_row | Some idxs -> Tuple.project base_row idxs
     in

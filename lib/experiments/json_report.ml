@@ -1,0 +1,268 @@
+(** Machine-readable benchmark report (the BENCH_*.json trajectory).
+
+    Each figure/ablation the harness runs contributes one section built from
+    the same row records the text tables print, augmented with quantities
+    only the JSON consumers need: measured audit-overhead percentages
+    (instrumented vs. plain wall time, the paper's headline claim) and
+    per-operator breakdowns from the execution-metrics layer, so CI can
+    track where instrumented plans spend their time PR over PR. *)
+
+open Benchkit
+
+(* --------------------------------------------------------------- *)
+(* Per-operator breakdowns (execution-metrics layer)                *)
+(* --------------------------------------------------------------- *)
+
+let op_json (r : Exec.Metrics.op_report) : Json.t =
+  Json.Obj
+    [
+      ("operator", Json.Str r.Exec.Metrics.r_label);
+      ("rows", Json.Int r.r_rows);
+      ("loops", Json.Int r.r_opens);
+      ("next_calls", Json.Int r.r_calls);
+      ("time_ms", Json.Float (r.r_time_s *. 1000.0));
+      ("audit_probes", Json.Int r.r_probes);
+      ("audit_hits", Json.Int r.r_hits);
+    ]
+
+(** Run [plan] once with metrics collection on; returns the per-operator
+    report and the share of root wall time spent inside audit operators. *)
+let operator_breakdown (env : Setup.env) plan :
+    Exec.Metrics.op_report list * float =
+  let ctx = Db.Database.context env.Setup.db in
+  let m = ctx.Exec.Exec_ctx.metrics in
+  let was = Exec.Metrics.enabled m in
+  Exec.Metrics.set_enabled m true;
+  Db.Database.install_audit_sets env.Setup.db;
+  Exec.Exec_ctx.reset_query_state ctx;
+  ignore (Exec.Executor.run_count ctx plan);
+  let report = Exec.Metrics.report m in
+  let total = Exec.Metrics.total_time_s m in
+  (* Operator times are inclusive. An audit operator has exactly one child,
+     registered immediately after it in pre-order, so its *self* time is the
+     difference to the next entry. *)
+  let rec audit_self_time acc = function
+    | (a : Exec.Metrics.op_report) :: (child :: _ as rest) ->
+      let acc =
+        if a.Exec.Metrics.r_probes > 0 then
+          acc +. Float.max 0.0 (a.r_time_s -. child.Exec.Metrics.r_time_s)
+        else acc
+      in
+      audit_self_time acc rest
+    | _ -> acc
+  in
+  let audit_time = audit_self_time 0.0 report in
+  Exec.Metrics.set_enabled m was;
+  Exec.Exec_ctx.reset_query_state ctx;
+  let pct = if total > 0.0 then audit_time /. total *. 100.0 else 0.0 in
+  (report, pct)
+
+(** Measured wall-clock overhead (%) of the hcn-instrumented plan over the
+    plain plan for [sql], plus the instrumented plan's operator breakdown. *)
+let instrumented_profile env sql : Json.t =
+  let base_p = Setup.plan env sql in
+  let hcn_p = Setup.plan env ~heuristic:Audit_core.Placement.Hcn sql in
+  let base, hcn =
+    match Setup.compare_times env [ base_p; hcn_p ] with
+    | [ a; b ] -> (a, b)
+    | _ -> assert false
+  in
+  let ops, audit_time_pct = operator_breakdown env hcn_p in
+  Json.Obj
+    [
+      ("base_time_s", Json.Float base);
+      ("instrumented_time_s", Json.Float hcn);
+      ("audit_overhead_pct", Json.Float (Timing.overhead_pct ~base hcn));
+      ("audit_operator_time_pct", Json.Float audit_time_pct);
+      ("operators", Json.List (List.map op_json ops));
+    ]
+
+(* --------------------------------------------------------------- *)
+(* Figure sections                                                  *)
+(* --------------------------------------------------------------- *)
+
+let fp_pct ~offline n =
+  (float_of_int n -. float_of_int offline)
+  /. float_of_int (max 1 offline)
+  *. 100.0
+
+let fig6_json env (rows : Figures.fig6_row list) : Json.t =
+  Json.List
+    (List.map
+       (fun (r : Figures.fig6_row) ->
+         let sql = Figures.micro_sql r.Figures.f6_selectivity in
+         Json.Obj
+           [
+             ("selectivity", Json.Float r.f6_selectivity);
+             ("offline_accessed_ids", Json.Int r.f6_offline);
+             ("hcn_audit_ids", Json.Int r.f6_hcn);
+             ("leaf_audit_ids", Json.Int r.f6_leaf);
+             ( "hcn_false_positive_pct",
+               Json.Float (fp_pct ~offline:r.f6_offline r.f6_hcn) );
+             ( "leaf_false_positive_pct",
+               Json.Float (fp_pct ~offline:r.f6_offline r.f6_leaf) );
+             ("hcn_profile", instrumented_profile env sql);
+           ])
+       rows)
+
+let fig7_json (rows : Figures.fig7_row list) : Json.t =
+  Json.List
+    (List.map
+       (fun (r : Figures.fig7_row) ->
+         Json.Obj
+           [
+             ("selectivity", Json.Float r.Figures.f7_selectivity);
+             ("base_time_s", Json.Float r.f7_base);
+             ("leaf_overhead_pct", Json.Float r.f7_leaf_pct);
+             ("hcn_overhead_pct", Json.Float r.f7_hcn_pct);
+             ("leaf_probes", Json.Int r.f7_leaf_probes);
+             ("hcn_probes", Json.Int r.f7_hcn_probes);
+           ])
+       rows)
+
+let fig8_json (rows : Figures.fig8_row list) : Json.t =
+  Json.List
+    (List.map
+       (fun (r : Figures.fig8_row) ->
+         Json.Obj
+           [
+             ("audit_cardinality", Json.Int r.Figures.f8_cardinality);
+             ("base_time_s", Json.Float r.f8_base);
+             ("hcn_overhead_pct", Json.Float r.f8_hcn_pct);
+           ])
+       rows)
+
+let fig9_json env (rows : Figures.fig9_row list) : Json.t =
+  let sql_of id =
+    List.find_map
+      (fun (q : Tpch.Queries.query) ->
+        if q.Tpch.Queries.id = id then Some q.Tpch.Queries.sql else None)
+      Tpch.Queries.customer_workload
+  in
+  Json.List
+    (List.map
+       (fun (r : Figures.fig9_row) ->
+         let profile =
+           match sql_of r.Figures.f9_query with
+           | Some sql -> instrumented_profile env sql
+           | None -> Json.Null
+         in
+         Json.Obj
+           [
+             ("query", Json.Str r.f9_query);
+             ("offline_accessed_ids", Json.Int r.f9_offline);
+             ("hcn_audit_ids", Json.Int r.f9_hcn);
+             ("leaf_audit_ids", Json.Int r.f9_leaf);
+             ( "hcn_false_positive_pct",
+               Json.Float (fp_pct ~offline:r.f9_offline r.f9_hcn) );
+             ( "leaf_false_positive_pct",
+               Json.Float (fp_pct ~offline:r.f9_offline r.f9_leaf) );
+             ("hcn_profile", profile);
+           ])
+       rows)
+
+let fig10_json (rows : Figures.fig10_row list) : Json.t =
+  Json.List
+    (List.map
+       (fun (r : Figures.fig10_row) ->
+         Json.Obj
+           [
+             ("query", Json.Str r.Figures.f10_query);
+             ("base_time_s", Json.Float r.f10_base);
+             ("hcn_overhead_pct", Json.Float r.f10_hcn_pct);
+           ])
+       rows)
+
+let ablation_idprop_json (rows : Figures.idprop_row list) : Json.t =
+  Json.List
+    (List.map
+       (fun (r : Figures.idprop_row) ->
+         Json.Obj
+           [
+             ("query", Json.Str r.Figures.ip_query);
+             ("base_time_s", Json.Float r.ip_base);
+             ("id_propagation_overhead_pct", Json.Float r.ip_idprop_pct);
+           ])
+       rows)
+
+let ablation_multi_json (rows : Figures.multi_row list) : Json.t =
+  Json.List
+    (List.map
+       (fun (r : Figures.multi_row) ->
+         Json.Obj
+           [
+             ("audit_expressions", Json.Int r.Figures.mu_count);
+             ("base_time_s", Json.Float r.mu_base);
+             ("hcn_overhead_pct", Json.Float r.mu_pct);
+           ])
+       rows)
+
+let ablation_provenance_json (rows : Figures.prov_row list) : Json.t =
+  Json.List
+    (List.map
+       (fun (r : Figures.prov_row) ->
+         Json.Obj
+           [
+             ("query", Json.Str r.Figures.pr_query);
+             ("base_time_s", Json.Float r.pr_base);
+             ("hcn_overhead_pct", Json.Float r.pr_hcn_pct);
+             ("lineage_slowdown_factor", Json.Float r.pr_lineage_factor);
+           ])
+       rows)
+
+let ablation_static_json (rows : Figures.static_row list) : Json.t =
+  Json.List
+    (List.map
+       (fun (r : Figures.static_row) ->
+         Json.Obj
+           [
+             ("query", Json.Str r.Figures.st_query);
+             ( "static_verdict",
+               Json.Str
+                 (Audit_core.Static_analyzer.string_of_verdict r.st_verdict)
+             );
+             ("offline_accessed_ids", Json.Int r.st_offline);
+             ("hcn_audit_ids", Json.Int r.st_hcn);
+           ])
+       rows)
+
+(** Bechamel micro-benchmark estimates: operation name -> ns/run. *)
+let micro_json (rows : (string * float option) list) : Json.t =
+  Json.List
+    (List.map
+       (fun (name, est) ->
+         Json.Obj
+           [
+             ("operation", Json.Str name);
+             ( "ns_per_run",
+               match est with Some ns -> Json.Float ns | None -> Json.Null );
+           ])
+       rows)
+
+(* --------------------------------------------------------------- *)
+(* Assembly                                                         *)
+(* --------------------------------------------------------------- *)
+
+let assemble (env : Setup.env) ~(sections : (string * Json.t) list)
+    ~(elapsed_s : float) : Json.t =
+  Json.Obj
+    [
+      ("report", Json.Str "select-triggers-bench");
+      ("schema_version", Json.Int 1);
+      ("generated_at_unix", Json.Float (Unix.time ()));
+      ( "config",
+        Json.Obj
+          [
+            ("scale_factor", Json.Float env.Setup.cfg.Setup.sf);
+            ("seed", Json.Int env.Setup.cfg.Setup.seed);
+            ("repeats", Json.Int env.Setup.cfg.Setup.repeats);
+            ("warmup", Json.Int env.Setup.cfg.Setup.warmup);
+            ("customers", Json.Int env.Setup.sizes.Tpch.Dbgen.customers);
+            ("orders", Json.Int env.Setup.sizes.Tpch.Dbgen.orders);
+            ( "sensitive_ids",
+              Json.Int (Audit_core.Sensitive_view.cardinality env.Setup.view)
+            );
+          ] );
+      ("elapsed_s", Json.Float elapsed_s);
+      ("sections", Json.Obj sections);
+    ]

@@ -158,9 +158,14 @@ let rec scan_tables = function
 (* Pretty printing                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let rec pp_tree ppf (indent, t) =
+(* [annot] appends a per-node suffix (EXPLAIN ANALYZE row counts and
+   timings); [pp]/[to_string] pass a constant [None]. *)
+let rec pp_tree annot ppf (indent, t) =
   let pad = String.make (2 * indent) ' ' in
-  let line fmt = Fmt.pf ppf ("%s" ^^ fmt ^^ "@.") pad in
+  let suffix = match annot t with None -> "" | Some s -> " " ^ s in
+  let line fmt =
+    Fmt.kstr (fun s -> Fmt.pf ppf "%s%s%s@." pad s suffix) fmt
+  in
   match t with
   | Scan { table; alias; cols; _ } ->
     let proj =
@@ -175,25 +180,25 @@ let rec pp_tree ppf (indent, t) =
     else line "Scan %s as %s%s" table alias proj
   | Filter { pred; child } ->
     line "Filter %s" (Scalar.to_string pred);
-    pp_tree ppf (indent + 1, child)
+    pp_tree annot ppf (indent + 1, child)
   | Project { cols; child } ->
     let names = List.map (fun (_, c) -> c.Schema.name) cols in
     line "Project [%s]" (String.concat ", " names);
-    pp_tree ppf (indent + 1, child)
+    pp_tree annot ppf (indent + 1, child)
   | Join { kind; pred; left; right } ->
     let k = match kind with J_inner -> "InnerJoin" | J_left -> "LeftJoin" in
     let p =
       match pred with None -> "" | Some e -> " on " ^ Scalar.to_string e
     in
     line "%s%s" k p;
-    pp_tree ppf (indent + 1, left);
-    pp_tree ppf (indent + 1, right)
+    pp_tree annot ppf (indent + 1, left);
+    pp_tree annot ppf (indent + 1, right)
   | Semi_join { anti; left; left_key; right; right_key } ->
     line "%s %s = %s"
       (if anti then "AntiJoin" else "SemiJoin")
       (Scalar.to_string left_key) (Scalar.to_string right_key);
-    pp_tree ppf (indent + 1, left);
-    pp_tree ppf (indent + 1, right)
+    pp_tree annot ppf (indent + 1, left);
+    pp_tree annot ppf (indent + 1, right)
   | Apply { kind; outer; inner; _ } ->
     let k =
       match kind with
@@ -202,8 +207,8 @@ let rec pp_tree ppf (indent, t) =
       | A_scalar -> "ScalarApply"
     in
     line "%s" k;
-    pp_tree ppf (indent + 1, outer);
-    pp_tree ppf (indent + 1, inner)
+    pp_tree annot ppf (indent + 1, outer);
+    pp_tree annot ppf (indent + 1, inner)
   | Group_by { keys; aggs; child } ->
     let ks = List.map (fun (e, _) -> Scalar.to_string e) keys in
     let ags =
@@ -219,7 +224,7 @@ let rec pp_tree ppf (indent, t) =
     in
     line "GroupBy keys=[%s] aggs=[%s]" (String.concat ", " ks)
       (String.concat ", " ags);
-    pp_tree ppf (indent + 1, child)
+    pp_tree annot ppf (indent + 1, child)
   | Sort { keys; child } ->
     let ks =
       List.map
@@ -229,16 +234,16 @@ let rec pp_tree ppf (indent, t) =
         keys
     in
     line "Sort [%s]" (String.concat ", " ks);
-    pp_tree ppf (indent + 1, child)
+    pp_tree annot ppf (indent + 1, child)
   | Limit { n; child } ->
     line "Limit %d" n;
-    pp_tree ppf (indent + 1, child)
+    pp_tree annot ppf (indent + 1, child)
   | Distinct child ->
     line "Distinct";
-    pp_tree ppf (indent + 1, child)
+    pp_tree annot ppf (indent + 1, child)
   | Audit { audit_name; id_col; child } ->
     line "*Audit[%s] id=#%d" audit_name id_col;
-    pp_tree ppf (indent + 1, child)
+    pp_tree annot ppf (indent + 1, child)
   | Set_op { op; left; right } ->
     let name =
       match op with
@@ -248,8 +253,12 @@ let rec pp_tree ppf (indent, t) =
       | Sql.Ast.Intersect -> "Intersect"
     in
     line "%s" name;
-    pp_tree ppf (indent + 1, left);
-    pp_tree ppf (indent + 1, right)
+    pp_tree annot ppf (indent + 1, left);
+    pp_tree annot ppf (indent + 1, right)
 
-let pp ppf t = pp_tree ppf (0, t)
+let no_annot _ = None
+let pp ppf t = pp_tree no_annot ppf (0, t)
 let to_string t = Fmt.str "%a" pp t
+
+(** Render the tree with a per-node annotation (used by EXPLAIN ANALYZE). *)
+let to_string_annotated ~annot t = Fmt.str "%a" (fun ppf -> pp_tree annot ppf) (0, t)

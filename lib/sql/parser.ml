@@ -648,7 +648,8 @@ let rec parse_statement st : Ast.statement =
   | Some "SELECT" | Some "WITH" -> Ast.S_select (parse_query st)
   | Some "EXPLAIN" ->
     advance st;
-    Ast.S_explain (parse_query st)
+    let analyze = accept_kw st "ANALYZE" in
+    Ast.S_explain { analyze; query = parse_query st }
   | Some "CREATE" -> parse_create st
   | Some "DROP" -> parse_drop st
   | Some "INSERT" ->

@@ -21,4 +21,5 @@ let () =
       ("index", Test_index.suite);
       ("reorder", Test_reorder.suite);
       ("properties", Test_properties.suite);
+      ("metrics", Test_metrics.suite);
     ]

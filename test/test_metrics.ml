@@ -1,0 +1,156 @@
+(** Execution-metrics layer: per-operator stats, the audit operator's
+    no-filtering invariant as seen by EXPLAIN ANALYZE, and the JSON
+    emitter backing the benchmark report. *)
+
+let check = Alcotest.check
+
+let join_sql =
+  "SELECT name, disease FROM patients p, disease d WHERE p.patientid = \
+   d.patientid"
+
+let is_audit (r : Exec.Metrics.op_report) =
+  String.length r.Exec.Metrics.r_label >= 5
+  && String.sub r.Exec.Metrics.r_label 0 5 = "Audit"
+
+(* The audit operator on an instrumented plan: rows-in == rows-out (it never
+   filters), and it issues exactly one probe per row seen. Its child is the
+   next report entry (pre-order, single child). *)
+let test_audit_transparent () =
+  let db = Fixtures.healthcare_with_alice () in
+  let ctx = Db.Database.context db in
+  Exec.Metrics.set_enabled ctx.Exec.Exec_ctx.metrics true;
+  let plan =
+    Db.Database.plan_sql db ~audits:[ "audit_alice" ]
+      ~heuristic:Audit_core.Placement.Hcn join_sql
+  in
+  let rows = Db.Database.run_plan db plan in
+  check Alcotest.int "instrumented result cardinality" 5 (List.length rows);
+  let report = Exec.Metrics.report ctx.Exec.Exec_ctx.metrics in
+  let audits = List.filter is_audit report in
+  check Alcotest.bool "plan has an audit operator" true (audits <> []);
+  let rec pairs = function
+    | a :: (child :: _ as rest) ->
+      if is_audit a then begin
+        check Alcotest.int
+          ("audit rows-in == rows-out: " ^ a.Exec.Metrics.r_label)
+          child.Exec.Metrics.r_rows a.Exec.Metrics.r_rows;
+        check Alcotest.int
+          ("one probe per row: " ^ a.Exec.Metrics.r_label)
+          a.Exec.Metrics.r_rows a.Exec.Metrics.r_probes
+      end;
+      pairs rest
+    | _ -> ()
+  in
+  pairs report;
+  (* Per-operator probe counters agree with the context-wide ones. *)
+  let probes =
+    List.fold_left (fun acc r -> acc + r.Exec.Metrics.r_probes) 0 report
+  in
+  let hits =
+    List.fold_left (fun acc r -> acc + r.Exec.Metrics.r_hits) 0 report
+  in
+  check Alcotest.int "probes match ctx" ctx.Exec.Exec_ctx.audit_probes probes;
+  check Alcotest.int "hits match ctx" ctx.Exec.Exec_ctx.audit_hits hits
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let explain_text db sql =
+  match Db.Database.exec db sql with
+  | Db.Database.Done text -> text
+  | _ -> Alcotest.fail "expected Done from EXPLAIN"
+
+(* EXPLAIN ANALYZE output names every physical operator with actual row
+   counts; the audit operator also shows its probe/hit counters. *)
+let test_explain_analyze () =
+  let db = Fixtures.healthcare_with_alice () in
+  ignore
+    (Db.Database.exec db
+       "CREATE TRIGGER watch_alice ON ACCESS TO audit_alice AS NOTIFY \
+        'alice accessed'");
+  let text = explain_text db ("EXPLAIN ANALYZE " ^ join_sql) in
+  List.iter
+    (fun op ->
+      check Alcotest.bool ("mentions " ^ op) true (contains text op))
+    [
+      "Scan patients"; "Scan disease"; "Join"; "Project";
+      "*Audit[audit_alice]"; "actual rows="; "probes="; "hits=";
+      "Execution time:"; "audit probes:";
+    ];
+  (* Plain EXPLAIN still renders the bare tree. *)
+  let plain = explain_text db ("EXPLAIN " ^ join_sql) in
+  check Alcotest.bool "EXPLAIN has no actuals" false
+    (contains plain "actual rows=");
+  (* EXPLAIN ANALYZE is diagnostic: it must not leave metrics collection on
+     for subsequent statements. *)
+  ignore (Db.Database.exec db ("EXPLAIN ANALYZE " ^ join_sql));
+  check Alcotest.bool "metrics off after EXPLAIN ANALYZE" false
+    (Exec.Metrics.enabled (Db.Database.context db).Exec.Exec_ctx.metrics)
+
+let test_last_query_stats () =
+  let db = Fixtures.healthcare () in
+  check Alcotest.bool "no stats by default" true
+    (Db.Database.last_query_stats db = None);
+  ignore (Db.Database.query db "SELECT name FROM patients");
+  check Alcotest.bool "still none (collection off)" true
+    (Db.Database.last_query_stats db = None);
+  Db.Database.set_collect_metrics db true;
+  let rows = Db.Database.query db "SELECT name FROM patients WHERE age > 30" in
+  (match Db.Database.last_query_stats db with
+  | None -> Alcotest.fail "expected stats after set_collect_metrics"
+  | Some report ->
+    check Alcotest.bool "non-empty report" true (report <> []);
+    let root = List.hd report in
+    check Alcotest.int "root rows = result rows" (List.length rows)
+      root.Exec.Metrics.r_rows);
+  Db.Database.set_collect_metrics db false
+
+(* Correlated Apply opens its inner plan once per outer row: loops must
+   accumulate across opens. *)
+let test_apply_loops () =
+  let db = Fixtures.healthcare () in
+  Db.Database.set_collect_metrics db true;
+  ignore
+    (Db.Database.query db
+       "SELECT name FROM patients p WHERE EXISTS (SELECT 1 FROM disease d \
+        WHERE d.patientid = p.patientid)");
+  (match Db.Database.last_query_stats db with
+  | None -> Alcotest.fail "expected stats"
+  | Some report ->
+    let opens =
+      List.fold_left (fun acc r -> max acc r.Exec.Metrics.r_opens) 0 report
+    in
+    check Alcotest.bool "some operator re-opened per outer row" true
+      (opens >= 5));
+  Db.Database.set_collect_metrics db false
+
+let test_json_emitter () =
+  let open Benchkit in
+  let j =
+    Json.Obj
+      [
+        ("a", Json.Str "x\"y\\z\n");
+        ("b", Json.List [ Json.Int 1; Json.Float 1.5; Json.Null; Json.Bool true ]);
+        ("empty", Json.List []);
+        ("nan", Json.Float Float.nan);
+      ]
+  in
+  let expected =
+    "{\n  \"a\": \"x\\\"y\\\\z\\n\",\n  \"b\": [\n    1,\n    1.5,\n    \
+     null,\n    true\n  ],\n  \"empty\": [],\n  \"nan\": null\n}\n"
+  in
+  check Alcotest.string "pretty JSON" expected (Json.to_string j)
+
+let suite =
+  [
+    Alcotest.test_case "audit operator transparent in metrics" `Quick
+      test_audit_transparent;
+    Alcotest.test_case "EXPLAIN ANALYZE names operators with row counts"
+      `Quick test_explain_analyze;
+    Alcotest.test_case "last_query_stats lifecycle" `Quick
+      test_last_query_stats;
+    Alcotest.test_case "apply loops accumulate" `Quick test_apply_loops;
+    Alcotest.test_case "JSON emitter" `Quick test_json_emitter;
+  ]
