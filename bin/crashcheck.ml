@@ -1,0 +1,176 @@
+(* Crash-recovery smoke test for the durable audit log.
+
+   Exercises the WAL the way a real failure would, from a separate
+   process, and checks the two recovery guarantees:
+
+     1. No intact record is ever lost: after any simulated or real crash,
+        reopening the log recovers exactly the records that were synced
+        before the failure.
+     2. A torn tail never poisons the log: recovery truncates it, and the
+        log accepts appends again.
+
+   Scenarios:
+     - torn tail: a simulated crash-before-fsync leaves a half-written
+       frame; recovery must keep the N synced records and truncate the rest
+     - corruption: a bit flipped in a synced record's payload; recovery
+       must keep the prefix before it, flag corruption, and truncate
+     - real kill (POSIX fork): a child appends/syncs in a tight loop and
+       is SIGKILLed mid-stream; every record the parent finds must be
+       intact and the count must be within the child's progress
+
+   Exit status 0 when every scenario holds, 1 otherwise. Usage:
+     crashcheck [scratch-dir]    (default: _crash) *)
+
+let scratch =
+  if Array.length Sys.argv > 1 then Sys.argv.(1) else "_crash"
+
+let failures = ref 0
+
+let check name cond =
+  if cond then Printf.printf "ok   - %s\n" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL - %s\n" name
+  end
+
+let fresh_path name =
+  let p = Filename.concat scratch name in
+  if Sys.file_exists p then Sys.remove p;
+  p
+
+let note i = Audit_log.Wal.Note (Printf.sprintf "record-%04d" i)
+
+let write_n path n =
+  let w, _ = Audit_log.Wal.open_ path in
+  for i = 1 to n do
+    Audit_log.Wal.append w (note i)
+  done;
+  Audit_log.Wal.sync w;
+  Audit_log.Wal.close w
+
+(* ------------------------------------------------------------------ *)
+(* Scenario 1: simulated crash before fsync leaves a torn tail         *)
+(* ------------------------------------------------------------------ *)
+
+let torn_tail () =
+  let path = fresh_path "torn.wal" in
+  let n = 25 in
+  write_n path n;
+  let kit = Engine_core.Faultkit.create () in
+  Engine_core.Faultkit.arm kit
+    [
+      Engine_core.Faultkit.Log_io
+        { at = 1; fault = Engine_core.Faultkit.Crash_before_sync };
+    ];
+  let w, r0 = Audit_log.Wal.open_ ~faults:kit path in
+  check "torn: clean reopen sees all synced records"
+    (r0.Audit_log.Wal.valid_records = n && r0.Audit_log.Wal.truncated_bytes = 0);
+  (match Audit_log.Wal.append w (note (n + 1)) with
+  | () -> check "torn: simulated crash raised" false
+  | exception Engine_core.Engine_error.Error (Engine_core.Engine_error.Log_io _)
+    ->
+    check "torn: simulated crash raised" true);
+  check "torn: handle is dead after crash" (not (Audit_log.Wal.is_open w));
+  let records, r = Audit_log.Wal.read_all path in
+  check "torn: recovery keeps every synced record"
+    (r.Audit_log.Wal.valid_records = n && List.length records = n);
+  check "torn: recovery truncates the torn tail"
+    (r.Audit_log.Wal.truncated_bytes > 0);
+  check "torn: a short tail is not flagged as corruption"
+    (not r.Audit_log.Wal.corrupt);
+  (* The log must be usable again after recovery. *)
+  let w2, r2 = Audit_log.Wal.open_ path in
+  Audit_log.Wal.append w2 (note (n + 1));
+  Audit_log.Wal.sync w2;
+  Audit_log.Wal.close w2;
+  let records2, _ = Audit_log.Wal.read_all path in
+  check "torn: log accepts appends after recovery"
+    (r2.Audit_log.Wal.valid_records = n && List.length records2 = n + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario 2: flipped byte in a synced record's payload               *)
+(* ------------------------------------------------------------------ *)
+
+let corruption () =
+  let path = fresh_path "corrupt.wal" in
+  let n = 25 in
+  write_n path n;
+  (* Flip one byte ~60% into the file: inside some record's payload. *)
+  let size = (Unix.stat path).Unix.st_size in
+  let pos = size * 6 / 10 in
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd pos Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+  ignore (Unix.lseek fd pos Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd;
+  let records, r = Audit_log.Wal.read_all path in
+  check "corrupt: checksum failure detected" r.Audit_log.Wal.corrupt;
+  check "corrupt: prefix before the flip survives"
+    (r.Audit_log.Wal.valid_records > 0
+    && r.Audit_log.Wal.valid_records < n
+    && List.length records = r.Audit_log.Wal.valid_records);
+  check "corrupt: tail after the flip is dropped"
+    (r.Audit_log.Wal.truncated_bytes > 0);
+  (* Recovery-on-open truncates; the log must then verify clean. *)
+  let w, _ = Audit_log.Wal.open_ path in
+  Audit_log.Wal.close w;
+  let _, r2 = Audit_log.Wal.read_all path in
+  check "corrupt: open-time recovery heals the log"
+    ((not r2.Audit_log.Wal.corrupt)
+    && r2.Audit_log.Wal.truncated_bytes = 0
+    && r2.Audit_log.Wal.valid_records = r.Audit_log.Wal.valid_records)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario 3: SIGKILL a child that is appending full-tilt             *)
+(* ------------------------------------------------------------------ *)
+
+let real_kill () =
+  let path = fresh_path "killed.wal" in
+  let total = 5000 in
+  match Unix.fork () with
+  | 0 ->
+    (* Child: append and fsync every record, then idle so the parent's
+       kill always lands (possibly mid-write on a slow run). *)
+    let w, _ = Audit_log.Wal.open_ path in
+    for i = 1 to total do
+      Audit_log.Wal.append w (note i);
+      Audit_log.Wal.sync w
+    done;
+    Unix.sleep 30;
+    exit 0
+  | pid ->
+    (* Give the child time to write some records, then kill it cold. *)
+    Unix.sleepf 0.25;
+    Unix.kill pid Sys.sigkill;
+    ignore (Unix.waitpid [] pid);
+    let records, r = Audit_log.Wal.read_all path in
+    check "kill: every recovered record is intact"
+      (not r.Audit_log.Wal.corrupt);
+    check "kill: child made progress before dying"
+      (r.Audit_log.Wal.valid_records > 0);
+    check "kill: record payloads decode in order"
+      (List.for_all2
+         (fun rec_ i ->
+           match rec_ with
+           | Audit_log.Wal.Note s -> s = Printf.sprintf "record-%04d" i
+           | _ -> false)
+         records
+         (List.init (List.length records) (fun i -> i + 1)));
+    Printf.printf "# kill: recovered %d records, truncated %d bytes\n"
+      r.Audit_log.Wal.valid_records r.Audit_log.Wal.truncated_bytes
+
+let () =
+  if not (Sys.file_exists scratch) then Unix.mkdir scratch 0o755;
+  torn_tail ();
+  corruption ();
+  (try real_kill ()
+   with Unix.Unix_error _ ->
+     (* fork unavailable (restricted sandbox): the simulated scenarios
+        above already cover recovery *)
+     Printf.printf "# kill: skipped (fork unavailable)\n");
+  if !failures = 0 then print_endline "crashcheck: all scenarios passed"
+  else Printf.printf "crashcheck: %d check(s) FAILED\n" !failures;
+  exit (if !failures = 0 then 0 else 1)

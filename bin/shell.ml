@@ -14,14 +14,162 @@
      \heuristic <h>         leaf | hcn | highest
      \user <name>           set session user
      \tpch <sf>             load the TPC-H benchmark at scale factor <sf>
-*)
+     \log open <path> [closed|open]   attach the durable audit log
+     \log policy <closed|open>        fail-closed vs fail-open-with-alarm
+     \log dump | status | close      inspect / detach the audit log
+     \timeout <s|off>       per-query wall-clock budget
+     \budget rows|mem <n|off>        per-query scan / materialization budget
+     \alarms                show (and clear) robustness alarms
+     \fault ...             arm deterministic faults (see \fault help)
+
+   Every statement and command is dispatched inside an error guard: parse,
+   bind and execution errors, access denials, guard cancellations and
+   injected faults print a structured `error:` line and the session keeps
+   going. *)
 
 let usage_commands =
   "commands: \\q \\tables \\audits \\triggers \\notifications \\accessed \
    \\plan <sql> \\analyze <sql> \\dump [file] \\heuristic <leaf|hcn|highest> \
-   \\user <name> \\tpch <sf>"
+   \\user <name> \\tpch <sf> \\log <open|policy|dump|status|close> \
+   \\timeout <s|off> \\budget <rows|mem> <n|off> \\alarms \\fault <...>"
+
+let fault_usage =
+  "usage: \\fault                      show the armed plan and fired points\n\
+  \       \\fault op <n> <label>       fail the n-th getNext of operators\n\
+  \                                   matching <label> (substring, * = any)\n\
+  \       \\fault log <short|enospc|crash> [n]   fail the n-th log append\n\
+  \       \\fault trigger <name>       fail on entry to a trigger body\n\
+  \       \\fault seed <k>             arm the seeded random plan k\n\
+  \       \\fault off                  disarm"
 
 let print_result r = print_endline (Db.Database.result_to_string r)
+
+let report_error = function
+  | Db.Database.Db_error m -> Printf.printf "error: %s\n" m
+  | Db.Database.Access_denied m -> Printf.printf "error: access denied: %s\n" m
+  | Engine_core.Engine_error.Error e ->
+    Printf.printf "error: %s\n" (Engine_core.Engine_error.to_string e)
+  | Engine_core.Faultkit.Fault_injected m ->
+    Printf.printf "error: injected fault: %s\n" m
+  | Exec.Executor.Exec_error m ->
+    Printf.printf "error: execution error: %s\n" m
+  | Sys_error m -> Printf.printf "error: %s\n" m
+  | e -> Printf.printf "error: unexpected: %s\n" (Printexc.to_string e)
+
+(* Faults already armed accumulate: each \fault command appends a point. *)
+let fault_points : Engine_core.Faultkit.point list ref = ref []
+
+let arm_faults db points =
+  fault_points := points;
+  Engine_core.Faultkit.arm (Db.Database.faults db) points;
+  match points with
+  | [] -> print_endline "faults disarmed"
+  | ps ->
+    List.iter
+      (fun p ->
+        Printf.printf "armed: %s\n" (Engine_core.Faultkit.point_to_string p))
+      ps
+
+let handle_fault db args =
+  let kit = Db.Database.faults db in
+  match args with
+  | [] ->
+    List.iter
+      (fun p ->
+        Printf.printf "armed: %s\n" (Engine_core.Faultkit.point_to_string p))
+      (Engine_core.Faultkit.armed_points kit);
+    List.iter
+      (fun s -> Printf.printf "fired: %s\n" s)
+      (Engine_core.Faultkit.fired kit)
+  | [ "off" ] -> arm_faults db []
+  | "op" :: n :: label when label <> [] -> (
+    match int_of_string_opt n with
+    | Some at ->
+      arm_faults db
+        (!fault_points
+        @ [ Engine_core.Faultkit.Op_next { op = String.concat " " label; at } ])
+    | None -> print_endline fault_usage)
+  | "log" :: kind :: rest -> (
+    let at =
+      match rest with
+      | [ n ] -> int_of_string_opt n
+      | [] -> Some 1
+      | _ -> None
+    in
+    let fault =
+      match kind with
+      | "short" -> Some (Engine_core.Faultkit.Short_write 3)
+      | "enospc" -> Some Engine_core.Faultkit.Enospc
+      | "crash" -> Some Engine_core.Faultkit.Crash_before_sync
+      | _ -> None
+    in
+    match (at, fault) with
+    | Some at, Some fault ->
+      arm_faults db
+        (!fault_points @ [ Engine_core.Faultkit.Log_io { at; fault } ])
+    | _ -> print_endline fault_usage)
+  | [ "trigger"; name ] ->
+    arm_faults db
+      (!fault_points @ [ Engine_core.Faultkit.Trigger_body { name } ])
+  | [ "seed"; k ] -> (
+    match int_of_string_opt k with
+    | Some seed ->
+      arm_faults db
+        (Engine_core.Faultkit.random_plan ~seed
+           ~ops:[ "scan"; "filter"; "join"; "project"; "audit" ])
+    | None -> print_endline fault_usage)
+  | _ -> print_endline fault_usage
+
+let handle_log db args =
+  match args with
+  | "open" :: path :: rest -> (
+    let policy =
+      match rest with
+      | [] | [ "closed" ] -> Some Audit_log.Wal.Fail_closed
+      | [ "open" ] -> Some Audit_log.Wal.Fail_open
+      | _ -> None
+    in
+    match policy with
+    | None -> print_endline "usage: \\log open <path> [closed|open]"
+    | Some policy ->
+      let r = Db.Database.attach_audit_log db ~policy path in
+      Printf.printf
+        "audit log %s attached (%s): %d records recovered, %d bytes truncated\n"
+        path
+        (Audit_log.Wal.policy_to_string policy)
+        r.Audit_log.Wal.valid_records r.Audit_log.Wal.truncated_bytes)
+  | [ "policy"; p ] -> (
+    match (Db.Database.audit_log db, p) with
+    | None, _ -> print_endline "no audit log attached"
+    | Some w, "closed" -> Audit_log.Wal.set_policy w Audit_log.Wal.Fail_closed
+    | Some w, "open" -> Audit_log.Wal.set_policy w Audit_log.Wal.Fail_open
+    | Some _, _ -> print_endline "usage: \\log policy <closed|open>")
+  | [ "dump" ] -> (
+    match Db.Database.audit_log db with
+    | None -> print_endline "no audit log attached"
+    | Some w ->
+      let records, _ = Audit_log.Wal.read_all (Audit_log.Wal.path w) in
+      List.iter
+        (fun r -> print_endline (Audit_log.Wal.record_to_string r))
+        records)
+  | [ "status" ] -> (
+    match Db.Database.audit_log db with
+    | None -> print_endline "no audit log attached"
+    | Some w ->
+      Printf.printf "audit log %s: %s, %s, %d records appended this session\n"
+        (Audit_log.Wal.path w)
+        (Audit_log.Wal.policy_to_string (Audit_log.Wal.policy w))
+        (if Audit_log.Wal.is_open w then "open" else "DEAD")
+        (Audit_log.Wal.appended w))
+  | [ "close" ] -> Db.Database.detach_audit_log db
+  | _ -> print_endline "usage: \\log <open|policy|dump|status|close>"
+
+let opt_of = function
+  | "off" -> Ok None
+  | s -> (
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok (Some n)
+    | _ -> Error ())
 
 let handle_command db line =
   let parts = String.split_on_char ' ' (String.trim line) in
@@ -60,6 +208,9 @@ let handle_command db line =
         Printf.printf "%s: %s\n" audit
           (String.concat ", " (List.map Storage.Value.to_string ids)))
       (Db.Database.last_accessed db)
+  | [ "\\alarms" ] ->
+    List.iter print_endline (Db.Database.alarms db);
+    Db.Database.clear_alarms db
   | "\\dump" :: rest ->
     let text = Db.Database.dump db in
     (match rest with
@@ -73,11 +224,9 @@ let handle_command db line =
     let sql = String.concat " " rest in
     let plan = Db.Database.plan_sql db sql in
     print_string (Plan.Logical.to_string plan)
-  | "\\analyze" :: rest -> (
+  | "\\analyze" :: rest ->
     let sql = String.concat " " rest in
-    match Db.Database.exec db ("EXPLAIN ANALYZE " ^ sql) with
-    | r -> print_result r
-    | exception Db.Database.Db_error m -> Printf.printf "error: %s\n" m)
+    print_result (Db.Database.exec db ("EXPLAIN ANALYZE " ^ sql))
   | [ "\\heuristic"; h ] -> (
     match String.lowercase_ascii h with
     | "leaf" -> Db.Database.set_heuristic db Audit_core.Placement.Leaf
@@ -85,6 +234,20 @@ let handle_command db line =
     | "highest" -> Db.Database.set_heuristic db Audit_core.Placement.Highest
     | _ -> print_endline "unknown heuristic (leaf | hcn | highest)")
   | [ "\\user"; u ] -> Db.Database.set_user db u
+  | [ "\\timeout"; s ] -> (
+    match s with
+    | "off" -> Db.Database.set_timeout db None
+    | _ -> (
+      match float_of_string_opt s with
+      | Some t when t > 0.0 -> Db.Database.set_timeout db (Some t)
+      | _ -> print_endline "usage: \\timeout <seconds|off>"))
+  | [ "\\budget"; which; n ] -> (
+    match (which, opt_of n) with
+    | "rows", Ok b -> Db.Database.set_row_budget db b
+    | "mem", Ok b -> Db.Database.set_mem_budget db b
+    | _ -> print_endline "usage: \\budget <rows|mem> <n|off>")
+  | "\\fault" :: args -> handle_fault db args
+  | "\\log" :: args -> handle_log db args
   | [ "\\tpch"; sf ] -> (
     match float_of_string_opt sf with
     | Some sf ->
@@ -98,13 +261,15 @@ let repl db =
   let buf = Buffer.create 256 in
   print_endline "select_triggers shell — SQL statements end with ';'";
   print_endline usage_commands;
+  (* The dispatch guard: nothing short of \q (or EOF) kills the session. *)
+  let guarded f = try f () with Exit -> raise Exit | e -> report_error e in
   try
     while true do
       print_string (if Buffer.length buf = 0 then "sql> " else "  -> ");
       let line = try read_line () with End_of_file -> raise Exit in
       let trimmed = String.trim line in
       if Buffer.length buf = 0 && String.length trimmed > 0 && trimmed.[0] = '\\'
-      then (try handle_command db trimmed with Exit -> raise Exit)
+      then guarded (fun () -> handle_command db trimmed)
       else begin
         Buffer.add_string buf line;
         Buffer.add_char buf '\n';
@@ -112,9 +277,7 @@ let repl db =
            && trimmed.[String.length trimmed - 1] = ';' then begin
           let sql = Buffer.contents buf in
           Buffer.clear buf;
-          match Db.Database.exec db sql with
-          | r -> print_result r
-          | exception Db.Database.Db_error m -> Printf.printf "error: %s\n" m
+          guarded (fun () -> print_result (Db.Database.exec db sql))
         end
       end
     done
@@ -127,8 +290,8 @@ let run_file db path =
   close_in ic;
   match Db.Database.exec_script db content with
   | results -> List.iter print_result results
-  | exception Db.Database.Db_error m ->
-    Printf.printf "error: %s\n" m;
+  | exception e ->
+    report_error e;
     exit 1
 
 let main file tpch_sf =

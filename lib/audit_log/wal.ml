@@ -1,0 +1,410 @@
+(** Durable, append-only audit log (write-ahead style).
+
+    File layout: an 8-byte magic ["AUDWAL01"] followed by framed records.
+    Each frame is [u32 length | u32 crc32(payload) | payload], integers
+    big-endian; the payload is a tag-based binary encoding of {!record}.
+
+    Recovery on open scans the file front to back: every frame whose
+    length and checksum verify is intact; the first short or corrupt frame
+    ends the valid prefix, and the file is truncated there (a torn tail is
+    the expected shape after a crash mid-write — later bytes are
+    unverifiable and must not masquerade as audit evidence). Intact
+    records are never dropped.
+
+    Appends are failure-atomic: the pre-append size is remembered and the
+    file is truncated back to it if the write fails midway, so a failed
+    append leaves the log exactly as it was. If the heal itself fails the
+    handle is marked dead and every later operation raises — the policy
+    layer in [Db.Database] then decides fail-closed vs fail-open.
+
+    Fault injection ({!Engine_core.Faultkit.Log_io}) is consulted per
+    append: short writes and ENOSPC heal (exercising failure-atomicity),
+    [Crash_before_sync] leaves a torn tail and kills the handle
+    (exercising recovery). *)
+
+open Engine_core
+
+let magic = "AUDWAL01"
+let frame_header_len = 8
+
+let log_io msg = Engine_error.raise_ (Engine_error.Log_io msg)
+
+(* ------------------------------------------------------------------ *)
+(* CRC32 (IEEE 802.3, table-driven)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 (s : string) : int =
+  let t = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  String.iter
+    (fun ch -> c := t.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xffffffff
+
+(* ------------------------------------------------------------------ *)
+(* Records                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type record =
+  | Accessed of {
+      seq : int;  (** logical clock of the statement *)
+      user : string;
+      sql : string;  (** outermost statement text *)
+      audit : string;  (** audit expression name *)
+      ids : string list;  (** accessed sensitive IDs (rendered values) *)
+      complete : bool;
+          (** false when flushed on abort/cancellation: the set covers the
+              accesses up to the failure point *)
+    }
+  | Trigger_fired of {
+      seq : int;
+      trigger : string;
+      audit : string;
+      timing : string;  (** "AFTER" | "BEFORE RETURN" *)
+    }
+  | Notify of { seq : int; msg : string }
+  | Note of string  (** engine annotations: alarms, recovery notes *)
+
+let record_to_string = function
+  | Accessed { seq; user; sql; audit; ids; complete } ->
+    Printf.sprintf "accessed seq=%d user=%s audit=%s ids=[%s]%s sql=%S" seq
+      user audit (String.concat "," ids)
+      (if complete then "" else " (partial)")
+      sql
+  | Trigger_fired { seq; trigger; audit; timing } ->
+    Printf.sprintf "trigger seq=%d name=%s audit=%s timing=%s" seq trigger
+      audit timing
+  | Notify { seq; msg } -> Printf.sprintf "notify seq=%d msg=%S" seq msg
+  | Note msg -> Printf.sprintf "note %S" msg
+
+(* Binary payload codec. *)
+
+exception Decode_error
+
+let put_u32 b n =
+  Buffer.add_char b (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (n land 0xff))
+
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let get_u32 s pos =
+  if !pos + 4 > String.length s then raise Decode_error;
+  let byte i = Char.code s.[!pos + i] in
+  let n = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+  pos := !pos + 4;
+  n
+
+let get_str s pos =
+  let n = get_u32 s pos in
+  if !pos + n > String.length s then raise Decode_error;
+  let r = String.sub s !pos n in
+  pos := !pos + n;
+  r
+
+let encode (r : record) : string =
+  let b = Buffer.create 64 in
+  (match r with
+  | Accessed { seq; user; sql; audit; ids; complete } ->
+    Buffer.add_char b '\001';
+    put_u32 b seq;
+    put_str b user;
+    put_str b sql;
+    put_str b audit;
+    put_u32 b (List.length ids);
+    List.iter (put_str b) ids;
+    Buffer.add_char b (if complete then '\001' else '\000')
+  | Trigger_fired { seq; trigger; audit; timing } ->
+    Buffer.add_char b '\002';
+    put_u32 b seq;
+    put_str b trigger;
+    put_str b audit;
+    put_str b timing
+  | Notify { seq; msg } ->
+    Buffer.add_char b '\003';
+    put_u32 b seq;
+    put_str b msg
+  | Note msg ->
+    Buffer.add_char b '\004';
+    put_str b msg);
+  Buffer.contents b
+
+let decode (payload : string) : record =
+  if payload = "" then raise Decode_error;
+  let pos = ref 1 in
+  match payload.[0] with
+  | '\001' ->
+    let seq = get_u32 payload pos in
+    let user = get_str payload pos in
+    let sql = get_str payload pos in
+    let audit = get_str payload pos in
+    let n = get_u32 payload pos in
+    let ids = List.init n (fun _ -> get_str payload pos) in
+    if !pos + 1 > String.length payload then raise Decode_error;
+    let complete = payload.[!pos] = '\001' in
+    Accessed { seq; user; sql; audit; ids; complete }
+  | '\002' ->
+    let seq = get_u32 payload pos in
+    let trigger = get_str payload pos in
+    let audit = get_str payload pos in
+    let timing = get_str payload pos in
+    Trigger_fired { seq; trigger; audit; timing }
+  | '\003' ->
+    let seq = get_u32 payload pos in
+    let msg = get_str payload pos in
+    Notify { seq; msg }
+  | '\004' -> Note (get_str payload pos)
+  | _ -> raise Decode_error
+
+let frame (r : record) : string =
+  let payload = encode r in
+  let b = Buffer.create (String.length payload + frame_header_len) in
+  put_u32 b (String.length payload);
+  put_u32 b (crc32 payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Recovery scan                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type recovery = {
+  valid_records : int;  (** intact records in the recovered prefix *)
+  valid_bytes : int;  (** file size after truncating the torn tail *)
+  truncated_bytes : int;  (** torn/corrupt bytes dropped from the tail *)
+  corrupt : bool;
+      (** true when the tail failed its checksum (vs a clean short tail) *)
+}
+
+(** Scan [contents], returning the intact records and the recovery
+    report. Never raises: an unreadable byte ends the valid prefix. *)
+let scan (contents : string) : record list * recovery =
+  let len = String.length contents in
+  if len < String.length magic || String.sub contents 0 (String.length magic) <> magic
+  then
+    (* Missing or bad magic: nothing trustworthy in this file. *)
+    ( [],
+      {
+        valid_records = 0;
+        valid_bytes = String.length magic;
+        truncated_bytes = len;
+        corrupt = len > 0;
+      } )
+  else begin
+    let records = ref [] in
+    let pos = ref (String.length magic) in
+    let corrupt = ref false in
+    (try
+       while !pos < len do
+         let at = ref !pos in
+         if !at + frame_header_len > len then raise Exit;
+         let plen = get_u32 contents at in
+         let crc = get_u32 contents at in
+         if !at + plen > len then raise Exit;
+         let payload = String.sub contents !at plen in
+         if crc32 payload <> crc then begin
+           corrupt := true;
+           raise Exit
+         end;
+         (match decode payload with
+         | r -> records := r :: !records
+         | exception Decode_error ->
+           corrupt := true;
+           raise Exit);
+         pos := !at + plen
+       done
+     with Exit -> ());
+    ( List.rev !records,
+      {
+        valid_records = List.length !records;
+        valid_bytes = !pos;
+        truncated_bytes = len - !pos;
+        corrupt = !corrupt;
+      } )
+  end
+
+let read_file path : string =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(** Read and validate a log without opening it for append. *)
+let read_all path : record list * recovery =
+  if Sys.file_exists path then scan (read_file path)
+  else
+    ( [],
+      { valid_records = 0; valid_bytes = 0; truncated_bytes = 0; corrupt = false }
+    )
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type policy =
+  | Fail_closed
+      (** a failed log write withholds the query's results (default:
+          preserves the no-false-negatives guarantee) *)
+  | Fail_open  (** a failed log write raises an alarm but results flow *)
+
+let policy_to_string = function
+  | Fail_closed -> "fail-closed"
+  | Fail_open -> "fail-open"
+
+type t = {
+  path : string;
+  mutable fd : Unix.file_descr option;  (** [None] = dead handle *)
+  mutable policy : policy;
+  mutable size : int;  (** bytes of validated + successfully appended data *)
+  mutable appended : int;  (** records appended through this handle *)
+  mutable dirty : bool;  (** appended since the last fsync *)
+  faults : Faultkit.t option;
+}
+
+let path t = t.path
+let policy t = t.policy
+let set_policy t p = t.policy <- p
+let appended t = t.appended
+let is_open t = t.fd <> None
+
+let fd_exn t =
+  match t.fd with
+  | Some fd -> fd
+  | None -> log_io (Printf.sprintf "audit log %s: handle is dead" t.path)
+
+(** Open (creating if needed) with recovery: intact records are kept, the
+    torn tail is truncated, and the handle is positioned for append. *)
+let open_ ?(policy = Fail_closed) ?faults path : t * recovery =
+  let exists = Sys.file_exists path in
+  let contents = if exists then read_file path else "" in
+  let recovery =
+    if contents = "" then
+      {
+        valid_records = 0;
+        valid_bytes = String.length magic;
+        truncated_bytes = 0;
+        corrupt = false;
+      }
+    else snd (scan contents)
+  in
+  match
+    let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+    (* Truncate the torn tail (or lay down the magic on a fresh file),
+       then seek to the end of the valid prefix. *)
+    if (not exists) || contents = "" then begin
+      let n = Unix.write_substring fd magic 0 (String.length magic) in
+      if n <> String.length magic then failwith "short write of magic"
+    end
+    else Unix.ftruncate fd recovery.valid_bytes;
+    ignore (Unix.lseek fd recovery.valid_bytes Unix.SEEK_SET);
+    Unix.fsync fd;
+    fd
+  with
+  | fd ->
+    ( {
+        path;
+        fd = Some fd;
+        policy;
+        size = recovery.valid_bytes;
+        appended = 0;
+        dirty = false;
+        faults;
+      },
+      recovery )
+  | exception (Unix.Unix_error _ | Failure _ | Sys_error _) ->
+    log_io (Printf.sprintf "cannot open audit log %s" path)
+
+let write_all fd bytes off len =
+  let off = ref off and remaining = ref len in
+  while !remaining > 0 do
+    let n = Unix.write_substring fd bytes !off !remaining in
+    if n <= 0 then raise (Unix.Unix_error (Unix.EIO, "write", ""));
+    off := !off + n;
+    remaining := !remaining - n
+  done
+
+(** Truncate back to the pre-append size; on failure the handle dies. *)
+let heal t =
+  match t.fd with
+  | None -> ()
+  | Some fd -> (
+    try
+      Unix.ftruncate fd t.size;
+      ignore (Unix.lseek fd t.size Unix.SEEK_SET)
+    with Unix.Unix_error _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      t.fd <- None)
+
+let kill t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    t.fd <- None
+
+(** Append one record (no fsync — call {!sync} before releasing results).
+    Failure-atomic: on error the log is either exactly as before the call
+    or (after a simulated crash) carries a torn tail that {!open_} will
+    truncate. Raises [Engine_error.Error (Log_io _)] on any failure. *)
+let append t (r : record) : unit =
+  let fd = fd_exn t in
+  let bytes = frame r in
+  let len = String.length bytes in
+  let injected =
+    match t.faults with None -> None | Some k -> Faultkit.on_log_append k
+  in
+  match injected with
+  | Some (Faultkit.Short_write n) ->
+    (* Write a torn prefix, then heal — exercising failure-atomicity. *)
+    (try write_all fd bytes 0 (min n len) with Unix.Unix_error _ -> ());
+    heal t;
+    log_io
+      (Printf.sprintf "audit log %s: injected short write (%d/%d bytes)"
+         t.path (min n len) len)
+  | Some Faultkit.Enospc ->
+    log_io (Printf.sprintf "audit log %s: injected ENOSPC" t.path)
+  | Some Faultkit.Crash_before_sync ->
+    (* Half a frame hits the disk, then the "process" dies: the torn tail
+       stays for recovery to truncate, and the handle is unusable. *)
+    (try write_all fd bytes 0 (max 1 (len / 2)) with Unix.Unix_error _ -> ());
+    kill t;
+    log_io
+      (Printf.sprintf "audit log %s: injected crash before fsync" t.path)
+  | None -> (
+    match write_all fd bytes 0 len with
+    | () ->
+      t.size <- t.size + len;
+      t.appended <- t.appended + 1;
+      t.dirty <- true
+    | exception Unix.Unix_error (e, _, _) ->
+      heal t;
+      log_io
+        (Printf.sprintf "audit log %s: write failed (%s)" t.path
+           (Unix.error_message e)))
+
+(** Flush appended records to stable storage (no-op when clean). *)
+let sync t =
+  if t.dirty then
+    match t.fd with
+    | None -> log_io (Printf.sprintf "audit log %s: handle is dead" t.path)
+    | Some fd -> (
+      match Unix.fsync fd with
+      | () -> t.dirty <- false
+      | exception Unix.Unix_error (e, _, _) ->
+        log_io
+          (Printf.sprintf "audit log %s: fsync failed (%s)" t.path
+             (Unix.error_message e)))
+
+let close t = kill t

@@ -1,0 +1,78 @@
+(** Durable, append-only audit log with checksummed record framing.
+
+    File layout: 8-byte magic, then frames of
+    [u32 length | u32 crc32(payload) | payload] (big-endian). {!open_}
+    recovers: intact records are kept, the torn tail after a crash is
+    truncated. {!append} is failure-atomic (the log is healed back to the
+    pre-append size on a failed write). All failures raise
+    [Engine_core.Engine_error.Error (Log_io _)] — the policy layer in
+    [Db.Database] decides fail-closed vs fail-open. *)
+
+open Engine_core
+
+type record =
+  | Accessed of {
+      seq : int;  (** logical clock of the statement *)
+      user : string;
+      sql : string;  (** outermost statement text *)
+      audit : string;  (** audit expression name *)
+      ids : string list;  (** accessed sensitive IDs (rendered values) *)
+      complete : bool;
+          (** false when flushed on abort/cancellation (partial set) *)
+    }
+  | Trigger_fired of {
+      seq : int;
+      trigger : string;
+      audit : string;
+      timing : string;
+    }
+  | Notify of { seq : int; msg : string }
+  | Note of string  (** engine annotations: alarms, recovery notes *)
+
+val record_to_string : record -> string
+
+type recovery = {
+  valid_records : int;  (** intact records in the recovered prefix *)
+  valid_bytes : int;  (** file size after truncating the torn tail *)
+  truncated_bytes : int;  (** torn/corrupt bytes dropped from the tail *)
+  corrupt : bool;
+      (** the tail failed its checksum (vs a clean short tail) *)
+}
+
+type policy =
+  | Fail_closed
+      (** a failed log write withholds the query's results (default) *)
+  | Fail_open  (** a failed log write raises an alarm but results flow *)
+
+val policy_to_string : policy -> string
+
+type t
+
+(** Open (creating if needed) with recovery: truncates the torn tail and
+    positions the handle for append. *)
+val open_ : ?policy:policy -> ?faults:Faultkit.t -> string -> t * recovery
+
+(** Append one record (call {!sync} before releasing query results).
+    Failure-atomic; consults the fault kit's [Log_io] points. *)
+val append : t -> record -> unit
+
+(** Flush appended records to stable storage (fsync). *)
+val sync : t -> unit
+
+val close : t -> unit
+val path : t -> string
+val policy : t -> policy
+val set_policy : t -> policy -> unit
+
+(** Records appended through this handle (excluding recovered ones). *)
+val appended : t -> int
+
+(** False once the handle died (failed heal or simulated crash). *)
+val is_open : t -> bool
+
+(** Read and validate a log without opening it for append: the intact
+    records and the recovery report. Missing file = empty log. *)
+val read_all : string -> record list * recovery
+
+(** CRC32 (IEEE) of a string — exposed for integrity checks in tests. *)
+val crc32 : string -> int

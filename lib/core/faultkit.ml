@@ -1,0 +1,149 @@
+(** Deterministic fault injection.
+
+    A fault plan is a list of {e points}, armed on the kit carried by the
+    execution context ([Exec_ctx.faults]) and consulted from the
+    instrumented code paths:
+
+    - [Op_next]: the Nth [getNext] call of a matching operator raises
+      {!Fault_injected} (patterns match case-insensitively as substrings of
+      the operator's display label, ["*"] matches every operator);
+    - [Log_io]: the Nth audit-log append fails with the given I/O fault
+      (short write, ENOSPC, crash before fsync);
+    - [Trigger_body]: entering a matching trigger's body raises.
+
+    Every point fires at most once per arming, so a test can assert that
+    the query after the fault runs clean without disarming. [random_plan]
+    derives a plan from a seed for the fault-matrix property tests; the
+    same seed always yields the same plan. *)
+
+exception Fault_injected of string
+
+type io_fault =
+  | Short_write of int  (** write only the first [n] bytes of the frame *)
+  | Enospc  (** write nothing, fail as if the device were full *)
+  | Crash_before_sync
+      (** write a torn prefix of the frame, then kill the log handle —
+          simulates process death between write and fsync *)
+
+type point =
+  | Op_next of { op : string; at : int }
+  | Log_io of { at : int; fault : io_fault }
+  | Trigger_body of { name : string }
+
+type armed_point = { point : point; mutable count : int; mutable spent : bool }
+
+type t = {
+  mutable plan : armed_point list;
+  mutable fired : string list;  (** descriptions of fired points, oldest first *)
+}
+
+let create () = { plan = []; fired = [] }
+
+let io_fault_to_string = function
+  | Short_write n -> Printf.sprintf "short write (%d bytes)" n
+  | Enospc -> "ENOSPC"
+  | Crash_before_sync -> "crash before fsync"
+
+let point_to_string = function
+  | Op_next { op; at } -> Printf.sprintf "getNext #%d of operator %S" at op
+  | Log_io { at; fault } ->
+    Printf.sprintf "audit-log append #%d: %s" at (io_fault_to_string fault)
+  | Trigger_body { name } -> Printf.sprintf "trigger body %S" name
+
+let arm t points =
+  t.plan <- List.map (fun p -> { point = p; count = 0; spent = false }) points;
+  t.fired <- []
+
+let disarm t =
+  t.plan <- [];
+  t.fired <- []
+
+let armed t = List.exists (fun a -> not a.spent) t.plan
+let armed_points t = List.map (fun a -> a.point) t.plan
+let fired t = List.rev t.fired
+let note_fired t a = t.fired <- point_to_string a.point :: t.fired
+
+let matches pat label =
+  pat = "*"
+  ||
+  let pat = String.lowercase_ascii pat
+  and label = String.lowercase_ascii label in
+  let np = String.length pat and nl = String.length label in
+  let rec go i = i + np <= nl && (String.sub label i np = pat || go (i + 1)) in
+  np > 0 && go 0
+
+(** Consulted once per [getNext] of a compiled operator. *)
+let on_get_next t ~op =
+  List.iter
+    (fun a ->
+      match a.point with
+      | Op_next { op = pat; at } when (not a.spent) && matches pat op ->
+        a.count <- a.count + 1;
+        if a.count >= at then begin
+          a.spent <- true;
+          note_fired t a;
+          raise
+            (Fault_injected
+               (Printf.sprintf "getNext #%d of %s" at op))
+        end
+      | _ -> ())
+    t.plan
+
+(** Consulted once per audit-log append; returns the I/O fault to apply. *)
+let on_log_append t : io_fault option =
+  let rec go = function
+    | [] -> None
+    | a :: rest -> (
+      match a.point with
+      | Log_io { at; fault } when not a.spent ->
+        a.count <- a.count + 1;
+        if a.count >= at then begin
+          a.spent <- true;
+          note_fired t a;
+          Some fault
+        end
+        else go rest
+      | _ -> go rest)
+  in
+  go t.plan
+
+(** Consulted on entry to a trigger body. *)
+let on_trigger t ~name =
+  List.iter
+    (fun a ->
+      match a.point with
+      | Trigger_body { name = pat } when (not a.spent) && matches pat name ->
+        a.spent <- true;
+        note_fired t a;
+        raise (Fault_injected (Printf.sprintf "trigger body %s" name))
+      | _ -> ())
+    t.plan
+
+(* ------------------------------------------------------------------ *)
+(* Seeded plans (fault-matrix property tests)                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Deterministic fault plan for [seed]: zero to two operator faults drawn
+    from [ops], sometimes an audit-log I/O fault. Seed 0 is always the
+    empty (fault-free) plan, anchoring the matrix's baseline. *)
+let random_plan ~seed ~ops : point list =
+  if seed = 0 then []
+  else begin
+    let st = Random.State.make [| 0x5e1ec7; seed |] in
+    let pick l = List.nth l (Random.State.int st (List.length l)) in
+    let plan = ref [] in
+    let n_ops = if ops = [] then 0 else 1 + Random.State.int st 2 in
+    for _ = 1 to n_ops do
+      plan :=
+        Op_next { op = pick ops; at = 1 + Random.State.int st 8 } :: !plan
+    done;
+    if Random.State.int st 3 = 0 then
+      plan :=
+        Log_io
+          {
+            at = 1 + Random.State.int st 3;
+            fault = pick [ Short_write 3; Enospc; Crash_before_sync ];
+          }
+        :: !plan;
+    !plan
+  end

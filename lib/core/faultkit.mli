@@ -1,0 +1,53 @@
+(** Deterministic fault injection: arm a plan of fault points on the kit
+    carried by the execution context; the executor, the audit log, and the
+    trigger machinery consult it at their instrumented sites. Every point
+    fires at most once per arming. *)
+
+exception Fault_injected of string
+
+type io_fault =
+  | Short_write of int  (** write only the first [n] bytes of the frame *)
+  | Enospc  (** write nothing, fail as if the device were full *)
+  | Crash_before_sync
+      (** write a torn prefix of the frame, then kill the log handle *)
+
+type point =
+  | Op_next of { op : string; at : int }
+      (** fail the [at]-th [getNext] of operators whose label matches [op]
+          (case-insensitive substring; ["*"] matches all) *)
+  | Log_io of { at : int; fault : io_fault }
+      (** fail the [at]-th audit-log append *)
+  | Trigger_body of { name : string }
+      (** raise on entry to a matching trigger's body *)
+
+type t
+
+val create : unit -> t
+
+(** Install a fresh plan (resetting counters and the fired list). *)
+val arm : t -> point list -> unit
+
+val disarm : t -> unit
+
+(** Any point still live? *)
+val armed : t -> bool
+
+val armed_points : t -> point list
+
+(** Descriptions of the points that fired, oldest first. *)
+val fired : t -> string list
+
+val io_fault_to_string : io_fault -> string
+val point_to_string : point -> string
+
+(** Raises {!Fault_injected} when an [Op_next] point triggers. *)
+val on_get_next : t -> op:string -> unit
+
+(** Returns the I/O fault to apply to this append, if one triggers. *)
+val on_log_append : t -> io_fault option
+
+(** Raises {!Fault_injected} when a [Trigger_body] point triggers. *)
+val on_trigger : t -> name:string -> unit
+
+(** Deterministic plan for a seed (seed 0 = fault-free baseline). *)
+val random_plan : seed:int -> ops:string list -> point list

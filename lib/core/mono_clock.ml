@@ -1,0 +1,21 @@
+(** Monotonic clock source.
+
+    [Unix.gettimeofday] follows the wall clock, which NTP and manual
+    adjustment can step backwards — a deadline armed before a step would
+    never fire, and operator timings could come out negative. The stdlib
+    exposes no monotonic clock, so this module derives one: every backward
+    step of the wall clock is absorbed into a cumulative offset, making
+    [now] non-decreasing (and still advancing at wall rate between steps).
+
+    The epoch is arbitrary: only differences of [now] readings are
+    meaningful. Single-session engine, so no locking. *)
+
+let last_raw = ref (Unix.gettimeofday ())
+let offset = ref 0.0
+
+(** Seconds on a non-decreasing clock (arbitrary epoch). *)
+let now () =
+  let t = Unix.gettimeofday () in
+  if t < !last_raw then offset := !offset +. (!last_raw -. t);
+  last_raw := t;
+  t +. !offset

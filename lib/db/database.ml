@@ -48,6 +48,13 @@ type t = {
       (** per-audit ACCESSED of the last top-level SELECT (diagnostics) *)
   mutable last_stats : Exec.Metrics.op_report list option;
       (** per-operator stats of the last metrics-collected query *)
+  mutable wal : Audit_log.Wal.t option;
+      (** durable audit log; when attached, every top-level statement's
+          ACCESSED sets and trigger firings are appended and fsynced
+          before results are released *)
+  mutable alarms : string list;
+      (** robustness alarms (fail-open log losses, invariant repairs),
+          newest first *)
 }
 
 let max_trigger_depth = 8
@@ -66,6 +73,8 @@ let create () =
     in_before_trigger = false;
     last_accessed = [];
     last_stats = None;
+    wal = None;
+    alarms = [];
   }
 
 let catalog db = db.catalog
@@ -86,6 +95,108 @@ let set_collect_metrics db b =
   Exec.Metrics.set_enabled db.ctx.Exec.Exec_ctx.metrics b
 
 let last_query_stats db = db.last_stats
+
+(** {2 Robustness: guards, faults, alarms, audit log} *)
+
+let set_timeout db s = db.ctx.Exec.Exec_ctx.timeout_s <- s
+let set_row_budget db b = db.ctx.Exec.Exec_ctx.row_budget <- b
+let set_mem_budget db b = db.ctx.Exec.Exec_ctx.mem_budget <- b
+let faults db = db.ctx.Exec.Exec_ctx.faults
+let trigger_depth db = db.trigger_depth
+let alarms db = List.rev db.alarms
+let clear_alarms db = db.alarms <- []
+
+(** Record an alarm, with a best-effort (never-raising) note in the log. *)
+let alarm db msg =
+  db.alarms <- msg :: db.alarms;
+  match db.wal with
+  | Some w when Audit_log.Wal.is_open w -> (
+    try Audit_log.Wal.append w (Audit_log.Wal.Note msg)
+    with Engine_core.Engine_error.Error _ -> ())
+  | _ -> ()
+
+let audit_log db = db.wal
+
+let detach_audit_log db =
+  match db.wal with
+  | None -> ()
+  | Some w ->
+    (try Audit_log.Wal.sync w with Engine_core.Engine_error.Error _ -> ());
+    Audit_log.Wal.close w;
+    db.wal <- None
+
+(** Attach (open or create) the durable audit log at [path]. Recovery
+    keeps every intact record and truncates a torn tail; a non-empty
+    truncation raises an alarm. *)
+let attach_audit_log db ?policy path : Audit_log.Wal.recovery =
+  detach_audit_log db;
+  let w, recovery =
+    Audit_log.Wal.open_ ?policy ~faults:db.ctx.Exec.Exec_ctx.faults path
+  in
+  db.wal <- Some w;
+  if recovery.Audit_log.Wal.truncated_bytes > 0 then
+    alarm db
+      (Printf.sprintf
+         "audit log recovery: kept %d intact records, truncated %d %s bytes"
+         recovery.Audit_log.Wal.valid_records
+         recovery.Audit_log.Wal.truncated_bytes
+         (if recovery.Audit_log.Wal.corrupt then "corrupt" else "torn"));
+  recovery
+
+(* Append one record under the configured failure policy: fail-closed
+   re-raises the typed [Log_io] error (the caller withholds results);
+   fail-open records an alarm and keeps going. *)
+let log_append db (r : Audit_log.Wal.record) =
+  match db.wal with
+  | None -> ()
+  | Some w -> (
+    try Audit_log.Wal.append w r
+    with
+    | Engine_core.Engine_error.Error (Engine_core.Engine_error.Log_io m) as e
+    -> (
+      match Audit_log.Wal.policy w with
+      | Audit_log.Wal.Fail_closed -> raise e
+      | Audit_log.Wal.Fail_open ->
+        db.alarms <-
+          Printf.sprintf "audit record lost (fail-open): %s" m :: db.alarms))
+
+let log_sync db =
+  match db.wal with
+  | None -> ()
+  | Some w -> (
+    try Audit_log.Wal.sync w
+    with
+    | Engine_core.Engine_error.Error (Engine_core.Engine_error.Log_io m) as e
+    -> (
+      match Audit_log.Wal.policy w with
+      | Audit_log.Wal.Fail_closed -> raise e
+      | Audit_log.Wal.Fail_open ->
+        db.alarms <-
+          Printf.sprintf "audit log sync lost (fail-open): %s" m :: db.alarms))
+
+(** Write the current statement's ACCESSED sets (read fresh, so trigger
+    cascades are included) and make the log durable. [complete = false]
+    marks a flush on abort/cancellation. *)
+let log_statement_accessed db ~complete =
+  match db.wal with
+  | None -> ()
+  | Some _ ->
+    Hashtbl.iter
+      (fun name entry ->
+        let ids = Exec.Exec_ctx.accessed_list db.ctx ~audit_name:name in
+        if ids <> [] then
+          log_append db
+            (Audit_log.Wal.Accessed
+               {
+                 seq = db.ctx.Exec.Exec_ctx.now;
+                 user = db.ctx.Exec.Exec_ctx.user;
+                 sql = db.ctx.Exec.Exec_ctx.sql;
+                 audit = entry.expr.Audit_core.Audit_expr.name;
+                 ids = List.map Value.to_string ids;
+                 complete;
+               }))
+      db.audits;
+    log_sync db
 
 let norm = String.lowercase_ascii
 
@@ -300,6 +411,10 @@ let rec exec_statement db (stmt : Sql.Ast.statement) : result =
         Done (Exec.Explain.render db.ctx plan))
   | Sql.Ast.S_notify msg ->
     db.notifications <- msg :: db.notifications;
+    (* NOTIFY is audit output (it typically fires from trigger bodies):
+       mirror it into the durable log at any depth. *)
+    log_append db
+      (Audit_log.Wal.Notify { seq = db.ctx.Exec.Exec_ctx.now; msg });
     Done (Printf.sprintf "notify: %s" msg)
   | Sql.Ast.S_deny msg ->
     if db.in_before_trigger then raise (Deny_signal msg)
@@ -340,7 +455,10 @@ and exec_select db (q : Sql.Ast.query) : result =
     end
   in
   (* §II: the action executes even if the query aborts after a partial
-     read — accesses recorded so far are still accesses. *)
+     read — accesses recorded so far are still accesses. This extends to
+     guard cancellations and injected faults: the exception branch fires
+     the AFTER triggers on the partial ACCESSED set, and the statement
+     wrapper in [exec_logged] flushes that set to the durable log. *)
   match Exec.Executor.run_list db.ctx plan with
   | rows ->
     if not top_level then Rows { schema = Plan.Logical.schema plan; rows }
@@ -393,6 +511,17 @@ and fire_select_triggers db ~timing : string option =
       let rows = List.map (fun id -> [| id |]) ids in
       List.iter
         (fun tr ->
+          log_append db
+            (Audit_log.Wal.Trigger_fired
+               {
+                 seq = db.ctx.Exec.Exec_ctx.now;
+                 trigger = tr.Audit_core.Trigger.name;
+                 audit = expr.Audit_core.Audit_expr.name;
+                 timing =
+                   (match timing with
+                   | Sql.Ast.Before_return -> "BEFORE RETURN"
+                   | _ -> "AFTER");
+               });
           match run_trigger db tr ~accessed:(schema, rows) with
           | None -> ()
           | Some msg -> if !denial = None then denial := Some msg)
@@ -417,6 +546,8 @@ and run_trigger db (tr : Audit_core.Trigger.t) ~accessed:(schema, rows) :
       db.in_before_trigger <- saved_before;
       db.trigger_depth <- db.trigger_depth - 1)
     (fun () ->
+      Engine_core.Faultkit.on_trigger db.ctx.Exec.Exec_ctx.faults
+        ~name:tr.Audit_core.Trigger.name;
       match
         List.iter
           (fun s -> ignore (exec_statement db s))
@@ -442,6 +573,8 @@ and run_dml_triggers db ~table ~event ~new_rows ~old_rows ~row_schema =
       (fun () ->
         List.iter
           (fun tr ->
+            Engine_core.Faultkit.on_trigger db.ctx.Exec.Exec_ctx.faults
+              ~name:tr.Audit_core.Trigger.name;
             List.iter
               (fun s -> ignore (exec_statement db s))
               tr.Audit_core.Trigger.body)
@@ -633,34 +766,89 @@ and exec_delete db table where : result =
 (* Public entry points                                                 *)
 (* ------------------------------------------------------------------ *)
 
+(* Classify every known engine exception into the typed error module. The
+   legacy classes are re-surfaced as [Db_error (Engine_error.to_string e)]
+   for compatibility; the robustness classes — [Cancelled], [Log_io],
+   [Fault] — propagate as [Engine_error.Error] so callers can match on
+   them without string inspection. *)
 let wrap_errors f =
+  let module E = Engine_core.Engine_error in
+  let fail e = raise (Db_error (E.to_string e)) in
   try f () with
-  | Sql.Lexer.Lex_error (m, off) -> err "lex error at offset %d: %s" off m
-  | Sql.Parser.Parse_error (m, off) -> err "parse error at offset %d: %s" off m
-  | Plan.Binder.Bind_error m -> err "bind error: %s" m
-  | Schema.Unknown_column c -> err "unknown column %s" c
-  | Schema.Ambiguous_column c -> err "ambiguous column %s" c
-  | Catalog.Unknown_table t -> err "unknown table %s" t
-  | Catalog.Table_exists t -> err "table %s already exists" t
-  | Table.Duplicate_key m | Table.Schema_mismatch m -> err "%s" m
-  | Value.Type_error m -> err "type error: %s" m
-  | Exec.Eval.Eval_error m -> err "evaluation error: %s" m
-  | Exec.Executor.Exec_error m -> err "execution error: %s" m
-  | Audit_core.Audit_expr.Invalid_audit m -> err "%s" m
-  | Audit_core.Placement.Placement_error m -> err "placement error: %s" m
-  | Audit_core.Trigger.Trigger_exists n -> err "trigger %s already exists" n
-  | Audit_core.Trigger.Unknown_trigger n -> err "unknown trigger %s" n
+  | Sql.Lexer.Lex_error (m, off) ->
+    fail (E.Parse (Printf.sprintf "lex, at offset %d: %s" off m))
+  | Sql.Parser.Parse_error (m, off) ->
+    fail (E.Parse (Printf.sprintf "at offset %d: %s" off m))
+  | Plan.Binder.Bind_error m -> fail (E.Bind m)
+  | Schema.Unknown_column c -> fail (E.Bind ("unknown column " ^ c))
+  | Schema.Ambiguous_column c -> fail (E.Bind ("ambiguous column " ^ c))
+  | Catalog.Unknown_table t -> fail (E.Bind ("unknown table " ^ t))
+  | Catalog.Table_exists t -> fail (E.Exec ("table " ^ t ^ " already exists"))
+  | Table.Duplicate_key m | Table.Schema_mismatch m -> fail (E.Exec m)
+  | Value.Type_error m -> fail (E.Exec ("type error: " ^ m))
+  | Exec.Eval.Eval_error m -> fail (E.Exec ("evaluation error: " ^ m))
+  | Exec.Executor.Exec_error m -> fail (E.Exec m)
+  | Audit_core.Audit_expr.Invalid_audit m -> fail (E.Audit m)
+  | Audit_core.Placement.Placement_error m ->
+    fail (E.Audit ("placement error: " ^ m))
+  | Audit_core.Trigger.Trigger_exists n ->
+    fail (E.Audit ("trigger " ^ n ^ " already exists"))
+  | Audit_core.Trigger.Unknown_trigger n ->
+    fail (E.Audit ("unknown trigger " ^ n))
+  | Engine_core.Faultkit.Fault_injected m -> E.raise_ (E.Fault m)
+
+(** Repair audit session state that a catastrophically failed statement
+    could have left behind. [Fun.protect] in the trigger runners makes a
+    leak nearly impossible, but the auditing guarantee must not rest on
+    "nearly": one failed query can never poison the next. *)
+let repair_session db =
+  if db.trigger_depth <> 0 || db.in_before_trigger then begin
+    alarm db
+      (Printf.sprintf
+         "session invariants repaired (trigger_depth=%d%s); dropping leaked \
+          trigger relations"
+         db.trigger_depth
+         (if db.in_before_trigger then ", in_before_trigger" else ""));
+    db.trigger_depth <- 0;
+    db.in_before_trigger <- false;
+    List.iter (drop_temp db) [ "accessed"; "new"; "old" ]
+  end
+
+(* Run one top-level statement with the failure-atomic audit pipeline:
+   fresh per-query state on entry (with invariant repair), and on exit —
+   normal or exceptional — the statement's ACCESSED sets flushed to the
+   durable log *before* results are released. Under the fail-closed
+   policy a failed log write withholds the results (raises the typed
+   [Log_io] error); on an already-failing statement the log failure is
+   demoted to an alarm (no rows were released, the original error wins). *)
+let exec_logged db stmt_sql (stmt : Sql.Ast.statement) : result =
+  repair_session db;
+  db.ctx.Exec.Exec_ctx.now <- db.ctx.Exec.Exec_ctx.now + 1;
+  db.ctx.Exec.Exec_ctx.sql <- stmt_sql;
+  Exec.Exec_ctx.reset_query_state db.ctx;
+  match exec_statement db stmt with
+  | r ->
+    log_statement_accessed db ~complete:true;
+    r
+  | exception e ->
+    (* DENY means the query ran to completion and was audited — only its
+       result is withheld — so its ACCESSED record is complete. *)
+    let complete = match e with Access_denied _ -> true | _ -> false in
+    (try log_statement_accessed db ~complete
+     with
+     | Engine_core.Engine_error.Error (Engine_core.Engine_error.Log_io m) ->
+       db.alarms <-
+         Printf.sprintf
+           "audit record lost while handling a failed statement: %s" m
+         :: db.alarms);
+    raise e
 
 (** Execute one SQL statement. *)
 let exec db sql : result =
   wrap_errors (fun () ->
       let stmt = Sql.Parser.statement sql in
-      if db.trigger_depth = 0 then begin
-        db.ctx.Exec.Exec_ctx.now <- db.ctx.Exec.Exec_ctx.now + 1;
-        db.ctx.Exec.Exec_ctx.sql <- String.trim sql;
-        Exec.Exec_ctx.reset_query_state db.ctx
-      end;
-      exec_statement db stmt)
+      if db.trigger_depth = 0 then exec_logged db (String.trim sql) stmt
+      else exec_statement db stmt)
 
 (** Execute a ';'-separated script; returns the results in order. *)
 let exec_script db sql : result list =
@@ -668,12 +856,9 @@ let exec_script db sql : result list =
       let stmts = Sql.Parser.script sql in
       List.map
         (fun stmt ->
-          if db.trigger_depth = 0 then begin
-            db.ctx.Exec.Exec_ctx.now <- db.ctx.Exec.Exec_ctx.now + 1;
-            db.ctx.Exec.Exec_ctx.sql <- Sql.Ast.statement_to_string stmt;
-            Exec.Exec_ctx.reset_query_state db.ctx
-          end;
-          exec_statement db stmt)
+          if db.trigger_depth = 0 then
+            exec_logged db (Sql.Ast.statement_to_string stmt) stmt
+          else exec_statement db stmt)
         stmts)
 
 (** Run a SELECT and return its rows (convenience). *)

@@ -52,6 +52,50 @@ val last_query_stats : t -> Exec.Metrics.op_report list option
 
 val trigger_manager : t -> Audit_core.Trigger.manager
 
+(** {1 Robustness: audit log, query guards, fault injection}
+
+    The failure-atomic audit pipeline: when an audit log is attached,
+    every top-level statement's ACCESSED sets (including trigger-cascade
+    accesses) and trigger firings are appended to the durable log and
+    fsynced {e before} the statement's results are released. Under the
+    default fail-closed policy a failed log write withholds the results
+    (raising [Engine_core.Engine_error.Error (Log_io _)], analogous to
+    {!Access_denied}); under fail-open the results flow and an alarm is
+    recorded. *)
+
+(** Attach (open or create) the durable audit log at the given path.
+    Recovery keeps every intact record and truncates a torn tail
+    (alarming when it does). Default policy: fail-closed. *)
+val attach_audit_log :
+  t -> ?policy:Audit_log.Wal.policy -> string -> Audit_log.Wal.recovery
+
+val detach_audit_log : t -> unit
+val audit_log : t -> Audit_log.Wal.t option
+
+(** Robustness alarms (fail-open log losses, invariant repairs, recovery
+    truncations), oldest first. *)
+val alarms : t -> string list
+
+val clear_alarms : t -> unit
+
+(** Per-query wall-clock budget in seconds ([None] = unlimited). A tripped
+    guard raises [Engine_error.Error (Cancelled _)] — after flushing the
+    partial ACCESSED set to the audit log. *)
+val set_timeout : t -> float option -> unit
+
+(** Per-query budget on base-table rows scanned. *)
+val set_row_budget : t -> int option -> unit
+
+(** Per-query budget on tuples materialized by blocking operators. *)
+val set_mem_budget : t -> int option -> unit
+
+(** The session's fault-injection kit (tests, the shell's [\fault]). *)
+val faults : t -> Engine_core.Faultkit.t
+
+(** Current trigger cascade depth (0 between statements — exposed so tests
+    can assert the invariant survives faults inside trigger bodies). *)
+val trigger_depth : t -> int
+
 (** {1 Audit expressions} *)
 
 val audit_view : t -> string -> Audit_core.Sensitive_view.t

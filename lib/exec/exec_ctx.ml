@@ -43,6 +43,23 @@ type t = {
   metrics : Metrics.t;
       (** per-operator registry; populated only when metrics collection is
           enabled (EXPLAIN ANALYZE, benchmarks) *)
+  (* Query guards: cooperative cancellation. A tripped guard raises the
+     typed [Engine_error.Cancelled]; the database layer still flushes the
+     partial ACCESSED set, extending no-false-negatives to aborted
+     queries. *)
+  mutable timeout_s : float option;  (** per-query wall-clock budget *)
+  mutable deadline : float option;
+      (** monotonic deadline of the current query (armed by
+          [reset_query_state] from [timeout_s]) *)
+  mutable row_budget : int option;  (** max base-table rows scanned *)
+  mutable mem_budget : int option;  (** max tuples materialized by blocking
+                                        operators (hash builds, sorts,
+                                        groups) *)
+  mutable tuples_materialized : int;
+  mutable guard_ticks : int;  (** getNext counter for periodic clock checks *)
+  faults : Engine_core.Faultkit.t;
+      (** fault-injection plan consulted by the executor, trigger runner
+          and audit log *)
 }
 
 let create catalog =
@@ -60,6 +77,13 @@ let create catalog =
     audit_hits = 0;
     rows_scanned = 0;
     metrics = Metrics.create ();
+    timeout_s = None;
+    deadline = None;
+    row_budget = None;
+    mem_budget = None;
+    tuples_materialized = 0;
+    guard_ticks = 0;
+    faults = Engine_core.Faultkit.create ();
   }
 
 let norm = String.lowercase_ascii
@@ -80,6 +104,10 @@ let reset_query_state ctx =
   ctx.audit_probes <- 0;
   ctx.audit_hits <- 0;
   ctx.rows_scanned <- 0;
+  ctx.tuples_materialized <- 0;
+  ctx.guard_ticks <- 0;
+  ctx.deadline <-
+    Option.map (fun s -> Engine_core.Mono_clock.now () +. s) ctx.timeout_s;
   Metrics.clear ctx.metrics
 
 (** Record an access for an ID that may no longer be in the sensitive view
@@ -119,3 +147,50 @@ let accessed_list ctx ~audit_name =
 
 let accessed_count ctx ~audit_name =
   List.length (accessed_list ctx ~audit_name)
+
+(* ------------------------------------------------------------------ *)
+(* Query guards                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let cancel reason detail =
+  Engine_core.Engine_error.raise_
+    (Engine_core.Engine_error.Cancelled { reason; detail })
+
+(** Any guard armed for the current query? Checked once per compile so the
+    unguarded hot path carries no per-row cost. *)
+let guards_armed ctx =
+  ctx.deadline <> None || ctx.row_budget <> None || ctx.mem_budget <> None
+
+let check_deadline ctx =
+  match ctx.deadline with
+  | Some d when Engine_core.Mono_clock.now () > d ->
+    cancel Engine_core.Engine_error.Timeout
+      (Printf.sprintf "query exceeded its %gs wall-clock budget"
+         (Option.value ctx.timeout_s ~default:0.0))
+  | _ -> ()
+
+(** Cheap periodic guard check, called per [getNext] when guards are
+    armed: the clock is read only every 16th call. *)
+let check_guards ctx =
+  ctx.guard_ticks <- ctx.guard_ticks + 1;
+  if ctx.guard_ticks land 15 = 0 then check_deadline ctx
+
+(** Count a base-table row against the scan budget. *)
+let note_scanned ctx =
+  ctx.rows_scanned <- ctx.rows_scanned + 1;
+  match ctx.row_budget with
+  | Some b when ctx.rows_scanned > b ->
+    cancel Engine_core.Engine_error.Row_budget
+      (Printf.sprintf "query scanned more than %d rows" b)
+  | _ -> ()
+
+(** Count a tuple materialized by a blocking operator (hash build, sort
+    buffer, group table) against the memory budget. *)
+let note_materialized ctx =
+  match ctx.mem_budget with
+  | None -> ()
+  | Some b ->
+    ctx.tuples_materialized <- ctx.tuples_materialized + 1;
+    if ctx.tuples_materialized > b then
+      cancel Engine_core.Engine_error.Memory_budget
+        (Printf.sprintf "query materialized more than %d tuples" b)

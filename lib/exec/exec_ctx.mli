@@ -35,6 +35,18 @@ type t = {
   metrics : Metrics.t;
       (** per-operator stats registry; populated only while metrics
           collection is enabled (EXPLAIN ANALYZE, benchmarks) *)
+  mutable timeout_s : float option;
+      (** per-query wall-clock budget; [reset_query_state] arms the
+          deadline from it *)
+  mutable deadline : float option;  (** monotonic deadline of this query *)
+  mutable row_budget : int option;  (** max base-table rows scanned *)
+  mutable mem_budget : int option;
+      (** max tuples materialized by blocking operators *)
+  mutable tuples_materialized : int;
+  mutable guard_ticks : int;
+  faults : Engine_core.Faultkit.t;
+      (** fault-injection plan consulted by the executor, the trigger
+          runner and the audit log *)
 }
 
 val create : Catalog.t -> t
@@ -59,3 +71,25 @@ val reset_query_state : t -> unit
 val accessed_list : t -> audit_name:string -> Value.t list
 
 val accessed_count : t -> audit_name:string -> int
+
+(** {1 Query guards}
+
+    Cooperative cancellation: a tripped guard raises
+    [Engine_core.Engine_error.Error (Cancelled _)]. The database layer
+    still flushes the partial ACCESSED set before re-raising. *)
+
+(** Any guard armed for the current query? *)
+val guards_armed : t -> bool
+
+(** Check the wall-clock deadline now (cursor opens). *)
+val check_deadline : t -> unit
+
+(** Cheap periodic guard check (per [getNext] when guards are armed). *)
+val check_guards : t -> unit
+
+(** Count a base-table row against the scan budget. *)
+val note_scanned : t -> unit
+
+(** Count a tuple materialized by a blocking operator against the memory
+    budget. *)
+val note_materialized : t -> unit

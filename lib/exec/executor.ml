@@ -24,6 +24,18 @@ let drain (c : cursor) : Tuple.t list =
   let rec go acc = match c () with None -> List.rev acc | Some r -> go (r :: acc) in
   go []
 
+(* Drain into a buffer a blocking operator will hold live, charging each
+   tuple against the context's memory budget. *)
+let drain_tracked ctx (c : cursor) : Tuple.t list =
+  let rec go acc =
+    match c () with
+    | None -> List.rev acc
+    | Some r ->
+      Exec_ctx.note_materialized ctx;
+      go (r :: acc)
+  in
+  go []
+
 (* Equi-join key extraction: partition join-predicate conjuncts into
    (left_key, right_key) pairs and a residual predicate. *)
 let split_equi ~left_arity pred =
@@ -55,22 +67,39 @@ let split_equi ~left_arity pred =
    pre-order; the record is found again later by physical node identity
    (EXPLAIN ANALYZE walks the same tree). *)
 let rec compile (ctx : Exec_ctx.t) (plan : Logical.t) : factory =
-  if not (Metrics.enabled ctx.Exec_ctx.metrics) then compile_op ctx plan
-  else begin
-    let st = Metrics.register ctx.Exec_ctx.metrics plan in
-    let f = compile_op ctx plan in
-    fun () ->
-      st.Metrics.opens <- st.Metrics.opens + 1;
-      let c = f () in
+  let base =
+    if not (Metrics.enabled ctx.Exec_ctx.metrics) then compile_op ctx plan
+    else begin
+      let st = Metrics.register ctx.Exec_ctx.metrics plan in
+      let f = compile_op ctx plan in
       fun () ->
-        let t0 = Metrics.now_s () in
-        let r = c () in
-        st.Metrics.time_s <- st.Metrics.time_s +. (Metrics.now_s () -. t0);
-        st.Metrics.calls <- st.Metrics.calls + 1;
-        (match r with
-        | Some _ -> st.Metrics.rows <- st.Metrics.rows + 1
-        | None -> ());
-        r
+        st.Metrics.opens <- st.Metrics.opens + 1;
+        let c = f () in
+        fun () ->
+          let t0 = Metrics.now_s () in
+          let r = c () in
+          st.Metrics.time_s <- st.Metrics.time_s +. (Metrics.now_s () -. t0);
+          st.Metrics.calls <- st.Metrics.calls + 1;
+          (match r with
+          | Some _ -> st.Metrics.rows <- st.Metrics.rows + 1
+          | None -> ());
+          r
+    end
+  in
+  (* Guard/fault wrapper, compiled in only when a guard or a fault plan is
+     armed — the plain hot path carries no per-row cost. *)
+  let faults_armed = Engine_core.Faultkit.armed ctx.Exec_ctx.faults in
+  if not (Exec_ctx.guards_armed ctx || faults_armed) then base
+  else begin
+    let label = Metrics.label_of plan in
+    fun () ->
+      Exec_ctx.check_deadline ctx;
+      let c = base () in
+      fun () ->
+        if faults_armed then
+          Engine_core.Faultkit.on_get_next ctx.Exec_ctx.faults ~op:label;
+        Exec_ctx.check_guards ctx;
+        c ()
   end
 
 and compile_op (ctx : Exec_ctx.t) (plan : Logical.t) : factory =
@@ -108,7 +137,10 @@ and compile_op (ctx : Exec_ctx.t) (plan : Logical.t) : factory =
         | None -> ()
         | Some row ->
           let k = Eval.eval ctx row right_key in
-          if not (Value.is_null k) then Value.Hashtbl_v.replace keys k ();
+          if not (Value.is_null k) then begin
+            Exec_ctx.note_materialized ctx;
+            Value.Hashtbl_v.replace keys k ()
+          end;
           build ()
       in
       build ();
@@ -211,6 +243,7 @@ and compile_op (ctx : Exec_ctx.t) (plan : Logical.t) : factory =
           match rc () with
           | None -> ()
           | Some r ->
+            Exec_ctx.note_materialized ctx;
             Tuple.Hashtbl_t.replace right_set r ();
             build ()
         in
@@ -296,7 +329,7 @@ and compile_scan ctx table cols : factory =
         match c () with
         | None -> None
         | Some row ->
-          ctx.Exec_ctx.rows_scanned <- ctx.Exec_ctx.rows_scanned + 1;
+          Exec_ctx.note_scanned ctx;
           Some
             (match cols with
             | None -> row
@@ -386,7 +419,7 @@ and compile_join ctx ~node kind pred left right : factory =
   fun () ->
     (* Materialize and (for equi joins) hash the build side. *)
     let rc = rf () in
-    let right_rows = drain rc in
+    let right_rows = drain_tracked ctx rc in
     let probe : Tuple.t -> Tuple.t list =
       if use_hash then begin
         let tbl = Tuple.Hashtbl_t.create 1024 in
@@ -509,7 +542,7 @@ and compile_inl_join ctx kind ~left ~left_key ~base_col ~table ~cols
       ops
   in
   let through_chain base_row =
-    ctx.Exec_ctx.rows_scanned <- ctx.Exec_ctx.rows_scanned + 1;
+    Exec_ctx.note_scanned ctx;
     (match scan_st with
     | Some s -> s.Metrics.rows <- s.Metrics.rows + 1
     | None -> ());
@@ -610,6 +643,7 @@ and compile_group ctx keys aggs child : factory =
           match Tuple.Hashtbl_t.find_opt groups k with
           | Some s -> s
           | None ->
+            Exec_ctx.note_materialized ctx;
             let s = Array.map Aggregate.create agg_list in
             Tuple.Hashtbl_t.replace groups k s;
             order := k :: !order;
@@ -651,7 +685,7 @@ and compile_sort ctx keys child : factory =
   let cf = compile ctx child in
   let key_exprs = Array.of_list keys in
   fun () ->
-    let rows = drain (cf ()) in
+    let rows = drain_tracked ctx (cf ()) in
     let decorated =
       List.map
         (fun row ->

@@ -39,7 +39,9 @@ let set_enabled m b = m.enabled <- b
 (** Drop all records (fresh query). The enabled flag is kept. *)
 let clear m = m.entries <- []
 
-let now_s = Unix.gettimeofday
+(* Monotonic source: operator timings and guard deadlines must never go
+   backwards when NTP steps the wall clock. *)
+let now_s () = Engine_core.Mono_clock.now ()
 
 (* ------------------------------------------------------------------ *)
 (* Labels                                                              *)

@@ -22,4 +22,6 @@ let () =
       ("reorder", Test_reorder.suite);
       ("properties", Test_properties.suite);
       ("metrics", Test_metrics.suite);
+      ("wal", Test_wal.suite);
+      ("robustness", Test_robustness.suite);
     ]

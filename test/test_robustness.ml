@@ -1,0 +1,258 @@
+(** The failure-atomic audit pipeline: fail-closed/fail-open policies,
+    query guards, fault injection, and the seeded fault matrix. *)
+
+open Storage
+module Wal = Audit_log.Wal
+module F = Engine_core.Faultkit
+module E = Engine_core.Engine_error
+
+let fresh_path name =
+  let p = Filename.temp_file ("rob_" ^ name) ".wal" in
+  Sys.remove p;
+  p
+
+(** Healthcare DB with the Alice audit watched by a trigger and a durable
+    audit log attached. *)
+let logged_db ?(policy = Wal.Fail_closed) name =
+  let db = Fixtures.healthcare_with_alice () in
+  ignore
+    (Db.Database.exec db
+       "CREATE TRIGGER watch ON ACCESS TO audit_alice AS NOTIFY 'seen'");
+  let path = fresh_path name in
+  let r = Db.Database.attach_audit_log db ~policy path in
+  Alcotest.(check int) "fresh log" 0 r.Wal.valid_records;
+  (db, path)
+
+let rows_of = function
+  | Db.Database.Rows { rows; _ } -> rows
+  | _ -> Alcotest.fail "expected rows"
+
+let accessed_ids ?(complete_only = true) records =
+  List.concat_map
+    (function
+      | Wal.Accessed { ids; complete; _ } when complete || not complete_only ->
+        ids
+      | _ -> [])
+    records
+
+let expect_cancelled expected f =
+  match f () with
+  | _ -> Alcotest.fail "expected a cancellation"
+  | exception E.Error (E.Cancelled { reason; _ }) ->
+    Alcotest.(check bool) "cancellation reason" true (reason = expected)
+
+let check_clean_query db =
+  Alcotest.(check int)
+    "next query runs clean" 5
+    (List.length (rows_of (Db.Database.exec db "SELECT * FROM patients")))
+
+(* ------------------------------------------------------------------ *)
+(* Policies                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_fail_closed_withholds () =
+  let db, path = logged_db "closed" in
+  F.arm (Db.Database.faults db) [ F.Log_io { at = 1; fault = F.Enospc } ];
+  (match Db.Database.exec db "SELECT * FROM patients" with
+  | _ -> Alcotest.fail "fail-closed must withhold results on a log failure"
+  | exception E.Error (E.Log_io _) -> ());
+  F.arm (Db.Database.faults db) [];
+  check_clean_query db;
+  (* The clean query's audit evidence made it to disk. *)
+  let records, r = Wal.read_all path in
+  Alcotest.(check bool) "log not corrupt" false r.Wal.corrupt;
+  Alcotest.(check bool)
+    "Alice's access is on disk" true
+    (List.mem "1" (accessed_ids records))
+
+let test_fail_open_alarms () =
+  let db, _path = logged_db ~policy:Wal.Fail_open "open" in
+  F.arm (Db.Database.faults db) [ F.Log_io { at = 1; fault = F.Enospc } ];
+  Alcotest.(check int)
+    "fail-open releases the rows" 5
+    (List.length (rows_of (Db.Database.exec db "SELECT * FROM patients")));
+  Alcotest.(check bool)
+    "an alarm records the loss" true
+    (List.exists
+       (fun a ->
+         let has sub =
+           let rec go i =
+             i + String.length sub <= String.length a
+             && (String.sub a i (String.length sub) = sub || go (i + 1))
+           in
+           go 0
+         in
+         has "audit record lost")
+       (Db.Database.alarms db))
+
+(* ------------------------------------------------------------------ *)
+(* Query guards                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_timeout () =
+  let db, _ = logged_db "timeout" in
+  Db.Database.set_timeout db (Some 1e-9);
+  expect_cancelled E.Timeout (fun () ->
+      Db.Database.exec db "SELECT * FROM patients");
+  Db.Database.set_timeout db None;
+  check_clean_query db
+
+let test_row_budget_flushes_partial () =
+  let db, path = logged_db "rowbudget" in
+  Db.Database.set_row_budget db (Some 2);
+  expect_cancelled E.Row_budget (fun () ->
+      Db.Database.exec db "SELECT * FROM patients");
+  Alcotest.(check int) "depth reset" 0 (Db.Database.trigger_depth db);
+  Db.Database.set_row_budget db None;
+  (* The pipeline saw Alice (row 1) before the budget tripped at row 3:
+     her access must be flushed as a partial record before the raise. *)
+  let records, _ = Wal.read_all path in
+  let partial =
+    List.exists
+      (function
+        | Wal.Accessed { ids; complete = false; _ } -> List.mem "1" ids
+        | _ -> false)
+      records
+  in
+  Alcotest.(check bool) "partial ACCESSED flushed on cancel" true partial;
+  check_clean_query db
+
+let test_mem_budget () =
+  let db, _ = logged_db "membudget" in
+  Db.Database.set_mem_budget db (Some 1);
+  expect_cancelled E.Memory_budget (fun () ->
+      Db.Database.exec db "SELECT * FROM patients ORDER BY age");
+  Db.Database.set_mem_budget db None;
+  check_clean_query db
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_operator_fault () =
+  let db, _ = logged_db "opfault" in
+  F.arm (Db.Database.faults db) [ F.Op_next { op = "scan"; at = 2 } ];
+  (match Db.Database.exec db "SELECT * FROM patients" with
+  | _ -> Alcotest.fail "armed operator fault must fire"
+  | exception E.Error (E.Fault _) -> ());
+  Alcotest.(check int) "depth reset" 0 (Db.Database.trigger_depth db);
+  F.arm (Db.Database.faults db) [];
+  check_clean_query db
+
+let test_trigger_body_fault () =
+  let db, _ = logged_db "trfault" in
+  F.arm (Db.Database.faults db) [ F.Trigger_body { name = "watch" } ];
+  (match Db.Database.exec db "SELECT * FROM patients" with
+  | _ -> Alcotest.fail "armed trigger fault must fire"
+  | exception E.Error (E.Fault _) -> ());
+  Alcotest.(check int)
+    "fault inside a trigger body leaves depth = 0" 0
+    (Db.Database.trigger_depth db);
+  F.arm (Db.Database.faults db) [];
+  check_clean_query db;
+  Alcotest.(check int)
+    "depth still 0 after the clean query" 0
+    (Db.Database.trigger_depth db)
+
+(* ------------------------------------------------------------------ *)
+(* The seeded fault matrix (ISSUE acceptance property)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* For every seeded fault plan: if the statement released rows to the
+   client, the recovered audit log must contain complete ACCESSED
+   record(s) covering the sensitive IDs of those rows; and recovery must
+   never be corrupt nor lose intact records, whatever the fault did. *)
+let test_fault_matrix () =
+  let query =
+    "SELECT p.patientid, d.disease FROM patients p, disease d WHERE \
+     p.patientid = d.patientid"
+  in
+  let ops = [ "Scan"; "Filter"; "Join"; "Project"; "Audit" ] in
+  for seed = 0 to 39 do
+    let ctx msg = Printf.sprintf "seed %d: %s" seed msg in
+    let db = Fixtures.healthcare () in
+    ignore (Db.Database.exec db Fixtures.audit_all_sql);
+    ignore
+      (Db.Database.exec db
+         "CREATE TRIGGER watch_all ON ACCESS TO audit_all AS NOTIFY 'hit'");
+    let path = fresh_path (Printf.sprintf "matrix%02d" seed) in
+    ignore (Db.Database.attach_audit_log db path);
+    let plan = F.random_plan ~seed ~ops in
+    F.arm (Db.Database.faults db) plan;
+    let released =
+      match Db.Database.exec db query with
+      | Db.Database.Rows { rows; _ } ->
+        List.map (fun t -> Value.to_string (Tuple.get t 0)) rows
+      | _ -> Alcotest.fail (ctx "expected a row result")
+      | exception (E.Error _ | Db.Database.Db_error _) -> []
+    in
+    Alcotest.(check int) (ctx "trigger depth reset") 0
+      (Db.Database.trigger_depth db);
+    F.arm (Db.Database.faults db) [];
+    Db.Database.detach_audit_log db;
+    let records, r = Wal.read_all path in
+    Alcotest.(check bool) (ctx "recovered log is not corrupt") false
+      r.Wal.corrupt;
+    (* Recovery is idempotent: reopening drops nothing. *)
+    let w, r2 = Wal.open_ path in
+    Wal.close w;
+    Alcotest.(check int)
+      (ctx "recovery never drops intact records")
+      r.Wal.valid_records r2.Wal.valid_records;
+    (* The no-false-negatives property. *)
+    let logged = accessed_ids records in
+    List.iter
+      (fun id ->
+        Alcotest.(check bool)
+          (ctx (Printf.sprintf "released row %s is in the recovered log" id))
+          true (List.mem id logged))
+      released;
+    (* And the session survives whatever the fault plan did. *)
+    Alcotest.(check int)
+      (ctx "next statement runs clean")
+      5
+      (List.length (rows_of (Db.Database.exec db "SELECT * FROM patients")))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Session repair                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_shell_errors_are_db_errors () =
+  (* Parse and bind failures surface as Db_error with classified
+     prefixes, so front-ends can print them without dying. *)
+  let db = Fixtures.healthcare () in
+  let expect_prefix prefix sql =
+    match Db.Database.exec db sql with
+    | _ -> Alcotest.fail ("expected an error for: " ^ sql)
+    | exception Db.Database.Db_error m ->
+      let p = String.length prefix in
+      Alcotest.(check string)
+        (prefix ^ " classification") prefix
+        (if String.length m >= p then String.sub m 0 p else m)
+  in
+  expect_prefix "parse error" "FROB THE KNOB";
+  expect_prefix "parse error" "SELECT * FROM";
+  expect_prefix "bind error" "SELECT nope FROM patients";
+  expect_prefix "bind error" "SELECT * FROM no_such_table";
+  check_clean_query db
+
+let suite =
+  [
+    Alcotest.test_case "fail-closed withholds results" `Quick
+      test_fail_closed_withholds;
+    Alcotest.test_case "fail-open releases rows and alarms" `Quick
+      test_fail_open_alarms;
+    Alcotest.test_case "timeout cancels; next query clean" `Quick test_timeout;
+    Alcotest.test_case "row budget cancels and flushes partial ACCESSED"
+      `Quick test_row_budget_flushes_partial;
+    Alcotest.test_case "memory budget cancels blocking operators" `Quick
+      test_mem_budget;
+    Alcotest.test_case "operator fault recovers" `Quick test_operator_fault;
+    Alcotest.test_case "trigger-body fault leaves depth 0" `Quick
+      test_trigger_body_fault;
+    Alcotest.test_case "seeded fault matrix (no false negatives)" `Quick
+      test_fault_matrix;
+    Alcotest.test_case "errors are classified Db_error values" `Quick
+      test_shell_errors_are_db_errors;
+  ]

@@ -1,0 +1,209 @@
+(** The durable audit log: framing, recovery, failure-atomic appends. *)
+
+module Wal = Audit_log.Wal
+module F = Engine_core.Faultkit
+module E = Engine_core.Engine_error
+
+let record : Wal.record Alcotest.testable =
+  Alcotest.testable
+    (fun fmt r -> Format.pp_print_string fmt (Wal.record_to_string r))
+    ( = )
+
+let records = Alcotest.list record
+
+(* A path in the build sandbox that does not exist yet. *)
+let fresh_path name =
+  let p = Filename.temp_file ("wal_" ^ name) ".wal" in
+  Sys.remove p;
+  p
+
+let sample =
+  [
+    Wal.Accessed
+      {
+        seq = 3;
+        user = "admin";
+        sql = "SELECT * FROM patients";
+        audit = "audit_alice";
+        ids = [ "1"; "4" ];
+        complete = true;
+      };
+    Wal.Trigger_fired
+      { seq = 3; trigger = "watch"; audit = "audit_alice"; timing = "AFTER" };
+    Wal.Notify { seq = 4; msg = "alice accessed" };
+    Wal.Note "alarm: example";
+    Wal.Accessed
+      {
+        seq = 5;
+        user = "mallory";
+        sql = "SELECT name FROM patients WHERE age > 30";
+        audit = "audit_all";
+        ids = [];
+        complete = false;
+      };
+  ]
+
+let write_sample path =
+  let w, _ = Wal.open_ path in
+  List.iter (Wal.append w) sample;
+  Wal.sync w;
+  Wal.close w
+
+let is_log_io = function
+  | E.Error (E.Log_io _) -> true
+  | _ -> false
+
+let expect_log_io f =
+  match f () with
+  | _ -> Alcotest.fail "expected a Log_io failure"
+  | exception e ->
+    Alcotest.(check bool) "raises Log_io" true (is_log_io e)
+
+(* ------------------------------------------------------------------ *)
+
+let test_roundtrip () =
+  let path = fresh_path "roundtrip" in
+  write_sample path;
+  let got, r = Wal.read_all path in
+  Alcotest.check records "all variants survive a roundtrip" sample got;
+  Alcotest.(check int) "valid records" (List.length sample) r.Wal.valid_records;
+  Alcotest.(check int) "nothing truncated" 0 r.Wal.truncated_bytes;
+  Alcotest.(check bool) "not corrupt" false r.Wal.corrupt
+
+let test_fresh_and_missing () =
+  let path = fresh_path "fresh" in
+  let got, r = Wal.read_all path in
+  Alcotest.check records "missing file reads as empty" [] got;
+  Alcotest.(check int) "no records" 0 r.Wal.valid_records;
+  let w, r0 = Wal.open_ path in
+  Alcotest.(check int) "fresh open recovers nothing" 0 r0.Wal.valid_records;
+  Alcotest.(check bool) "fresh open not corrupt" false r0.Wal.corrupt;
+  Wal.close w;
+  let got, _ = Wal.read_all path in
+  Alcotest.check records "fresh log is empty" [] got
+
+let test_reopen_append () =
+  let path = fresh_path "reopen" in
+  write_sample path;
+  let w, r = Wal.open_ path in
+  Alcotest.(check int) "reopen sees prior records" (List.length sample)
+    r.Wal.valid_records;
+  Wal.append w (Wal.Note "second session");
+  Wal.sync w;
+  Alcotest.(check int) "appended counts this handle only" 1 (Wal.appended w);
+  Wal.close w;
+  let got, _ = Wal.read_all path in
+  Alcotest.check records "sessions accumulate"
+    (sample @ [ Wal.Note "second session" ])
+    got
+
+let test_torn_tail () =
+  let path = fresh_path "torn" in
+  write_sample path;
+  let kit = F.create () in
+  F.arm kit [ F.Log_io { at = 1; fault = F.Crash_before_sync } ];
+  let w, _ = Wal.open_ ~faults:kit path in
+  expect_log_io (fun () -> Wal.append w (Wal.Note "never lands"));
+  Alcotest.(check bool) "handle dead after crash" false (Wal.is_open w);
+  let got, r = Wal.read_all path in
+  Alcotest.check records "intact records survive the crash" sample got;
+  Alcotest.(check bool) "torn tail detected" true (r.Wal.truncated_bytes > 0);
+  Alcotest.(check bool) "short tail is not corruption" false r.Wal.corrupt;
+  (* Recovery-on-open truncates the tail and the log is writable again. *)
+  let w2, r2 = Wal.open_ path in
+  Alcotest.(check int) "recovery keeps every record" (List.length sample)
+    r2.Wal.valid_records;
+  Wal.append w2 (Wal.Note "after recovery");
+  Wal.sync w2;
+  Wal.close w2;
+  let got, r3 = Wal.read_all path in
+  Alcotest.check records "append after recovery"
+    (sample @ [ Wal.Note "after recovery" ])
+    got;
+  Alcotest.(check int) "tail gone after recovery" 0 r3.Wal.truncated_bytes
+
+let test_checksum_corruption () =
+  let path = fresh_path "corrupt" in
+  write_sample path;
+  let size = (Unix.stat path).Unix.st_size in
+  (* Flip a byte in the last record's payload (well past the prefix). *)
+  let pos = size - 3 in
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd pos Unix.SEEK_SET);
+  let b = Bytes.make 1 '\xff' in
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd;
+  let got, r = Wal.read_all path in
+  Alcotest.(check bool) "corruption detected" true r.Wal.corrupt;
+  Alcotest.(check int) "prefix before the flip survives"
+    (List.length sample - 1)
+    r.Wal.valid_records;
+  Alcotest.check records "prefix records intact"
+    (List.filteri (fun i _ -> i < List.length sample - 1) sample)
+    got;
+  (* Open-time recovery truncates the corrupt tail for good. *)
+  let w, _ = Wal.open_ path in
+  Wal.close w;
+  let _, r2 = Wal.read_all path in
+  Alcotest.(check bool) "healed after recovery" false r2.Wal.corrupt;
+  Alcotest.(check int) "no tail left" 0 r2.Wal.truncated_bytes
+
+let test_short_write_heals () =
+  let path = fresh_path "short" in
+  write_sample path;
+  let kit = F.create () in
+  F.arm kit [ F.Log_io { at = 1; fault = F.Short_write 3 } ];
+  let w, _ = Wal.open_ ~faults:kit path in
+  expect_log_io (fun () -> Wal.append w (Wal.Note "torn"));
+  (* Failure-atomicity: the failed append left no trace and the handle
+     survives (the heal truncated the torn prefix). *)
+  Alcotest.(check bool) "handle survives a healed failure" true
+    (Wal.is_open w);
+  let got, r = Wal.read_all path in
+  Alcotest.check records "log exactly as before the failed append" sample got;
+  Alcotest.(check int) "no torn bytes on disk" 0 r.Wal.truncated_bytes;
+  Wal.append w (Wal.Note "retry");
+  Wal.sync w;
+  Wal.close w;
+  let got, _ = Wal.read_all path in
+  Alcotest.check records "retry lands cleanly"
+    (sample @ [ Wal.Note "retry" ])
+    got
+
+let test_enospc_heals () =
+  let path = fresh_path "enospc" in
+  write_sample path;
+  let kit = F.create () in
+  F.arm kit [ F.Log_io { at = 1; fault = F.Enospc } ];
+  let w, _ = Wal.open_ ~faults:kit path in
+  expect_log_io (fun () -> Wal.append w (Wal.Note "no space"));
+  Alcotest.(check bool) "handle survives ENOSPC" true (Wal.is_open w);
+  Wal.append w (Wal.Note "space back");
+  Wal.sync w;
+  Wal.close w;
+  let got, _ = Wal.read_all path in
+  Alcotest.check records "only the successful append is on disk"
+    (sample @ [ Wal.Note "space back" ])
+    got
+
+let test_crc32 () =
+  (* The standard CRC32 (IEEE 802.3) check value. *)
+  Alcotest.(check int)
+    "crc32 check value" 0xcbf43926
+    (Wal.crc32 "123456789");
+  Alcotest.(check int) "crc32 of empty string" 0 (Wal.crc32 "")
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip all record variants" `Quick test_roundtrip;
+    Alcotest.test_case "fresh and missing logs" `Quick test_fresh_and_missing;
+    Alcotest.test_case "reopen and append accumulate" `Quick test_reopen_append;
+    Alcotest.test_case "crash leaves torn tail; recovery truncates" `Quick
+      test_torn_tail;
+    Alcotest.test_case "checksum corruption ends the valid prefix" `Quick
+      test_checksum_corruption;
+    Alcotest.test_case "short write heals (failure-atomic append)" `Quick
+      test_short_write_heals;
+    Alcotest.test_case "ENOSPC heals; retry succeeds" `Quick test_enospc_heals;
+    Alcotest.test_case "crc32 check value" `Quick test_crc32;
+  ]
