@@ -11,7 +11,12 @@
      BENCH_REPEATS  timing repetitions (default 3)
      BENCH_ONLY     comma-separated subset, e.g. "fig6,fig9,micro"
                     (unknown names abort with exit code 2)
-     BENCH_JSON     report path (default BENCH_PR1.json) *)
+     BENCH_JSON     report path (default BENCH_PR3.json)
+
+   The report always embeds an EXPLAIN ANALYZE sample (CI asserts the
+   estimated-vs-actual row annotations) and, when selected, the
+   "expr-compile" before/after section comparing the interpreter oracle
+   with compiled expressions per figure query. *)
 
 open Experiments
 
@@ -19,7 +24,7 @@ let known_benchmarks =
   [
     "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "ablation-idprop";
     "ablation-multi"; "ablation-provenance"; "ablation-static"; "pipeline";
-    "scaling"; "micro";
+    "scaling"; "micro"; "expr-compile";
   ]
 
 let wanted only name = only = [] || List.mem name only
@@ -55,7 +60,9 @@ let micro_benchmarks (env : Setup.env) : (string * float option) list =
       (Sql.Parser.expression "c_acctbal > 0 AND c_mktsegment = 'BUILDING'")
   in
   let acc = Storage.Value.Hashtbl_v.create 64 in
-  let scan_plan = Setup.plan env "SELECT c_custkey FROM customer" in
+  let scan_plan =
+    Setup.physical env (Setup.plan env "SELECT c_custkey FROM customer")
+  in
   let tests =
     [
       Test.make ~name:"audit-probe (hash mem + record)"
@@ -164,11 +171,14 @@ let () =
   if wanted only "scaling" then
     ignore (Scaling.run ~seed:cfg.Setup.seed ~repeats:cfg.Setup.repeats ());
   if wanted only "micro" then add "micro" (Json_report.micro_json (micro_benchmarks env));
+  if wanted only "expr-compile" then
+    add "expr_compile" (Json_report.expr_compile_json env);
+  add "explain_analyze_sample" (Json_report.explain_sample env);
   let elapsed = Unix.gettimeofday () -. t0 in
   let path =
     match Sys.getenv_opt "BENCH_JSON" with
     | Some p when String.trim p <> "" -> p
-    | _ -> "BENCH_PR1.json"
+    | _ -> "BENCH_PR3.json"
   in
   Benchkit.Json.write_file path
     (Json_report.assemble env ~sections:(List.rev !sections) ~elapsed_s:elapsed);

@@ -93,7 +93,7 @@ let rec eval_plan (ctx : Exec.Exec_ctx.t) (view : Sensitive_view.t)
   | Logical.Join { kind; pred; left; right } ->
     let lrows = recur left and rrows = recur right in
     let la = Logical.arity left in
-    let keys, residual = Exec.Executor.split_equi ~left_arity:la pred in
+    let keys, residual = Plan.Physical.split_equi ~left_arity:la pred in
     let residual =
       if residual = [] then None else Some (Scalar.conjoin residual)
     in

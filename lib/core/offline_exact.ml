@@ -36,7 +36,11 @@ let influences ctx ~table ~key_idx ~id plan ~baseline =
   Fun.protect
     ~finally:(fun () -> ctx.Exec.Exec_ctx.hide <- saved)
     (fun () ->
-      let altered = Exec.Executor.run_list ctx (Logical.strip_audits plan) in
+      let altered =
+        Exec.Executor.run_list ctx
+          (Plan.Physical.plan_of_logical ~catalog:ctx.Exec.Exec_ctx.catalog
+             (Logical.strip_audits plan))
+      in
       not (results_equal baseline altered))
 
 (** Exact accessed set among [candidates] (Definition 2.5, with every column
@@ -49,7 +53,10 @@ let accessed ctx ~(view : Sensitive_view.t) ?candidates (plan : Logical.t) :
   let candidates =
     match candidates with Some c -> c | None -> Sensitive_view.to_list view
   in
-  let baseline = Exec.Executor.run_list ctx plan in
+  let baseline =
+    Exec.Executor.run_list ctx
+      (Plan.Physical.plan_of_logical ~catalog:ctx.Exec.Exec_ctx.catalog plan)
+  in
   List.filter
     (fun id -> influences ctx ~table ~key_idx ~id plan ~baseline)
     candidates

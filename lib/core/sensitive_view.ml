@@ -38,7 +38,10 @@ let recompute t =
     |> Plan.Optimizer.logical_optimize |> Plan.Optimizer.prune
   in
   let ctx = Exec.Exec_ctx.create t.catalog in
-  let rows = Exec.Executor.run_list ctx plan in
+  let rows =
+    Exec.Executor.run_list ctx
+      (Plan.Physical.plan_of_logical ~catalog:t.catalog plan)
+  in
   List.iter
     (fun row ->
       match Tuple.get row 0 with

@@ -284,11 +284,19 @@ let plan_query db ?heuristic ?audits ?(prune = true) (q : Sql.Ast.query) :
 let plan_sql db ?heuristic ?audits ?prune sql =
   plan_query db ?heuristic ?audits ?prune (Sql.Parser.query sql)
 
-(** Execute a prepared plan with fresh per-query state. *)
+(** Lower a logical plan to the physical tree the executor consumes: join
+    strategies, equi-keys and per-node cardinality estimates are decided
+    here, against the live catalog. *)
+let physical db plan = Plan.Physical.plan_of_logical ~catalog:db.catalog plan
+
+let physical_sql db ?heuristic ?audits ?prune sql =
+  physical db (plan_sql db ?heuristic ?audits ?prune sql)
+
+(** Execute a prepared logical plan with fresh per-query state. *)
 let run_plan db plan =
   install_audit_sets db;
   Exec.Exec_ctx.reset_query_state db.ctx;
-  Exec.Executor.run_list db.ctx plan
+  Exec.Executor.run_list db.ctx (physical db plan)
 
 (* ------------------------------------------------------------------ *)
 (* Statement execution                                                 *)
@@ -394,21 +402,24 @@ let rec exec_statement db (stmt : Sql.Ast.statement) : result =
     Done (Printf.sprintf "index %s dropped" index_name)
   | Sql.Ast.S_explain { analyze = false; query } ->
     let plan = plan_query db query in
-    Done (Plan.Logical.to_string plan)
+    Done (Plan.Physical.to_string (physical db plan))
   | Sql.Ast.S_explain { analyze = true; query } ->
-    (* Execute the instrumented plan with metrics collection on and render
-       the tree with actual row counts/timings. Diagnostic only: triggers
-       do not fire, mirroring run_plan. *)
+    (* Execute the instrumented physical plan with metrics collection on
+       and render the tree with estimated-vs-actual row counts/timings.
+       Diagnostic only: triggers do not fire, mirroring run_plan. *)
     let plan = plan_query db query in
+    let phys = physical db plan in
     let m = db.ctx.Exec.Exec_ctx.metrics in
     let was = Exec.Metrics.enabled m in
     Exec.Metrics.set_enabled m true;
     Fun.protect
       ~finally:(fun () -> Exec.Metrics.set_enabled m was)
       (fun () ->
-        ignore (run_plan db plan);
+        install_audit_sets db;
+        Exec.Exec_ctx.reset_query_state db.ctx;
+        ignore (Exec.Executor.run_list db.ctx phys);
         db.last_stats <- Some (Exec.Metrics.report m);
-        Done (Exec.Explain.render db.ctx plan))
+        Done (Exec.Explain.render db.ctx phys))
   | Sql.Ast.S_notify msg ->
     db.notifications <- msg :: db.notifications;
     (* NOTIFY is audit output (it typically fires from trigger bodies):
@@ -429,7 +440,7 @@ and eval_standalone db (e : Sql.Ast.expr) : Value.t =
   let plan =
     Plan.Binder.query db.catalog q |> Plan.Optimizer.logical_optimize
   in
-  match Exec.Executor.run_list db.ctx plan with
+  match Exec.Executor.run_list db.ctx (physical db plan) with
   | [ row ] when Array.length row = 1 -> row.(0)
   | _ -> err "IF condition did not evaluate to a single value"
 
@@ -459,7 +470,7 @@ and exec_select db (q : Sql.Ast.query) : result =
      guard cancellations and injected faults: the exception branch fires
      the AFTER triggers on the partial ACCESSED set, and the statement
      wrapper in [exec_logged] flushes that set to the durable log. *)
-  match Exec.Executor.run_list db.ctx plan with
+  match Exec.Executor.run_list db.ctx (physical db plan) with
   | rows ->
     if not top_level then Rows { schema = Plan.Logical.schema plan; rows }
     else begin
@@ -680,7 +691,7 @@ and exec_insert db table columns source : result =
          depth guard below. *)
       let plan = plan_query db q in
       install_audit_sets db;
-      let out = Exec.Executor.run_list db.ctx plan in
+      let out = Exec.Executor.run_list db.ctx (physical db plan) in
       if db.trigger_depth = 0 then
         ignore (fire_select_triggers db ~timing:Sql.Ast.After);
       List.map (fun r -> make_row (Array.to_list r)) out

@@ -148,6 +148,19 @@ val plan_sql :
   string ->
   Plan.Logical.t
 
+(** Lower a logical plan to the physical tree the executor consumes: join
+    strategies, equi-keys and per-node cardinality estimates are decided
+    against the live catalog. *)
+val physical : t -> Plan.Logical.t -> Plan.Physical.t
+
+val physical_sql :
+  t ->
+  ?heuristic:Audit_core.Placement.heuristic ->
+  ?audits:string list ->
+  ?prune:bool ->
+  string ->
+  Plan.Physical.t
+
 (** Install every audit expression's sensitive-ID table into the execution
     context (required before running an instrumented plan directly). *)
 val install_audit_sets : t -> unit

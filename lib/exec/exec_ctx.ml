@@ -36,6 +36,10 @@ type t = {
           sensitive view during the statement (e.g. DELETE of a sensitive
           row, which *read* it first — §II-B) *)
   mutable params : Tuple.t list;
+  mutable interpret_exprs : bool;
+      (** evaluate scalars with the {!Eval} reference interpreter instead
+          of {!Expr_compile} closures — the oracle mode used by parity
+          tests and the before/after benchmark *)
   (* Statistics *)
   mutable audit_probes : int;  (** rows seen by audit operators *)
   mutable audit_hits : int;  (** rows matching a sensitive ID *)
@@ -73,6 +77,7 @@ let create catalog =
     generation = 1;
     extra_accessed = Hashtbl.create 4;
     params = [];
+    interpret_exprs = false;
     audit_probes = 0;
     audit_hits = 0;
     rows_scanned = 0;

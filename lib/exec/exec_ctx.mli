@@ -29,6 +29,10 @@ type t = {
   mutable params : Tuple.t list;
       (** correlation stack: the nearest enclosing Apply's outer row is the
           head *)
+  mutable interpret_exprs : bool;
+      (** evaluate scalars with the {!Eval} reference interpreter instead
+          of compiled closures (oracle mode for parity tests and the
+          before/after benchmark) *)
   mutable audit_probes : int;  (** statistics: rows seen by audit operators *)
   mutable audit_hits : int;  (** statistics: rows matching a sensitive ID *)
   mutable rows_scanned : int;

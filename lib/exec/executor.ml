@@ -1,10 +1,15 @@
-(** Volcano-style plan execution.
+(** Volcano-style execution of physical plans.
 
-    [compile ctx plan] performs the physical planning once (hash- vs
-    nested-loop join selection, equi-key extraction) and returns a cursor
-    *factory*; invoking the factory opens a fresh execution. Correlated
-    [Apply] operators invoke their inner factory once per outer row, with the
-    outer row pushed on the context's parameter stack.
+    The executor consumes {!Plan.Physical.t} only: every strategy decision
+    — hash- vs nested-loop join selection, equi-key extraction, the
+    index-nested-loop refinement, TopK fusion — was already made by
+    {!Plan.Physical.plan_of_logical}. [compile ctx plan] turns the
+    physical tree into a cursor *factory*; invoking the factory opens a
+    fresh execution. Correlated [Apply] operators invoke their inner
+    factory once per outer row, with the outer row pushed on the context's
+    parameter stack. Scalar expressions are compiled once per plan by
+    {!Expr_compile}; the {!Eval} interpreter remains the semantic oracle
+    behind [ctx.interpret_exprs].
 
     The physical audit operator (§IV-A2) is a no-op hash probe: it looks up
     the ID column of every passing row in the audit expression's materialized
@@ -36,37 +41,12 @@ let drain_tracked ctx (c : cursor) : Tuple.t list =
   in
   go []
 
-(* Equi-join key extraction: partition join-predicate conjuncts into
-   (left_key, right_key) pairs and a residual predicate. *)
-let split_equi ~left_arity pred =
-  let conjs = match pred with None -> [] | Some p -> Scalar.conjuncts p in
-  let la = left_arity in
-  let classify c =
-    match c with
-    | Scalar.Binop (Sql.Ast.Eq, a, b) -> (
-      let fa = Scalar.free_cols a and fb = Scalar.free_cols b in
-      let all_left l = l <> [] && List.for_all (fun i -> i < la) l in
-      let all_right l = l <> [] && List.for_all (fun i -> i >= la) l in
-      let shift = Scalar.shift_cols (fun i -> i - la) in
-      if all_left fa && all_right fb then `Equi (a, shift b)
-      else if all_left fb && all_right fa then `Equi (b, shift a)
-      else `Residual c)
-    | _ -> `Residual c
-  in
-  List.fold_left
-    (fun (keys, res) c ->
-      match classify c with
-      | `Equi (l, r) -> ((l, r) :: keys, res)
-      | `Residual c -> (keys, c :: res))
-    ([], []) conjs
-  |> fun (keys, res) -> (List.rev keys, List.rev res)
-
 (* When metrics collection is enabled, every compiled operator is wrapped so
    each getNext call is counted and timed against the node's [op_stats].
    Registration happens before children compile, so reports come out in plan
    pre-order; the record is found again later by physical node identity
    (EXPLAIN ANALYZE walks the same tree). *)
-let rec compile (ctx : Exec_ctx.t) (plan : Logical.t) : factory =
+let rec compile (ctx : Exec_ctx.t) (plan : Physical.t) : factory =
   let base =
     if not (Metrics.enabled ctx.Exec_ctx.metrics) then compile_op ctx plan
     else begin
@@ -91,7 +71,7 @@ let rec compile (ctx : Exec_ctx.t) (plan : Logical.t) : factory =
   let faults_armed = Engine_core.Faultkit.armed ctx.Exec_ctx.faults in
   if not (Exec_ctx.guards_armed ctx || faults_armed) then base
   else begin
-    let label = Metrics.label_of plan in
+    let label = Physical.label plan in
     fun () ->
       Exec_ctx.check_deadline ctx;
       let c = base () in
@@ -102,33 +82,47 @@ let rec compile (ctx : Exec_ctx.t) (plan : Logical.t) : factory =
         c ()
   end
 
-and compile_op (ctx : Exec_ctx.t) (plan : Logical.t) : factory =
-  match plan with
-  | Logical.Scan { table; cols; _ } -> compile_scan ctx table cols
-  | Logical.Filter { pred; child } ->
+and compile_op (ctx : Exec_ctx.t) (plan : Physical.t) : factory =
+  match plan.Physical.op with
+  | Physical.Seq_scan { table; cols; _ } -> compile_scan ctx table cols
+  | Physical.Filter { pred; child } ->
     let cf = compile ctx child in
+    let test = Expr_compile.compile_pred ctx pred in
     fun () ->
       let c = cf () in
       let rec next () =
         match c () with
         | None -> None
-        | Some row -> if Eval.truthy ctx row pred then Some row else next ()
+        | Some row -> if test row then Some row else next ()
       in
       next
-  | Logical.Project { cols; child } ->
+  | Physical.Project { cols; child } ->
     let cf = compile ctx child in
-    let exprs = Array.of_list (List.map fst cols) in
+    let exprs =
+      Array.of_list (List.map (fun (e, _) -> Expr_compile.compile ctx e) cols)
+    in
     fun () ->
       let c = cf () in
       fun () ->
         (match c () with
         | None -> None
-        | Some row -> Some (Array.map (Eval.eval ctx row) exprs))
-  | Logical.Join { kind; pred; left; right } ->
-    compile_join ctx ~node:plan kind pred left right
-  | Logical.Semi_join { anti; left; left_key; right; right_key } ->
+        | Some row -> Some (Array.map (fun f -> f row) exprs))
+  | Physical.Hash_join { kind; lkeys; rkeys; residual; left; right; right_arity }
+    ->
+    compile_hash_join ctx kind ~lkeys ~rkeys ~residual ~left ~right
+      ~right_arity
+  | Physical.Nl_join { kind; pred; left; right; right_arity } ->
+    compile_nl_join ctx kind ~pred ~left ~right ~right_arity
+  | Physical.Index_nl_join
+      { kind; left; left_key; table; base_col; cols; chain; residual;
+        right_arity } ->
+    compile_inl_join ctx kind ~left ~left_key ~table ~base_col ~cols ~chain
+      ~residual ~right_arity
+  | Physical.Hash_semi_join { anti; left; left_key; right; right_key } ->
     let lf = compile ctx left in
     let rf = compile ctx right in
+    let lkey = Expr_compile.compile ctx left_key in
+    let rkey = Expr_compile.compile ctx right_key in
     fun () ->
       let keys = Value.Hashtbl_v.create 256 in
       let rc = rf () in
@@ -136,7 +130,7 @@ and compile_op (ctx : Exec_ctx.t) (plan : Logical.t) : factory =
         match rc () with
         | None -> ()
         | Some row ->
-          let k = Eval.eval ctx row right_key in
+          let k = rkey row in
           if not (Value.is_null k) then begin
             Exec_ctx.note_materialized ctx;
             Value.Hashtbl_v.replace keys k ()
@@ -149,17 +143,47 @@ and compile_op (ctx : Exec_ctx.t) (plan : Logical.t) : factory =
         match lc () with
         | None -> None
         | Some row ->
-          let k = Eval.eval ctx row left_key in
+          let k = lkey row in
           let matched =
             (not (Value.is_null k)) && Value.Hashtbl_v.mem keys k
           in
           if matched <> anti then Some row else next ()
       in
       next
-  | Logical.Apply { kind; outer; inner; _ } -> compile_apply ctx kind outer inner
-  | Logical.Group_by { keys; aggs; child } -> compile_group ctx keys aggs child
-  | Logical.Sort { keys; child } -> compile_sort ctx keys child
-  | Logical.Limit { n; child } ->
+  | Physical.Apply { kind; outer; inner } -> compile_apply ctx kind outer inner
+  | Physical.Hash_agg { keys; aggs; child } ->
+    compile_group ctx keys aggs child
+  | Physical.Sort { keys; child } ->
+    let cf = compile ctx child in
+    let sort_rows = compile_sorter ctx keys in
+    fun () ->
+      let sorted = sort_rows (drain_tracked ctx (cf ())) in
+      let remaining = ref sorted in
+      fun () ->
+        (match !remaining with
+        | [] -> None
+        | r :: rest ->
+          remaining := rest;
+          Some r)
+  | Physical.Top_k { n; keys; child } ->
+    (* Fused Limit-over-Sort: full sort, bounded emission. *)
+    let cf = compile ctx child in
+    let sort_rows = compile_sorter ctx keys in
+    fun () ->
+      let sorted = sort_rows (drain_tracked ctx (cf ())) in
+      let remaining = ref sorted in
+      let left = ref n in
+      fun () ->
+        if !left <= 0 then None
+        else begin
+          match !remaining with
+          | [] -> None
+          | r :: rest ->
+            remaining := rest;
+            decr left;
+            Some r
+        end
+  | Physical.Limit { n; child } ->
     let cf = compile ctx child in
     fun () ->
       let c = cf () in
@@ -173,7 +197,7 @@ and compile_op (ctx : Exec_ctx.t) (plan : Logical.t) : factory =
             decr remaining;
             Some row
         end
-  | Logical.Distinct child ->
+  | Physical.Distinct child ->
     let cf = compile ctx child in
     fun () ->
       let c = cf () in
@@ -189,7 +213,7 @@ and compile_op (ctx : Exec_ctx.t) (plan : Logical.t) : factory =
           end
       in
       next
-  | Logical.Set_op { op; left; right } -> (
+  | Physical.Set_op { op; left; right } -> (
     let lf = compile ctx left in
     let rf = compile ctx right in
     match op with
@@ -264,7 +288,7 @@ and compile_op (ctx : Exec_ctx.t) (plan : Logical.t) : factory =
             else next ()
         in
         next)
-  | Logical.Audit { audit_name; id_col; child } ->
+  | Physical.Audit_probe { audit_name; id_col; child } ->
     let cf = compile ctx child in
     let name = String.lowercase_ascii audit_name in
     let st = Metrics.find ctx.Exec_ctx.metrics plan in
@@ -335,158 +359,134 @@ and compile_scan ctx table cols : factory =
             | None -> row
             | Some idxs -> Tuple.project row idxs)
 
-(* A right side usable for index nested loops: a chain of Filter/Audit
-   operators over a bare Scan. Returns the scan info and the chain bottom-up;
-   each chain op carries its plan node so metrics can be attributed to it. *)
-and probe_chain (plan : Logical.t) :
-    (string * int array option * Logical.t
-    * ([ `Filter of Scalar.t | `Audit of string * int ] * Logical.t) list)
-    option =
-  match plan with
-  | Logical.Scan { table; cols; _ } -> Some (table, cols, plan, [])
-  | Logical.Filter { pred; child } ->
-    Option.map
-      (fun (t, c, scan, ops) -> (t, c, scan, ops @ [ (`Filter pred, plan) ]))
-      (probe_chain child)
-  | Logical.Audit { audit_name; id_col; child } ->
-    Option.map
-      (fun (t, c, scan, ops) ->
-        (t, c, scan, ops @ [ (`Audit (audit_name, id_col), plan) ]))
-      (probe_chain child)
-  | _ -> None
-
-and compile_join ctx ~node kind pred left right : factory =
-  let la = Logical.arity left in
-  let ra = Logical.arity right in
+and compile_hash_join ctx kind ~lkeys ~rkeys ~residual ~left ~right
+    ~right_arity : factory =
   let lf = compile ctx left in
   let rf = compile ctx right in
-  let keys, residual = split_equi ~left_arity:la pred in
-  let residual = if residual = [] then None else Some (Scalar.conjoin residual) in
-  let null_pad = Array.make ra Value.Null in
-  let lkeys = Array.of_list (List.map fst keys) in
-  let rkeys = Array.of_list (List.map snd keys) in
-  let use_hash = Array.length lkeys > 0 in
-  (* Index nested loops: single equi key, right side a Filter chain over a
-     scan, join column indexed (PK or secondary), and the left side
-     estimated well below the right table — then per-left-row lookups beat
-     building a hash of the whole right side.
-
-     Exception: if the probe chain carries an audit operator, stay with the
-     scan-based plan. An audit operator inside an index lookup would observe
-     only the fetched rows, making audit cardinalities depend on the
-     physical plan — §III explicitly requires false positives to be
-     independent of the physical operators chosen. *)
-  let inl =
-    match keys with
-    | [ (lk, Scalar.Col j) ] -> (
-      match probe_chain right with
-      | Some (_, _, _, ops)
-        when List.exists
-               (fun (op, _) ->
-                 match op with `Audit _ -> true | `Filter _ -> false)
-               ops
-        ->
-        None
-      | Some (table, cols, scan_node, ops) -> (
-        let base_col =
-          match cols with None -> j | Some idxs -> idxs.(j)
-        in
-        match Catalog.find_opt ctx.Exec_ctx.catalog table with
-        | Some t
-          when (t |> Table.key) = Some base_col
-               || List.mem base_col (Table.indexed_columns t) ->
-          let left_est =
-            Plan.Cardinality.estimate ctx.Exec_ctx.catalog left
-          in
-          if left_est *. 4.0 < float_of_int (Table.cardinality t) then
-            Some (lk, base_col, table, cols, scan_node, ops)
-          else None
-        | _ -> None)
-      | None -> None)
-    | _ -> None
-  in
-  let join_phys p =
-    let dir = match kind with Logical.J_inner -> "" | Logical.J_left -> "Left" in
-    Metrics.set_phys ctx.Exec_ctx.metrics node (dir ^ p)
-  in
-  match inl with
-  | Some (lk, base_col, table, cols, scan_node, ops) ->
-    join_phys "IndexNLJoin";
-    compile_inl_join ctx kind ~left:lf ~left_key:lk ~base_col ~table ~cols
-      ~scan_node ~ops ~residual ~null_pad
-  | None ->
-  join_phys (if use_hash then "HashJoin" else "NLJoin");
+  let lkeys = Array.map (Expr_compile.compile ctx) lkeys in
+  let rkeys = Array.map (Expr_compile.compile ctx) rkeys in
+  let residual = Option.map (Expr_compile.compile_pred ctx) residual in
+  let null_pad = Array.make right_arity Value.Null in
   fun () ->
-    (* Materialize and (for equi joins) hash the build side. *)
+    (* Materialize and hash the build side. *)
     let rc = rf () in
-    let right_rows = drain_tracked ctx rc in
-    let probe : Tuple.t -> Tuple.t list =
-      if use_hash then begin
-        let tbl = Tuple.Hashtbl_t.create 1024 in
-        List.iter
-          (fun row ->
-            let k = Array.map (Eval.eval ctx row) rkeys in
-            if not (Array.exists Value.is_null k) then
-              Tuple.Hashtbl_t.replace tbl k
-                (row :: (try Tuple.Hashtbl_t.find tbl k with Not_found -> [])))
-          right_rows;
-        fun lrow ->
-          let k = Array.map (Eval.eval ctx lrow) lkeys in
-          if Array.exists Value.is_null k then []
-          else
-            match Tuple.Hashtbl_t.find_opt tbl k with
-            | Some rows -> List.rev rows
-            | None -> []
-      end
-      else fun _ -> right_rows
+    let tbl = Tuple.Hashtbl_t.create 1024 in
+    let rec build () =
+      match rc () with
+      | None -> ()
+      | Some row ->
+        Exec_ctx.note_materialized ctx;
+        let k = Array.map (fun f -> f row) rkeys in
+        if not (Array.exists Value.is_null k) then
+          Tuple.Hashtbl_t.replace tbl k
+            (row :: (try Tuple.Hashtbl_t.find tbl k with Not_found -> []));
+        build ()
+    in
+    build ();
+    let probe lrow =
+      let k = Array.map (fun f -> f lrow) lkeys in
+      if Array.exists Value.is_null k then []
+      else
+        match Tuple.Hashtbl_t.find_opt tbl k with
+        | Some rows -> List.rev rows
+        | None -> []
     in
     let lc = lf () in
-    let current_left = ref None in
-    let matches = ref [] in
-    let rec next () =
-      match !matches with
-      | m :: rest ->
-        matches := rest;
-        Some m
-      | [] -> (
-        match lc () with
-        | None -> None
-        | Some lrow ->
-          current_left := Some lrow;
-          let cands = probe lrow in
-          let joined =
-            List.filter_map
-              (fun rrow ->
-                let combined = Tuple.append lrow rrow in
-                match residual with
-                | None -> Some combined
-                | Some p ->
-                  if Eval.truthy ctx combined p then Some combined else None)
-              cands
-          in
-          (match (joined, kind) with
-          | [], Logical.J_left -> matches := [ Tuple.append lrow null_pad ]
-          | _, _ -> matches := joined);
-          next ())
-    in
-    ignore current_left;
-    next
+    join_emit ~kind ~null_pad ~residual ~probe lc
+
+and compile_nl_join ctx kind ~pred ~left ~right ~right_arity : factory =
+  let lf = compile ctx left in
+  let rf = compile ctx right in
+  let pred = Option.map (Expr_compile.compile_pred ctx) pred in
+  let null_pad = Array.make right_arity Value.Null in
+  fun () ->
+    let right_rows = drain_tracked ctx (rf ()) in
+    let probe _ = right_rows in
+    let lc = lf () in
+    join_emit ~kind ~null_pad ~residual:pred ~probe lc
+
+(* Shared probe-side emission for hash and nested-loop joins: per left row,
+   join candidate right rows, apply the residual, null-pad for LEFT JOIN. *)
+and join_emit ~kind ~null_pad ~residual ~probe lc : cursor =
+  let matches = ref [] in
+  let rec next () =
+    match !matches with
+    | m :: rest ->
+      matches := rest;
+      Some m
+    | [] -> (
+      match lc () with
+      | None -> None
+      | Some lrow ->
+        let cands = probe lrow in
+        let joined =
+          List.filter_map
+            (fun rrow ->
+              let combined = Tuple.append lrow rrow in
+              match residual with
+              | None -> Some combined
+              | Some test -> if test combined then Some combined else None)
+            cands
+        in
+        (match (joined, kind) with
+        | [], Logical.J_left -> matches := [ Tuple.append lrow null_pad ]
+        | _, _ -> matches := joined);
+        next ())
+  in
+  next
 
 (* Index-nested-loop join: per left row, an index lookup on the right base
-   table, each fetched row pushed through the right side's Filter/Audit
-   chain — so a leaf audit operator on the probe side observes exactly the
-   fetched rows. *)
-and compile_inl_join ctx kind ~left ~left_key ~base_col ~table ~cols
-    ~scan_node ~ops ~residual ~null_pad : factory =
-  (* Chain nodes were registered when the right subtree was compiled for the
-     (unused) scan-based fallback; re-attribute their row/probe activity even
-     though the cursors are folded into the lookup. Time stays on the join. *)
+   table, each fetched row pushed through the right side's physical
+   Filter/AuditProbe chain — metrics stay attributable per chain node even
+   though the chain's cursors are folded into the lookup (row and probe
+   counts land on the chain nodes; time stays on the join). *)
+and compile_inl_join ctx kind ~left ~left_key ~table ~base_col ~cols ~chain
+    ~residual ~right_arity : factory =
+  let lf = compile ctx left in
+  let lkey = Expr_compile.compile ctx left_key in
+  let residual = Option.map (Expr_compile.compile_pred ctx) residual in
+  let null_pad = Array.make right_arity Value.Null in
   let stats_of n =
     if Metrics.enabled ctx.Exec_ctx.metrics then
       Some (Metrics.register ctx.Exec_ctx.metrics n)
     else None
   in
+  (* Decompose the physical chain: scan node at the bottom, then the ops
+     above it in application (bottom-up) order. *)
+  let scan_node, ops =
+    let rec go node acc =
+      match node.Physical.op with
+      | Physical.Seq_scan _ -> (node, acc)
+      | Physical.Filter { pred; child } -> go child ((`Filter pred, node) :: acc)
+      | Physical.Audit_probe { audit_name; id_col; child } ->
+        go child ((`Audit (audit_name, id_col), node) :: acc)
+      | _ ->
+        raise (Exec_error "index-lookup probe chain is not Filter/Audit/Scan")
+    in
+    go chain []
+  in
   let scan_st = stats_of scan_node in
+  (* Compile the chain ops into closures (audit mark tables resolved at
+     open). *)
+  let compiled_ops =
+    List.map
+      (fun (op, op_node) ->
+        let st = stats_of op_node in
+        match op with
+        | `Filter pred ->
+          let test = Expr_compile.compile_pred ctx pred in
+          `Static
+            (fun row ->
+              if test row then begin
+                (match st with
+                | Some s -> s.Metrics.rows <- s.Metrics.rows + 1
+                | None -> ());
+                Some row
+              end
+              else None)
+        | `Audit (audit_name, id_col) -> `Audit (audit_name, id_col, st))
+      ops
+  in
   fun () ->
   let t =
     match Catalog.find_opt ctx.Exec_ctx.catalog table with
@@ -500,21 +500,12 @@ and compile_inl_join ctx kind ~left ~left_key ~base_col ~table ~cols
       Some (col, v)
     | _ -> None
   in
-  (* Compile the chain ops into closures (audit mark tables resolved now). *)
-  let compiled_ops =
+  let opened_ops =
     List.map
-      (fun (op, op_node) ->
-        let st = stats_of op_node in
-        let count_row row =
-          (match st with
-          | Some s -> s.Metrics.rows <- s.Metrics.rows + 1
-          | None -> ());
-          Some row
-        in
-        match op with
-        | `Filter pred ->
-          fun row -> if Eval.truthy ctx row pred then count_row row else None
-        | `Audit (audit_name, id_col) -> (
+      (fun cop ->
+        match cop with
+        | `Static f -> f
+        | `Audit (audit_name, id_col, st) -> (
           let name = String.lowercase_ascii audit_name in
           match Exec_ctx.audit_ids ctx ~audit_name:name with
           | None ->
@@ -538,8 +529,11 @@ and compile_inl_join ctx kind ~left ~left_key ~base_col ~table ~cols
                 if !mark <> ctx.Exec_ctx.generation then
                   mark := ctx.Exec_ctx.generation
               | None -> ());
-              count_row row))
-      ops
+              (match st with
+              | Some s -> s.Metrics.rows <- s.Metrics.rows + 1
+              | None -> ());
+              Some row))
+      compiled_ops
   in
   let through_chain base_row =
     Exec_ctx.note_scanned ctx;
@@ -551,46 +545,18 @@ and compile_inl_join ctx kind ~left ~left_key ~base_col ~table ~cols
     in
     List.fold_left
       (fun acc op -> match acc with Some r -> op r | None -> None)
-      (Some projected) compiled_ops
+      (Some projected) opened_ops
   in
-  let lc = left () in
-  let matches = ref [] in
-  let rec next () =
-    match !matches with
-    | m :: rest ->
-      matches := rest;
-      Some m
-    | [] -> (
-      match lc () with
-      | None -> None
-      | Some lrow ->
-        let v = Eval.eval ctx lrow left_key in
-        let fetched =
-          if Value.is_null v then []
-          else
-            match Table.lookup ?hide t ~col:base_col v with
-            | Some rows -> rows
-            | None -> []
-        in
-        let joined =
-          List.filter_map
-            (fun base_row ->
-              match through_chain base_row with
-              | None -> None
-              | Some rrow -> (
-                let combined = Tuple.append lrow rrow in
-                match residual with
-                | None -> Some combined
-                | Some p ->
-                  if Eval.truthy ctx combined p then Some combined else None))
-            fetched
-        in
-        (match (joined, kind) with
-        | [], Logical.J_left -> matches := [ Tuple.append lrow null_pad ]
-        | _, _ -> matches := joined);
-        next ())
+  let probe lrow =
+    let v = lkey lrow in
+    if Value.is_null v then []
+    else
+      match Table.lookup ?hide t ~col:base_col v with
+      | Some rows -> List.filter_map through_chain rows
+      | None -> []
   in
-  next
+  let lc = lf () in
+  join_emit ~kind ~null_pad ~residual ~probe lc
 
 and compile_apply ctx kind outer inner : factory =
   let of_ = compile ctx outer in
@@ -626,8 +592,15 @@ and compile_apply ctx kind outer inner : factory =
 
 and compile_group ctx keys aggs child : factory =
   let cf = compile ctx child in
-  let key_exprs = Array.of_list (List.map fst keys) in
+  let key_exprs =
+    Array.of_list (List.map (fun (e, _) -> Expr_compile.compile ctx e) keys)
+  in
   let agg_list = Array.of_list aggs in
+  let agg_args =
+    Array.map
+      (fun a -> Option.map (Expr_compile.compile ctx) a.Logical.arg)
+      agg_list
+  in
   fun () ->
     let c = cf () in
     let groups : Aggregate.state array Tuple.Hashtbl_t.t =
@@ -638,7 +611,7 @@ and compile_group ctx keys aggs child : factory =
       match c () with
       | None -> ()
       | Some row ->
-        let k = Array.map (Eval.eval ctx row) key_exprs in
+        let k = Array.map (fun f -> f row) key_exprs in
         let states =
           match Tuple.Hashtbl_t.find_opt groups k with
           | Some s -> s
@@ -652,9 +625,7 @@ and compile_group ctx keys aggs child : factory =
         Array.iteri
           (fun i st ->
             let v =
-              match agg_list.(i).Logical.arg with
-              | None -> None
-              | Some e -> Some (Eval.eval ctx row e)
+              match agg_args.(i) with None -> None | Some f -> Some (f row)
             in
             Aggregate.update st v)
           states;
@@ -681,16 +652,16 @@ and compile_group ctx keys aggs child : factory =
         remaining := rest;
         Some r
 
-and compile_sort ctx keys child : factory =
-  let cf = compile ctx child in
+(* Sorter over materialized rows, shared by Sort and TopK: keys compiled
+   once, rows decorated, stable sort by the key vector. *)
+and compile_sorter ctx keys : Tuple.t list -> Tuple.t list =
   let key_exprs = Array.of_list keys in
-  fun () ->
-    let rows = drain_tracked ctx (cf ()) in
+  let compiled =
+    Array.map (fun (e, _) -> Expr_compile.compile ctx e) key_exprs
+  in
+  fun rows ->
     let decorated =
-      List.map
-        (fun row ->
-          (Array.map (fun (e, _) -> Eval.eval ctx row e) key_exprs, row))
-        rows
+      List.map (fun row -> (Array.map (fun f -> f row) compiled, row)) rows
     in
     let cmp (ka, _) (kb, _) =
       let rec go i =
@@ -703,14 +674,7 @@ and compile_sort ctx keys child : factory =
       in
       go 0
     in
-    let sorted = List.stable_sort cmp decorated in
-    let remaining = ref sorted in
-    fun () ->
-      match !remaining with
-      | [] -> None
-      | (_, r) :: rest ->
-        remaining := rest;
-        Some r
+    List.map snd (List.stable_sort cmp decorated)
 
 (* ------------------------------------------------------------------ *)
 (* Convenience entry points                                            *)

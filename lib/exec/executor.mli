@@ -1,12 +1,14 @@
-(** Volcano-style plan execution.
+(** Volcano-style execution of physical plans.
 
-    [compile] does physical planning once (hash vs nested-loop join
-    selection, equi-key extraction) and returns a cursor {e factory};
-    invoking it opens a fresh execution. The physical audit operator
-    (§IV-A2) lives here: a single hash probe per row into the audit
-    expression's sensitive-ID table, marking hits with the current query
-    generation — it never filters, so instrumented plans return exactly the
-    plain plan's rows. *)
+    The executor consumes {!Plan.Physical.t} only — join strategies,
+    equi-keys and TopK fusion were all decided by
+    {!Plan.Physical.plan_of_logical} — and compiles each plan's scalar
+    expressions once via {!Expr_compile}. [compile] returns a cursor
+    {e factory}; invoking it opens a fresh execution. The physical audit
+    operator (§IV-A2) lives here: a single hash probe per row into the
+    audit expression's sensitive-ID table, marking hits with the current
+    query generation — it never filters, so instrumented plans return
+    exactly the plain plan's rows. *)
 
 open Storage
 
@@ -18,19 +20,13 @@ type factory = unit -> cursor
 (** Pull a cursor to exhaustion. *)
 val drain : cursor -> Tuple.t list
 
-(** Partition join-predicate conjuncts into equi-key pairs
-    [(left_key, right_key_over_right_schema)] and a residual (exposed for
-    the lineage executor). *)
-val split_equi :
-  left_arity:int -> Plan.Scalar.t option -> (Plan.Scalar.t * Plan.Scalar.t) list * Plan.Scalar.t list
-
-(** Compile a plan. Audit operators resolve their ID tables from the
-    context at open time; raises {!Exec_error} at open if a table was not
-    installed. *)
-val compile : Exec_ctx.t -> Plan.Logical.t -> factory
+(** Compile a physical plan. Audit operators resolve their ID tables from
+    the context at open time; raises {!Exec_error} at open if a table was
+    not installed. *)
+val compile : Exec_ctx.t -> Plan.Physical.t -> factory
 
 (** Compile and run, materializing all rows. *)
-val run_list : Exec_ctx.t -> Plan.Logical.t -> Tuple.t list
+val run_list : Exec_ctx.t -> Plan.Physical.t -> Tuple.t list
 
 (** Compile and run, counting rows without materializing (benchmarks). *)
-val run_count : Exec_ctx.t -> Plan.Logical.t -> int
+val run_count : Exec_ctx.t -> Plan.Physical.t -> int

@@ -1,0 +1,12 @@
+(** EXPLAIN ANALYZE rendering over the physical plan tree: per-operator
+    estimated-vs-actual row counts, loop counts, inclusive wall time and
+    audit probe/hit counters, plus a query-level summary line. *)
+
+(** Per-node annotation for a plan whose metrics were collected into [m]:
+    [(est rows=E actual rows=N loops=L time=Tms [probes=P hits=H])], or
+    [(est rows=E, never executed)]. *)
+val annot : Metrics.t -> Plan.Physical.t -> string option
+
+(** Render the annotated tree plus summary for the metrics collected by
+    the last run of [plan] under [ctx]. *)
+val render : Exec_ctx.t -> Plan.Physical.t -> string

@@ -1,23 +1,23 @@
 (** Per-operator execution metrics.
 
     When enabled, {!Executor.compile} registers one [op_stats] record per
-    plan node and wraps every cursor so each [getNext] call is counted and
-    timed. The audit operator additionally records its probe/hit counters
-    per instance, so EXPLAIN ANALYZE can show that an audit operator's
-    input and output row counts are identical (the no-filtering invariant,
-    §IV-A2) and exactly how many hash probes it charged the plan.
+    physical-plan node and wraps every cursor so each [getNext] call is
+    counted and timed. The audit operator additionally records its
+    probe/hit counters per instance, so EXPLAIN ANALYZE can show that an
+    audit operator's input and output row counts are identical (the
+    no-filtering invariant, §IV-A2) and exactly how many hash probes it
+    charged the plan.
 
-    Registration is keyed by *physical* identity of the plan node: the
-    executor and the EXPLAIN ANALYZE renderer traverse the same immutable
-    tree, so [find] recovers each node's record without any node-ID
-    plumbing. Collection is off by default — the wrapper costs two clock
-    reads per row — and is switched on per query by EXPLAIN ANALYZE, the
-    benchmark harness, or {!Database.set_collect_metrics}. *)
+    Registration is keyed by *physical* identity of the {!Plan.Physical.t}
+    node: the executor and the EXPLAIN ANALYZE renderer traverse the same
+    immutable tree, so [find] recovers each node's record without any
+    node-ID plumbing. Collection is off by default — the wrapper costs two
+    clock reads per row — and is switched on per query by EXPLAIN ANALYZE,
+    the benchmark harness, or {!Database.set_collect_metrics}. *)
 
 type op_stats = {
   label : string;  (** physical operator name, e.g. [HashJoin] *)
-  mutable phys : string option;
-      (** refinement chosen at compile time (e.g. [IndexNLJoin]) *)
+  est_rows : float;  (** planner estimate recorded on the node *)
   mutable opens : int;  (** cursor opens; >1 under a correlated Apply *)
   mutable calls : int;  (** getNext invocations, across all opens *)
   mutable rows : int;  (** rows emitted, across all opens *)
@@ -28,7 +28,7 @@ type op_stats = {
 
 type t = {
   mutable enabled : bool;
-  mutable entries : (Plan.Logical.t * op_stats) list;
+  mutable entries : (Plan.Physical.t * op_stats) list;
       (** registration (pre-)order, reversed; keyed by physical equality *)
 }
 
@@ -44,54 +44,25 @@ let clear m = m.entries <- []
 let now_s () = Engine_core.Mono_clock.now ()
 
 (* ------------------------------------------------------------------ *)
-(* Labels                                                              *)
-(* ------------------------------------------------------------------ *)
-
-let label_of (plan : Plan.Logical.t) =
-  match plan with
-  | Plan.Logical.Scan { table; alias; _ } ->
-    if table = alias then "Scan " ^ table
-    else Printf.sprintf "Scan %s as %s" table alias
-  | Plan.Logical.Filter _ -> "Filter"
-  | Plan.Logical.Project _ -> "Project"
-  | Plan.Logical.Join { kind = Plan.Logical.J_inner; _ } -> "InnerJoin"
-  | Plan.Logical.Join { kind = Plan.Logical.J_left; _ } -> "LeftJoin"
-  | Plan.Logical.Semi_join { anti = false; _ } -> "SemiJoin"
-  | Plan.Logical.Semi_join { anti = true; _ } -> "AntiJoin"
-  | Plan.Logical.Apply { kind = Plan.Logical.A_semi; _ } -> "SemiApply"
-  | Plan.Logical.Apply { kind = Plan.Logical.A_anti; _ } -> "AntiApply"
-  | Plan.Logical.Apply { kind = Plan.Logical.A_scalar; _ } -> "ScalarApply"
-  | Plan.Logical.Group_by _ -> "GroupBy"
-  | Plan.Logical.Sort _ -> "Sort"
-  | Plan.Logical.Limit { n; _ } -> Printf.sprintf "Limit %d" n
-  | Plan.Logical.Distinct _ -> "Distinct"
-  | Plan.Logical.Audit { audit_name; _ } ->
-    Printf.sprintf "Audit[%s]" audit_name
-  | Plan.Logical.Set_op { op = Sql.Ast.Union; _ } -> "Union"
-  | Plan.Logical.Set_op { op = Sql.Ast.Union_all; _ } -> "UnionAll"
-  | Plan.Logical.Set_op { op = Sql.Ast.Except; _ } -> "Except"
-  | Plan.Logical.Set_op { op = Sql.Ast.Intersect; _ } -> "Intersect"
-
-(* ------------------------------------------------------------------ *)
 (* Registration and lookup                                             *)
 (* ------------------------------------------------------------------ *)
 
-let find m (node : Plan.Logical.t) : op_stats option =
+let find m (node : Plan.Physical.t) : op_stats option =
   let rec go = function
     | [] -> None
     | (k, s) :: rest -> if k == node then Some s else go rest
   in
   go m.entries
 
-(** Find-or-create the stats record for a plan node. *)
-let register m (node : Plan.Logical.t) : op_stats =
+(** Find-or-create the stats record for a physical-plan node. *)
+let register m (node : Plan.Physical.t) : op_stats =
   match find m node with
   | Some s -> s
   | None ->
     let s =
       {
-        label = label_of node;
-        phys = None;
+        label = Plan.Physical.label node;
+        est_rows = node.Plan.Physical.est;
         opens = 0;
         calls = 0;
         rows = 0;
@@ -103,18 +74,13 @@ let register m (node : Plan.Logical.t) : op_stats =
     m.entries <- (node, s) :: m.entries;
     s
 
-(** Record the physical operator chosen for a node at compile time. *)
-let set_phys m node phys =
-  match find m node with None -> () | Some s -> s.phys <- Some phys
-
-let display_label s = match s.phys with Some p -> p | None -> s.label
-
 (* ------------------------------------------------------------------ *)
 (* Reports                                                             *)
 (* ------------------------------------------------------------------ *)
 
 type op_report = {
   r_label : string;
+  r_est_rows : float;
   r_opens : int;
   r_calls : int;
   r_rows : int;
@@ -128,7 +94,8 @@ let report m : op_report list =
   List.rev_map
     (fun (_, s) ->
       {
-        r_label = display_label s;
+        r_label = s.label;
+        r_est_rows = s.est_rows;
         r_opens = s.opens;
         r_calls = s.calls;
         r_rows = s.rows;

@@ -348,9 +348,11 @@ let ablation_provenance (env : Setup.env) =
         in
         let unpruned = Setup.plan env ~prune:false q.Tpch.Queries.sql in
         Db.Database.install_audit_sets env.Setup.db;
-        let run p () =
-          Exec.Exec_ctx.reset_query_state ctx;
-          ignore (Exec.Executor.run_count ctx p)
+        let run p =
+          let phys = Setup.physical env p in
+          fun () ->
+            Exec.Exec_ctx.reset_query_state ctx;
+            ignore (Exec.Executor.run_count ctx phys)
         in
         let lineage () =
           Exec.Exec_ctx.reset_query_state ctx;
@@ -487,7 +489,7 @@ let ablation_static (env : Setup.env) =
         in
         Db.Database.install_audit_sets env.Setup.db;
         Exec.Exec_ctx.reset_query_state ctx;
-        ignore (Exec.Executor.run_count ctx hcn_plan);
+        ignore (Exec.Executor.run_count ctx (Setup.physical env hcn_plan));
         let hcn = Exec.Exec_ctx.accessed_count ctx ~audit_name in
         { st_query = q.Tpch.Queries.id; st_verdict = verdict; st_offline = offline; st_hcn = hcn })
       Tpch.Queries.customer_workload

@@ -35,7 +35,7 @@ let operator_breakdown (env : Setup.env) plan :
   Exec.Metrics.set_enabled m true;
   Db.Database.install_audit_sets env.Setup.db;
   Exec.Exec_ctx.reset_query_state ctx;
-  ignore (Exec.Executor.run_count ctx plan);
+  ignore (Exec.Executor.run_count ctx (Setup.physical env plan));
   let report = Exec.Metrics.report m in
   let total = Exec.Metrics.total_time_s m in
   (* Operator times are inclusive. An audit operator has exactly one child,
@@ -225,6 +225,84 @@ let ablation_static_json (rows : Figures.static_row list) : Json.t =
              ("hcn_audit_ids", Json.Int r.st_hcn);
            ])
        rows)
+
+(* --------------------------------------------------------------- *)
+(* Expression compilation: before/after                             *)
+(* --------------------------------------------------------------- *)
+
+(** Before/after of the compiled-expression path. Each figure query is
+    timed twice — once with [ctx.interpret_exprs] forcing the {!Exec.Eval}
+    interpreter (the pre-refactor behaviour) and once with compiled
+    closures — both plain and hcn-instrumented, so the report carries the
+    refactor's speedup alongside the audit overhead under each mode. *)
+let expr_compile_json (env : Setup.env) : Json.t =
+  let ctx = Db.Database.context env.Setup.db in
+  Db.Database.install_audit_sets env.Setup.db;
+  (* All four thunks (mode × plan) go through ONE compare_thunks call so
+     its round-robin sampling hits both modes under the same GC and cache
+     conditions — separate timing sessions would bias the speedup. The
+     flag is read at operator-compile time, so setting it inside the thunk
+     (before run_count recompiles the physical tree) is enough. *)
+  let thunk ~interpret p =
+    let phys = Setup.physical env p in
+    fun () ->
+      ctx.Exec.Exec_ctx.interpret_exprs <- interpret;
+      Exec.Exec_ctx.reset_query_state ctx;
+      ignore (Exec.Executor.run_count ctx phys);
+      ctx.Exec.Exec_ctx.interpret_exprs <- false
+  in
+  let timings sql =
+    let base_p = Setup.plan env sql in
+    let hcn_p = Setup.plan env ~heuristic:Audit_core.Placement.Hcn sql in
+    match
+      Timing.compare_thunks ~warmup:env.Setup.cfg.Setup.warmup
+        ~repeats:env.Setup.cfg.Setup.repeats
+        [
+          thunk ~interpret:true base_p; thunk ~interpret:true hcn_p;
+          thunk ~interpret:false base_p; thunk ~interpret:false hcn_p;
+        ]
+    with
+    | [ ib; ih; cb; ch ] -> ((ib, ih), (cb, ch))
+    | _ -> assert false
+  in
+  let mode_json (base, hcn) =
+    Json.Obj
+      [
+        ("base_time_s", Json.Float base);
+        ("instrumented_time_s", Json.Float hcn);
+        ("audit_overhead_pct", Json.Float (Timing.overhead_pct ~base hcn));
+      ]
+  in
+  let speedup before after = if after > 0.0 then before /. after else 1.0 in
+  let entry (id, sql) =
+    let ((_, ih) as interp), ((_, ch) as comp) = timings sql in
+    Json.Obj
+      [
+        ("query", Json.Str id);
+        ("interpreted", mode_json interp);
+        ("compiled", mode_json comp);
+        ("instrumented_speedup", Json.Float (speedup ih ch));
+      ]
+  in
+  let queries =
+    ("fig6_micro", Figures.micro_sql 0.5)
+    :: List.map
+         (fun (q : Tpch.Queries.query) ->
+           ("fig9_" ^ q.Tpch.Queries.id, q.Tpch.Queries.sql))
+         Tpch.Queries.customer_workload
+  in
+  Json.List (List.map entry queries)
+
+(** EXPLAIN ANALYZE text for the instrumented micro-join, embedded in the
+    report so CI can assert that the physical tree still annotates
+    estimated vs. actual row counts without re-running the engine. *)
+let explain_sample (env : Setup.env) : Json.t =
+  match
+    Db.Database.exec env.Setup.db
+      ("EXPLAIN ANALYZE " ^ Figures.micro_sql 0.5)
+  with
+  | Db.Database.Done text -> Json.Str text
+  | _ -> Json.Null
 
 (** Bechamel micro-benchmark estimates: operation name -> ns/run. *)
 let micro_json (rows : (string * float option) list) : Json.t =

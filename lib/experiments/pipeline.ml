@@ -86,12 +86,14 @@ let run (env : Setup.env) : row =
       (fun sql -> Setup.plan env ~heuristic:Audit_core.Placement.Hcn sql)
       sqls
   in
-  let run_all plans () =
-    List.iter
-      (fun p ->
-        Exec.Exec_ctx.reset_query_state ctx;
-        ignore (Exec.Executor.run_count ctx p))
-      plans
+  let run_all plans =
+    let phys = List.map (Setup.physical env) plans in
+    fun () ->
+      List.iter
+        (fun p ->
+          Exec.Exec_ctx.reset_query_state ctx;
+          ignore (Exec.Executor.run_count ctx p))
+        phys
   in
   Db.Database.install_audit_sets db;
   let base_t, hcn_t =
@@ -107,7 +109,7 @@ let run (env : Setup.env) : row =
     List.map
       (fun p ->
         Exec.Exec_ctx.reset_query_state ctx;
-        ignore (Exec.Executor.run_count ctx p);
+        ignore (Exec.Executor.run_count ctx (Setup.physical env p));
         Exec.Exec_ctx.accessed_list ctx ~audit_name:env.Setup.audit_name)
       hcn_plans
   in

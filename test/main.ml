@@ -7,6 +7,8 @@ let () =
       ("scalar", Test_scalar.suite);
       ("exec", Test_exec.suite);
       ("optimizer", Test_optimizer.suite);
+      ("expr_compile", Test_expr_compile.suite);
+      ("physical", Test_physical.suite);
       ("placement", Test_placement.suite);
       ("audit", Test_audit.suite);
       ("triggers", Test_triggers.suite);

@@ -106,8 +106,10 @@ let test_explain () =
       go 0
     in
     check Alcotest.bool "shows the audit operator" true
-      (contains "*Audit[audit_alice]");
-    check Alcotest.bool "shows the join" true (contains "InnerJoin")
+      (contains "AuditProbe[audit_alice]");
+    check Alcotest.bool "shows the physical join" true (contains "HashJoin");
+    check Alcotest.bool "shows cardinality estimates" true
+      (contains "est rows=")
   | _ -> Alcotest.fail "EXPLAIN should return plan text"
 
 let suite =

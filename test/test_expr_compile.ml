@@ -1,0 +1,250 @@
+(** Property tests of scalar-expression compilation: on randomly generated
+    {!Plan.Scalar.t} trees and NULL-heavy random rows, the compiled closure
+    ({!Exec.Expr_compile}) must agree with the {!Exec.Eval} interpreter —
+    same values, same three-valued-logic outcomes, and the same
+    [Eval_error]s. The constant-LIKE fast paths are also checked against
+    {!Storage.Value.like_match} over random pattern/subject pairs. *)
+
+open Storage
+open Plan
+
+let arity = 4
+
+(* --------------------------------------------------------------- *)
+(* Generators                                                       *)
+(* --------------------------------------------------------------- *)
+
+(* NULL-heavy values so three-valued logic is exercised constantly.
+   Floats are small dyadic rationals: exact under [=], no NaN/inf. *)
+let gen_value =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, return Value.Null);
+        (4, map (fun i -> Value.Int i) (int_range (-3) 3));
+        (2, map (fun i -> Value.Float (float_of_int i /. 2.0)) (int_range (-4) 4));
+        (2, map (fun b -> Value.Bool b) bool);
+        (2, oneofl (List.map (fun s -> Value.Str s) [ ""; "a"; "ab"; "Alice"; "flu" ]));
+        ( 1,
+          oneofl
+            (List.map
+               (fun s -> Value.Date (Value.date_of_string s))
+               [ "1995-01-31"; "1995-06-17"; "1996-12-01" ]) );
+      ])
+
+let gen_binop =
+  QCheck.Gen.oneofl
+    Sql.Ast.
+      [ Add; Sub; Mul; Div; Mod; Eq; Neq; Lt; Le; Gt; Ge; And; Or; Concat ]
+
+(* Mostly-sensible LIKE patterns so the classifier's fast paths (equality,
+   prefix, suffix, substring) all get hit, plus general fallbacks. *)
+let gen_like_pattern =
+  QCheck.Gen.oneofl
+    [ "Alice"; "A%"; "%e"; "%li%"; "a_b"; "%"; ""; "_"; "%a%b%"; "fl_" ]
+
+let gen_func1 =
+  QCheck.Gen.oneofl
+    Scalar.[ F_upper; F_lower; F_abs; F_extract_year; F_extract_month ]
+
+let gen_func2 =
+  QCheck.Gen.oneofl
+    Scalar.[ F_date_add Sql.Ast.Days; F_date_sub Sql.Ast.Months ]
+
+let gen_expr =
+  QCheck.Gen.(
+    sized_size (int_range 0 6)
+    @@ fix (fun self n ->
+           let leaf =
+             oneof
+               [
+                 map (fun i -> Scalar.Col i) (int_range 0 (arity - 1));
+                 map (fun v -> Scalar.Const v) gen_value;
+               ]
+           in
+           if n <= 0 then leaf
+           else
+             let sub = self (n / 2) in
+             frequency
+               [
+                 (1, leaf);
+                 ( 5,
+                   map3
+                     (fun op a b -> Scalar.Binop (op, a, b))
+                     gen_binop sub sub );
+                 (1, map (fun a -> Scalar.Neg a) sub);
+                 (2, map (fun a -> Scalar.Not a) sub);
+                 (2, map2 (fun a neg -> Scalar.Is_null (a, neg)) sub bool);
+                 ( 2,
+                   map3
+                     (fun a p neg ->
+                       Scalar.Like (a, Scalar.Const (Value.Str p), neg))
+                     sub gen_like_pattern bool );
+                 ( 2,
+                   map3
+                     (fun a vs neg -> Scalar.In_list (a, Array.of_list vs, neg))
+                     sub
+                     (list_size (int_range 0 4) gen_value)
+                     bool );
+                 ( 2,
+                   map3
+                     (fun whens els a ->
+                       Scalar.Case
+                         ( List.map (fun c -> (c, a)) whens,
+                           if els then Some a else None ))
+                     (list_size (int_range 1 2) sub)
+                     bool sub );
+                 (2, map2 (fun f a -> Scalar.Func (f, [ a ])) gen_func1 sub);
+                 ( 1,
+                   map3
+                     (fun f a b -> Scalar.Func (f, [ a; b ]))
+                     gen_func2 sub sub );
+                 ( 1,
+                   map3
+                     (fun a b c -> Scalar.Func (Scalar.F_substring, [ a; b; c ]))
+                     sub sub sub );
+                 ( 1,
+                   map
+                     (fun args -> Scalar.Func (Scalar.F_coalesce, args))
+                     (list_size (int_range 1 3) sub) );
+               ]))
+
+let gen_row =
+  QCheck.Gen.(map Array.of_list (list_repeat arity gen_value))
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (e, row) ->
+      Printf.sprintf "%s\nrow = [%s]" (Scalar.to_string e)
+        (String.concat "; "
+           (Array.to_list (Array.map Value.to_string row))))
+    QCheck.Gen.(pair gen_expr gen_row)
+
+(* --------------------------------------------------------------- *)
+(* Compiled ≡ interpreted                                           *)
+(* --------------------------------------------------------------- *)
+
+let ctx = lazy (Exec.Exec_ctx.create (Catalog.create ()))
+
+(* Both paths must agree on the value *and* on error behaviour: a type
+   error under the interpreter must be the same type error under
+   compilation. Arithmetic raises [Value.Type_error] directly; the
+   evaluators' own checks raise [Eval.Eval_error]. *)
+let outcome f : (Value.t, string) result =
+  match f () with
+  | v -> Ok v
+  | exception Exec.Eval.Eval_error m -> Error ("eval: " ^ m)
+  | exception Value.Type_error m -> Error ("type: " ^ m)
+
+let prop_compiled_agrees =
+  QCheck.Test.make ~count:1000
+    ~name:"compiled closure = Eval interpreter (values and errors)" arb_case
+    (fun (e, row) ->
+      let ctx = Lazy.force ctx in
+      let interpreted = outcome (fun () -> Exec.Eval.eval ctx row e) in
+      let compiled =
+        outcome (fun () -> (Exec.Expr_compile.compile ctx e) row)
+      in
+      interpreted = compiled)
+
+let prop_pred_agrees =
+  QCheck.Test.make ~count:500
+    ~name:"compile_pred = Eval.truthy (three-valued logic)" arb_case
+    (fun (e, row) ->
+      let ctx = Lazy.force ctx in
+      match outcome (fun () -> Exec.Eval.eval ctx row e) with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok _ ->
+        Exec.Eval.truthy ctx row e
+        = (Exec.Expr_compile.compile_pred ctx e) row)
+
+let prop_oracle_mode =
+  QCheck.Test.make ~count:200
+    ~name:"interpret_exprs oracle mode matches compiled path" arb_case
+    (fun (e, row) ->
+      let ctx = Lazy.force ctx in
+      let compiled = outcome (fun () -> (Exec.Expr_compile.compile ctx e) row) in
+      ctx.Exec.Exec_ctx.interpret_exprs <- true;
+      let oracle =
+        outcome (fun () -> (Exec.Expr_compile.compile ctx e) row)
+      in
+      ctx.Exec.Exec_ctx.interpret_exprs <- false;
+      compiled = oracle)
+
+(* --------------------------------------------------------------- *)
+(* LIKE fast paths                                                  *)
+(* --------------------------------------------------------------- *)
+
+let gen_like_string alphabet =
+  QCheck.Gen.(
+    map
+      (fun cs -> String.concat "" (List.map (String.make 1) cs))
+      (list_size (int_range 0 6) (oneofl alphabet)))
+
+let arb_like =
+  QCheck.make
+    ~print:(fun (p, s) -> Printf.sprintf "pattern=%S subject=%S" p s)
+    QCheck.Gen.(
+      pair
+        (gen_like_string [ 'a'; 'b'; '%'; '_' ])
+        (gen_like_string [ 'a'; 'b'; 'c' ]))
+
+let prop_like_classifier =
+  QCheck.Test.make ~count:2000
+    ~name:"like_compiled = Value.like_match on random patterns" arb_like
+    (fun (pattern, s) ->
+      Exec.Expr_compile.like_compiled pattern s
+      = Value.like_match ~pattern s)
+
+(* --------------------------------------------------------------- *)
+(* Deterministic 3VL corners                                        *)
+(* --------------------------------------------------------------- *)
+
+(* Kleene truth tables and NULL propagation, pinned explicitly so a
+   shrinker-unfriendly regression still has a readable witness. *)
+let test_3vl_corners () =
+  let ctx = Lazy.force ctx in
+  let t = Scalar.Const (Value.Bool true) in
+  let f = Scalar.Const (Value.Bool false) in
+  let nul = Scalar.Const Value.Null in
+  let one = Scalar.Const (Value.Int 1) in
+  let cases =
+    [
+      (Scalar.Binop (Sql.Ast.And, nul, f), Value.Bool false);
+      (Scalar.Binop (Sql.Ast.And, nul, t), Value.Null);
+      (Scalar.Binop (Sql.Ast.Or, nul, t), Value.Bool true);
+      (Scalar.Binop (Sql.Ast.Or, nul, f), Value.Null);
+      (Scalar.Not nul, Value.Null);
+      (Scalar.Binop (Sql.Ast.Eq, nul, nul), Value.Null);
+      (Scalar.Binop (Sql.Ast.Lt, one, nul), Value.Null);
+      (Scalar.Is_null (nul, false), Value.Bool true);
+      (Scalar.Is_null (nul, true), Value.Bool false);
+      (Scalar.In_list (nul, [| Value.Int 1 |], false), Value.Null);
+      (Scalar.In_list (one, [| Value.Null; Value.Int 1 |], false), Value.Bool true);
+      (Scalar.Like (nul, Scalar.Const (Value.Str "%"), false), Value.Null);
+      (Scalar.Func (Scalar.F_coalesce, [ nul; one ]), Value.Int 1);
+      (* Int/Float unification must survive the pre-hashed IN table. *)
+      ( Scalar.In_list (Scalar.Const (Value.Float 1.0), [| Value.Int 1 |], false),
+        Value.Bool true );
+    ]
+  in
+  List.iter
+    (fun (e, expected) ->
+      let got = (Exec.Expr_compile.compile ctx e) [||] in
+      Alcotest.check Fixtures.value (Scalar.to_string e) expected got;
+      Alcotest.check Fixtures.value
+        ("interpreter agrees: " ^ Scalar.to_string e)
+        expected
+        (Exec.Eval.eval ctx [||] e))
+    cases
+
+let suite =
+  Alcotest.test_case "three-valued-logic corners (compiled)" `Quick
+    test_3vl_corners
+  :: List.map QCheck_alcotest.to_alcotest
+       [
+         prop_compiled_agrees;
+         prop_pred_agrees;
+         prop_oracle_mode;
+         prop_like_classifier;
+       ]

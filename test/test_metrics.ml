@@ -76,8 +76,8 @@ let test_explain_analyze () =
       check Alcotest.bool ("mentions " ^ op) true (contains text op))
     [
       "Scan patients"; "Scan disease"; "Join"; "Project";
-      "*Audit[audit_alice]"; "actual rows="; "probes="; "hits=";
-      "Execution time:"; "audit probes:";
+      "AuditProbe[audit_alice]"; "est rows="; "actual rows="; "probes=";
+      "hits="; "Execution time:"; "audit probes:";
     ];
   (* Plain EXPLAIN still renders the bare tree. *)
   let plain = explain_text db ("EXPLAIN " ^ join_sql) in

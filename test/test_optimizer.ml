@@ -142,7 +142,8 @@ let test_loj_pushdown_outer_only () =
 let exec_plan db p =
   let ctx = Db.Database.context db in
   Exec.Exec_ctx.reset_query_state ctx;
-  List.sort Tuple.compare (Exec.Executor.run_list ctx p)
+  List.sort Tuple.compare
+    (Exec.Executor.run_list ctx (Db.Database.physical db p))
 
 let preservation_cases =
   [

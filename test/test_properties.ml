@@ -210,9 +210,13 @@ let prop_optimizer_equivalence =
       in
       let ctx = Db.Database.context db in
       Exec.Exec_ctx.reset_query_state ctx;
-      let a = sorted (Exec.Executor.run_list ctx raw) in
+      let a =
+        sorted (Exec.Executor.run_list ctx (Db.Database.physical db raw))
+      in
       Exec.Exec_ctx.reset_query_state ctx;
-      let b = sorted (Exec.Executor.run_list ctx opt) in
+      let b =
+        sorted (Exec.Executor.run_list ctx (Db.Database.physical db opt))
+      in
       a = b)
 
 let suite =

@@ -100,7 +100,8 @@ let test_reorder_avoids_cartesian () =
   let ctx = Db.Database.context db in
   let run p =
     Exec.Exec_ctx.reset_query_state ctx;
-    List.sort Tuple.compare (Exec.Executor.run_list ctx p)
+    List.sort Tuple.compare
+      (Exec.Executor.run_list ctx (Db.Database.physical db p))
   in
   check Fixtures.tuples "same results" (run noreorder) (run reordered)
 
@@ -145,7 +146,8 @@ let test_reorder_tpch_results_stable () =
       in
       let run p =
         Exec.Exec_ctx.reset_query_state ctx;
-        List.sort Tuple.compare (Exec.Executor.run_list ctx p)
+        List.sort Tuple.compare
+          (Exec.Executor.run_list ctx (Db.Database.physical db p))
       in
       if not (rows_close (run plain) (run reordered)) then
         Alcotest.failf "%s differs under reordering" q.Tpch.Queries.id)
