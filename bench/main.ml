@@ -11,7 +11,7 @@
      BENCH_REPEATS  timing repetitions (default 3)
      BENCH_ONLY     comma-separated subset, e.g. "fig6,fig9,micro"
                     (unknown names abort with exit code 2)
-     BENCH_JSON     report path (default BENCH_PR3.json)
+     BENCH_JSON     report path (default BENCH_PR4.json)
 
    The report always embeds an EXPLAIN ANALYZE sample (CI asserts the
    estimated-vs-actual row annotations) and, when selected, the
@@ -23,8 +23,8 @@ open Experiments
 let known_benchmarks =
   [
     "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "ablation-idprop";
-    "ablation-multi"; "ablation-provenance"; "ablation-static"; "pipeline";
-    "scaling"; "micro"; "expr-compile";
+    "ablation-multi"; "ablation-provenance"; "ablation-static"; "fga";
+    "pipeline"; "scaling"; "micro"; "expr-compile";
   ]
 
 let wanted only name = only = [] || List.mem name only
@@ -167,6 +167,8 @@ let () =
       (Json_report.ablation_provenance_json (Figures.ablation_provenance env));
   if wanted only "ablation-static" then
     add "ablation_static" (Json_report.ablation_static_json (Figures.ablation_static env));
+  if wanted only "fga" then
+    add "fga_precision" (Json_report.fga_precision_json (Figures.fga_precision env));
   if wanted only "pipeline" then ignore (Pipeline.run env);
   if wanted only "scaling" then
     ignore (Scaling.run ~seed:cfg.Setup.seed ~repeats:cfg.Setup.repeats ());
@@ -178,7 +180,7 @@ let () =
   let path =
     match Sys.getenv_opt "BENCH_JSON" with
     | Some p when String.trim p <> "" -> p
-    | _ -> "BENCH_PR3.json"
+    | _ -> "BENCH_PR4.json"
   in
   Benchkit.Json.write_file path
     (Json_report.assemble env ~sections:(List.rev !sections) ~elapsed_s:elapsed);

@@ -10,6 +10,9 @@
      \plan <sql>            show the instrumented plan for a query
      \analyze <sql>         EXPLAIN ANALYZE: run the query, show the plan
                             annotated with actual row counts and timings
+     \verify <sql>          run the plan-invariant verifier: rule-by-rule
+                            pass/violation report, nothing is executed
+     \verify mode <off|warn|strict>   verification policy for statements
      \dump [file]           SQL dump of the database (to stdout or file)
      \heuristic <h>         leaf | hcn | highest
      \user <name>           set session user
@@ -29,7 +32,8 @@
 
 let usage_commands =
   "commands: \\q \\tables \\audits \\triggers \\notifications \\accessed \
-   \\plan <sql> \\analyze <sql> \\dump [file] \\heuristic <leaf|hcn|highest> \
+   \\plan <sql> \\analyze <sql> \\verify <sql|mode <off|warn|strict>> \
+   \\dump [file] \\heuristic <leaf|hcn|highest> \
    \\user <name> \\tpch <sf> \\log <open|policy|dump|status|close> \
    \\timeout <s|off> \\budget <rows|mem> <n|off> \\alarms \\fault <...>"
 
@@ -227,6 +231,16 @@ let handle_command db line =
   | "\\analyze" :: rest ->
     let sql = String.concat " " rest in
     print_result (Db.Database.exec db ("EXPLAIN ANALYZE " ^ sql))
+  | [ "\\verify"; "mode"; m ] -> (
+    match String.lowercase_ascii m with
+    | "off" -> Db.Database.set_verify_plans db Db.Database.Off
+    | "warn" -> Db.Database.set_verify_plans db Db.Database.Warn
+    | "strict" -> Db.Database.set_verify_plans db Db.Database.Strict
+    | _ -> print_endline "usage: \\verify mode <off|warn|strict>")
+  | "\\verify" :: rest when rest <> [] ->
+    let sql = String.concat " " rest in
+    let vs = Db.Database.verify_sql db sql in
+    print_string (Analysis.Plan_verify.report vs)
   | [ "\\heuristic"; h ] -> (
     match String.lowercase_ascii h with
     | "leaf" -> Db.Database.set_heuristic db Audit_core.Placement.Leaf

@@ -1,0 +1,75 @@
+(** Plan-invariant verifier: statically certifies, on a finished physical
+    (or logical) plan, that the optimizer preserved the auditing semantics
+    of §III — independently of how placement and lowering were
+    implemented. Violations are typed and carry a path to the offending
+    node. *)
+
+type rule =
+  | Coverage
+      (** every scan of a sensitive table is dominated by an audit operator
+          for that audit expression *)
+  | Probe_in_chain
+      (** no audit operator inside an index-nested-loop lookup chain *)
+  | Commute_path
+      (** every operator between an audit operator and its scan commutes
+          with the audit per the §III relation *)
+  | Id_provenance
+      (** the audit operator's ID column traces to the partition key of a
+          scan of its sensitive table (forced ID propagation, §IV-A2) *)
+  | Schema_wf
+      (** arities consistent; expressions reference only live columns *)
+  | Est_rows  (** every node carries a finite, non-negative row estimate *)
+
+val all_rules : rule list
+val rule_name : rule -> string
+val rule_doc : rule -> string
+
+type violation = { rule : rule; path : string; detail : string }
+
+val string_of_violation : violation -> string
+
+(** What the verifier needs to know about an audit expression (plain
+    strings, so this library does not depend on the audit core). *)
+type audit_spec = { name : string; sensitive_table : string; partition_by : string }
+
+(** The commute relation audit operators are checked against; mirrors the
+    placement heuristics' commute sets. *)
+type commute = {
+  filter : bool;
+  join_left : bool;
+  join_right : bool;
+  loj_left : bool;
+  loj_right : bool;
+  semi_left : bool;
+  apply_outer : bool;
+  sort : bool;
+  limit : bool;
+  project : bool;
+}
+
+val leaf_commute : commute
+
+(** The hcn relation (Claim 3.6 / Theorem 3.7) — the default. Plans built
+    by the leaf heuristic also verify under it (their probes sit lower). *)
+val hcn_commute : commute
+
+(** The highest-node relation, which additionally commutes [Limit] and the
+    null-padded side of outer joins — verifying against it only certifies
+    position consistency, not freedom from false negatives (Example 3.2). *)
+val highest_commute : commute
+
+(** Check every rule on a physical plan. [audits] lists the audit
+    expressions the plan is expected to be instrumented for; an empty list
+    still checks well-formedness, chain and provenance rules. *)
+val verify :
+  ?commute:commute -> audits:audit_spec list -> Plan.Physical.t -> violation list
+
+(** The same catalog of rules on the logical tree before lowering
+    (coverage / commute / provenance; lowering-specific rules are
+    physical-only). *)
+val verify_logical :
+  ?commute:commute -> audits:audit_spec list -> Plan.Logical.t -> violation list
+
+(** Rule-by-rule report: one PASS line per clean rule, one line per
+    violation, and a summary line. *)
+val report : violation list -> string

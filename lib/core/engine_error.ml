@@ -26,6 +26,9 @@ type t =
       (** an audit-log write or sync failed; under the fail-closed policy
           this withholds the query's results *)
   | Fault of string  (** an injected fault (testing only) *)
+  | Verify of string
+      (** the plan-invariant verifier rejected an optimized plan in
+          [Strict] mode: executing it could break the auditing guarantee *)
   | Internal of string
 
 exception Error of t
@@ -44,6 +47,7 @@ let to_string = function
     Printf.sprintf "cancelled (%s): %s" (cancel_reason_to_string reason) detail
   | Log_io m -> "audit-log I/O error: " ^ m
   | Fault m -> "injected fault: " ^ m
+  | Verify m -> "plan verification failed: " ^ m
   | Internal m -> "internal error: " ^ m
 
 let raise_ e = raise (Error e)

@@ -17,6 +17,9 @@ type t =
   | Cancelled of { reason : cancel_reason; detail : string }
   | Log_io of string
   | Fault of string
+  | Verify of string
+      (** the plan-invariant verifier rejected an optimized plan in
+          [Strict] mode *)
   | Internal of string
 
 exception Error of t

@@ -1,223 +1,25 @@
 (** Static-analysis auditing baseline (Oracle Fine Grained Auditing style,
     §VI / Example 6.1).
 
-    FGA never executes anything: a query is flagged as having accessed the
-    audit expression iff the query's selection condition on the sensitive
-    table *can logically intersect* the audit expression's condition
-    (instance-independent semantics). This is cheap but blind to the data:
-    [WHERE DeptID = 10] is flagged against [DeptName = 'Dermatology'] even
-    if department 10 is Oncology, because nothing relates the two columns
-    statically.
+    Compatibility facade: the analyzer now lives in
+    {!Analysis.Fga}, rebuilt on a per-column abstract domain (intervals,
+    finite sets, LIKE-prefix ranges, disjunction via hull-widened join,
+    equi-join constraint propagation). [analyze] keeps its original
+    signature and delegates to the abstract-interpretation analyzer;
+    [analyze_legacy] exposes the pre-abstract-domain algorithm for
+    differential testing and the §VI false-positive comparison. *)
 
-    The analyzer extracts per-column constraint summaries (equality,
-    inequality, range, IN-set) from both conjunctions and reports
-    [No_access] only when some column's combined constraints are
-    unsatisfiable. Everything it cannot reason about is treated as
-    unconstrained — conservative in FGA's flag-happy direction, matching the
-    §VI observation that FGA false-positives on almost every evaluation
-    query. *)
+type verdict = Analysis.Fga.verdict = May_access | No_access
 
-open Storage
+let string_of_verdict = Analysis.Fga.string_of_verdict
 
-type verdict = May_access | No_access
-
-let string_of_verdict = function
-  | May_access -> "MAY-ACCESS"
-  | No_access -> "NO-ACCESS"
-
-(* Per-column constraint summary. [exact = Some s] means the value must lie
-   in the finite set [s]; [lo]/[hi] bound a range; [excluded] lists values
-   ruled out by [<>]. [opaque] marks predicates we cannot interpret (LIKE,
-   arithmetic, OR, ...) — an opaque column is unconstrained. *)
-type summary = {
-  mutable exact : Value.t list option;
-  mutable lo : (Value.t * bool) option;  (** bound, inclusive? *)
-  mutable hi : (Value.t * bool) option;
-  mutable excluded : Value.t list;
-  mutable opaque : bool;
-}
-
-let fresh () = { exact = None; lo = None; hi = None; excluded = []; opaque = false }
-
-let norm = String.lowercase_ascii
-
-(* Extract a (column, op, constant) view of a conjunct when possible. *)
-let rec as_atom (e : Sql.Ast.expr) =
-  match e with
-  | Sql.Ast.E_binop (op, Sql.Ast.E_column (_, c), rhs) -> (
-    match const_of rhs with
-    | Some v -> Some (norm c, `Cmp (op, v))
-    | None -> None)
-  | Sql.Ast.E_binop (op, lhs, Sql.Ast.E_column (_, c)) -> (
-    match const_of lhs with
-    | Some v ->
-      let flipped =
-        match op with
-        | Sql.Ast.Lt -> Sql.Ast.Gt
-        | Sql.Ast.Le -> Sql.Ast.Ge
-        | Sql.Ast.Gt -> Sql.Ast.Lt
-        | Sql.Ast.Ge -> Sql.Ast.Le
-        | other -> other
-      in
-      Some (norm c, `Cmp (flipped, v))
-    | None -> None)
-  | Sql.Ast.E_in_list (Sql.Ast.E_column (_, c), items, false) -> (
-    let consts = List.map const_of items in
-    if List.for_all Option.is_some consts then
-      Some (norm c, `In (List.map Option.get consts))
-    else None)
-  | Sql.Ast.E_between (Sql.Ast.E_column (_, c), lo, hi) -> (
-    match (const_of lo, const_of hi) with
-    | Some l, Some h -> Some (norm c, `Range (l, h))
-    | _ -> None)
-  | _ -> None
-
-and const_of = function
-  | Sql.Ast.E_int i -> Some (Value.Int i)
-  | Sql.Ast.E_float f -> Some (Value.Float f)
-  | Sql.Ast.E_string s -> Some (Value.Str s)
-  | Sql.Ast.E_bool b -> Some (Value.Bool b)
-  | Sql.Ast.E_date s -> Some (Value.Date (Value.date_of_string s))
-  | Sql.Ast.E_neg e -> Option.map Value.neg (const_of e)
-  | _ -> None
-
-let rec conjuncts = function
-  | Sql.Ast.E_binop (Sql.Ast.And, a, b) -> conjuncts a @ conjuncts b
-  | e -> [ e ]
-
-(* Which unqualified column names belong to the sensitive table? *)
-let sensitive_columns catalog table =
-  match Catalog.find_opt catalog table with
-  | None -> []
-  | Some t ->
-    Array.to_list (Table.schema t)
-    |> List.map (fun c -> norm c.Schema.name)
-
-let rec apply_atom tbl (col, atom) =
-  let s =
-    match Hashtbl.find_opt tbl col with
-    | Some s -> s
-    | None ->
-      let s = fresh () in
-      Hashtbl.replace tbl col s;
-      s
-  in
-  let restrict_exact vs =
-    match s.exact with
-    | None -> s.exact <- Some vs
-    | Some prev ->
-      s.exact <- Some (List.filter (fun v -> List.exists (Value.equal v) vs) prev)
-  in
-  match atom with
-  | `Cmp (Sql.Ast.Eq, v) -> restrict_exact [ v ]
-  | `Cmp (Sql.Ast.Neq, v) -> s.excluded <- v :: s.excluded
-  | `Cmp (Sql.Ast.Lt, v) -> (
-    match s.hi with
-    | Some (h, _) when Value.compare_total h v <= 0 -> ()
-    | _ -> s.hi <- Some (v, false))
-  | `Cmp (Sql.Ast.Le, v) -> (
-    match s.hi with
-    | Some (h, _) when Value.compare_total h v <= 0 -> ()
-    | _ -> s.hi <- Some (v, true))
-  | `Cmp (Sql.Ast.Gt, v) -> (
-    match s.lo with
-    | Some (l, _) when Value.compare_total l v >= 0 -> ()
-    | _ -> s.lo <- Some (v, false))
-  | `Cmp (Sql.Ast.Ge, v) -> (
-    match s.lo with
-    | Some (l, _) when Value.compare_total l v >= 0 -> ()
-    | _ -> s.lo <- Some (v, true))
-  | `Cmp (_, _) -> s.opaque <- true
-  | `In vs -> restrict_exact vs
-  | `Range (l, h) ->
-    apply_atom tbl (col, `Cmp (Sql.Ast.Ge, l));
-    apply_atom tbl (col, `Cmp (Sql.Ast.Le, h))
-
-(* Build per-column summaries from a WHERE clause, keeping only columns of
-   the sensitive table. Disjunctions and uninterpretable conjuncts impose no
-   constraint (conservative). *)
-let summarize catalog ~sensitive_table (where : Sql.Ast.expr option) :
-    (string, summary) Hashtbl.t =
-  let cols = sensitive_columns catalog sensitive_table in
-  let tbl = Hashtbl.create 8 in
-  (match where with
-  | None -> ()
-  | Some w ->
-    List.iter
-      (fun c ->
-        match as_atom c with
-        | Some (col, atom) when List.mem col cols -> apply_atom tbl (col, atom)
-        | _ -> ())
-      (conjuncts w));
-  tbl
-
-let in_range s v =
-  (match s.lo with
-  | Some (l, incl) ->
-    let c = Value.compare_total v l in
-    if incl then c >= 0 else c > 0
-  | None -> true)
-  && (match s.hi with
-     | Some (h, incl) ->
-       let c = Value.compare_total v h in
-       if incl then c <= 0 else c < 0
-     | None -> true)
-  && not (List.exists (Value.equal v) s.excluded)
-
-let satisfiable (s : summary) =
-  if s.opaque then true
-  else
-    match s.exact with
-    | Some vs -> List.exists (in_range s) vs
-    | None -> (
-      (* Pure range: empty only when bounds cross. *)
-      match (s.lo, s.hi) with
-      | Some (l, li), Some (h, hi_) ->
-        let c = Value.compare_total l h in
-        c < 0 || (c = 0 && li && hi_)
-      | _ -> true)
-
-let merge_summaries a b =
-  let tbl = Hashtbl.create 8 in
-  let add src =
-    Hashtbl.iter
-      (fun col (s : summary) ->
-        (match s.exact with
-        | Some vs -> apply_atom tbl (col, `In vs)
-        | None -> ());
-        (match s.lo with
-        | Some (v, true) -> apply_atom tbl (col, `Cmp (Sql.Ast.Ge, v))
-        | Some (v, false) -> apply_atom tbl (col, `Cmp (Sql.Ast.Gt, v))
-        | None -> ());
-        (match s.hi with
-        | Some (v, true) -> apply_atom tbl (col, `Cmp (Sql.Ast.Le, v))
-        | Some (v, false) -> apply_atom tbl (col, `Cmp (Sql.Ast.Lt, v))
-        | None -> ());
-        List.iter (fun v -> apply_atom tbl (col, `Cmp (Sql.Ast.Neq, v))) s.excluded;
-        if s.opaque then
-          (match Hashtbl.find_opt tbl col with
-          | Some m -> m.opaque <- true
-          | None ->
-            let m = fresh () in
-            m.opaque <- true;
-            Hashtbl.replace tbl col m))
-      src
-  in
-  add a;
-  add b;
-  tbl
-
-(* Collect every WHERE clause in the query, including subqueries, that can
-   constrain the sensitive table. For the intersection test we use only the
-   top-level WHERE — like FGA, which inspects the statement's selection
-   condition; subquery predicates would require scoping analysis. *)
 let analyze catalog ~(audit : Audit_expr.t) (q : Sql.Ast.query) : verdict =
-  let table = audit.Audit_expr.sensitive_table in
-  let query_summary = summarize catalog ~sensitive_table:table q.Sql.Ast.where in
-  let audit_summary =
-    summarize catalog ~sensitive_table:table
-      audit.Audit_expr.definition.Sql.Ast.where
-  in
-  let combined = merge_summaries query_summary audit_summary in
-  let ok = Hashtbl.fold (fun _ s acc -> acc && satisfiable s) combined true in
-  if ok then May_access else No_access
+  Analysis.Fga.analyze catalog
+    ~sensitive_table:audit.Audit_expr.sensitive_table
+    ~definition:audit.Audit_expr.definition q
+
+let analyze_legacy catalog ~(audit : Audit_expr.t) (q : Sql.Ast.query) : verdict
+    =
+  Analysis.Fga.analyze_legacy catalog
+    ~sensitive_table:audit.Audit_expr.sensitive_table
+    ~definition:audit.Audit_expr.definition q

@@ -2,15 +2,24 @@
     §VI / Example 6.1): flag a query iff its selection condition on the
     sensitive table can logically intersect the audit expression's
     condition. Instance-independent, cheap, and false-positive-prone —
-    exactly the behaviour the paper contrasts audit operators against. *)
+    exactly the behaviour the paper contrasts audit operators against.
 
-type verdict = May_access | No_access
+    This is a compatibility facade over {!Analysis.Fga}. *)
+
+type verdict = Analysis.Fga.verdict = May_access | No_access
 
 val string_of_verdict : verdict -> string
 
-(** Conservative per-column constraint-intersection test over the query's
-    top-level WHERE and the audit expression's predicate. Anything the
-    analyzer cannot interpret (LIKE, disjunctions, arithmetic, subqueries)
+(** Abstract-interpretation constraint-intersection test (see
+    {!Analysis.Fga.analyze}). Anything the analyzer cannot interpret
     leaves the column unconstrained, i.e. errs toward {!May_access}. *)
 val analyze :
+  Storage.Catalog.t -> audit:Audit_expr.t -> Sql.Ast.query -> verdict
+
+(** The pre-abstract-domain analyzer (top-level WHERE atoms only; opaque on
+    LIKE, disjunction, arithmetic, join transfer; UNION branches ignored —
+    an unsoundness {!analyze} fixes by checking every set-op component),
+    kept for differential tests and the §VI comparison. On set-op-free
+    queries, never more precise than {!analyze}. *)
+val analyze_legacy :
   Storage.Catalog.t -> audit:Audit_expr.t -> Sql.Ast.query -> verdict

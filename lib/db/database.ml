@@ -34,6 +34,10 @@ type audit_entry = {
 exception Deny_signal of string
 (** internal: aborts a BEFORE RETURN action at the DENY statement *)
 
+(** Plan-invariant verification policy: [Warn] records alarms for each
+    violation, [Strict] refuses the plan ({!Engine_core.Engine_error.Verify}). *)
+type verify_mode = Off | Warn | Strict
+
 type t = {
   catalog : Catalog.t;
   ctx : Exec.Exec_ctx.t;
@@ -55,6 +59,8 @@ type t = {
   mutable alarms : string list;
       (** robustness alarms (fail-open log losses, invariant repairs),
           newest first *)
+  mutable verify : verify_mode;
+      (** run the plan-invariant verifier on every planned statement *)
 }
 
 let max_trigger_depth = 8
@@ -75,6 +81,7 @@ let create () =
     last_stats = None;
     wal = None;
     alarms = [];
+    verify = Off;
   }
 
 let catalog db = db.catalog
@@ -83,6 +90,8 @@ let set_user db u = db.ctx.Exec.Exec_ctx.user <- u
 let user db = db.ctx.Exec.Exec_ctx.user
 let set_heuristic db h = db.heuristic <- h
 let set_instrumentation db b = db.instrument <- b
+let set_verify_plans db m = db.verify <- m
+let verify_plans_mode db = db.verify
 let notifications db = List.rev db.notifications
 let clear_notifications db = db.notifications <- []
 let last_accessed db = db.last_accessed
@@ -264,16 +273,19 @@ let install_audit_sets db =
     audit expressions instrument it (default: those watched by triggers);
     [heuristic] overrides the session heuristic; [prune] controls column
     pruning. Exposed for benchmarks and tests. *)
+(* Which audit expressions instrument a statement: an explicit list of
+   names, or (by default) those watched by at least one SELECT trigger. *)
+let selected_audits db ?audits () =
+  match audits with
+  | Some names -> List.map (audit_entry db) names
+  | None -> if db.instrument then watched_audits db else []
+
 let plan_query db ?heuristic ?audits ?(prune = true) (q : Sql.Ast.query) :
     Plan.Logical.t =
   let plan = Plan.Binder.query db.catalog q in
   let plan = Plan.Optimizer.logical_optimize ~catalog:db.catalog plan in
   let heuristic = Option.value heuristic ~default:db.heuristic in
-  let entries =
-    match audits with
-    | Some names -> List.map (audit_entry db) names
-    | None -> if db.instrument then watched_audits db else []
-  in
+  let entries = selected_audits db ?audits () in
   let plan =
     Audit_core.Placement.instrument_all heuristic
       ~audits:(List.map (fun e -> e.expr) entries)
@@ -291,6 +303,75 @@ let physical db plan = Plan.Physical.plan_of_logical ~catalog:db.catalog plan
 
 let physical_sql db ?heuristic ?audits ?prune sql =
   physical db (plan_sql db ?heuristic ?audits ?prune sql)
+
+(* ------------------------------------------------------------------ *)
+(* Plan-invariant verification (lib/analysis)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Leaf-heuristic probes sit at or below hcn positions, so both verify
+   against the hcn commute relation (Claim 3.6). Highest is checked
+   against its own, wider relation: the verifier then certifies position
+   consistency only, matching the heuristic's weaker guarantee. *)
+let commute_of = function
+  | Audit_core.Placement.Leaf | Audit_core.Placement.Hcn ->
+    Analysis.Plan_verify.hcn_commute
+  | Audit_core.Placement.Highest -> Analysis.Plan_verify.highest_commute
+
+let audit_specs entries =
+  List.map
+    (fun e ->
+      {
+        Analysis.Plan_verify.name = e.expr.Audit_core.Audit_expr.name;
+        sensitive_table = e.expr.Audit_core.Audit_expr.sensitive_table;
+        partition_by = e.expr.Audit_core.Audit_expr.partition_by;
+      })
+    entries
+
+(** Run the full rule catalog over a query's instrumented logical tree and
+    its lowered physical plan, without executing anything. *)
+let verify_query db ?heuristic ?audits (q : Sql.Ast.query) :
+    Analysis.Plan_verify.violation list =
+  let h = Option.value heuristic ~default:db.heuristic in
+  let specs = audit_specs (selected_audits db ?audits ()) in
+  let commute = commute_of h in
+  let plan = plan_query db ~heuristic:h ?audits q in
+  let phys = physical db plan in
+  Analysis.Plan_verify.verify_logical ~commute ~audits:specs plan
+  @ Analysis.Plan_verify.verify ~commute ~audits:specs phys
+
+let verify_sql db ?heuristic ?audits sql =
+  verify_query db ?heuristic ?audits (Sql.Parser.query sql)
+
+(* Apply the session verification policy to an already-compiled statement
+   (both trees are at hand in the execution paths, so nothing is planned
+   twice). *)
+let enforce_verify db (plan : Plan.Logical.t) (phys : Plan.Physical.t) =
+  match db.verify with
+  | Off -> ()
+  | (Warn | Strict) as mode -> (
+    let specs = audit_specs (if db.instrument then watched_audits db else []) in
+    let commute = commute_of db.heuristic in
+    let vs =
+      Analysis.Plan_verify.verify_logical ~commute ~audits:specs plan
+      @ Analysis.Plan_verify.verify ~commute ~audits:specs phys
+    in
+    match (vs, mode) with
+    | [], _ -> ()
+    | vs, Warn ->
+      List.iter
+        (fun v ->
+          let msg =
+            "plan-verify: " ^ Analysis.Plan_verify.string_of_violation v
+          in
+          alarm db msg;
+          Printf.eprintf "warning: %s\n%!" msg)
+        vs
+    | v :: _, _ ->
+      Engine_core.Engine_error.raise_
+        (Engine_core.Engine_error.Verify
+           (Printf.sprintf "%s (%d violation(s) total)"
+              (Analysis.Plan_verify.string_of_violation v)
+              (List.length vs))))
 
 (** Execute a prepared logical plan with fresh per-query state. *)
 let run_plan db plan =
@@ -400,15 +481,25 @@ let rec exec_statement db (stmt : Sql.Ast.statement) : result =
     (try Table.drop_index t index_name
      with Table.Unknown_index n -> err "unknown index %s" n);
     Done (Printf.sprintf "index %s dropped" index_name)
-  | Sql.Ast.S_explain { analyze = false; query } ->
+  | Sql.Ast.S_explain { verify = true; query; _ } ->
+    (* EXPLAIN VERIFY: show the plan and the verifier's rule-by-rule
+       report, without executing anything. *)
+    let phys = physical db (plan_query db query) in
+    let vs = verify_query db query in
+    Done
+      (Plan.Physical.to_string phys ^ "\n" ^ Analysis.Plan_verify.report vs)
+  | Sql.Ast.S_explain { analyze = false; query; _ } ->
     let plan = plan_query db query in
-    Done (Plan.Physical.to_string (physical db plan))
-  | Sql.Ast.S_explain { analyze = true; query } ->
+    let phys = physical db plan in
+    enforce_verify db plan phys;
+    Done (Plan.Physical.to_string phys)
+  | Sql.Ast.S_explain { analyze = true; query; _ } ->
     (* Execute the instrumented physical plan with metrics collection on
        and render the tree with estimated-vs-actual row counts/timings.
        Diagnostic only: triggers do not fire, mirroring run_plan. *)
     let plan = plan_query db query in
     let phys = physical db plan in
+    enforce_verify db plan phys;
     let m = db.ctx.Exec.Exec_ctx.metrics in
     let was = Exec.Metrics.enabled m in
     Exec.Metrics.set_enabled m true;
@@ -451,6 +542,8 @@ and eval_standalone db (e : Sql.Ast.expr) : Value.t =
 and exec_select db (q : Sql.Ast.query) : result =
   let top_level = db.trigger_depth = 0 in
   let plan = plan_query db q in
+  let phys = physical db plan in
+  enforce_verify db plan phys;
   install_audit_sets db;
   if top_level then Exec.Exec_ctx.reset_query_state db.ctx;
   let record () =
@@ -470,7 +563,7 @@ and exec_select db (q : Sql.Ast.query) : result =
      guard cancellations and injected faults: the exception branch fires
      the AFTER triggers on the partial ACCESSED set, and the statement
      wrapper in [exec_logged] flushes that set to the durable log. *)
-  match Exec.Executor.run_list db.ctx (physical db plan) with
+  match Exec.Executor.run_list db.ctx phys with
   | rows ->
     if not top_level then Rows { schema = Plan.Logical.schema plan; rows }
     else begin
@@ -690,8 +783,10 @@ and exec_insert db table columns source : result =
          own INSERT ... SELECT FROM accessed stays un-instrumented via the
          depth guard below. *)
       let plan = plan_query db q in
+      let phys = physical db plan in
+      enforce_verify db plan phys;
       install_audit_sets db;
-      let out = Exec.Executor.run_list db.ctx (physical db plan) in
+      let out = Exec.Executor.run_list db.ctx phys in
       if db.trigger_depth = 0 then
         ignore (fire_select_triggers db ~timing:Sql.Ast.After);
       List.map (fun r -> make_row (Array.to_list r)) out

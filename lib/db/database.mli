@@ -33,6 +33,15 @@ val set_heuristic : t -> Audit_core.Placement.heuristic -> unit
 (** Master switch for SELECT-trigger instrumentation (default on). *)
 val set_instrumentation : t -> bool -> unit
 
+(** Plan-invariant verification policy ({!Analysis.Plan_verify}) applied
+    to every planned statement: [Off] (default) skips the check, [Warn]
+    records an alarm (and a stderr warning) per violation, [Strict]
+    refuses the plan with {!Engine_core.Engine_error.Verify}. *)
+type verify_mode = Off | Warn | Strict
+
+val set_verify_plans : t -> verify_mode -> unit
+val verify_plans_mode : t -> verify_mode
+
 (** NOTIFY output, oldest first. *)
 val notifications : t -> string list
 
@@ -160,6 +169,25 @@ val physical_sql :
   ?prune:bool ->
   string ->
   Plan.Physical.t
+
+(** Run the plan-invariant verifier's full rule catalog over a query's
+    instrumented logical tree and lowered physical plan, without executing
+    anything. [audits]/[heuristic] as in {!plan_query}; the commute
+    relation checked follows the heuristic (hcn for [Leaf]/[Hcn],
+    highest-node for [Highest]). *)
+val verify_query :
+  t ->
+  ?heuristic:Audit_core.Placement.heuristic ->
+  ?audits:string list ->
+  Sql.Ast.query ->
+  Analysis.Plan_verify.violation list
+
+val verify_sql :
+  t ->
+  ?heuristic:Audit_core.Placement.heuristic ->
+  ?audits:string list ->
+  string ->
+  Analysis.Plan_verify.violation list
 
 (** Install every audit expression's sensitive-ID table into the execution
     context (required before running an instrumented plan directly). *)

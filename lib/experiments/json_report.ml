@@ -318,6 +318,60 @@ let micro_json (rows : (string * float option) list) : Json.t =
        rows)
 
 (* --------------------------------------------------------------- *)
+(* FGA precision: abstract-domain analyzer vs the legacy baseline   *)
+(* --------------------------------------------------------------- *)
+
+(** Per-query verdicts plus the summary CI gates on: the abstract-domain
+    analyzer's false-positive rate must sit strictly below the legacy
+    analyzer's, with zero false negatives for either (a NO-ACCESS verdict
+    on a query whose audit operator accessed rows would be unsound). *)
+let fga_precision_json (rows : Figures.fga_row list) : Json.t =
+  let may v = v = Audit_core.Static_analyzer.May_access in
+  let truth_zero = List.filter (fun r -> r.Figures.fga_truth = 0) rows in
+  let fps verdict = List.length (List.filter (fun r -> may (verdict r)) truth_zero) in
+  let fns verdict =
+    List.length
+      (List.filter (fun r -> (not (may (verdict r))) && r.Figures.fga_truth > 0) rows)
+  in
+  let rate n =
+    match List.length truth_zero with 0 -> 0.0 | d -> float_of_int n /. float_of_int d
+  in
+  let legacy r = r.Figures.fga_legacy and abstract r = r.Figures.fga_abstract in
+  Json.Obj
+    [
+      ( "rows",
+        Json.List
+          (List.map
+             (fun (r : Figures.fga_row) ->
+               Json.Obj
+                 [
+                   ("query", Json.Str r.Figures.fga_query);
+                   ("description", Json.Str r.fga_desc);
+                   ( "legacy_verdict",
+                     Json.Str
+                       (Audit_core.Static_analyzer.string_of_verdict r.fga_legacy) );
+                   ( "abstract_verdict",
+                     Json.Str
+                       (Audit_core.Static_analyzer.string_of_verdict r.fga_abstract)
+                   );
+                   ("hcn_audit_ids", Json.Int r.fga_truth);
+                 ])
+             rows) );
+      ( "summary",
+        Json.Obj
+          [
+            ("queries", Json.Int (List.length rows));
+            ("ground_truth_zero_access", Json.Int (List.length truth_zero));
+            ("old_false_positives", Json.Int (fps legacy));
+            ("new_false_positives", Json.Int (fps abstract));
+            ("old_fp_rate", Json.Float (rate (fps legacy)));
+            ("new_fp_rate", Json.Float (rate (fps abstract)));
+            ("old_false_negatives", Json.Int (fns legacy));
+            ("new_false_negatives", Json.Int (fns abstract));
+          ] );
+    ]
+
+(* --------------------------------------------------------------- *)
 (* Assembly                                                         *)
 (* --------------------------------------------------------------- *)
 

@@ -126,10 +126,11 @@ type statement =
   | S_deny of string
       (** trigger bodies (BEFORE RETURN only): abort the query and withhold
           its result from the client *)
-  | S_explain of { analyze : bool; query : query }
+  | S_explain of { analyze : bool; verify : bool; query : query }
       (** show the instrumented, optimized plan instead of executing;
           with ANALYZE, execute and annotate each operator with actual
-          row counts and timings *)
+          row counts and timings; with VERIFY, run the plan-invariant
+          verifier and print its rule-by-rule report instead *)
   | S_create_index of { index_name : string; table : string; column : string }
   | S_drop_index of { index_name : string; table : string }
 
@@ -296,8 +297,11 @@ let quote_string s =
 
 let rec pp_statement ppf = function
   | S_select q -> pp_query ppf q
-  | S_explain { analyze; query } ->
-    Fmt.pf ppf "EXPLAIN %s%a" (if analyze then "ANALYZE " else "") pp_query query
+  | S_explain { analyze; verify; query } ->
+    Fmt.pf ppf "EXPLAIN %s%s%a"
+      (if analyze then "ANALYZE " else "")
+      (if verify then "VERIFY " else "")
+      pp_query query
   | S_create_table { table; columns } ->
     let pp_col ppf (c : column_def) =
       Fmt.pf ppf "%s %s%s" c.col_name

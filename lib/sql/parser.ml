@@ -649,7 +649,8 @@ let rec parse_statement st : Ast.statement =
   | Some "EXPLAIN" ->
     advance st;
     let analyze = accept_kw st "ANALYZE" in
-    Ast.S_explain { analyze; query = parse_query st }
+    let verify = (not analyze) && accept_kw st "VERIFY" in
+    Ast.S_explain { analyze; verify; query = parse_query st }
   | Some "CREATE" -> parse_create st
   | Some "DROP" -> parse_drop st
   | Some "INSERT" ->

@@ -155,6 +155,83 @@ let q18 =
 let customer_workload = [ q3; q5; q7; q8; q10; q13; q18 ]
 
 (* --------------------------------------------------------------- *)
+(* FGA-precision probe workload (§VI)                               *)
+(* --------------------------------------------------------------- *)
+
+(* Probes against the BUILDING-segment audit expression, chosen so that
+   ground truth (the hcn audit operator's ACCESSED cardinality) is known
+   by construction. The FP* queries cannot touch a BUILDING customer but
+   each defeats the pre-abstract-domain analyzer a different way (LIKE,
+   disjunction, arithmetic, join transfer); the TP* queries genuinely
+   overlap; TN1 is directly disjoint (both analyzers decide it). *)
+
+let fp1 =
+  {
+    id = "FP1";
+    description = "LIKE prefix disjoint from the audited segment";
+    sql = "SELECT c_name FROM customer WHERE c_mktsegment LIKE 'FURN%'";
+  }
+
+let fp2 =
+  {
+    id = "FP2";
+    description = "disjunction of segments, none the audited one";
+    sql =
+      "SELECT c_name FROM customer WHERE c_mktsegment = 'AUTOMOBILE' OR \
+       c_mktsegment = 'MACHINERY'";
+  }
+
+let fp3 =
+  {
+    id = "FP3";
+    description = "arithmetically contradictory account-balance range";
+    sql =
+      "SELECT c_name FROM customer WHERE c_acctbal + 100 < 0 AND c_acctbal \
+       > 1000";
+  }
+
+let fp4 =
+  {
+    id = "FP4";
+    description = "contradiction only visible across an equi-join";
+    sql =
+      "SELECT c_name, o_orderkey FROM customer, orders WHERE c_custkey = \
+       o_custkey AND o_custkey > 1000 AND c_custkey < 500";
+  }
+
+let tn1 =
+  {
+    id = "TN1";
+    description = "directly disjoint segment (decidable pre-refactor)";
+    sql = "SELECT c_name FROM customer WHERE c_mktsegment = 'FURNITURE'";
+  }
+
+let tp1 =
+  {
+    id = "TP1";
+    description = "LIKE prefix overlapping the audited segment";
+    sql = "SELECT c_name FROM customer WHERE c_mktsegment LIKE 'BUIL%'";
+  }
+
+let tp2 =
+  {
+    id = "TP2";
+    description = "suffix pattern (opaque to both analyzers)";
+    sql = "SELECT c_name FROM customer WHERE c_mktsegment LIKE '%ING'";
+  }
+
+let tp3 =
+  {
+    id = "TP3";
+    description = "join with no segment predicate at all";
+    sql =
+      "SELECT c_name, o_orderkey FROM customer, orders WHERE c_custkey = \
+       o_custkey AND o_totalprice > 100000";
+  }
+
+let fga_workload = [ fp1; fp2; fp3; fp4; tn1; tp1; tp2; tp3 ]
+
+(* --------------------------------------------------------------- *)
 (* Customer-free queries for engine coverage                        *)
 (* --------------------------------------------------------------- *)
 

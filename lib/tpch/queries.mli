@@ -31,6 +31,14 @@ val q18 : query
     Q3, Q5, Q7, Q8, Q10, Q13, Q18. *)
 val customer_workload : query list
 
+(** FGA-precision probes against {!audit_segment} (segment BUILDING):
+    four false-positive traps for the pre-abstract-domain analyzer (LIKE
+    prefix, disjunction, arithmetic, equi-join transfer — none can access
+    an audited customer), one directly-disjoint segment both analyzers
+    decide, and three genuinely-overlapping queries for the
+    zero-false-negative check. *)
+val fga_workload : query list
+
 val q1 : query
 val q2 : query
 val q4 : query

@@ -9,6 +9,10 @@ let v_str s = Value.Str s
     cancer, Bob and Carol have flu, Eve has diabetes. *)
 let healthcare () =
   let db = Db.Database.create () in
+  (* Every fixture-backed test runs with the plan verifier warning on
+     violations; a regression that corrupts placement shows up as alarm
+     noise even in tests that don't assert on plans. *)
+  Db.Database.set_verify_plans db Db.Database.Warn;
   let e sql = ignore (Db.Database.exec db sql) in
   e
     "CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR, age \

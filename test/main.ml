@@ -15,6 +15,7 @@ let () =
       ("dml_access", Test_dml_access.suite);
       ("offline", Test_offline.suite);
       ("static", Test_static.suite);
+      ("verify", Test_verify.suite);
       ("tpch", Test_tpch.suite);
       ("setops", Test_setops.suite);
       ("db", Test_db.suite);

@@ -40,6 +40,7 @@ let gen_dataset =
 
 let build_db (d : dataset) =
   let db = Db.Database.create () in
+  Db.Database.set_verify_plans db Db.Database.Warn;
   let e sql = ignore (Db.Database.exec db sql) in
   e "CREATE TABLE patients (pid INT PRIMARY KEY, age INT, zip INT)";
   e "CREATE TABLE visits (vid INT PRIMARY KEY, pid INT, cost INT)";

@@ -1,0 +1,406 @@
+(** Plan-invariant verifier ({!Analysis.Plan_verify}) and abstract-domain
+    FGA analyzer ({!Analysis.Fga}) tests:
+
+    - the whole TPC-H corpus verifies clean, for every placement
+      heuristic, both through [verify_query] and end-to-end under
+      [Strict] mode;
+    - a mutation harness: each verifier rule is shown to catch at least
+      one plan corruption of its kind (stripped probes, probes folded
+      into index-lookup chains, probes hoisted past non-commuting
+      operators, corrupted ID columns, arity damage, broken estimates);
+    - QCheck soundness: optimizer output always verifies; the strip
+      mutation is always caught; an FGA NO-ACCESS verdict implies the
+      offline exact auditor finds nothing; the abstract-domain analyzer
+      never flips a legacy NO-ACCESS to MAY-ACCESS. *)
+
+open Analysis
+module P = Plan.Physical
+
+(* --------------------------------------------------------------- *)
+(* Plan surgery                                                     *)
+(* --------------------------------------------------------------- *)
+
+(** Bottom-up rewrite: [f] is applied to every node, children first. *)
+let rec map_plan (f : P.t -> P.t) (p : P.t) : P.t =
+  let r = map_plan f in
+  let op =
+    match p.P.op with
+    | P.Seq_scan _ as op -> op
+    | P.Filter c -> P.Filter { c with child = r c.child }
+    | P.Project c -> P.Project { c with child = r c.child }
+    | P.Hash_join c -> P.Hash_join { c with left = r c.left; right = r c.right }
+    | P.Nl_join c -> P.Nl_join { c with left = r c.left; right = r c.right }
+    | P.Index_nl_join c ->
+      P.Index_nl_join { c with left = r c.left; chain = r c.chain }
+    | P.Hash_semi_join c ->
+      P.Hash_semi_join { c with left = r c.left; right = r c.right }
+    | P.Apply c -> P.Apply { c with outer = r c.outer; inner = r c.inner }
+    | P.Hash_agg c -> P.Hash_agg { c with child = r c.child }
+    | P.Sort c -> P.Sort { c with child = r c.child }
+    | P.Top_k c -> P.Top_k { c with child = r c.child }
+    | P.Limit c -> P.Limit { c with child = r c.child }
+    | P.Distinct c -> P.Distinct (r c)
+    | P.Audit_probe c -> P.Audit_probe { c with child = r c.child }
+    | P.Set_op c -> P.Set_op { c with left = r c.left; right = r c.right }
+  in
+  f { p with P.op }
+
+let strip_probes =
+  map_plan (fun n ->
+      match n.P.op with P.Audit_probe { child; _ } -> child | _ -> n)
+
+let rewrite_id_col f =
+  map_plan (fun n ->
+      match n.P.op with
+      | P.Audit_probe { audit_name; id_col; child } ->
+        { n with P.op = P.Audit_probe { audit_name; id_col = f id_col; child } }
+      | _ -> n)
+
+let has_rule rule vs = List.exists (fun v -> v.Plan_verify.rule = rule) vs
+let only_rule rule vs = vs <> [] && List.for_all (fun v -> v.Plan_verify.rule = rule) vs
+
+let check_caught name rule vs =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s caught by %s" name (Plan_verify.rule_name rule))
+    true (has_rule rule vs)
+
+(* --------------------------------------------------------------- *)
+(* Healthcare fixtures for the mutation harness                     *)
+(* --------------------------------------------------------------- *)
+
+let alice_spec =
+  {
+    Plan_verify.name = "audit_alice";
+    sensitive_table = "patients";
+    partition_by = "patientid";
+  }
+
+let alice_phys db ?(heuristic = Audit_core.Placement.Hcn) sql =
+  Db.Database.physical_sql db ~audits:[ "audit_alice" ] ~heuristic sql
+
+let verify ?commute plan = Plan_verify.verify ?commute ~audits:[ alice_spec ] plan
+
+(* --------------------------------------------------------------- *)
+(* Mutation harness: one corruption per rule                        *)
+(* --------------------------------------------------------------- *)
+
+let test_mutation_coverage () =
+  let db = Fixtures.healthcare_with_alice () in
+  let phys =
+    alice_phys db "SELECT name FROM patients p, disease d WHERE p.patientid \
+                   = d.patientid AND d.disease = 'cancer'"
+  in
+  Alcotest.(check (list string)) "original verifies clean" []
+    (List.map Plan_verify.string_of_violation (verify phys));
+  let vs = verify (strip_probes phys) in
+  check_caught "stripped probe" Plan_verify.Coverage vs;
+  Alcotest.(check bool) "coverage is the only failure" true
+    (only_rule Plan_verify.Coverage vs)
+
+let test_mutation_probe_in_chain () =
+  let db = Fixtures.healthcare_with_alice () in
+  (* Hand-lower an index-nested-loop join whose lookup chain contains the
+     audit operator — exactly the folding {!P.plan_of_logical} refuses. *)
+  let catalog = Db.Database.catalog db in
+  let patients =
+    match Storage.Catalog.find_opt catalog "patients" with
+    | Some t -> t
+    | None -> Alcotest.fail "patients table missing"
+  in
+  let schema = Storage.Table.schema patients in
+  let scan =
+    { P.op = P.Seq_scan { table = "patients"; alias = "p"; schema; cols = None };
+      est = 5.0 }
+  in
+  let chain =
+    { P.op = P.Audit_probe { audit_name = "audit_alice"; id_col = 0; child = scan };
+      est = 5.0 }
+  in
+  let inl =
+    {
+      P.op =
+        P.Index_nl_join
+          {
+            kind = Plan.Logical.J_inner;
+            left = scan;
+            left_key = Plan.Scalar.Col 0;
+            table = "patients";
+            base_col = 0;
+            cols = None;
+            chain;
+            residual = None;
+            right_arity = Storage.Schema.arity schema;
+          };
+      est = 5.0;
+    }
+  in
+  check_caught "probe inside lookup chain" Plan_verify.Probe_in_chain (verify inl)
+
+let test_mutation_commute_path () =
+  let db = Fixtures.healthcare_with_alice () in
+  (* Highest placement hoists the probe above TOP — legal under the
+     highest-node relation, a §III violation under the hcn relation
+     (Example 3.2: Limit does not commute with auditing). *)
+  let sql = "SELECT TOP 2 name FROM patients ORDER BY age, patientid" in
+  let phys = alice_phys db ~heuristic:Audit_core.Placement.Highest sql in
+  Alcotest.(check (list string)) "clean under the highest-node relation" []
+    (List.map Plan_verify.string_of_violation
+       (verify ~commute:Plan_verify.highest_commute phys));
+  check_caught "probe hoisted past TOP" Plan_verify.Commute_path
+    (verify ~commute:Plan_verify.hcn_commute phys)
+
+let test_mutation_id_provenance () =
+  let db = Fixtures.healthcare_with_alice () in
+  let phys =
+    alice_phys db "SELECT patientid, name FROM patients WHERE age > 30"
+  in
+  (* Redirect the probe's ID column to a live but wrong column: still
+     well-formed, no longer the partition key. *)
+  let mutant = rewrite_id_col (fun c -> c + 1) phys in
+  check_caught "ID column points at 'name'" Plan_verify.Id_provenance
+    (verify mutant)
+
+let test_mutation_schema_wf () =
+  let db = Fixtures.healthcare_with_alice () in
+  let phys =
+    alice_phys db "SELECT patientid, name FROM patients WHERE age > 30"
+  in
+  let mutant = rewrite_id_col (fun _ -> 999) phys in
+  check_caught "ID column out of range" Plan_verify.Schema_wf (verify mutant);
+  let swap =
+    map_plan (fun n ->
+        match n.P.op with
+        | P.Hash_join c ->
+          { n with P.op = P.Hash_join { c with left = c.right; right = c.left } }
+        | _ -> n)
+  in
+  (* Join on a non-indexed column so the optimizer picks a hash join, with
+     inputs of different arity so the stale [right_arity] is detectable. *)
+  let joined =
+    alice_phys db "SELECT name FROM patients p, disease d WHERE p.age = \
+                   d.patientid"
+  in
+  let rec any f (p : P.t) = f p || List.exists (any f) (P.children p) in
+  Alcotest.(check bool) "plan uses a hash join" true
+    (any (fun p -> match p.P.op with P.Hash_join _ -> true | _ -> false) joined);
+  check_caught "swapped join inputs (stale arity/keys)" Plan_verify.Schema_wf
+    (verify (swap joined))
+
+let test_mutation_est_rows () =
+  let db = Fixtures.healthcare_with_alice () in
+  let phys = alice_phys db "SELECT name FROM patients WHERE age > 30" in
+  check_caught "negative estimate" Plan_verify.Est_rows
+    (verify { phys with P.est = -1.0 });
+  check_caught "NaN estimate" Plan_verify.Est_rows
+    (verify { phys with P.est = Float.nan })
+
+(* --------------------------------------------------------------- *)
+(* TPC-H corpus: clean under every heuristic, and under Strict      *)
+(* --------------------------------------------------------------- *)
+
+let tpch_db () =
+  let db = Db.Database.create () in
+  ignore (Tpch.Dbgen.load db ~sf:0.01);
+  ignore (Db.Database.exec db (Tpch.Queries.audit_segment ()));
+  db
+
+let tpch_corpus =
+  Tpch.Queries.customer_workload @ Tpch.Queries.engine_workload
+  @ Tpch.Queries.fga_workload
+
+let test_tpch_corpus_verifies () =
+  let db = tpch_db () in
+  List.iter
+    (fun (q : Tpch.Queries.query) ->
+      List.iter
+        (fun h ->
+          let vs =
+            Db.Database.verify_query db ~heuristic:h
+              ~audits:[ "audit_customer" ]
+              (Sql.Parser.query q.Tpch.Queries.sql)
+          in
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s clean" q.Tpch.Queries.id)
+            []
+            (List.map Plan_verify.string_of_violation vs))
+        Audit_core.Placement.[ Leaf; Hcn; Highest ])
+    tpch_corpus
+
+let test_tpch_strict_executes () =
+  let db = tpch_db () in
+  ignore
+    (Db.Database.exec db
+       "CREATE TRIGGER watch ON ACCESS TO audit_customer AS NOTIFY 'hit'");
+  Db.Database.set_verify_plans db Db.Database.Strict;
+  Alcotest.(check bool) "mode readback" true
+    (Db.Database.verify_plans_mode db = Db.Database.Strict);
+  (* Every corpus query must plan, verify and run under Strict — a raised
+     [Engine_error.Error (Verify _)] fails the test. *)
+  List.iter
+    (fun (q : Tpch.Queries.query) ->
+      ignore (Db.Database.exec db q.Tpch.Queries.sql))
+    tpch_corpus;
+  let r = Db.Database.exec db "EXPLAIN VERIFY SELECT c_name FROM customer" in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    nn = 0 || go 0
+  in
+  match r with
+  | Db.Database.Done text ->
+    Alcotest.(check bool) "EXPLAIN VERIFY reports all rules" true
+      (List.for_all
+         (fun rule -> contains text (Plan_verify.rule_name rule))
+         Plan_verify.all_rules)
+  | _ -> Alcotest.fail "EXPLAIN VERIFY did not return a report"
+
+(* --------------------------------------------------------------- *)
+(* FGA: deterministic precision + differential safety on TPC-H      *)
+(* --------------------------------------------------------------- *)
+
+let verdict : Fga.verdict Alcotest.testable =
+  Alcotest.testable
+    (fun ppf v -> Format.pp_print_string ppf (Fga.string_of_verdict v))
+    ( = )
+
+let test_fga_precision () =
+  let db = tpch_db () in
+  let catalog = Db.Database.catalog db in
+  let audit = Db.Database.audit_expr db "audit_customer" in
+  let check id expect_abstract expect_legacy =
+    let q = List.find (fun q -> q.Tpch.Queries.id = id) Tpch.Queries.fga_workload in
+    let parsed = Sql.Parser.query q.Tpch.Queries.sql in
+    Alcotest.check verdict (id ^ " abstract") expect_abstract
+      (Audit_core.Static_analyzer.analyze catalog ~audit parsed);
+    Alcotest.check verdict (id ^ " legacy") expect_legacy
+      (Audit_core.Static_analyzer.analyze_legacy catalog ~audit parsed)
+  in
+  (* The four traps: the abstract domain decides them, the legacy
+     analyzer false-positives on every one. *)
+  List.iter
+    (fun id -> check id Fga.No_access Fga.May_access)
+    [ "FP1"; "FP2"; "FP3"; "FP4" ];
+  check "TN1" Fga.No_access Fga.No_access;
+  List.iter
+    (fun id -> check id Fga.May_access Fga.May_access)
+    [ "TP1"; "TP2"; "TP3" ]
+
+let test_fga_differential_corpus () =
+  let db = tpch_db () in
+  let catalog = Db.Database.catalog db in
+  let audit = Db.Database.audit_expr db "audit_customer" in
+  List.iter
+    (fun (q : Tpch.Queries.query) ->
+      let parsed = Sql.Parser.query q.Tpch.Queries.sql in
+      let legacy = Audit_core.Static_analyzer.analyze_legacy catalog ~audit parsed in
+      let fresh = Audit_core.Static_analyzer.analyze catalog ~audit parsed in
+      if legacy = Fga.No_access then
+        Alcotest.check verdict
+          (q.Tpch.Queries.id ^ ": legacy NO-ACCESS preserved")
+          Fga.No_access fresh)
+    tpch_corpus
+
+(* --------------------------------------------------------------- *)
+(* QCheck soundness                                                 *)
+(* --------------------------------------------------------------- *)
+
+let pat_spec =
+  {
+    Plan_verify.name = "audit_pat";
+    sensitive_table = "patients";
+    partition_by = "pid";
+  }
+
+let prop_verifier_accepts_optimizer =
+  QCheck.Test.make ~count:120 ~name:"verifier accepts every optimizer plan"
+    Test_properties.arb_case (fun (d, (sql, _)) ->
+      let db = Test_properties.build_db d in
+      List.for_all
+        (fun h ->
+          Db.Database.verify_query db ~heuristic:h ~audits:[ "audit_pat" ]
+            (Sql.Parser.query sql)
+          = [])
+        Audit_core.Placement.[ Leaf; Hcn; Highest ])
+
+let prop_strip_always_caught =
+  QCheck.Test.make ~count:120 ~name:"stripping any probe is always caught"
+    Test_properties.arb_case (fun (d, (sql, _)) ->
+      let db = Test_properties.build_db d in
+      let phys =
+        Db.Database.physical_sql db ~audits:[ "audit_pat" ]
+          ~heuristic:Audit_core.Placement.Hcn sql
+      in
+      QCheck.assume (P.audits phys <> []);
+      has_rule Plan_verify.Coverage
+        (Plan_verify.verify ~audits:[ pat_spec ] (strip_probes phys)))
+
+(* An audit definition with a WHERE clause, so NO-ACCESS verdicts are
+   reachable on the generated queries (ages range over 0–9; queries
+   constrain [p.age] with random comparisons). *)
+let age_audit_sql =
+  "CREATE AUDIT EXPRESSION audit_age AS SELECT * FROM patients WHERE age > \
+   7 FOR SENSITIVE TABLE patients, PARTITION BY pid"
+
+let prop_no_access_implies_exact_empty =
+  QCheck.Test.make ~count:150
+    ~name:"FGA NO-ACCESS implies the offline exact auditor finds nothing"
+    Test_properties.arb_case (fun (d, (sql, _)) ->
+      let db = Test_properties.build_db d in
+      ignore (Db.Database.exec db age_audit_sql);
+      let audit = Db.Database.audit_expr db "audit_age" in
+      let v =
+        Audit_core.Static_analyzer.analyze (Db.Database.catalog db) ~audit
+          (Sql.Parser.query sql)
+      in
+      v = Fga.May_access || Fixtures.exact_ids db ~audit:"audit_age" sql = [])
+
+let prop_differential_no_access =
+  QCheck.Test.make ~count:150
+    ~name:"abstract analyzer never flips a legacy NO-ACCESS"
+    Test_properties.arb_case (fun (d, (sql, _)) ->
+      let db = Test_properties.build_db d in
+      ignore (Db.Database.exec db age_audit_sql);
+      let audit = Db.Database.audit_expr db "audit_age" in
+      let parsed = Sql.Parser.query sql in
+      (* The legacy analyzer ignored UNION branches outright — an
+         unsoundness, not precision; there the rewrite must flip its
+         NO-ACCESS, so the differential only holds set-op-free. *)
+      QCheck.assume (parsed.Sql.Ast.set_ops = []);
+      let catalog = Db.Database.catalog db in
+      Audit_core.Static_analyzer.analyze_legacy catalog ~audit parsed
+      = Fga.May_access
+      || Audit_core.Static_analyzer.analyze catalog ~audit parsed
+         = Fga.No_access)
+
+(* --------------------------------------------------------------- *)
+
+let suite =
+  [
+    Alcotest.test_case "mutation: stripped probe -> coverage" `Quick
+      test_mutation_coverage;
+    Alcotest.test_case "mutation: probe in INL chain -> probe-in-chain" `Quick
+      test_mutation_probe_in_chain;
+    Alcotest.test_case "mutation: probe past TOP -> commute-path" `Quick
+      test_mutation_commute_path;
+    Alcotest.test_case "mutation: wrong ID column -> id-provenance" `Quick
+      test_mutation_id_provenance;
+    Alcotest.test_case "mutation: arity damage -> schema-wf" `Quick
+      test_mutation_schema_wf;
+    Alcotest.test_case "mutation: broken estimates -> est-rows" `Quick
+      test_mutation_est_rows;
+    Alcotest.test_case "TPC-H corpus verifies clean (all heuristics)" `Slow
+      test_tpch_corpus_verifies;
+    Alcotest.test_case "TPC-H corpus executes under Strict" `Slow
+      test_tpch_strict_executes;
+    Alcotest.test_case "FGA precision on the probe workload" `Quick
+      test_fga_precision;
+    Alcotest.test_case "FGA differential over the TPC-H corpus" `Quick
+      test_fga_differential_corpus;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_verifier_accepts_optimizer;
+        prop_strip_always_caught;
+        prop_no_access_implies_exact_empty;
+        prop_differential_no_access;
+      ]
