@@ -15,6 +15,8 @@
      \verify mode <off|warn|strict>   verification policy for statements
      \dump [file]           SQL dump of the database (to stdout or file)
      \heuristic <h>         leaf | hcn | highest
+     \exec [row|batch]      select (or show) the execution engine:
+                            tuple-at-a-time or vectorized batches
      \user <name>           set session user
      \tpch <sf>             load the TPC-H benchmark at scale factor <sf>
      \log open <path> [closed|open]   attach the durable audit log
@@ -33,7 +35,7 @@
 let usage_commands =
   "commands: \\q \\tables \\audits \\triggers \\notifications \\accessed \
    \\plan <sql> \\analyze <sql> \\verify <sql|mode <off|warn|strict>> \
-   \\dump [file] \\heuristic <leaf|hcn|highest> \
+   \\dump [file] \\heuristic <leaf|hcn|highest> \\exec [row|batch] \
    \\user <name> \\tpch <sf> \\log <open|policy|dump|status|close> \
    \\timeout <s|off> \\budget <rows|mem> <n|off> \\alarms \\fault <...>"
 
@@ -247,6 +249,14 @@ let handle_command db line =
     | "hcn" -> Db.Database.set_heuristic db Audit_core.Placement.Hcn
     | "highest" -> Db.Database.set_heuristic db Audit_core.Placement.Highest
     | _ -> print_endline "unknown heuristic (leaf | hcn | highest)")
+  | [ "\\exec" ] ->
+    print_endline
+      (match Db.Database.exec_mode db with `Row -> "row" | `Batch -> "batch")
+  | [ "\\exec"; m ] -> (
+    match String.lowercase_ascii m with
+    | "row" -> Db.Database.set_exec_mode db `Row
+    | "batch" -> Db.Database.set_exec_mode db `Batch
+    | _ -> print_endline "usage: \\exec [row|batch]")
   | [ "\\user"; u ] -> Db.Database.set_user db u
   | [ "\\timeout"; s ] -> (
     match s with

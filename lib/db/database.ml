@@ -61,9 +61,20 @@ type t = {
           newest first *)
   mutable verify : verify_mode;
       (** run the plan-invariant verifier on every planned statement *)
+  mutable exec_mode : [ `Row | `Batch ];
+      (** which engine runs SELECTs: tuple-at-a-time ({!Exec.Executor}) or
+          vectorized ({!Exec.Batch_exec}) *)
 }
 
 let max_trigger_depth = 8
+
+(* The BATCH_MODE environment variable flips the session default, so a
+   whole test run can exercise the vectorized engine (the CI batch-mode
+   job) without touching call sites. *)
+let default_exec_mode () =
+  match Sys.getenv_opt "BATCH_MODE" with
+  | Some ("1" | "true" | "TRUE" | "yes") -> `Batch
+  | _ -> `Row
 
 let create () =
   let catalog = Catalog.create () in
@@ -82,10 +93,21 @@ let create () =
     wal = None;
     alarms = [];
     verify = Off;
+    exec_mode = default_exec_mode ();
   }
 
 let catalog db = db.catalog
 let context db = db.ctx
+let set_exec_mode db m = db.exec_mode <- m
+let exec_mode db = db.exec_mode
+
+(* Every SELECT-shaped execution funnels through here so the engine choice
+   is a single switch; both engines share Exec_ctx, Expr_compile, metrics
+   and the audit machinery. *)
+let run_phys db phys =
+  match db.exec_mode with
+  | `Row -> Exec.Executor.run_list db.ctx phys
+  | `Batch -> Exec.Batch_exec.run_list db.ctx phys
 let set_user db u = db.ctx.Exec.Exec_ctx.user <- u
 let user db = db.ctx.Exec.Exec_ctx.user
 let set_heuristic db h = db.heuristic <- h
@@ -377,7 +399,7 @@ let enforce_verify db (plan : Plan.Logical.t) (phys : Plan.Physical.t) =
 let run_plan db plan =
   install_audit_sets db;
   Exec.Exec_ctx.reset_query_state db.ctx;
-  Exec.Executor.run_list db.ctx (physical db plan)
+  run_phys db (physical db plan)
 
 (* ------------------------------------------------------------------ *)
 (* Statement execution                                                 *)
@@ -508,7 +530,7 @@ let rec exec_statement db (stmt : Sql.Ast.statement) : result =
       (fun () ->
         install_audit_sets db;
         Exec.Exec_ctx.reset_query_state db.ctx;
-        ignore (Exec.Executor.run_list db.ctx phys);
+        ignore (run_phys db phys);
         db.last_stats <- Some (Exec.Metrics.report m);
         Done (Exec.Explain.render db.ctx phys))
   | Sql.Ast.S_notify msg ->
@@ -531,7 +553,7 @@ and eval_standalone db (e : Sql.Ast.expr) : Value.t =
   let plan =
     Plan.Binder.query db.catalog q |> Plan.Optimizer.logical_optimize
   in
-  match Exec.Executor.run_list db.ctx (physical db plan) with
+  match run_phys db (physical db plan) with
   | [ row ] when Array.length row = 1 -> row.(0)
   | _ -> err "IF condition did not evaluate to a single value"
 
@@ -563,7 +585,7 @@ and exec_select db (q : Sql.Ast.query) : result =
      guard cancellations and injected faults: the exception branch fires
      the AFTER triggers on the partial ACCESSED set, and the statement
      wrapper in [exec_logged] flushes that set to the durable log. *)
-  match Exec.Executor.run_list db.ctx phys with
+  match run_phys db phys with
   | rows ->
     if not top_level then Rows { schema = Plan.Logical.schema plan; rows }
     else begin
@@ -786,7 +808,7 @@ and exec_insert db table columns source : result =
       let phys = physical db plan in
       enforce_verify db plan phys;
       install_audit_sets db;
-      let out = Exec.Executor.run_list db.ctx phys in
+      let out = run_phys db phys in
       if db.trigger_depth = 0 then
         ignore (fire_select_triggers db ~timing:Sql.Ast.After);
       List.map (fun r -> make_row (Array.to_list r)) out

@@ -33,6 +33,15 @@ val set_heuristic : t -> Audit_core.Placement.heuristic -> unit
 (** Master switch for SELECT-trigger instrumentation (default on). *)
 val set_instrumentation : t -> bool -> unit
 
+(** Which engine runs SELECT-shaped statements: [`Row] is the
+    tuple-at-a-time {!Exec.Executor}, [`Batch] the vectorized
+    {!Exec.Batch_exec} (identical semantics; the differential harness
+    enforces it). Default [`Row], or [`Batch] when the [BATCH_MODE]
+    environment variable is set to [1]/[true]/[yes] at {!create} time. *)
+val set_exec_mode : t -> [ `Row | `Batch ] -> unit
+
+val exec_mode : t -> [ `Row | `Batch ]
+
 (** Plan-invariant verification policy ({!Analysis.Plan_verify}) applied
     to every planned statement: [Off] (default) skips the check, [Warn]
     records an alarm (and a stderr warning) per violation, [Strict]

@@ -62,6 +62,11 @@ let update st (v : Value.t option) =
         if Value.is_null st.best || Value.compare_total v st.best > 0 then
           st.best <- v)
 
+(** Feed [n] argument-less inputs at once — the vectorized COUNT(<star>)
+    kernel advances per batch instead of per row. Equivalent to [n]
+    [update st None] calls. *)
+let update_many st n = st.count <- st.count + n
+
 let final st : Value.t =
   match st.agg.Logical.func with
   | Logical.Count -> Value.Int st.count

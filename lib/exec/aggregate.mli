@@ -11,4 +11,8 @@ val create : Plan.Logical.agg -> state
 (** Feed one input value; [None] only for [COUNT(<star>)]. *)
 val update : state -> Value.t option -> unit
 
+(** Feed [n] argument-less inputs at once (the vectorized [COUNT(<star>)]
+    kernel): equivalent to [n] [update st None] calls. *)
+val update_many : state -> int -> unit
+
 val final : state -> Value.t

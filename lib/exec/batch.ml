@@ -1,0 +1,83 @@
+(** Column-chunked tuple batches for the vectorized executor.
+
+    A batch is a chunk of up to {!chunk_size} rows plus a *selection
+    vector*: [sel.(0 .. len-1)] are the indices (into [rows]) of the rows
+    that are still alive, in emission order. Filters refine the selection
+    in place instead of re-materializing survivors, so a
+    scan→filter→filter pipeline touches each tuple array exactly once.
+    Operators that build new tuples (Project, joins, aggregation) emit
+    {e dense} batches where the selection is the identity. *)
+
+open Storage
+
+type t = {
+  rows : Tuple.t array;  (** physical chunk; only selected slots are live *)
+  sel : int array;  (** selection vector: indices into [rows] *)
+  mutable len : int;  (** number of selected rows ([sel]'s live prefix) *)
+}
+
+(* Capped at OCaml's [Max_young_wosize] (256 words) so a fresh chunk is a
+   *minor-heap* allocation: operators that build new tuples allocate a
+   fresh chunk per batch, and the chunk dies young together with the
+   tuples it holds. (Reusing one long-lived buffer instead would
+   write-barrier every store and force each freshly built tuple to be
+   promoted to the major heap.) *)
+let chunk_size = 255
+
+(* The identity selection is allocated per batch because downstream
+   filters mutate it in place. *)
+let of_array rows n =
+  let sel = Array.make (max n 1) 0 in
+  for i = 0 to n - 1 do
+    Array.unsafe_set sel i i
+  done;
+  { rows; sel; len = n }
+
+let dense rows = of_array rows (Array.length rows)
+
+(* Scans keep one reusable batch per cursor and [refill] it each call:
+   their stores are *old* table rows (no young pointers to track or
+   promote), and reuse skips re-allocating the chunk. Safe under the
+   Volcano contract because every consumer fully processes a batch before
+   pulling the next one. *)
+let create () =
+  { rows = Array.make chunk_size [||]; sel = Array.make chunk_size 0; len = 0 }
+
+(** Declare the first [n] slots of [rows] live with the identity
+    selection (resetting whatever a downstream filter left in [sel]). *)
+let refill b n =
+  let sel = b.sel in
+  for i = 0 to n - 1 do
+    Array.unsafe_set sel i i
+  done;
+  b.len <- n
+
+let length b = b.len
+let get b i = b.rows.(b.sel.(i))
+
+let iter f b =
+  for i = 0 to b.len - 1 do
+    f b.rows.(b.sel.(i))
+  done
+
+(** Selected rows in emission order. *)
+let to_list b =
+  let acc = ref [] in
+  for i = b.len - 1 downto 0 do
+    acc := b.rows.(b.sel.(i)) :: !acc
+  done;
+  !acc
+
+(** Keep only the selected rows for which [f] holds, preserving order —
+    the in-place selection refinement every batch filter uses. *)
+let refine f b =
+  let rows = b.rows and sel = b.sel in
+  let k = ref 0 in
+  for i = 0 to b.len - 1 do
+    let idx = Array.unsafe_get sel i in
+    if f (Array.unsafe_get rows idx) then begin
+      Array.unsafe_set sel !k idx;
+      incr k
+    end
+  done;
+  b.len <- !k

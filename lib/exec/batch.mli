@@ -1,0 +1,53 @@
+(** Column-chunked tuple batches for the vectorized executor: a chunk of
+    up to {!chunk_size} rows plus a selection vector that filters refine
+    in place (surviving row indices, in emission order). Dense batches —
+    identity selection — come out of operators that build new tuples. *)
+
+open Storage
+
+type t = {
+  rows : Tuple.t array;  (** physical chunk; only selected slots are live *)
+  sel : int array;  (** selection vector: indices into [rows] *)
+  mutable len : int;  (** number of selected rows ([sel]'s live prefix) *)
+}
+
+(** Target rows per batch (the scan fill size). Capped at the runtime's
+    [Max_young_wosize] so fresh output chunks are minor-heap allocations
+    that die young together with the tuples they hold. *)
+val chunk_size : int
+
+(** A reusable empty batch with {!chunk_size} capacity. Scans keep one per
+    cursor and {!refill} it each call — their stores are old table rows,
+    so reuse is free of write-barrier traffic. Operators that build {e new}
+    tuples must allocate fresh chunks ({!dense} / {!of_array}) instead, or
+    every output tuple would be promoted out of the reused buffer. Safe
+    under the Volcano contract: a consumer fully processes each batch
+    before pulling the next. *)
+val create : unit -> t
+
+(** Declare the first [n] slots of [rows] live, resetting the selection
+    to the identity. *)
+val refill : t -> int -> unit
+
+(** [of_array rows n]: batch over the first [n] slots of [rows], all
+    selected. *)
+val of_array : Tuple.t array -> int -> t
+
+(** Batch over the whole array, all rows selected. *)
+val dense : Tuple.t array -> t
+
+(** Selected-row count. *)
+val length : t -> int
+
+(** [get b i] is the [i]-th {e selected} row. *)
+val get : t -> int -> Tuple.t
+
+(** Iterate the selected rows in emission order. *)
+val iter : (Tuple.t -> unit) -> t -> unit
+
+(** Selected rows in emission order. *)
+val to_list : t -> Tuple.t list
+
+(** Keep only the selected rows satisfying the predicate (in-place
+    selection refinement, order-preserving). *)
+val refine : (Tuple.t -> bool) -> t -> unit

@@ -1,0 +1,821 @@
+(** Vectorized (batch-at-a-time) execution of physical plans.
+
+    The batch engine mirrors {!Executor} operator by operator but moves
+    the getNext interface from [Tuple.t option] to [Batch.t option]: a
+    scan fills chunks of up to {!Batch.chunk_size} rows, filters refine
+    each chunk's selection vector in place, and the remaining operators
+    work on whole chunks. Semantics are identical to the row engine —
+    same emission order, same 3VL/NULL behaviour (expressions come from
+    the same {!Expr_compile}), same audit-operator guarantees — which the
+    differential harness ([test/test_batch_diff.ml]) enforces.
+
+    Operators without batch kernels — [Apply] (correlated parameter
+    protocol), [Nl_join]/[Index_nl_join]/[Hash_semi_join] (per-row probe
+    loops) and [Limit] (early termination must stop the *row* stream
+    mid-chunk, or an audit operator below the limit would record more
+    accesses than the row engine) — delegate their whole subtree to the
+    row executor behind a row→batch adapter, so every plan executes.
+
+    [Filter] directly over [Seq_scan] fuses into a late-materialization
+    kernel: the predicate is remapped through the scan projection and run
+    on raw table rows, and only survivors are projected — the per-row
+    materialization cost of filtered-out rows disappears.
+
+    Budget accounting: with no row budget armed the scan charges each
+    chunk in O(1) ({!Exec_ctx.note_scanned_many}); with one armed it
+    falls back to per-row {!Exec_ctx.note_scanned}, and a budget trip
+    mid-chunk emits the partial chunk first and re-raises on the next
+    call — downstream audit operators see exactly the rows the row engine
+    would have shown them before cancelling, and [rows_scanned] at
+    cancellation is identical in both modes. *)
+
+open Storage
+open Plan
+
+type bcursor = unit -> Batch.t option
+type bfactory = unit -> bcursor
+
+let cancelled = function
+  | Engine_core.Engine_error.Error (Engine_core.Engine_error.Cancelled _) ->
+    true
+  | _ -> false
+
+(* Re-chunk a row cursor (a delegated row-engine subtree) into batches.
+   Each chunk is a fresh minor-heap array so the (usually young) tuples
+   it buffers die with it instead of being promoted out of a reused
+   major-heap buffer. *)
+let batch_of_rows (c : Executor.cursor) : bcursor =
+  fun () ->
+    match c () with
+    | None -> None
+    | Some first ->
+      let buf = Array.make Batch.chunk_size [||] in
+      buf.(0) <- first;
+      let n = ref 1 in
+      let continue_ = ref true in
+      while !continue_ && !n < Batch.chunk_size do
+        match c () with
+        | None -> continue_ := false
+        | Some r ->
+          buf.(!n) <- r;
+          incr n
+      done;
+      Some (Batch.of_array buf !n)
+
+(* Emit a materialized row list (sort/aggregation output) in fresh
+   chunks. *)
+let emit_rows (rows : Tuple.t list) : bcursor =
+  let remaining = ref rows in
+  fun () ->
+    match !remaining with
+    | [] -> None
+    | _ ->
+      let buf = Array.make Batch.chunk_size [||] in
+      let n = ref 0 in
+      let continue_ = ref true in
+      while !continue_ && !n < Batch.chunk_size do
+        match !remaining with
+        | [] -> continue_ := false
+        | r :: rest ->
+          buf.(!n) <- r;
+          incr n;
+          remaining := rest
+      done;
+      Some (Batch.of_array buf !n)
+
+(* Drain a batch cursor into a buffer a blocking operator will hold live,
+   charging each tuple against the memory budget (same per-row accounting
+   as the row engine's [drain_tracked]). *)
+let drain_tracked ctx (c : bcursor) : Tuple.t list =
+  let acc = ref [] in
+  let rec go () =
+    match c () with
+    | None -> ()
+    | Some b ->
+      Batch.iter
+        (fun r ->
+          Exec_ctx.note_materialized ctx;
+          acc := r :: !acc)
+        b;
+      go ()
+  in
+  go ();
+  List.rev !acc
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | r :: rest -> r :: take (n - 1) rest
+
+let resolve_table ctx table =
+  match Catalog.find_opt ctx.Exec_ctx.catalog table with
+  | Some t -> t
+  | None -> raise (Executor.Exec_error (Printf.sprintf "unknown table %s" table))
+
+(* The (column, value) pair virtually deleted from scans of [table], if
+   the offline auditor armed one (Q(D - t), Definition 2.3). *)
+let hide_for ctx table =
+  match ctx.Exec_ctx.hide with
+  | Some (ht, col, v)
+    when String.lowercase_ascii ht = String.lowercase_ascii table ->
+    Some (col, v)
+  | _ -> None
+
+(* Metrics + guard wrapper, mirroring the row engine's [compile]: counted
+   per batch call (rows accumulate by batch length), registration in plan
+   pre-order. Operators whose subtree delegates to the row executor are
+   *not* wrapped here — the row engine instruments them itself. *)
+let rec compile (ctx : Exec_ctx.t) (plan : Physical.t) : bfactory =
+  match plan.Physical.op with
+  | Physical.Apply _ | Physical.Nl_join _ | Physical.Index_nl_join _
+  | Physical.Hash_semi_join _ | Physical.Limit _ ->
+    let f = Executor.compile ctx plan in
+    fun () -> batch_of_rows (f ())
+  | _ ->
+    let base =
+      if not (Metrics.enabled ctx.Exec_ctx.metrics) then compile_op ctx plan
+      else begin
+        let st = Metrics.register ctx.Exec_ctx.metrics plan in
+        let f = compile_op ctx plan in
+        fun () ->
+          st.Metrics.opens <- st.Metrics.opens + 1;
+          let c = f () in
+          fun () ->
+            let t0 = Metrics.now_s () in
+            let r = c () in
+            st.Metrics.time_s <- st.Metrics.time_s +. (Metrics.now_s () -. t0);
+            st.Metrics.calls <- st.Metrics.calls + 1;
+            (match r with
+            | Some b ->
+              st.Metrics.batches <- st.Metrics.batches + 1;
+              st.Metrics.rows <- st.Metrics.rows + Batch.length b
+            | None -> ());
+            r
+      end
+    in
+    let faults_armed = Engine_core.Faultkit.armed ctx.Exec_ctx.faults in
+    if not (Exec_ctx.guards_armed ctx || faults_armed) then base
+    else begin
+      let label = Physical.label plan in
+      fun () ->
+        Exec_ctx.check_deadline ctx;
+        let c = base () in
+        fun () ->
+          if faults_armed then
+            Engine_core.Faultkit.on_get_next ctx.Exec_ctx.faults ~op:label;
+          (* A batch call covers up to [chunk_size] rows, so the every-16th
+             -tick guard would be far too coarse: check the deadline on
+             every call instead. *)
+          Exec_ctx.check_deadline ctx;
+          c ()
+    end
+
+and compile_op (ctx : Exec_ctx.t) (plan : Physical.t) : bfactory =
+  match plan.Physical.op with
+  | Physical.Apply _ | Physical.Nl_join _ | Physical.Index_nl_join _
+  | Physical.Hash_semi_join _ | Physical.Limit _ ->
+    (* Handled by the row-engine adapter in [compile]. *)
+    assert false
+  | Physical.Seq_scan { table; cols; _ } -> compile_scan ctx table cols
+  | Physical.Filter
+      { pred; child = { Physical.op = Physical.Seq_scan { table; cols; _ }; _ }
+                      as scan }
+    when table <> "$dual"
+         && not (Engine_core.Faultkit.armed ctx.Exec_ctx.faults) ->
+    (* Late materialization: fill raw table rows, filter them, and apply
+       the scan projection to the survivors only (the row engine must
+       project every row before its filter can look at it). Skipped when
+       fault injection is armed so per-operator fault sites stay
+       identical to the row engine's. *)
+    compile_filter_scan ctx ~scan ~table ~cols pred
+  | Physical.Filter { pred; child } ->
+    let cf = compile ctx child in
+    let refine = Expr_compile.compile_pred_batch ctx pred in
+    fun () ->
+      let c = cf () in
+      let rec next () =
+        match c () with
+        | None -> None
+        | Some b ->
+          refine b;
+          if Batch.length b = 0 then next () else Some b
+      in
+      next
+  | Physical.Project { cols; child } ->
+    let cf = compile ctx child in
+    let proj = Expr_compile.compile_project_batch ctx (List.map fst cols) in
+    fun () ->
+      let c = cf () in
+      fun () -> Option.map proj (c ())
+  | Physical.Hash_join { kind; lkeys; rkeys; residual; left; right; right_arity }
+    ->
+    compile_hash_join ctx kind ~lkeys ~rkeys ~residual ~left ~right
+      ~right_arity
+  | Physical.Hash_agg { keys; aggs; child } -> compile_group ctx keys aggs child
+  | Physical.Sort { keys; child } ->
+    let cf = compile ctx child in
+    let sort_rows = Executor.compile_sorter ctx keys in
+    fun () -> emit_rows (sort_rows (drain_tracked ctx (cf ())))
+  | Physical.Top_k { n; keys; child } ->
+    (* Fused Limit-over-Sort drains its child completely in both engines,
+       so unlike a bare Limit it is safe to run batch-native. *)
+    let cf = compile ctx child in
+    let sort_rows = Executor.compile_sorter ctx keys in
+    fun () -> emit_rows (take n (sort_rows (drain_tracked ctx (cf ()))))
+  | Physical.Distinct child ->
+    let cf = compile ctx child in
+    fun () ->
+      let c = cf () in
+      let seen = Tuple.Hashtbl_t.create 256 in
+      let dedup row =
+        if Tuple.Hashtbl_t.mem seen row then false
+        else begin
+          Tuple.Hashtbl_t.replace seen row ();
+          true
+        end
+      in
+      let rec next () =
+        match c () with
+        | None -> None
+        | Some b ->
+          Batch.refine dedup b;
+          if Batch.length b = 0 then next () else Some b
+      in
+      next
+  | Physical.Set_op { op; left; right } -> compile_set_op ctx op left right
+  | Physical.Audit_probe { audit_name; id_col; child } ->
+    let cf = compile ctx child in
+    let name = String.lowercase_ascii audit_name in
+    let st = Metrics.find ctx.Exec_ctx.metrics plan in
+    fun () ->
+      let sensitive =
+        match Exec_ctx.audit_ids ctx ~audit_name:name with
+        | Some s -> s
+        | None ->
+          raise
+            (Executor.Exec_error
+               (Printf.sprintf
+                  "audit operator for %s: sensitive-ID set not installed"
+                  audit_name))
+      in
+      let c = cf () in
+      fun () ->
+        match c () with
+        | None -> None
+        | Some b ->
+          (* The probe loop runs over the whole chunk: one hash probe per
+             selected row, marking hits with the query generation. The
+             batch passes through unmodified — the no-filtering invariant
+             (§IV-A2) holds per chunk exactly as it does per row. *)
+          Batch.iter
+            (fun row ->
+              ctx.Exec_ctx.audit_probes <- ctx.Exec_ctx.audit_probes + 1;
+              (match st with
+              | Some s -> s.Metrics.probes <- s.Metrics.probes + 1
+              | None -> ());
+              match Value.Hashtbl_v.find_opt sensitive row.(id_col) with
+              | Some mark ->
+                ctx.Exec_ctx.audit_hits <- ctx.Exec_ctx.audit_hits + 1;
+                (match st with
+                | Some s -> s.Metrics.hits <- s.Metrics.hits + 1
+                | None -> ());
+                if !mark <> ctx.Exec_ctx.generation then
+                  mark := ctx.Exec_ctx.generation
+              | None -> ())
+            b;
+          Some b
+
+and compile_scan ctx table cols : bfactory =
+  if table = "$dual" then (fun () ->
+    let done_ = ref false in
+    fun () ->
+      if !done_ then None
+      else begin
+        done_ := true;
+        Some (Batch.dense [| [||] |])
+      end)
+  else
+    let project row =
+      match cols with None -> row | Some idxs -> Tuple.project row idxs
+    in
+    fun () ->
+      let t = resolve_table ctx table in
+      let hide = hide_for ctx table in
+      (* A budget trip mid-chunk must not swallow the rows already filled:
+         they were charged, and in row mode they would have reached the
+         operators above (including audit probes) before the cancelling
+         row. Emit the partial chunk and re-raise on the next call. *)
+      let pending = ref None in
+      let b = Batch.create () in
+      let buf = b.Batch.rows in
+      let reraise_or_end () =
+        match !pending with
+        | Some e ->
+          pending := None;
+          raise e
+        | None -> None
+      in
+      let emit n =
+        if n = 0 then reraise_or_end ()
+        else begin
+          Batch.refill b n;
+          Some b
+        end
+      in
+      match hide with
+      | None ->
+        (* Bulk path: copy live slots straight into the chunk (no per-row
+           cursor closure or option), charge the whole chunk against the
+           scan counter in O(1), then apply the scan projection in a tight
+           loop. Only when a row budget is armed does the charge fall back
+           to per-row [note_scanned], so the budget cancels at exactly the
+           same row as the row engine. *)
+        let slot = ref 0 in
+        fun () ->
+          (match !pending with
+          | Some e ->
+            pending := None;
+            raise e
+          | None -> ());
+          let filled = Table.fill_chunk t ~slot buf ~max:Batch.chunk_size in
+          if filled = 0 then None
+          else begin
+            let n = ref filled in
+            (match ctx.Exec_ctx.row_budget with
+            | None -> Exec_ctx.note_scanned_many ctx filled
+            | Some _ ->
+              n := 0;
+              (try
+                 while !n < filled do
+                   Exec_ctx.note_scanned ctx;
+                   incr n
+                 done
+               with e when cancelled e -> pending := Some e));
+            (match cols with
+            | None -> ()
+            | Some idxs ->
+              for i = 0 to !n - 1 do
+                Array.unsafe_set buf i
+                  (Tuple.project (Array.unsafe_get buf i) idxs)
+              done);
+            emit !n
+          end
+      | Some _ ->
+        let c = Table.cursor ?hide t in
+        fun () ->
+          (match !pending with
+          | Some e ->
+            pending := None;
+            raise e
+          | None -> ());
+          match c () with
+          | None -> None
+          | Some first ->
+            let n = ref 0 in
+            (try
+               Exec_ctx.note_scanned ctx;
+               buf.(0) <- project first;
+               n := 1;
+               let continue_ = ref true in
+               while !continue_ && !n < Batch.chunk_size do
+                 match c () with
+                 | None -> continue_ := false
+                 | Some r ->
+                   Exec_ctx.note_scanned ctx;
+                   buf.(!n) <- project r;
+                   incr n
+               done
+             with e when cancelled e -> pending := Some e);
+            emit !n
+
+(* Fused Filter-over-Seq_scan: the vectorized engine's late-
+   materialization kernel. The predicate is remapped through the scan
+   projection so it evaluates on raw table rows; each chunk is filled in
+   bulk, refined, and only the surviving rows are projected. Semantics —
+   survivors, emission order, [rows_scanned], budget-cancellation row —
+   are exactly those of the unfused Filter→Seq_scan pair; only the
+   per-row projection work on filtered-out rows disappears. The scan
+   node keeps its own metrics entry (rows = rows scanned, as in the row
+   engine) even though it no longer exists as a separate operator. *)
+and compile_filter_scan ctx ~scan ~table ~cols pred : bfactory =
+  let raw_pred =
+    match cols with
+    | None -> pred
+    | Some idxs -> Scalar.shift_cols (fun i -> idxs.(i)) pred
+  in
+  let test = Expr_compile.compile_pred ctx raw_pred in
+  let st =
+    if Metrics.enabled ctx.Exec_ctx.metrics then
+      Some (Metrics.register ctx.Exec_ctx.metrics scan)
+    else None
+  in
+  fun () ->
+    let t = resolve_table ctx table in
+    let hide = hide_for ctx table in
+    let pending = ref None in
+    let raw = Batch.create () in
+    let rbuf = raw.Batch.rows in
+    (match st with
+    | Some s -> s.Metrics.opens <- s.Metrics.opens + 1
+    | None -> ());
+    (* Fill [rbuf] with raw rows and charge the scan budget; returns the
+       charged count. A budget trip mid-chunk keeps the charged prefix
+       and parks the exception in [pending]. *)
+    let fill =
+      match hide with
+      | None ->
+        let slot = ref 0 in
+        fun () ->
+          let filled = Table.fill_chunk t ~slot rbuf ~max:Batch.chunk_size in
+          if filled = 0 then 0
+          else begin
+            match ctx.Exec_ctx.row_budget with
+            | None ->
+              Exec_ctx.note_scanned_many ctx filled;
+              filled
+            | Some _ ->
+              let n = ref 0 in
+              (try
+                 while !n < filled do
+                   Exec_ctx.note_scanned ctx;
+                   incr n
+                 done
+               with e when cancelled e -> pending := Some e);
+              !n
+          end
+      | Some _ ->
+        let c = Table.cursor ?hide t in
+        fun () ->
+          let n = ref 0 in
+          (try
+             let continue_ = ref true in
+             while !continue_ && !n < Batch.chunk_size do
+               match c () with
+               | None -> continue_ := false
+               | Some r ->
+                 Exec_ctx.note_scanned ctx;
+                 rbuf.(!n) <- r;
+                 incr n
+             done
+           with e when cancelled e -> pending := Some e);
+          !n
+    in
+    let reraise_or_end () =
+      match !pending with
+      | Some e ->
+        pending := None;
+        raise e
+      | None -> None
+    in
+    let rec next () =
+      match !pending with
+      | Some e ->
+        pending := None;
+        raise e
+      | None ->
+        let t0 = match st with None -> 0.0 | Some _ -> Metrics.now_s () in
+        let filled = fill () in
+        (match st with
+        | Some s ->
+          s.Metrics.time_s <- s.Metrics.time_s +. (Metrics.now_s () -. t0);
+          s.Metrics.calls <- s.Metrics.calls + 1;
+          if filled > 0 then begin
+            s.Metrics.batches <- s.Metrics.batches + 1;
+            s.Metrics.rows <- s.Metrics.rows + filled
+          end
+        | None -> ());
+        if filled = 0 then reraise_or_end ()
+        else begin
+          Batch.refill raw filled;
+          Batch.refine test raw;
+          let k = Batch.length raw in
+          if k = 0 then
+            (* Nothing survived this chunk: re-raise a parked budget trip
+               now (nothing is owed downstream), else keep scanning. *)
+            match !pending with
+            | Some e ->
+              pending := None;
+              raise e
+            | None -> next ()
+          else begin
+            match cols with
+            | None -> Some raw
+            | Some idxs ->
+              (* Fresh (minor-heap) output chunk: survivors' projected
+                 tuples die young with it, where a reused major-heap
+                 buffer would force their promotion. *)
+              let orows = Array.make k [||] in
+              for i = 0 to k - 1 do
+                Array.unsafe_set orows i (Tuple.project (Batch.get raw i) idxs)
+              done;
+              Some (Batch.dense orows)
+          end
+        end
+    in
+    next
+
+and compile_hash_join ctx kind ~lkeys ~rkeys ~residual ~left ~right
+    ~right_arity : bfactory =
+  let lf = compile ctx left in
+  let rf = compile ctx right in
+  let lkeys = Array.map (Expr_compile.compile ctx) lkeys in
+  let rkeys = Array.map (Expr_compile.compile ctx) rkeys in
+  let residual = Option.map (Expr_compile.compile_pred ctx) residual in
+  let null_pad = Array.make right_arity Value.Null in
+  fun () ->
+    (* Build: drain the right child's batches into the hash table, keyed
+       and null-skipped exactly like the row engine. *)
+    let rc = rf () in
+    let tbl = Tuple.Hashtbl_t.create 1024 in
+    let rec build () =
+      match rc () with
+      | None -> ()
+      | Some b ->
+        Batch.iter
+          (fun row ->
+            Exec_ctx.note_materialized ctx;
+            let k = Array.map (fun f -> f row) rkeys in
+            if not (Array.exists Value.is_null k) then
+              Tuple.Hashtbl_t.replace tbl k
+                (row :: (try Tuple.Hashtbl_t.find tbl k with Not_found -> [])))
+          b;
+        build ()
+    in
+    build ();
+    (* Probe: one output batch per input batch (size varies with the join
+       fan-out; dense, in probe order — identical to the row engine's
+       emission order). *)
+    let lc = lf () in
+    (* Join fan-out can push one input batch's output far past
+       [chunk_size], so matches are flushed into a queue of fresh
+       chunk-sized (minor-heap) batches as they are produced — joined
+       tuples die young with their chunk, and emission order stays the
+       row engine's probe order. *)
+    let queue = ref [] in
+    let rec next () =
+      match !queue with
+      | b :: rest ->
+        queue := rest;
+        Some b
+      | [] -> (
+        match lc () with
+        | None -> None
+        | Some b ->
+          let chunks = ref [] in
+          let buf = ref (Array.make Batch.chunk_size [||]) in
+          let n = ref 0 in
+          let push r =
+            if !n = Batch.chunk_size then begin
+              chunks := Batch.dense !buf :: !chunks;
+              buf := Array.make Batch.chunk_size [||];
+              n := 0
+            end;
+            Array.unsafe_set !buf !n r;
+            incr n
+          in
+          Batch.iter
+            (fun lrow ->
+              let k = Array.map (fun f -> f lrow) lkeys in
+              let cands =
+                if Array.exists Value.is_null k then []
+                else
+                  match Tuple.Hashtbl_t.find_opt tbl k with
+                  | Some rows -> List.rev rows
+                  | None -> []
+              in
+              let matched = ref false in
+              List.iter
+                (fun rrow ->
+                  let combined = Tuple.append lrow rrow in
+                  let keep =
+                    match residual with None -> true | Some test -> test combined
+                  in
+                  if keep then begin
+                    matched := true;
+                    push combined
+                  end)
+                cands;
+              if (not !matched) && kind = Logical.J_left then
+                push (Tuple.append lrow null_pad))
+            b;
+          if !n > 0 then chunks := Batch.of_array !buf !n :: !chunks;
+          match List.rev !chunks with
+          | [] -> next ()
+          | c :: rest ->
+            queue := rest;
+            Some c)
+    in
+    next
+
+and compile_group ctx keys aggs child : bfactory =
+  let cf = compile ctx child in
+  let key_exprs =
+    Array.of_list (List.map (fun (e, _) -> Expr_compile.compile ctx e) keys)
+  in
+  let agg_list = Array.of_list aggs in
+  let agg_args =
+    Array.map
+      (fun a -> Option.map (Expr_compile.compile ctx) a.Logical.arg)
+      agg_list
+  in
+  if keys = [] then (
+    (* Scalar aggregation: one state vector in locals — the batch loop
+       skips the per-row group-key build and hash probe entirely (the row
+       engine cannot: its per-row protocol keeps state behind the same
+       hash table as the grouped path). *)
+    let nagg = Array.length agg_list in
+    fun () ->
+      let c = cf () in
+      let states = Array.map Aggregate.create agg_list in
+      let seen = ref false in
+      let consume_row row =
+        Array.iteri
+          (fun i st ->
+            let v =
+              match agg_args.(i) with None -> None | Some f -> Some (f row)
+            in
+            Aggregate.update st v)
+          states
+      in
+      let rec consume () =
+        match c () with
+        | None -> ()
+        | Some b ->
+          if Batch.length b > 0 then begin
+            if not !seen then begin
+              seen := true;
+              Exec_ctx.note_materialized ctx
+            end;
+            (* COUNT(<star>)-style states (no argument) advance by the
+               batch length in O(1); anything else updates per row. *)
+            if Array.for_all Option.is_none agg_args then
+              for i = 0 to nagg - 1 do
+                Aggregate.update_many states.(i) (Batch.length b)
+              done
+            else Batch.iter consume_row b
+          end;
+          consume ()
+      in
+      consume ();
+      emit_rows [ Array.map Aggregate.final states ])
+  else
+  fun () ->
+    let c = cf () in
+    let groups : Aggregate.state array Tuple.Hashtbl_t.t =
+      Tuple.Hashtbl_t.create 256
+    in
+    let order = ref [] in
+    let consume_row row =
+      let k = Array.map (fun f -> f row) key_exprs in
+      let states =
+        match Tuple.Hashtbl_t.find_opt groups k with
+        | Some s -> s
+        | None ->
+          Exec_ctx.note_materialized ctx;
+          let s = Array.map Aggregate.create agg_list in
+          Tuple.Hashtbl_t.replace groups k s;
+          order := k :: !order;
+          s
+      in
+      Array.iteri
+        (fun i st ->
+          let v =
+            match agg_args.(i) with None -> None | Some f -> Some (f row)
+          in
+          Aggregate.update st v)
+        states
+    in
+    let rec consume () =
+      match c () with
+      | None -> ()
+      | Some b ->
+        Batch.iter consume_row b;
+        consume ()
+    in
+    consume ();
+    let emit k =
+      let states = Tuple.Hashtbl_t.find groups k in
+      Tuple.append k (Array.map Aggregate.final states)
+    in
+    let pending =
+      if Array.length key_exprs = 0 && Tuple.Hashtbl_t.length groups = 0 then begin
+        (* Scalar aggregate over empty input: one default row. *)
+        let states = Array.map Aggregate.create agg_list in
+        [ Array.map Aggregate.final states ]
+      end
+      else List.rev_map emit !order
+    in
+    emit_rows pending
+
+and compile_set_op ctx op left right : bfactory =
+  let lf = compile ctx left in
+  let rf = compile ctx right in
+  match op with
+  | Sql.Ast.Union_all ->
+    fun () ->
+      let lc = lf () in
+      let rc = rf () in
+      let on_left = ref true in
+      let rec next () =
+        if !on_left then
+          match lc () with
+          | Some b -> Some b
+          | None ->
+            on_left := false;
+            next ()
+        else rc ()
+      in
+      next
+  | Sql.Ast.Union ->
+    fun () ->
+      let seen = Tuple.Hashtbl_t.create 256 in
+      let dedup row =
+        if Tuple.Hashtbl_t.mem seen row then false
+        else begin
+          Tuple.Hashtbl_t.replace seen row ();
+          true
+        end
+      in
+      let lc = lf () in
+      let rc = rf () in
+      let on_left = ref true in
+      let rec next () =
+        let candidate =
+          if !on_left then
+            match lc () with
+            | Some b -> Some b
+            | None ->
+              on_left := false;
+              rc ()
+          else rc ()
+        in
+        match candidate with
+        | None -> None
+        | Some b ->
+          Batch.refine dedup b;
+          if Batch.length b = 0 then next () else Some b
+      in
+      next
+  | Sql.Ast.Except | Sql.Ast.Intersect ->
+    let keep_if_in_right = op = Sql.Ast.Intersect in
+    fun () ->
+      let right_set = Tuple.Hashtbl_t.create 256 in
+      let rc = rf () in
+      let rec build () =
+        match rc () with
+        | None -> ()
+        | Some b ->
+          Batch.iter
+            (fun r ->
+              Exec_ctx.note_materialized ctx;
+              Tuple.Hashtbl_t.replace right_set r ())
+            b;
+          build ()
+      in
+      build ();
+      let emitted = Tuple.Hashtbl_t.create 256 in
+      let keep row =
+        if
+          Tuple.Hashtbl_t.mem right_set row = keep_if_in_right
+          && not (Tuple.Hashtbl_t.mem emitted row)
+        then begin
+          Tuple.Hashtbl_t.replace emitted row ();
+          true
+        end
+        else false
+      in
+      let lc = lf () in
+      let rec next () =
+        match lc () with
+        | None -> None
+        | Some b ->
+          Batch.refine keep b;
+          if Batch.length b = 0 then next () else Some b
+      in
+      next
+
+(* ------------------------------------------------------------------ *)
+(* Convenience entry points                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Compile and run under the batch engine, materializing all rows. *)
+let run_list ctx plan : Tuple.t list =
+  let c = compile ctx plan () in
+  let acc = ref [] in
+  let rec go () =
+    match c () with
+    | None -> ()
+    | Some b ->
+      Batch.iter (fun r -> acc := r :: !acc) b;
+      go ()
+  in
+  go ();
+  List.rev !acc
+
+(** Compile and run, counting rows without materializing (benchmarks). *)
+let run_count ctx plan : int =
+  let c = compile ctx plan () in
+  let rec go n =
+    match c () with None -> n | Some b -> go (n + Batch.length b)
+  in
+  go 0

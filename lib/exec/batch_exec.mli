@@ -1,0 +1,26 @@
+(** Vectorized (batch-at-a-time) execution of physical plans: the getNext
+    interface moves from [Tuple.t option] to [Batch.t option] — scans fill
+    ~{!Batch.chunk_size}-row chunks, filters refine selection vectors in
+    place, and hash join/aggregation/audit-probe kernels work on whole
+    chunks. Semantics (emission order, 3VL, audit guarantees, budget
+    accounting) are identical to {!Executor}, which remains the
+    differential oracle; operators without batch kernels (Apply, the
+    nested-loop joins, semi/anti join, bare Limit) delegate their subtree
+    to the row engine behind a row→batch adapter. *)
+
+open Storage
+
+type bcursor = unit -> Batch.t option
+type bfactory = unit -> bcursor
+
+(** Compile a physical plan for the batch engine. Raises
+    {!Executor.Exec_error} like the row engine (e.g. audit-ID table not
+    installed, at open). *)
+val compile : Exec_ctx.t -> Plan.Physical.t -> bfactory
+
+(** Compile and run, materializing all rows (row order identical to
+    {!Executor.run_list}). *)
+val run_list : Exec_ctx.t -> Plan.Physical.t -> Tuple.t list
+
+(** Compile and run, counting rows without materializing (benchmarks). *)
+val run_count : Exec_ctx.t -> Plan.Physical.t -> int

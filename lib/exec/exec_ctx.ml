@@ -189,6 +189,12 @@ let note_scanned ctx =
       (Printf.sprintf "query scanned more than %d rows" b)
   | _ -> ()
 
+(** Count [n] base-table rows at once — the vectorized scan's O(1) charge
+    per chunk. Equivalent to [n] [note_scanned] calls, except that with a
+    row budget armed the cancellation would land at the chunk boundary
+    rather than the exact row; callers must charge per row in that case. *)
+let note_scanned_many ctx n = ctx.rows_scanned <- ctx.rows_scanned + n
+
 (** Count a tuple materialized by a blocking operator (hash build, sort
     buffer, group table) against the memory budget. *)
 let note_materialized ctx =

@@ -94,6 +94,12 @@ val check_guards : t -> unit
 (** Count a base-table row against the scan budget. *)
 val note_scanned : t -> unit
 
+(** Count [n] base-table rows at once (the vectorized scan's per-chunk
+    charge). Only valid when no row budget is armed — it never cancels;
+    with a budget armed, charge per row via {!note_scanned} so the query
+    cancels at the exact row the row engine would. *)
+val note_scanned_many : t -> int -> unit
+
 (** Count a tuple materialized by a blocking operator against the memory
     budget. *)
 val note_materialized : t -> unit

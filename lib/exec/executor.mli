@@ -25,6 +25,14 @@ val drain : cursor -> Tuple.t list
     not installed. *)
 val compile : Exec_ctx.t -> Plan.Physical.t -> factory
 
+(** Sorter over materialized rows (keys compiled once, stable sort by the
+    key vector) — shared with the vectorized engine's Sort/TopK kernels. *)
+val compile_sorter :
+  Exec_ctx.t ->
+  (Plan.Scalar.t * Sql.Ast.order_dir) list ->
+  Tuple.t list ->
+  Tuple.t list
+
 (** Compile and run, materializing all rows. *)
 val run_list : Exec_ctx.t -> Plan.Physical.t -> Tuple.t list
 

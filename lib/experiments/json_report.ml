@@ -21,6 +21,7 @@ let op_json (r : Exec.Metrics.op_report) : Json.t =
       ("loops", Json.Int r.r_opens);
       ("next_calls", Json.Int r.r_calls);
       ("time_ms", Json.Float (r.r_time_s *. 1000.0));
+      ("batches", Json.Int r.r_batches);
       ("audit_probes", Json.Int r.r_probes);
       ("audit_hits", Json.Int r.r_hits);
     ]
@@ -292,6 +293,106 @@ let expr_compile_json (env : Setup.env) : Json.t =
          Tpch.Queries.customer_workload
   in
   Json.List (List.map entry queries)
+
+(* --------------------------------------------------------------- *)
+(* Row vs batch execution                                           *)
+(* --------------------------------------------------------------- *)
+
+(** Row engine vs the vectorized engine on the scan/filter-heavy figure
+    workloads. As in {!expr_compile_json}, all four thunks per query
+    (engine × plan) share ONE round-robin timing session, and each engine
+    is timed both plain and hcn-instrumented so the report carries the
+    audit overhead under each engine alongside the batch speedup. The
+    [summary] block is what CI gates on. *)
+let row_vs_batch_json (env : Setup.env) : Json.t =
+  let ctx = Db.Database.context env.Setup.db in
+  Db.Database.install_audit_sets env.Setup.db;
+  let thunk run p =
+    let phys = Setup.physical env p in
+    fun () ->
+      Exec.Exec_ctx.reset_query_state ctx;
+      ignore (run ctx phys)
+  in
+  let timings sql =
+    let base_p = Setup.plan env sql in
+    let hcn_p = Setup.plan env ~heuristic:Audit_core.Placement.Hcn sql in
+    match
+      Timing.compare_thunks ~warmup:env.Setup.cfg.Setup.warmup
+        ~repeats:env.Setup.cfg.Setup.repeats
+        [
+          thunk Exec.Executor.run_count base_p;
+          thunk Exec.Executor.run_count hcn_p;
+          thunk Exec.Batch_exec.run_count base_p;
+          thunk Exec.Batch_exec.run_count hcn_p;
+        ]
+    with
+    | [ rb; rh; bb; bh ] -> ((rb, rh), (bb, bh))
+    | _ -> assert false
+  in
+  let mode_json (base, hcn) =
+    Json.Obj
+      [
+        ("base_time_s", Json.Float base);
+        ("instrumented_time_s", Json.Float hcn);
+        ("audit_overhead_pct", Json.Float (Timing.overhead_pct ~base hcn));
+      ]
+  in
+  let speedup row batch = if batch > 0.0 then row /. batch else 1.0 in
+  let entry (id, sql) =
+    let ((rb, rh) as row), ((bb, bh) as batch) = timings sql in
+    ( id,
+      speedup rb bb,
+      Json.Obj
+        [
+          ("query", Json.Str id);
+          ("row", mode_json row);
+          ("batch", mode_json batch);
+          ("batch_speedup", Json.Float (speedup rb bb));
+          ("instrumented_batch_speedup", Json.Float (speedup rh bh));
+        ] )
+  in
+  let queries =
+    [
+      ("fig6_micro_s20", Figures.micro_sql 0.2);
+      ("fig6_micro_s50", Figures.micro_sql 0.5);
+      ("fig6_micro_s80", Figures.micro_sql 0.8);
+      ("tpch_Q1", (Tpch.Queries.find "Q1").Tpch.Queries.sql);
+      ("tpch_Q6", (Tpch.Queries.find "Q6").Tpch.Queries.sql);
+      (* Pure-scan aggregate: the batch COUNT(<star>) kernel advances per
+         chunk without touching tuple memory. *)
+      ("scan_count_lineitem", "SELECT count(*) FROM lineitem");
+    ]
+    @ List.map
+        (fun (q : Tpch.Queries.query) ->
+          ("fig9_" ^ q.Tpch.Queries.id, q.Tpch.Queries.sql))
+        Tpch.Queries.customer_workload
+  in
+  let entries = List.map entry queries in
+  let best_id, best, _ =
+    List.fold_left
+      (fun (bi, bs, _) (id, s, _) ->
+        if s > bs then (id, s, ()) else (bi, bs, ()))
+      ("", 0.0, ()) entries
+  in
+  let fig6 =
+    List.fold_left
+      (fun acc (id, s, _) ->
+        if String.length id >= 4 && String.sub id 0 4 = "fig6" then
+          Float.max acc s
+        else acc)
+      0.0 entries
+  in
+  Json.Obj
+    [
+      ("queries", Json.List (List.map (fun (_, _, j) -> j) entries));
+      ( "summary",
+        Json.Obj
+          [
+            ("best_speedup", Json.Float best);
+            ("best_query", Json.Str best_id);
+            ("fig6_best_speedup", Json.Float fig6);
+          ] );
+    ]
 
 (** EXPLAIN ANALYZE text for the instrumented micro-join, embedded in the
     report so CI can assert that the physical tree still annotates

@@ -310,6 +310,21 @@ let to_list t = List.rev (fold t (fun acc r -> r :: acc) [])
 (** Snapshot of live rows in slot order, for stable scans while mutating. *)
 let snapshot t = Array.of_list (to_list t)
 
+let fill_chunk t ~slot buf ~max =
+  let n = ref 0 in
+  let s = ref !slot in
+  let stop = t.next_slot in
+  while !n < max && !s < stop do
+    (match Array.unsafe_get t.slots !s with
+    | Some row ->
+      Array.unsafe_set buf !n row;
+      incr n
+    | None -> ());
+    incr s
+  done;
+  slot := !s;
+  !n
+
 let clear t =
   for slot = 0 to t.next_slot - 1 do
     delete_slot t slot

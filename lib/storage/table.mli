@@ -76,6 +76,13 @@ val iter : ?hide:int * Value.t -> t -> (Tuple.t -> unit) -> unit
 val fold : ?hide:int * Value.t -> t -> ('a -> Tuple.t -> 'a) -> 'a -> 'a
 val to_list : t -> Tuple.t list
 
+(** [fill_chunk t ~slot buf ~max] copies up to [max] live rows into
+    [buf.(0 ..)], starting at slot [!slot] (advanced past the rows
+    consumed), and returns the fill count — 0 at end of table. The bulk
+    counterpart of {!cursor} for the vectorized scan: slot order, no
+    per-row closure or option allocation. *)
+val fill_chunk : t -> slot:int ref -> Tuple.t array -> max:int -> int
+
 (** Stable array snapshot of the live rows. *)
 val snapshot : t -> Tuple.t array
 

@@ -25,6 +25,7 @@ let () =
       ("reorder", Test_reorder.suite);
       ("properties", Test_properties.suite);
       ("metrics", Test_metrics.suite);
+      ("batch_diff", Test_batch_diff.suite);
       ("wal", Test_wal.suite);
       ("robustness", Test_robustness.suite);
     ]

@@ -1,0 +1,232 @@
+(** Differential testing of the vectorized engine against the row engine.
+
+    The row executor is the semantic oracle: for every query we run the
+    same physical plan under both engines and require {e identical} result
+    rows (including emission order — both engines share hash-table
+    insertion and probe order) and identical ACCESSED sets, under all
+    three placement heuristics.
+
+    Coverage comes from three directions:
+    - a seeded random query generator (select/filter/join/agg/order-by/
+      top-k/distinct/exists/union shapes over random patients+visits
+      databases, with and without a secondary index) — ≥200 cases;
+    - the full TPC-H corpus ({!Tpch.Queries.all}, 20 queries) at a tiny
+      scale factor;
+    - budget-parity regressions: the row and memory budgets must cancel at
+      the same row counts in both modes, with the same partial ACCESSED
+      state (batch mode charges budgets per row {e within} a chunk). *)
+
+module E = Engine_core.Engine_error
+
+let heuristics =
+  Audit_core.Placement.[ ("leaf", Leaf); ("hcn", Hcn); ("highest", Highest) ]
+
+(* --------------------------------------------------------------- *)
+(* Core comparison: rows + ACCESSED under both engines              *)
+(* --------------------------------------------------------------- *)
+
+(** Run [sql] instrumented for [audit] under [heuristic] in the given
+    mode; returns (rows, accessed). *)
+let run_mode db ~audit ~heuristic mode sql =
+  Db.Database.set_exec_mode db mode;
+  let plan = Db.Database.plan_sql db ~audits:[ audit ] ~heuristic sql in
+  let rows = Db.Database.run_plan db plan in
+  let accessed =
+    Exec.Exec_ctx.accessed_list (Db.Database.context db) ~audit_name:audit
+  in
+  (rows, accessed)
+
+let check_query db ~audit ~ctx_label sql =
+  List.iter
+    (fun (hname, h) ->
+      let label = Printf.sprintf "%s [%s] %s" ctx_label hname sql in
+      let row_rows, row_acc = run_mode db ~audit ~heuristic:h `Row sql in
+      let batch_rows, batch_acc = run_mode db ~audit ~heuristic:h `Batch sql in
+      Alcotest.(check (list Fixtures.tuple))
+        ("rows: " ^ label) row_rows batch_rows;
+      Alcotest.(check Fixtures.values)
+        ("accessed: " ^ label) row_acc batch_acc)
+    heuristics
+
+(* --------------------------------------------------------------- *)
+(* Seeded random databases and queries (plain Random.State, so each *)
+(* case is reproducible from its seed alone)                        *)
+(* --------------------------------------------------------------- *)
+
+let pick st l = List.nth l (Random.State.int st (List.length l))
+
+let build_db st =
+  let db = Db.Database.create () in
+  Db.Database.set_verify_plans db Db.Database.Warn;
+  Db.Database.set_exec_mode db `Row;
+  let e sql = ignore (Db.Database.exec db sql) in
+  e "CREATE TABLE patients (pid INT PRIMARY KEY, age INT, zip INT)";
+  e "CREATE TABLE visits (vid INT PRIMARY KEY, pid INT, cost INT)";
+  let npat = Random.State.int st 13 in
+  for i = 1 to npat do
+    e
+      (Printf.sprintf "INSERT INTO patients VALUES (%d,%d,%d)" i
+         (Random.State.int st 10) (Random.State.int st 3))
+  done;
+  let nvis = Random.State.int st 19 in
+  for i = 1 to nvis do
+    e
+      (Printf.sprintf "INSERT INTO visits VALUES (%d,%d,%d)" i
+         (1 + Random.State.int st (max 1 (npat + 2)))
+         (Random.State.int st 10))
+  done;
+  if Random.State.bool st then e "CREATE INDEX visits_pid ON visits (pid)";
+  e
+    "CREATE AUDIT EXPRESSION audit_pat AS SELECT * FROM patients FOR \
+     SENSITIVE TABLE patients, PARTITION BY pid";
+  db
+
+let gen_query st =
+  let k1 = Random.State.int st 10 in
+  let k2 = Random.State.int st 10 in
+  let op1 = pick st [ ">"; "<"; "=" ] in
+  let op2 = pick st [ ">"; "<="; "<>" ] in
+  let desc = if Random.State.bool st then "DESC" else "ASC" in
+  let topn = 1 + Random.State.int st 4 in
+  let join = Random.State.bool st in
+  let base_from, base_where =
+    if join then
+      ( "patients p, visits v",
+        Printf.sprintf "p.pid = v.pid AND v.cost %s %d AND " op2 k2 )
+    else ("patients p", "")
+  in
+  let where c = base_where ^ c in
+  match Random.State.int st 9 with
+  | 0 | 1 ->
+    Printf.sprintf "SELECT p.pid, p.age FROM %s WHERE %s" base_from
+      (where (Printf.sprintf "p.age %s %d" op1 k1))
+  | 2 ->
+    Printf.sprintf
+      "SELECT p.zip, count(*), sum(p.age) FROM %s WHERE %s GROUP BY p.zip \
+       HAVING count(*) > 1"
+      base_from
+      (where (Printf.sprintf "p.age %s %d" op1 k1))
+  | 3 ->
+    Printf.sprintf "SELECT TOP %d p.pid FROM %s WHERE %s ORDER BY p.age %s, p.pid"
+      topn base_from
+      (where (Printf.sprintf "p.zip <= %d" (k1 mod 3)))
+      desc
+  | 4 ->
+    Printf.sprintf "SELECT DISTINCT p.zip FROM %s WHERE %s" base_from
+      (where (Printf.sprintf "p.age %s %d" op1 k1))
+  | 5 ->
+    Printf.sprintf
+      "SELECT p.pid FROM patients p WHERE EXISTS (SELECT 1 FROM visits v \
+       WHERE v.pid = p.pid AND v.cost %s %d) AND p.age %s %d"
+      op2 k2 op1 k1
+  | 6 ->
+    let kw = if Random.State.bool st then "UNION ALL" else "UNION" in
+    Printf.sprintf
+      "SELECT p.pid, p.zip FROM patients p WHERE p.age %s %d %s SELECT \
+       p.pid, p.age FROM patients p WHERE p.zip <= %d"
+      op1 k1 kw (k2 mod 3)
+  | 7 ->
+    Printf.sprintf "SELECT p.pid, p.age FROM %s WHERE %s ORDER BY p.age %s, p.pid"
+      base_from
+      (where (Printf.sprintf "p.age %s %d" op1 k1))
+      desc
+  | _ ->
+    Printf.sprintf "SELECT count(*), sum(p.age), min(p.zip) FROM %s WHERE %s"
+      base_from
+      (where (Printf.sprintf "p.age %s %d" op1 k1))
+
+let n_seeded_cases = 220
+
+let test_seeded_corpus () =
+  for seed = 0 to n_seeded_cases - 1 do
+    let st = Random.State.make [| 0xba7c4; seed |] in
+    let db = build_db st in
+    let sql = gen_query st in
+    check_query db ~audit:"audit_pat"
+      ~ctx_label:(Printf.sprintf "seed %d" seed)
+      sql
+  done
+
+(* --------------------------------------------------------------- *)
+(* TPC-H corpus                                                     *)
+(* --------------------------------------------------------------- *)
+
+let tpch_db =
+  lazy
+    (let db = Db.Database.create () in
+     Db.Database.set_verify_plans db Db.Database.Warn;
+     Db.Database.set_exec_mode db `Row;
+     ignore (Tpch.Dbgen.load db ~sf:0.002);
+     ignore (Db.Database.exec db (Tpch.Queries.audit_segment ()));
+     db)
+
+let test_tpch_corpus () =
+  let db = Lazy.force tpch_db in
+  List.iter
+    (fun (q : Tpch.Queries.query) ->
+      check_query db ~audit:"audit_customer" ~ctx_label:q.Tpch.Queries.id
+        q.Tpch.Queries.sql)
+    Tpch.Queries.all
+
+(* --------------------------------------------------------------- *)
+(* Budget parity: batch mode charges budgets per row within a chunk *)
+(* --------------------------------------------------------------- *)
+
+(** Both engines must cancel at the same [rows_scanned] count and leave
+    the same partial ACCESSED state: the batch scan emits its partially
+    filled chunk (whose rows the row engine would have pipelined through
+    the audit probe already) before re-raising. *)
+let budget_outcome mode =
+  let db = Fixtures.healthcare_with_alice () in
+  ignore
+    (Db.Database.exec db
+       "CREATE TRIGGER watch ON ACCESS TO audit_alice AS NOTIFY 'seen'");
+  Db.Database.set_exec_mode db mode;
+  Db.Database.set_row_budget db (Some 3);
+  (match Db.Database.exec db "SELECT * FROM patients" with
+  | _ -> Alcotest.fail "expected a row-budget cancellation"
+  | exception E.Error (E.Cancelled { reason; _ }) ->
+    Alcotest.(check bool) "row-budget reason" true (reason = E.Row_budget));
+  let ctx = Db.Database.context db in
+  ( ctx.Exec.Exec_ctx.rows_scanned,
+    Exec.Exec_ctx.accessed_list ctx ~audit_name:"audit_alice" )
+
+let test_row_budget_parity () =
+  let row_scanned, row_acc = budget_outcome `Row in
+  let batch_scanned, batch_acc = budget_outcome `Batch in
+  Alcotest.(check int) "rows_scanned at cancellation" row_scanned batch_scanned;
+  Alcotest.(check Fixtures.values) "partial ACCESSED" row_acc batch_acc;
+  (* Alice is row 1: scanned before the budget tripped, so her access must
+     be part of the partial state in both modes. *)
+  Alcotest.(check bool) "Alice audited" true (row_acc <> [])
+
+let mem_outcome mode =
+  let db = Fixtures.healthcare_with_alice () in
+  Db.Database.set_exec_mode db mode;
+  Db.Database.set_mem_budget db (Some 2);
+  (match Db.Database.exec db "SELECT * FROM patients ORDER BY age" with
+  | _ -> Alcotest.fail "expected a memory-budget cancellation"
+  | exception E.Error (E.Cancelled { reason; _ }) ->
+    Alcotest.(check bool) "mem-budget reason" true (reason = E.Memory_budget));
+  (Db.Database.context db).Exec.Exec_ctx.tuples_materialized
+
+let test_mem_budget_parity () =
+  Alcotest.(check int)
+    "tuples_materialized at cancellation" (mem_outcome `Row)
+    (mem_outcome `Batch)
+
+(* --------------------------------------------------------------- *)
+
+let suite =
+  [
+    Alcotest.test_case
+      (Printf.sprintf "seeded corpus (%d cases, 3 heuristics, batch = row)"
+         n_seeded_cases)
+      `Slow test_seeded_corpus;
+    Alcotest.test_case "TPC-H corpus (20 queries, 3 heuristics, batch = row)"
+      `Slow test_tpch_corpus;
+    Alcotest.test_case "row budget cancels at the same row in both modes"
+      `Quick test_row_budget_parity;
+    Alcotest.test_case "memory budget cancels at the same tuple in both modes"
+      `Quick test_mem_budget_parity;
+  ]

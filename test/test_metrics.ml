@@ -126,6 +126,40 @@ let test_apply_loops () =
       (opens >= 5));
   Db.Database.set_collect_metrics db false
 
+(* Row and batch engines must report the same per-operator row totals (in
+   the same plan pre-order) on real TPC-H plans — scan/filter/join/agg
+   pipelines, instrumented with the §V audit expression. Only the [batches]
+   counter may differ between modes. *)
+let test_mode_rows_agree () =
+  let db = Db.Database.create () in
+  ignore (Tpch.Dbgen.load db ~sf:0.002);
+  ignore (Db.Database.exec db (Tpch.Queries.audit_segment ()));
+  ignore
+    (Db.Database.exec db
+       "CREATE TRIGGER watch ON ACCESS TO audit_customer AS NOTIFY 'hit'");
+  Db.Database.set_collect_metrics db true;
+  let profile mode sql =
+    Db.Database.set_exec_mode db mode;
+    ignore (Db.Database.query db sql);
+    match Db.Database.last_query_stats db with
+    | None -> Alcotest.fail "expected stats"
+    | Some report ->
+      List.map
+        (fun (r : Exec.Metrics.op_report) ->
+          Printf.sprintf "%s rows=%d" r.Exec.Metrics.r_label
+            r.Exec.Metrics.r_rows)
+        report
+  in
+  List.iter
+    (fun qid ->
+      let q = Tpch.Queries.find qid in
+      check
+        Alcotest.(list string)
+        ("per-operator rows: " ^ qid)
+        (profile `Row q.Tpch.Queries.sql)
+        (profile `Batch q.Tpch.Queries.sql))
+    [ "Q1"; "Q5"; "Q6" ]
+
 let test_json_emitter () =
   let open Benchkit in
   let j =
@@ -152,5 +186,7 @@ let suite =
     Alcotest.test_case "last_query_stats lifecycle" `Quick
       test_last_query_stats;
     Alcotest.test_case "apply loops accumulate" `Quick test_apply_loops;
+    Alcotest.test_case "row and batch agree on per-operator rows (TPC-H)"
+      `Quick test_mode_rows_agree;
     Alcotest.test_case "JSON emitter" `Quick test_json_emitter;
   ]

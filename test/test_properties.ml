@@ -220,6 +220,117 @@ let prop_optimizer_equivalence =
       in
       a = b)
 
+(* --------------------------------------------------------------- *)
+(* Vectorized engine: chunk boundaries and verification parity      *)
+(* --------------------------------------------------------------- *)
+
+(* Tables whose cardinalities straddle the batch chunk size: batch mode
+   sees exactly one short chunk, one full chunk, and a full chunk plus a
+   1-row tail. Columns [a]/[b] carry periodic NULLs so
+   predicates exercise 3VL at the boundaries. *)
+let boundary_sizes =
+  let c = Exec.Batch.chunk_size in
+  [ 1; c - 1; c; c + 1; (4 * c) + 1 ]
+
+let boundary_dbs =
+  lazy
+    (List.map
+       (fun n ->
+         let db = Db.Database.create () in
+         Db.Database.set_verify_plans db Db.Database.Warn;
+         Db.Database.set_exec_mode db `Row;
+         let e sql = ignore (Db.Database.exec db sql) in
+         e "CREATE TABLE big (k INT PRIMARY KEY, a INT, b INT)";
+         let cell k p m = if k mod p = 0 then "NULL" else string_of_int (k mod m) in
+         let rec insert lo =
+           if lo <= n then begin
+             let hi = min n (lo + 255) in
+             let vals =
+               List.init (hi - lo + 1) (fun i ->
+                   let k = lo + i in
+                   Printf.sprintf "(%d,%s,%s)" k (cell k 7 13) (cell k 11 17))
+             in
+             e ("INSERT INTO big VALUES " ^ String.concat "," vals);
+             insert (hi + 1)
+           end
+         in
+         insert 1;
+         e
+           "CREATE AUDIT EXPRESSION audit_big AS SELECT * FROM big FOR \
+            SENSITIVE TABLE big, PARTITION BY k";
+         (n, db))
+       boundary_sizes)
+
+let gen_boundary_query =
+  QCheck.Gen.(
+    let* size_i = int_range 0 (List.length boundary_sizes - 1) in
+    let* c1 = int_range 0 16 in
+    let* c2 = int_range 0 16 in
+    let* op = oneofl [ ">"; "<"; "="; "<>" ] in
+    let* shape = int_range 0 3 in
+    let pred =
+      match shape with
+      | 0 -> Printf.sprintf "a %s %d" op c1
+      | 1 -> Printf.sprintf "a IS NULL OR b %s %d" op c1
+      | 2 -> Printf.sprintf "NOT (a %s %d AND b <> %d)" op c1 c2
+      | _ -> Printf.sprintf "a + b %s %d" op (c1 + c2)
+    in
+    let sql =
+      if shape = 3 then
+        Printf.sprintf "SELECT k, a + b FROM big WHERE %s" pred
+      else Printf.sprintf "SELECT k, a, b FROM big WHERE %s" pred
+    in
+    return (size_i, sql))
+
+let arb_boundary =
+  QCheck.make
+    ~print:(fun (i, sql) ->
+      Printf.sprintf "size=%d\n%s" (List.nth boundary_sizes i) sql)
+    gen_boundary_query
+
+(* Batch ≡ row for compiled predicates/projections over 3VL/NULL corners
+   when the table size sits at a chunk boundary — results (in order) and
+   ACCESSED sets must be identical. *)
+let prop_batch_chunk_boundary =
+  QCheck.Test.make ~count:60 ~name:"batch = row at chunk boundaries (3VL)"
+    arb_boundary (fun (size_i, sql) ->
+      let _, db = List.nth (Lazy.force boundary_dbs) size_i in
+      let run mode =
+        Db.Database.set_exec_mode db mode;
+        let plan =
+          Db.Database.plan_sql db ~audits:[ "audit_big" ]
+            ~heuristic:Audit_core.Placement.Hcn sql
+        in
+        let rows = Db.Database.run_plan db plan in
+        ( rows,
+          Exec.Exec_ctx.accessed_list
+            (Db.Database.context db)
+            ~audit_name:"audit_big" )
+      in
+      run `Row = run `Batch)
+
+(* The plan verifier's verdict cannot depend on the engine, and Strict
+   execution must behave identically: both modes succeed with the same
+   rows, or both refuse with a Verify error. *)
+let prop_verify_both_modes =
+  QCheck.Test.make ~count:60 ~name:"Plan_verify parity across exec modes"
+    arb_case (fun (d, (sql, _)) ->
+      let db = build_db d in
+      ignore
+        (Db.Database.exec db
+           "CREATE TRIGGER w ON ACCESS TO audit_pat AS NOTIFY 'hit'");
+      Db.Database.set_verify_plans db Db.Database.Strict;
+      let run mode =
+        Db.Database.set_exec_mode db mode;
+        match Db.Database.exec db sql with
+        | Db.Database.Rows { rows; _ } -> Ok (sorted rows)
+        | r -> Ok [ [| Value.Str (Db.Database.result_to_string r) |] ]
+        | exception Engine_core.Engine_error.Error (Engine_core.Engine_error.Verify m)
+          ->
+          Error m
+      in
+      run `Row = run `Batch)
+
 let suite =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -229,4 +340,6 @@ let suite =
       prop_exact_subset_lineage;
       prop_sj_exact;
       prop_optimizer_equivalence;
+      prop_batch_chunk_boundary;
+      prop_verify_both_modes;
     ]
