@@ -11,7 +11,7 @@
      BENCH_REPEATS  timing repetitions (default 3)
      BENCH_ONLY     comma-separated subset, e.g. "fig6,fig9,micro"
                     (unknown names abort with exit code 2)
-     BENCH_JSON     report path (default BENCH_PR5.json)
+     BENCH_JSON     report path (default BENCH_PR6.json)
 
    The report always embeds an EXPLAIN ANALYZE sample (CI asserts the
    estimated-vs-actual row annotations) and, when selected, the
@@ -24,7 +24,7 @@ let known_benchmarks =
   [
     "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "ablation-idprop";
     "ablation-multi"; "ablation-provenance"; "ablation-static"; "fga";
-    "pipeline"; "scaling"; "micro"; "expr-compile"; "batch";
+    "pipeline"; "scaling"; "micro"; "expr-compile"; "batch"; "concurrency";
   ]
 
 let wanted only name = only = [] || List.mem name only
@@ -177,12 +177,14 @@ let () =
     add "expr_compile" (Json_report.expr_compile_json env);
   if wanted only "batch" then
     add "row_vs_batch" (Json_report.row_vs_batch_json env);
+  if wanted only "concurrency" then
+    add "concurrency" (Json_report.concurrency_json (Concurrency.run ()));
   add "explain_analyze_sample" (Json_report.explain_sample env);
   let elapsed = Unix.gettimeofday () -. t0 in
   let path =
     match Sys.getenv_opt "BENCH_JSON" with
     | Some p when String.trim p <> "" -> p
-    | _ -> "BENCH_PR5.json"
+    | _ -> "BENCH_PR6.json"
   in
   Benchkit.Json.write_file path
     (Json_report.assemble env ~sections:(List.rev !sections) ~elapsed_s:elapsed);

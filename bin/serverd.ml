@@ -1,0 +1,144 @@
+(* serverd — the audit engine as a daemon.
+
+   Listens on a Unix-domain socket (or TCP), serves the shell's
+   statement surface over the length-prefixed wire protocol, and owns
+   the durable audit log: every session's ACCESSED/trigger evidence is
+   group-committed — batched across concurrent sessions into shared
+   fsyncs — while each statement's results are withheld until its
+   records are durable.
+
+     serverd --socket /tmp/audit.sock --wal audit.wal --init schema.sql
+     serverd --tcp 127.0.0.1:7878 --wal audit.wal --policy open
+
+   SIGTERM/SIGINT trigger a clean shutdown: in-flight statements finish,
+   the WAL drains, and a final stats line (sessions, statements, group
+   batches, fsyncs) is printed — CI greps it. *)
+
+let stop_requested = Atomic.make false
+
+let log msg =
+  Printf.printf "[serverd] %s\n%!" msg
+
+let run_init db path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  let results = Db.Database.exec_script db content in
+  log (Printf.sprintf "init script %s: %d statements" path (List.length results))
+
+let parse_tcp spec =
+  match String.rindex_opt spec ':' with
+  | None -> None
+  | Some i -> (
+    let host = String.sub spec 0 i in
+    let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p > 0 -> Some (`Tcp ((if host = "" then "127.0.0.1" else host), p))
+    | _ -> None)
+
+let main socket tcp wal policy_open init tpch max_clients =
+  let listen =
+    match tcp with
+    | Some spec -> (
+      match parse_tcp spec with
+      | Some l -> l
+      | None ->
+        prerr_endline "serverd: --tcp expects HOST:PORT";
+        exit 2)
+    | None -> `Unix socket
+  in
+  let db = Db.Database.create () in
+  (match tpch with
+  | Some sf ->
+    let sizes = Tpch.Dbgen.load db ~sf in
+    log
+      (Printf.sprintf "loaded TPC-H sf=%g: %d customers, %d orders" sf
+         sizes.Tpch.Dbgen.customers sizes.Tpch.Dbgen.orders)
+  | None -> ());
+  (match init with
+  | Some path -> (
+    try run_init db path
+    with e ->
+      Printf.eprintf "serverd: init script failed: %s\n" (Printexc.to_string e);
+      exit 1)
+  | None -> ());
+  let cfg =
+    Server.Daemon.config ~wal_path:wal
+      ~wal_policy:
+        (if policy_open then Audit_log.Wal.Fail_open
+         else Audit_log.Wal.Fail_closed)
+      ~max_clients ~log listen
+  in
+  let t = Server.Daemon.start ~root:db cfg in
+  let request_stop _ = Atomic.set stop_requested true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  while not (Atomic.get stop_requested) do
+    Thread.delay 0.2
+  done;
+  log "shutdown requested";
+  Server.Daemon.stop t;
+  let s = Server.Daemon.stats t in
+  (match s.Server.Daemon.group with
+  | Some g ->
+    log
+      (Printf.sprintf
+         "stats: sessions=%d statements=%d records=%d batches=%d fsyncs=%d \
+          max_batch=%d"
+         s.Server.Daemon.sessions_opened s.Server.Daemon.statements_served
+         g.Audit_log.Wal.Group.s_records g.Audit_log.Wal.Group.s_batches
+         g.Audit_log.Wal.Group.s_fsyncs g.Audit_log.Wal.Group.s_max_batch)
+  | None ->
+    log
+      (Printf.sprintf "stats: sessions=%d statements=%d (no audit log)"
+         s.Server.Daemon.sessions_opened s.Server.Daemon.statements_served));
+  0
+
+open Cmdliner
+
+let socket =
+  let doc = "Listen on the Unix-domain socket $(docv)." in
+  Arg.(
+    value
+    & opt string "serverd.sock"
+    & info [ "s"; "socket" ] ~docv:"PATH" ~doc)
+
+let tcp =
+  let doc = "Listen on TCP $(docv) (HOST:PORT) instead of a Unix socket." in
+  Arg.(value & opt (some string) None & info [ "tcp" ] ~docv:"ADDR" ~doc)
+
+let wal =
+  let doc =
+    "Durable audit log path. Evidence from every session is group-committed \
+     here; without it the server runs unaudited."
+  in
+  Arg.(value & opt (some string) None & info [ "wal" ] ~docv:"PATH" ~doc)
+
+let policy_open =
+  let doc =
+    "Fail-open audit policy: a failed log write raises an alarm but results \
+     flow (default is fail-closed: results are withheld)."
+  in
+  Arg.(value & flag & info [ "fail-open" ] ~doc)
+
+let init =
+  let doc = "Execute the SQL script $(docv) before accepting connections." in
+  Arg.(value & opt (some file) None & info [ "init" ] ~docv:"FILE" ~doc)
+
+let tpch =
+  let doc = "Preload the TPC-H benchmark at scale factor $(docv)." in
+  Arg.(value & opt (some float) None & info [ "tpch" ] ~docv:"SF" ~doc)
+
+let max_clients =
+  let doc = "Refuse connections beyond $(docv) concurrent clients." in
+  Arg.(value & opt int 64 & info [ "max-clients" ] ~docv:"N" ~doc)
+
+let cmd =
+  let doc = "audit server daemon with WAL group commit" in
+  Cmd.v
+    (Cmd.info "serverd" ~doc)
+    Term.(
+      const main $ socket $ tcp $ wal $ policy_open $ init $ tpch $ max_clients)
+
+let () = exit (Cmd.eval' cmd)

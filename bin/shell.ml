@@ -318,15 +318,110 @@ let run_file db path =
     report_error e;
     exit 1
 
-let main file tpch_sf =
-  let db = Db.Database.create () in
-  (match tpch_sf with
-  | Some sf ->
-    let sizes = Tpch.Dbgen.load db ~sf in
-    Printf.printf "loaded TPC-H sf=%g: %d customers, %d orders\n%!" sf
-      sizes.Tpch.Dbgen.customers sizes.Tpch.Dbgen.orders
-  | None -> ());
-  match file with Some path -> run_file db path | None -> repl db
+(* ------------------------------------------------------------------ *)
+(* Client mode: the same REPL surface over a serverd connection        *)
+(* ------------------------------------------------------------------ *)
+
+(* "host:port" with a numeric port means TCP; anything else is a
+   Unix-domain socket path. *)
+let parse_connect spec : Server.Daemon.listen =
+  match String.rindex_opt spec ':' with
+  | Some i -> (
+    match int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1)) with
+    | Some port when port > 0 ->
+      let host = String.sub spec 0 i in
+      `Tcp ((if host = "" then "127.0.0.1" else host), port)
+    | _ -> `Unix spec)
+  | None -> `Unix spec
+
+let client_send conn line =
+  match Server.Client.exec conn line with
+  | Ok text -> if text <> "" then print_endline text
+  | Error m -> print_endline m
+  | exception Server.Client.Protocol_error m ->
+    Printf.printf "connection error: %s\n" m;
+    raise Exit
+
+let client_repl conn =
+  let buf = Buffer.create 256 in
+  print_endline "select_triggers shell — SQL statements end with ';'";
+  print_endline "(connected to serverd; \\q quits, other commands run remotely)";
+  try
+    while true do
+      print_string (if Buffer.length buf = 0 then "sql> " else "  -> ");
+      let line = try read_line () with End_of_file -> raise Exit in
+      let trimmed = String.trim line in
+      if Buffer.length buf = 0 && String.length trimmed > 0 && trimmed.[0] = '\\'
+      then begin
+        if trimmed = "\\q" then raise Exit;
+        client_send conn trimmed
+      end
+      else begin
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        if String.length trimmed > 0
+           && trimmed.[String.length trimmed - 1] = ';' then begin
+          let sql = Buffer.contents buf in
+          Buffer.clear buf;
+          client_send conn sql
+        end
+      end
+    done
+  with Exit ->
+    Server.Client.quit conn;
+    print_endline "bye"
+
+(* Script mode over a connection: the server executes one statement per
+   request, so split the script on ';' client-side. Statement errors
+   print the server's error line and exit nonzero, like local -f. *)
+let client_run_file conn path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let content = really_input_string ic n in
+  close_in ic;
+  let failed = ref false in
+  String.split_on_char ';' content
+  |> List.iter (fun stmt ->
+         if String.trim stmt <> "" then
+           match Server.Client.exec conn (stmt ^ ";") with
+           | Ok text -> if text <> "" then print_endline text
+           | Error m ->
+             print_endline m;
+             failed := true
+           | exception Server.Client.Protocol_error m ->
+             Printf.printf "connection error: %s\n" m;
+             failed := true);
+  Server.Client.quit conn;
+  if !failed then exit 1
+
+let client_main connect user file =
+  let user = Option.value user ~default:"admin" in
+  let conn =
+    try Server.Client.connect (parse_connect connect)
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "shell: cannot connect to %s: %s\n" connect
+        (Unix.error_message e);
+      exit 1
+  in
+  let sid = Server.Client.hello conn ~user in
+  Printf.printf "connected: session %d (user %s)\n%!" sid user;
+  match file with
+  | Some path -> client_run_file conn path
+  | None -> client_repl conn
+
+let main file tpch_sf connect user =
+  match connect with
+  | Some spec -> client_main spec user file
+  | None -> (
+    let db = Db.Database.create () in
+    (match user with Some u -> Db.Database.set_user db u | None -> ());
+    (match tpch_sf with
+    | Some sf ->
+      let sizes = Tpch.Dbgen.load db ~sf in
+      Printf.printf "loaded TPC-H sf=%g: %d customers, %d orders\n%!" sf
+        sizes.Tpch.Dbgen.customers sizes.Tpch.Dbgen.orders
+    | None -> ());
+    match file with Some path -> run_file db path | None -> repl db)
 
 open Cmdliner
 
@@ -338,10 +433,21 @@ let tpch =
   let doc = "Preload the TPC-H benchmark at scale factor $(docv)." in
   Arg.(value & opt (some float) None & info [ "tpch" ] ~docv:"SF" ~doc)
 
+let connect =
+  let doc =
+    "Connect to a running serverd at $(docv) (a Unix socket path, or \
+     HOST:PORT for TCP) instead of running an in-process engine."
+  in
+  Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"ADDR" ~doc)
+
+let user_arg =
+  let doc = "Session user name (default admin)." in
+  Arg.(value & opt (some string) None & info [ "u"; "user" ] ~docv:"NAME" ~doc)
+
 let cmd =
   let doc = "interactive SQL shell with SELECT triggers for data auditing" in
   Cmd.v
     (Cmd.info "shell" ~doc)
-    Term.(const main $ file $ tpch)
+    Term.(const main $ file $ tpch $ connect $ user_arg)
 
 let () = exit (Cmd.eval cmd)

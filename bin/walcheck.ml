@@ -1,0 +1,110 @@
+(* walcheck — inspect and assert over a durable audit log.
+
+   CI's evidence gate: after the server smoke test shuts serverd down,
+   walcheck proves every client's ACCESSED evidence actually reached the
+   log, from distinct sessions, with no torn tail.
+
+   Usage:
+     walcheck <path> [options]
+       --dump                  print every record
+       --require-users A,B,..  each user must have >= 1 complete ACCESSED
+                               record
+       --require-sessions N    evidence must come from >= N distinct
+                               sessions
+       --min-records N         total record count floor
+       --clean                 no corruption and no truncated tail
+
+   Exit status 0 when every assertion holds, 1 otherwise, 2 on usage. *)
+
+module Wal = Audit_log.Wal
+
+let usage () =
+  prerr_endline
+    "usage: walcheck <path> [--dump] [--require-users A,B] \
+     [--require-sessions N] [--min-records N] [--clean]";
+  exit 2
+
+let () =
+  let path = ref None in
+  let dump = ref false in
+  let require_users = ref [] in
+  let require_sessions = ref 0 in
+  let min_records = ref 0 in
+  let clean = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--dump" :: rest ->
+      dump := true;
+      parse rest
+    | "--require-users" :: users :: rest ->
+      require_users := String.split_on_char ',' users;
+      parse rest
+    | "--require-sessions" :: n :: rest ->
+      (match int_of_string_opt n with Some k -> require_sessions := k | None -> usage ());
+      parse rest
+    | "--min-records" :: n :: rest ->
+      (match int_of_string_opt n with Some k -> min_records := k | None -> usage ());
+      parse rest
+    | "--clean" :: rest ->
+      clean := true;
+      parse rest
+    | arg :: rest when !path = None && String.length arg > 0 && arg.[0] <> '-'
+      ->
+      path := Some arg;
+      parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let path = match !path with Some p -> p | None -> usage () in
+  let records, r = Wal.read_all path in
+  if !dump then
+    List.iter (fun rec_ -> print_endline (Wal.record_to_string rec_)) records;
+  let sessions = Hashtbl.create 16 in
+  let accessed_users = Hashtbl.create 16 in
+  let accessed = ref 0 and fired = ref 0 and notes = ref 0 in
+  List.iter
+    (fun rec_ ->
+      (match Wal.record_session rec_ with
+      | Some s -> Hashtbl.replace sessions s ()
+      | None -> ());
+      match rec_ with
+      | Wal.Accessed { user; complete; _ } ->
+        incr accessed;
+        if complete then Hashtbl.replace accessed_users user ()
+      | Wal.Trigger_fired _ -> incr fired
+      | Wal.Notify _ -> ()
+      | Wal.Note _ -> incr notes)
+    records;
+  Printf.printf
+    "walcheck %s: %d records (%d accessed, %d trigger firings, %d notes), %d \
+     sessions, %d bytes truncated%s\n"
+    path (List.length records) !accessed !fired !notes
+    (Hashtbl.length sessions) r.Wal.truncated_bytes
+    (if r.Wal.corrupt then ", CORRUPT" else "");
+  let failures = ref 0 in
+  let check name cond =
+    if cond then Printf.printf "ok   - %s\n" name
+    else begin
+      incr failures;
+      Printf.printf "FAIL - %s\n" name
+    end
+  in
+  List.iter
+    (fun u ->
+      check
+        (Printf.sprintf "complete ACCESSED evidence for user %s" u)
+        (Hashtbl.mem accessed_users u))
+    !require_users;
+  if !require_sessions > 0 then
+    check
+      (Printf.sprintf "evidence from >= %d distinct sessions" !require_sessions)
+      (Hashtbl.length sessions >= !require_sessions);
+  if !min_records > 0 then
+    check
+      (Printf.sprintf ">= %d records" !min_records)
+      (List.length records >= !min_records);
+  if !clean then begin
+    check "no corruption" (not r.Wal.corrupt);
+    check "no truncated tail" (r.Wal.truncated_bytes = 0)
+  end;
+  exit (if !failures = 0 then 0 else 1)

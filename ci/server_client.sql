@@ -1,0 +1,5 @@
+SELECT * FROM patients;
+SELECT name, age FROM patients WHERE age > 30;
+SELECT p.name, d.disease FROM patients p, disease d WHERE p.patientid = d.patientid AND d.disease = 'cancer';
+SELECT count(*) FROM patients;
+SELECT * FROM patients WHERE name = 'Alice';

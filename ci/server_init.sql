@@ -1,0 +1,8 @@
+CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR, age INT, zip INT);
+INSERT INTO patients VALUES (1,'Alice',34,48109),(2,'Bob',22,48109),(3,'Carol',67,98052),(4,'Dave',45,98052),(5,'Eve',29,10001);
+CREATE TABLE disease (patientid INT, disease VARCHAR);
+INSERT INTO disease VALUES (1,'cancer'),(2,'flu'),(3,'flu'),(4,'cancer'),(5,'diabetes');
+CREATE AUDIT EXPRESSION audit_alice AS SELECT * FROM patients WHERE name = 'Alice' FOR SENSITIVE TABLE patients, PARTITION BY patientid;
+CREATE AUDIT EXPRESSION audit_all AS SELECT * FROM patients FOR SENSITIVE TABLE patients, PARTITION BY patientid;
+CREATE TRIGGER watch_alice ON ACCESS TO audit_alice AS NOTIFY 'alice accessed';
+CREATE TRIGGER watch_all ON ACCESS TO audit_all AS NOTIFY 'patients accessed';

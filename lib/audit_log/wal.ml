@@ -56,6 +56,7 @@ let crc32 (s : string) : int =
 
 type record =
   | Accessed of {
+      session : int;  (** originating session (0 = single-session engine) *)
       seq : int;  (** logical clock of the statement *)
       user : string;
       sql : string;  (** outermost statement text *)
@@ -66,25 +67,33 @@ type record =
               accesses up to the failure point *)
     }
   | Trigger_fired of {
+      session : int;
       seq : int;
       trigger : string;
       audit : string;
       timing : string;  (** "AFTER" | "BEFORE RETURN" *)
     }
-  | Notify of { seq : int; msg : string }
+  | Notify of { session : int; seq : int; msg : string }
   | Note of string  (** engine annotations: alarms, recovery notes *)
 
 let record_to_string = function
-  | Accessed { seq; user; sql; audit; ids; complete } ->
-    Printf.sprintf "accessed seq=%d user=%s audit=%s ids=[%s]%s sql=%S" seq
-      user audit (String.concat "," ids)
+  | Accessed { session; seq; user; sql; audit; ids; complete } ->
+    Printf.sprintf "accessed session=%d seq=%d user=%s audit=%s ids=[%s]%s sql=%S"
+      session seq user audit (String.concat "," ids)
       (if complete then "" else " (partial)")
       sql
-  | Trigger_fired { seq; trigger; audit; timing } ->
-    Printf.sprintf "trigger seq=%d name=%s audit=%s timing=%s" seq trigger
-      audit timing
-  | Notify { seq; msg } -> Printf.sprintf "notify seq=%d msg=%S" seq msg
+  | Trigger_fired { session; seq; trigger; audit; timing } ->
+    Printf.sprintf "trigger session=%d seq=%d name=%s audit=%s timing=%s"
+      session seq trigger audit timing
+  | Notify { session; seq; msg } ->
+    Printf.sprintf "notify session=%d seq=%d msg=%S" session seq msg
   | Note msg -> Printf.sprintf "note %S" msg
+
+let record_session = function
+  | Accessed { session; _ } | Trigger_fired { session; _ }
+  | Notify { session; _ } ->
+    Some session
+  | Note _ -> None
 
 (* Binary payload codec. *)
 
@@ -117,8 +126,9 @@ let get_str s pos =
 let encode (r : record) : string =
   let b = Buffer.create 64 in
   (match r with
-  | Accessed { seq; user; sql; audit; ids; complete } ->
+  | Accessed { session; seq; user; sql; audit; ids; complete } ->
     Buffer.add_char b '\001';
+    put_u32 b session;
     put_u32 b seq;
     put_str b user;
     put_str b sql;
@@ -126,14 +136,16 @@ let encode (r : record) : string =
     put_u32 b (List.length ids);
     List.iter (put_str b) ids;
     Buffer.add_char b (if complete then '\001' else '\000')
-  | Trigger_fired { seq; trigger; audit; timing } ->
+  | Trigger_fired { session; seq; trigger; audit; timing } ->
     Buffer.add_char b '\002';
+    put_u32 b session;
     put_u32 b seq;
     put_str b trigger;
     put_str b audit;
     put_str b timing
-  | Notify { seq; msg } ->
+  | Notify { session; seq; msg } ->
     Buffer.add_char b '\003';
+    put_u32 b session;
     put_u32 b seq;
     put_str b msg
   | Note msg ->
@@ -146,6 +158,7 @@ let decode (payload : string) : record =
   let pos = ref 1 in
   match payload.[0] with
   | '\001' ->
+    let session = get_u32 payload pos in
     let seq = get_u32 payload pos in
     let user = get_str payload pos in
     let sql = get_str payload pos in
@@ -154,17 +167,19 @@ let decode (payload : string) : record =
     let ids = List.init n (fun _ -> get_str payload pos) in
     if !pos + 1 > String.length payload then raise Decode_error;
     let complete = payload.[!pos] = '\001' in
-    Accessed { seq; user; sql; audit; ids; complete }
+    Accessed { session; seq; user; sql; audit; ids; complete }
   | '\002' ->
+    let session = get_u32 payload pos in
     let seq = get_u32 payload pos in
     let trigger = get_str payload pos in
     let audit = get_str payload pos in
     let timing = get_str payload pos in
-    Trigger_fired { seq; trigger; audit; timing }
+    Trigger_fired { session; seq; trigger; audit; timing }
   | '\003' ->
+    let session = get_u32 payload pos in
     let seq = get_u32 payload pos in
     let msg = get_str payload pos in
-    Notify { seq; msg }
+    Notify { session; seq; msg }
   | '\004' -> Note (get_str payload pos)
   | _ -> raise Decode_error
 
@@ -269,6 +284,7 @@ type t = {
   mutable policy : policy;
   mutable size : int;  (** bytes of validated + successfully appended data *)
   mutable appended : int;  (** records appended through this handle *)
+  mutable syncs : int;  (** fsyncs issued through this handle *)
   mutable dirty : bool;  (** appended since the last fsync *)
   faults : Faultkit.t option;
 }
@@ -277,6 +293,7 @@ let path t = t.path
 let policy t = t.policy
 let set_policy t p = t.policy <- p
 let appended t = t.appended
+let syncs t = t.syncs
 let is_open t = t.fd <> None
 
 let fd_exn t =
@@ -319,6 +336,7 @@ let open_ ?(policy = Fail_closed) ?faults path : t * recovery =
         policy;
         size = recovery.valid_bytes;
         appended = 0;
+        syncs = 0;
         dirty = false;
         faults;
       },
@@ -401,10 +419,232 @@ let sync t =
     | None -> log_io (Printf.sprintf "audit log %s: handle is dead" t.path)
     | Some fd -> (
       match Unix.fsync fd with
-      | () -> t.dirty <- false
+      | () ->
+        t.dirty <- false;
+        t.syncs <- t.syncs + 1
       | exception Unix.Unix_error (e, _, _) ->
         log_io
           (Printf.sprintf "audit log %s: fsync failed (%s)" t.path
              (Unix.error_message e)))
 
 let close t = kill t
+
+(* ------------------------------------------------------------------ *)
+(* Group commit                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type wal = t
+(** alias usable inside {!Group}, where [t] names the group writer *)
+
+(** Shared writer that batches many sessions' records into one fsync.
+
+    Leader/follower group commit: a session's {!Group.submit} enqueues its
+    records, then either becomes the {e leader} — draining the whole queue
+    through {!append} and issuing a single {!sync} for everyone in the
+    batch — or waits until a leader's fsync covers its records. While the
+    leader is inside [fsync(2)] (a blocking section that releases the
+    OCaml runtime lock), other sessions keep executing and enqueueing, so
+    the next batch grows with concurrency and the fsync cost amortizes:
+    fsyncs/statement drops below 1 as soon as sessions overlap.
+
+    Durability ordering is preserved per session: [submit] returns only
+    once the fsync covering the caller's records completed, so a caller
+    that releases results after [submit] keeps the evidence-before-results
+    invariant. A failed batch (failed append or fsync, including injected
+    faults on the underlying log) kills the writer: every waiter in the
+    batch — and every later submit — gets the [Log_io] error, and recovery
+    of the on-disk log goes through the normal torn-tail scan. *)
+module Group = struct
+  type nonrec t = {
+    wal : t;  (** underlying log; all appends/fsyncs funnel through here *)
+    mu : Mutex.t;
+    flushed : Condition.t;  (** a flush completed (or the writer died) *)
+    space : Condition.t;  (** the queue drained below the backpressure cap *)
+    max_pending : int;  (** queued-record cap; submit blocks above it *)
+    mutable queue : record list;  (** pending records, newest first *)
+    mutable queued : int;
+    mutable enqueued : int;  (** records ever enqueued (ticket counter) *)
+    mutable durable : int;  (** records covered by a completed fsync *)
+    mutable flushing : bool;  (** a leader is mid-flush *)
+    mutable paused : bool;  (** test hook: hold flushes to force grouping *)
+    mutable dead : string option;  (** first fatal error; poisons the writer *)
+    mutable closed : bool;
+    (* stats *)
+    mutable batches : int;
+    mutable submits : int;  (** submit calls that carried records *)
+    mutable max_batch : int;  (** largest single-fsync batch (records) *)
+  }
+
+  type stats = {
+    s_submits : int;
+    s_records : int;
+    s_batches : int;
+    s_fsyncs : int;
+    s_max_batch : int;
+  }
+
+  let create ?(max_pending = 4096) wal =
+    {
+      wal;
+      mu = Mutex.create ();
+      flushed = Condition.create ();
+      space = Condition.create ();
+      max_pending;
+      queue = [];
+      queued = 0;
+      enqueued = 0;
+      durable = 0;
+      flushing = false;
+      paused = false;
+      dead = None;
+      closed = false;
+      batches = 0;
+      submits = 0;
+      max_batch = 0;
+    }
+
+  let wal g = g.wal
+
+  let stats g =
+    Mutex.lock g.mu;
+    let s =
+      {
+        s_submits = g.submits;
+        s_records = g.enqueued;
+        s_batches = g.batches;
+        s_fsyncs = syncs g.wal;
+        s_max_batch = g.max_batch;
+      }
+    in
+    Mutex.unlock g.mu;
+    s
+
+  (** Records enqueued but not yet durable (test/monitoring hook). *)
+  let pending g =
+    Mutex.lock g.mu;
+    let n = g.enqueued - g.durable in
+    Mutex.unlock g.mu;
+    n
+
+  (** Hold flushes: submits enqueue and park, so a test can force K
+      sessions' records into one batch before {!resume} releases it. *)
+  let pause g =
+    Mutex.lock g.mu;
+    g.paused <- true;
+    Mutex.unlock g.mu
+
+  let resume g =
+    Mutex.lock g.mu;
+    g.paused <- false;
+    Condition.broadcast g.flushed;
+    Mutex.unlock g.mu
+
+  let fail_dead g msg =
+    log_io (Printf.sprintf "group writer on %s: %s" g.wal.path msg)
+
+  (* Drain the queue as the leader: append every queued record, one fsync
+     for the lot. Called with [g.mu] held; releases it around the I/O. *)
+  let lead g =
+    g.flushing <- true;
+    let batch = List.rev g.queue in
+    let n = g.queued in
+    let upto = g.enqueued in
+    g.queue <- [];
+    g.queued <- 0;
+    Condition.broadcast g.space;
+    Mutex.unlock g.mu;
+    let outcome =
+      try
+        List.iter (append g.wal) batch;
+        sync g.wal;
+        Ok ()
+      with
+      | Engine_error.Error (Engine_error.Log_io m) -> Error m
+      | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+    in
+    Mutex.lock g.mu;
+    g.flushing <- false;
+    (match outcome with
+    | Ok () ->
+      g.durable <- upto;
+      g.batches <- g.batches + 1;
+      if n > g.max_batch then g.max_batch <- n
+    | Error m -> g.dead <- Some m);
+    Condition.broadcast g.flushed;
+    Condition.broadcast g.space
+
+  (** Append [records] and block until they are durable (covered by a
+      group fsync). Empty submissions return immediately. Raises
+      [Engine_error.Error (Log_io _)] once the writer is dead or closed —
+      the policy layer decides fail-closed vs fail-open, exactly as for a
+      direct {!append}/{!sync}. *)
+  let submit g (records : record list) : unit =
+    if records <> [] then begin
+      Mutex.lock g.mu;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock g.mu)
+        (fun () ->
+          let n = List.length records in
+          while g.dead = None && not g.closed && g.queued >= g.max_pending do
+            Condition.wait g.space g.mu
+          done;
+          (match g.dead with
+          | Some m -> fail_dead g m
+          | None -> if g.closed then fail_dead g "writer is closed");
+          g.queue <- List.rev_append records g.queue;
+          g.queued <- g.queued + n;
+          g.enqueued <- g.enqueued + n;
+          g.submits <- g.submits + 1;
+          let ticket = g.enqueued in
+          let rec ensure () =
+            if g.durable >= ticket then ()
+            else
+              match g.dead with
+              | Some m -> fail_dead g m
+              | None ->
+                if g.flushing || g.paused then begin
+                  Condition.wait g.flushed g.mu;
+                  ensure ()
+                end
+                else begin
+                  lead g;
+                  ensure ()
+                end
+          in
+          ensure ())
+    end
+
+  (** Flush whatever is queued (unparking any paused state) without
+      closing. Raises on a dead writer. *)
+  let drain g =
+    Mutex.lock g.mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock g.mu)
+      (fun () ->
+        g.paused <- false;
+        let rec loop () =
+          match g.dead with
+          | Some m -> fail_dead g m
+          | None ->
+            if g.flushing then begin
+              Condition.wait g.flushed g.mu;
+              loop ()
+            end
+            else if g.queued > 0 then begin
+              lead g;
+              loop ()
+            end
+        in
+        loop ())
+
+  (** Drain, then close the writer and the underlying log. Waiters and
+      later submits fail; a dead writer closes without raising. *)
+  let close g =
+    (try drain g with Engine_error.Error (Engine_error.Log_io _) -> ());
+    Mutex.lock g.mu;
+    g.closed <- true;
+    Condition.broadcast g.flushed;
+    Condition.broadcast g.space;
+    Mutex.unlock g.mu;
+    close g.wal
+end

@@ -12,6 +12,7 @@ open Engine_core
 
 type record =
   | Accessed of {
+      session : int;  (** originating session (0 = single-session engine) *)
       seq : int;  (** logical clock of the statement *)
       user : string;
       sql : string;  (** outermost statement text *)
@@ -21,15 +22,19 @@ type record =
           (** false when flushed on abort/cancellation (partial set) *)
     }
   | Trigger_fired of {
+      session : int;
       seq : int;
       trigger : string;
       audit : string;
       timing : string;
     }
-  | Notify of { seq : int; msg : string }
+  | Notify of { session : int; seq : int; msg : string }
   | Note of string  (** engine annotations: alarms, recovery notes *)
 
 val record_to_string : record -> string
+
+(** The originating session of an evidence record ([None] for notes). *)
+val record_session : record -> int option
 
 type recovery = {
   valid_records : int;  (** intact records in the recovered prefix *)
@@ -67,6 +72,9 @@ val set_policy : t -> policy -> unit
 (** Records appended through this handle (excluding recovered ones). *)
 val appended : t -> int
 
+(** Fsyncs issued through this handle. *)
+val syncs : t -> int
+
 (** False once the handle died (failed heal or simulated crash). *)
 val is_open : t -> bool
 
@@ -76,3 +84,53 @@ val read_all : string -> record list * recovery
 
 (** CRC32 (IEEE) of a string — exposed for integrity checks in tests. *)
 val crc32 : string -> int
+
+type wal = t
+(** alias usable inside {!Group}, where [t] names the group writer *)
+
+(** Group commit: a shared writer that batches concurrent sessions'
+    records into one fsync (leader/follower). {!Group.submit} blocks until
+    the caller's records are covered by a completed group fsync, so the
+    evidence-before-results invariant carries over to the served engine. A
+    failed batch poisons the writer: every waiter and later submit raises
+    [Engine_error.Error (Log_io _)]; on-disk recovery is the normal
+    torn-tail scan. Safe for use from multiple systhreads. *)
+module Group : sig
+  type t
+
+  type stats = {
+    s_submits : int;  (** submit calls that carried records *)
+    s_records : int;  (** records enqueued over the writer's lifetime *)
+    s_batches : int;  (** completed group flushes *)
+    s_fsyncs : int;  (** fsyncs on the underlying log *)
+    s_max_batch : int;  (** largest single-fsync batch, in records *)
+  }
+
+  (** Wrap an open log. [max_pending] caps queued-but-not-durable records;
+      submits block above it (backpressure). The group writer owns every
+      append/fsync on the log from then on. *)
+  val create : ?max_pending:int -> wal -> t
+
+  val wal : t -> wal
+
+  (** Append the records and block until a group fsync covers them. An
+      empty list returns immediately. *)
+  val submit : t -> record list -> unit
+
+  (** Records enqueued but not yet durable. *)
+  val pending : t -> int
+
+  (** Hold flushes so submits park in one growing batch — a deterministic
+      way for tests to force K sessions into a single fsync. *)
+  val pause : t -> unit
+
+  val resume : t -> unit
+
+  (** Flush everything queued without closing. *)
+  val drain : t -> unit
+
+  (** Drain, then close the writer and the underlying log. *)
+  val close : t -> unit
+
+  val stats : t -> stats
+end

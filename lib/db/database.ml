@@ -56,6 +56,14 @@ type t = {
       (** durable audit log; when attached, every top-level statement's
           ACCESSED sets and trigger firings are appended and fsynced
           before results are released *)
+  mutable deferred : bool;
+      (** deferred-evidence mode (served sessions): instead of writing to
+          an attached log, evidence records accumulate in [pending_log];
+          the caller takes them with [take_pending_evidence] and must make
+          them durable (group commit) before releasing the statement's
+          results *)
+  mutable pending_log : Audit_log.Wal.record list;
+      (** deferred evidence of the current statement, newest first *)
   mutable alarms : string list;
       (** robustness alarms (fail-open log losses, invariant repairs),
           newest first *)
@@ -91,13 +99,46 @@ let create () =
     last_accessed = [];
     last_stats = None;
     wal = None;
+    deferred = false;
+    pending_log = [];
     alarms = [];
     verify = Off;
     exec_mode = default_exec_mode ();
   }
 
+(** A further session over the same engine: the catalog, audit
+    expressions and triggers are shared by reference (DDL from any
+    session is visible to all), while everything per-session is fresh —
+    the execution context (user, logical clock, budgets, temp-table
+    lifecycle, fault kit), trigger depth, notifications, alarms, metrics
+    and pending evidence. Statement execution is {e not} internally
+    synchronized: concurrent sessions must serialize [exec] externally
+    (the server layer holds one statement lock); evidence commit can then
+    overlap across sessions via the deferred sink + group commit. *)
+let create_session ?(session_id = 0) parent =
+  {
+    catalog = parent.catalog;
+    ctx = Exec.Exec_ctx.create ~session_id parent.catalog;
+    audits = parent.audits;
+    triggers = parent.triggers;
+    heuristic = parent.heuristic;
+    instrument = parent.instrument;
+    notifications = [];
+    trigger_depth = 0;
+    in_before_trigger = false;
+    last_accessed = [];
+    last_stats = None;
+    wal = None;
+    deferred = parent.deferred;
+    pending_log = [];
+    alarms = [];
+    verify = parent.verify;
+    exec_mode = parent.exec_mode;
+  }
+
 let catalog db = db.catalog
 let context db = db.ctx
+let session_id db = db.ctx.Exec.Exec_ctx.session_id
 let set_exec_mode db m = db.exec_mode <- m
 let exec_mode db = db.exec_mode
 
@@ -140,13 +181,34 @@ let clear_alarms db = db.alarms <- []
 (** Record an alarm, with a best-effort (never-raising) note in the log. *)
 let alarm db msg =
   db.alarms <- msg :: db.alarms;
-  match db.wal with
-  | Some w when Audit_log.Wal.is_open w -> (
-    try Audit_log.Wal.append w (Audit_log.Wal.Note msg)
-    with Engine_core.Engine_error.Error _ -> ())
-  | _ -> ()
+  if db.deferred then
+    db.pending_log <- Audit_log.Wal.Note msg :: db.pending_log
+  else
+    match db.wal with
+    | Some w when Audit_log.Wal.is_open w -> (
+      try Audit_log.Wal.append w (Audit_log.Wal.Note msg)
+      with Engine_core.Engine_error.Error _ -> ())
+    | _ -> ()
 
 let audit_log db = db.wal
+
+(** {2 Deferred evidence (served sessions)} *)
+
+(* In deferred mode the session writes no log itself: evidence records
+   pile up in [pending_log] and the caller — the server's per-connection
+   loop — takes them after the statement and submits them to the shared
+   group-commit writer before releasing the results. This moves the fsync
+   off the statement path so concurrent sessions' records share one
+   flush. *)
+let set_deferred_evidence db b = db.deferred <- b
+let deferred_evidence db = db.deferred
+
+(** The statement's accumulated evidence, oldest first; clears the
+    buffer. *)
+let take_pending_evidence db =
+  let records = List.rev db.pending_log in
+  db.pending_log <- [];
+  records
 
 let detach_audit_log db =
   match db.wal with
@@ -178,6 +240,8 @@ let attach_audit_log db ?policy path : Audit_log.Wal.recovery =
    re-raises the typed [Log_io] error (the caller withholds results);
    fail-open records an alarm and keeps going. *)
 let log_append db (r : Audit_log.Wal.record) =
+  if db.deferred then db.pending_log <- r :: db.pending_log
+  else
   match db.wal with
   | None -> ()
   | Some w -> (
@@ -192,6 +256,8 @@ let log_append db (r : Audit_log.Wal.record) =
           Printf.sprintf "audit record lost (fail-open): %s" m :: db.alarms))
 
 let log_sync db =
+  if db.deferred then ()
+  else
   match db.wal with
   | None -> ()
   | Some w -> (
@@ -209,9 +275,7 @@ let log_sync db =
     cascades are included) and make the log durable. [complete = false]
     marks a flush on abort/cancellation. *)
 let log_statement_accessed db ~complete =
-  match db.wal with
-  | None -> ()
-  | Some _ ->
+  if db.deferred || db.wal <> None then begin
     Hashtbl.iter
       (fun name entry ->
         let ids = Exec.Exec_ctx.accessed_list db.ctx ~audit_name:name in
@@ -219,6 +283,7 @@ let log_statement_accessed db ~complete =
           log_append db
             (Audit_log.Wal.Accessed
                {
+                 session = db.ctx.Exec.Exec_ctx.session_id;
                  seq = db.ctx.Exec.Exec_ctx.now;
                  user = db.ctx.Exec.Exec_ctx.user;
                  sql = db.ctx.Exec.Exec_ctx.sql;
@@ -228,6 +293,7 @@ let log_statement_accessed db ~complete =
                }))
       db.audits;
     log_sync db
+  end
 
 let norm = String.lowercase_ascii
 
@@ -538,7 +604,12 @@ let rec exec_statement db (stmt : Sql.Ast.statement) : result =
     (* NOTIFY is audit output (it typically fires from trigger bodies):
        mirror it into the durable log at any depth. *)
     log_append db
-      (Audit_log.Wal.Notify { seq = db.ctx.Exec.Exec_ctx.now; msg });
+      (Audit_log.Wal.Notify
+         {
+           session = db.ctx.Exec.Exec_ctx.session_id;
+           seq = db.ctx.Exec.Exec_ctx.now;
+           msg;
+         });
     Done (Printf.sprintf "notify: %s" msg)
   | Sql.Ast.S_deny msg ->
     if db.in_before_trigger then raise (Deny_signal msg)
@@ -640,6 +711,7 @@ and fire_select_triggers db ~timing : string option =
           log_append db
             (Audit_log.Wal.Trigger_fired
                {
+                 session = db.ctx.Exec.Exec_ctx.session_id;
                  seq = db.ctx.Exec.Exec_ctx.now;
                  trigger = tr.Audit_core.Trigger.name;
                  audit = expr.Audit_core.Audit_expr.name;

@@ -20,10 +20,26 @@ type t
 
 val create : unit -> t
 
+(** A further session over the same engine: the catalog, audit
+    expressions and triggers are shared by reference (DDL from any
+    session is visible to all); the execution context (user, logical
+    clock, budgets, fault kit), trigger depth, notifications, alarms and
+    pending evidence are fresh and private. Statement execution is not
+    internally synchronized — concurrent sessions must serialize [exec]
+    externally (the server layer holds one statement lock); evidence
+    commit can then overlap across sessions via the deferred sink and the
+    WAL group-commit writer. *)
+val create_session : ?session_id:int -> t -> t
+
 (** {1 Session} *)
 
 val catalog : t -> Catalog.t
 val context : t -> Exec.Exec_ctx.t
+
+(** This session's identity (0 for the single-session engine), stamped
+    onto every WAL evidence record it produces. *)
+val session_id : t -> int
+
 val set_user : t -> string -> unit
 val user : t -> string
 
@@ -89,6 +105,23 @@ val attach_audit_log :
 
 val detach_audit_log : t -> unit
 val audit_log : t -> Audit_log.Wal.t option
+
+(** {2 Deferred evidence (served sessions)}
+
+    In deferred mode the session writes no audit log itself: each
+    statement's evidence records (ACCESSED sets, trigger firings, NOTIFY
+    mirrors, alarm notes) accumulate in a per-session buffer instead. The
+    caller — the server's connection loop — must {!take_pending_evidence}
+    after every statement (normal or failed) and make the records durable
+    (e.g. {!Audit_log.Wal.Group.submit}) {e before} releasing the
+    statement's results, preserving the evidence-before-results
+    invariant while letting concurrent sessions share one fsync. *)
+
+val set_deferred_evidence : t -> bool -> unit
+val deferred_evidence : t -> bool
+
+(** The accumulated evidence, oldest first; clears the buffer. *)
+val take_pending_evidence : t -> Audit_log.Wal.record list
 
 (** Robustness alarms (fail-open log losses, invariant repairs, recovery
     truncations), oldest first. *)

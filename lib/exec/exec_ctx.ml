@@ -17,6 +17,10 @@ open Storage
 
 type t = {
   catalog : Catalog.t;
+  mutable session_id : int;
+      (** identity of the owning session in served (multi-client) mode;
+          0 for the single-session engine. Stamped onto every WAL evidence
+          record so concurrent sessions' audit trails stay attributable. *)
   mutable now : int;
   mutable user : string;
   mutable sql : string;
@@ -66,9 +70,10 @@ type t = {
           and audit log *)
 }
 
-let create catalog =
+let create ?(session_id = 0) catalog =
   {
     catalog;
+    session_id;
     now = 0;
     user = "admin";
     sql = "";

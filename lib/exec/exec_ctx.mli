@@ -13,6 +13,10 @@ open Storage
 
 type t = {
   catalog : Catalog.t;
+  mutable session_id : int;
+      (** identity of the owning session in served (multi-client) mode;
+          0 for the single-session engine. Stamped onto WAL evidence
+          records so concurrent audit trails stay attributable. *)
   mutable now : int;  (** logical clock behind [now()] *)
   mutable user : string;  (** session user behind [user_id()] *)
   mutable sql : string;  (** statement text behind [sql_text()] *)
@@ -53,7 +57,7 @@ type t = {
           runner and the audit log *)
 }
 
-val create : Catalog.t -> t
+val create : ?session_id:int -> Catalog.t -> t
 
 (** Install the sensitive-ID mark table an audit operator probes
     (normally via [Db.Database.install_audit_sets]). *)

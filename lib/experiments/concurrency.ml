@@ -1,0 +1,155 @@
+(** Concurrency benchmark: the served engine under N concurrent clients.
+
+    For each client count, an in-process server (Unix socket, fresh WAL,
+    fail-closed) serves a fixed per-client statement budget from N client
+    threads; every statement touches the audit expression, so every
+    statement carries evidence that must be durable before its response.
+    The metric CI gates on is fsyncs per statement: a single session pays
+    one fsync per statement (the PR 2 invariant, now via a batch of one),
+    while concurrent sessions share group flushes, pushing fsyncs per
+    statement below 1 — the group-commit win, measured end to end through
+    the wire protocol. *)
+
+open Benchkit
+
+type row = {
+  c_clients : int;
+  c_statements : int;
+  c_elapsed_s : float;
+  c_qps : float;
+  c_p50_ms : float;
+  c_p99_ms : float;
+  c_records : int;  (** evidence records made durable *)
+  c_fsyncs : int;
+  c_fsyncs_per_stmt : float;
+  c_batches : int;
+  c_max_batch : int;  (** largest single-fsync batch, in records *)
+}
+
+(* A small clinic database where the audited population is dense enough
+   that every workload statement produces ACCESSED evidence. *)
+let make_root () =
+  let db = Db.Database.create () in
+  let e sql = ignore (Db.Database.exec db sql) in
+  e "CREATE TABLE patients (patientid INT PRIMARY KEY, name VARCHAR, age INT)";
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "INSERT INTO patients VALUES ";
+  for i = 1 to 500 do
+    if i > 1 then Buffer.add_char b ',';
+    Buffer.add_string b
+      (Printf.sprintf "(%d,'p%04d',%d)" i i (20 + (i mod 70)))
+  done;
+  e (Buffer.contents b);
+  e
+    "CREATE AUDIT EXPRESSION audit_seniors AS SELECT * FROM patients WHERE \
+     age >= 80 FOR SENSITIVE TABLE patients, PARTITION BY patientid";
+  e "CREATE TRIGGER watch ON ACCESS TO audit_seniors AS NOTIFY 'senior'";
+  db
+
+let workload = "SELECT name FROM patients WHERE age >= 75;"
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (float_of_int n *. p)))
+
+let run_point ~scratch ~clients ~per_client : row =
+  let sock = Filename.concat scratch (Printf.sprintf "conc%d.sock" clients) in
+  let wal = Filename.concat scratch (Printf.sprintf "conc%d.wal" clients) in
+  if Sys.file_exists wal then Sys.remove wal;
+  let t =
+    Server.Daemon.start ~root:(make_root ())
+      (Server.Daemon.config ~wal_path:(Some wal) (`Unix sock))
+  in
+  let lat = Array.make (clients * per_client) 0.0 in
+  let failed = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let ths =
+    List.init clients (fun i ->
+        Thread.create
+          (fun () ->
+            try
+              let c = Server.Client.connect (`Unix sock) in
+              ignore
+                (Server.Client.hello c ~user:(Printf.sprintf "bench%d" i));
+              for k = 0 to per_client - 1 do
+                let s = Unix.gettimeofday () in
+                (match Server.Client.exec c workload with
+                | Ok _ -> ()
+                | Error _ -> Atomic.incr failed);
+                lat.((i * per_client) + k) <- Unix.gettimeofday () -. s
+              done;
+              Server.Client.quit c
+            with _ -> Atomic.incr failed)
+          ())
+  in
+  List.iter Thread.join ths;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let st = Server.Daemon.stats t in
+  Server.Daemon.stop t;
+  if Atomic.get failed > 0 then
+    Printf.printf "  (warning: %d failed statements at %d clients)\n%!"
+      (Atomic.get failed) clients;
+  let records, r = Audit_log.Wal.read_all wal in
+  if r.Audit_log.Wal.corrupt || r.Audit_log.Wal.truncated_bytes > 0 then
+    Printf.printf "  (warning: WAL not clean after shutdown at %d clients)\n%!"
+      clients;
+  (try Sys.remove wal with Sys_error _ -> ());
+  Array.sort compare lat;
+  let statements = st.Server.Daemon.statements_served in
+  let fsyncs, batches, max_batch =
+    match st.Server.Daemon.group with
+    | Some g ->
+      ( g.Audit_log.Wal.Group.s_fsyncs,
+        g.Audit_log.Wal.Group.s_batches,
+        g.Audit_log.Wal.Group.s_max_batch )
+    | None -> (0, 0, 0)
+  in
+  {
+    c_clients = clients;
+    c_statements = statements;
+    c_elapsed_s = elapsed;
+    c_qps = (if elapsed > 0.0 then float_of_int statements /. elapsed else 0.0);
+    c_p50_ms = percentile lat 0.50 *. 1000.0;
+    c_p99_ms = percentile lat 0.99 *. 1000.0;
+    c_records = List.length records;
+    c_fsyncs = fsyncs;
+    c_fsyncs_per_stmt =
+      (if statements > 0 then float_of_int fsyncs /. float_of_int statements
+       else 0.0);
+    c_batches = batches;
+    c_max_batch = max_batch;
+  }
+
+let run ?(clients = [ 1; 2; 4; 8 ]) ?(per_client = 200) () : row list =
+  Report.print_title "Concurrency: served sessions and WAL group commit";
+  Report.print_note
+    "Every statement's evidence is fsynced before its response; group \
+     commit batches concurrent sessions' records into shared fsyncs, so \
+     fsyncs/statement falls below 1 as clients grow.";
+  (* The WAL must sit on a real filesystem for fsync to cost anything:
+     use the working directory, not /tmp (often tmpfs). *)
+  let scratch = "." in
+  let rows =
+    List.map (fun c -> run_point ~scratch ~clients:c ~per_client) clients
+  in
+  Report.print_table
+    ~headers:
+      [
+        "clients"; "stmts"; "qps"; "p50 ms"; "p99 ms"; "fsyncs";
+        "fsyncs/stmt"; "max batch";
+      ]
+    (List.map
+       (fun r ->
+         [
+           string_of_int r.c_clients;
+           string_of_int r.c_statements;
+           Printf.sprintf "%.0f" r.c_qps;
+           Printf.sprintf "%.2f" r.c_p50_ms;
+           Printf.sprintf "%.2f" r.c_p99_ms;
+           string_of_int r.c_fsyncs;
+           Printf.sprintf "%.3f" r.c_fsyncs_per_stmt;
+           string_of_int r.c_max_batch;
+         ])
+       rows);
+  rows

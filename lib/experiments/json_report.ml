@@ -71,6 +71,7 @@ let instrumented_profile env sql : Json.t =
   let ops, audit_time_pct = operator_breakdown env hcn_p in
   Json.Obj
     [
+      ("sessions", Json.Int 1);
       ("base_time_s", Json.Float base);
       ("instrumented_time_s", Json.Float hcn);
       ("audit_overhead_pct", Json.Float (Timing.overhead_pct ~base hcn));
@@ -269,6 +270,7 @@ let expr_compile_json (env : Setup.env) : Json.t =
   let mode_json (base, hcn) =
     Json.Obj
       [
+        ("sessions", Json.Int 1);
         ("base_time_s", Json.Float base);
         ("instrumented_time_s", Json.Float hcn);
         ("audit_overhead_pct", Json.Float (Timing.overhead_pct ~base hcn));
@@ -332,6 +334,7 @@ let row_vs_batch_json (env : Setup.env) : Json.t =
   let mode_json (base, hcn) =
     Json.Obj
       [
+        ("sessions", Json.Int 1);
         ("base_time_s", Json.Float base);
         ("instrumented_time_s", Json.Float hcn);
         ("audit_overhead_pct", Json.Float (Timing.overhead_pct ~base hcn));
@@ -473,6 +476,53 @@ let fga_precision_json (rows : Figures.fga_row list) : Json.t =
     ]
 
 (* --------------------------------------------------------------- *)
+(* Concurrency: served sessions and group commit                    *)
+(* --------------------------------------------------------------- *)
+
+(** Per-client-count rows from the served-engine benchmark, plus the
+    summary CI gates on: with >= 4 concurrent sessions, group commit must
+    amortize fsyncs across sessions (fsyncs/statement < 1). Single-figure
+    sections above all carry ["sessions": 1] — these rows are where the
+    count varies. *)
+let concurrency_json (rows : Concurrency.row list) : Json.t =
+  let row_json (r : Concurrency.row) =
+    Json.Obj
+      [
+        ("sessions", Json.Int r.Concurrency.c_clients);
+        ("statements", Json.Int r.c_statements);
+        ("elapsed_s", Json.Float r.c_elapsed_s);
+        ("qps", Json.Float r.c_qps);
+        ("p50_ms", Json.Float r.c_p50_ms);
+        ("p99_ms", Json.Float r.c_p99_ms);
+        ("evidence_records", Json.Int r.c_records);
+        ("fsyncs", Json.Int r.c_fsyncs);
+        ("fsyncs_per_statement", Json.Float r.c_fsyncs_per_stmt);
+        ("group_batches", Json.Int r.c_batches);
+        ("max_batch_records", Json.Int r.c_max_batch);
+      ]
+  in
+  let at_least_4 =
+    List.filter (fun r -> r.Concurrency.c_clients >= 4) rows
+  in
+  let best =
+    List.fold_left
+      (fun acc r -> Float.min acc r.Concurrency.c_fsyncs_per_stmt)
+      infinity at_least_4
+  in
+  let best = if Float.is_finite best then best else 0.0 in
+  Json.Obj
+    [
+      ("rows", Json.List (List.map row_json rows));
+      ( "summary",
+        Json.Obj
+          [
+            ("best_fsyncs_per_statement_at_4plus", Json.Float best);
+            ( "group_commit_amortizes",
+              Json.Bool (at_least_4 <> [] && best < 1.0) );
+          ] );
+    ]
+
+(* --------------------------------------------------------------- *)
 (* Assembly                                                         *)
 (* --------------------------------------------------------------- *)
 
@@ -481,7 +531,7 @@ let assemble (env : Setup.env) ~(sections : (string * Json.t) list)
   Json.Obj
     [
       ("report", Json.Str "select-triggers-bench");
-      ("schema_version", Json.Int 1);
+      ("schema_version", Json.Int 2);
       ("generated_at_unix", Json.Float (Unix.time ()));
       ( "config",
         Json.Obj

@@ -1,0 +1,68 @@
+(* Blocking client for the audit server's wire protocol. Used by the
+   shell's [--connect] mode, the server smoke test and the concurrency
+   benchmark. One request in flight at a time. *)
+
+type t = { fd : Unix.file_descr; mutable session : int }
+
+exception Protocol_error of string
+
+let connect (addr : Daemon.listen) =
+  let fd =
+    match addr with
+    | `Unix path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      fd
+    | `Tcp (host, port) ->
+      let inet =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found -> Unix.inet_addr_loopback
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_INET (inet, port));
+      fd
+  in
+  { fd; session = 0 }
+
+let session t = t.session
+
+let read_response t =
+  match Wire.read_frame t.fd with
+  | Wire.Eof | Wire.Truncated -> raise (Protocol_error "connection closed")
+  | Wire.Oversized n ->
+    raise (Protocol_error (Printf.sprintf "oversized response (%d bytes)" n))
+  | Wire.Frame payload -> (
+    match Wire.decode_response payload with
+    | Ok r -> r
+    | Error m -> raise (Protocol_error m))
+
+(* Open the conversation: sets the session user server-side, returns the
+   session id. *)
+let hello t ~user =
+  Wire.send_request t.fd (Wire.Hello { user });
+  match read_response t with
+  | Wire.Greeting { session; _ } ->
+    t.session <- session;
+    session
+  | Wire.Failed m -> raise (Protocol_error m)
+  | _ -> raise (Protocol_error "expected a greeting")
+
+(* Execute one statement or backslash command. [Ok] carries the rendered
+   result, [Error] the server's structured error line (the session is
+   still usable). *)
+let exec t line : (string, string) result =
+  Wire.send_request t.fd (Wire.Exec line);
+  match read_response t with
+  | Wire.Result text -> Ok text
+  | Wire.Failed m -> Error m
+  | Wire.Goodbye -> raise (Protocol_error "unexpected goodbye")
+  | Wire.Greeting _ -> raise (Protocol_error "unexpected greeting")
+
+let quit t =
+  (try
+     Wire.send_request t.fd Wire.Quit;
+     match read_response t with _ -> () | exception _ -> ()
+   with _ -> ());
+  try Unix.close t.fd with _ -> ()
+
+let close t = try Unix.close t.fd with _ -> ()

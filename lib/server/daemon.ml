@@ -1,0 +1,321 @@
+(* The audit server: a threaded listener that serves the engine's
+   statement surface over the wire protocol, one systhread per
+   connection, with a shared WAL writer that group-commits evidence.
+
+   Concurrency model, in one paragraph: shared engine state (the
+   catalog's hashtables, the audit views, the trigger cascade's
+   [accessed]/[new]/[old] temp relations) is not internally
+   synchronized, so statement execution is serialized under one global
+   [exec_mu]. What the served engine buys is overlap of the *durability*
+   work: sessions run in deferred-evidence mode, so a statement's WAL
+   records are harvested after it finishes and submitted to the group
+   writer OUTSIDE the statement lock. Queries are microseconds, fsyncs
+   are milliseconds — moving the fsync off the serialized path lets K
+   concurrent sessions ride a single group flush, which is where
+   fsyncs/statement drops below one. The evidence-before-results
+   invariant is preserved because "releasing results" means sending the
+   response frame, and that happens only after [Group.submit] returns
+   (fail-closed) or an alarm is raised (fail-open).
+
+   Shutdown drains: stop accepting, shut down the receive side of every
+   connection (in-flight statements finish and their responses still
+   flow), join the connection threads, then close the group writer —
+   which flushes everything queued before closing the log. *)
+
+module Wal = Audit_log.Wal
+
+type listen = [ `Unix of string | `Tcp of string * int ]
+
+type config = {
+  listen : listen;
+  wal_path : string option;  (* no WAL → no evidence durability *)
+  wal_policy : Wal.policy;
+  max_pending : int;  (* group-commit backpressure threshold *)
+  max_clients : int;
+  banner : string;
+  log : string -> unit;  (* server-side log sink *)
+}
+
+let config ?(wal_path = None) ?(wal_policy = Wal.Fail_closed)
+    ?(max_pending = 4096) ?(max_clients = 64)
+    ?(banner = "select_triggers serverd") ?(log = ignore) listen =
+  { listen; wal_path; wal_policy; max_pending; max_clients; banner; log }
+
+type conn = { c_fd : Unix.file_descr }
+
+type t = {
+  cfg : config;
+  root : Db.Database.t;
+  lfd : Unix.file_descr;
+  group : Wal.Group.t option;
+  recovery : Wal.recovery option;
+  exec_mu : Mutex.t;  (* serializes statement execution *)
+  mu : Mutex.t;  (* registry, counters *)
+  conns : (int, conn) Hashtbl.t;
+  mutable threads : Thread.t list;  (* every connection thread, for join *)
+  mutable next_id : int;
+  mutable stopping : bool;
+  mutable accept_thread : Thread.t option;
+  mutable statements : int;  (* statements served across all sessions *)
+}
+
+type stats = {
+  active_connections : int;
+  sessions_opened : int;
+  statements_served : int;
+  group : Wal.Group.stats option;
+}
+
+let stats (t : t) =
+  Mutex.lock t.mu;
+  let s =
+    {
+      active_connections = Hashtbl.length t.conns;
+      sessions_opened = t.next_id - 1;
+      statements_served = t.statements;
+      group = Option.map Wal.Group.stats t.group;
+    }
+  in
+  Mutex.unlock t.mu;
+  s
+
+let group (t : t) = t.group
+let recovery (t : t) = t.recovery
+let root (t : t) = t.root
+let listen_addr (t : t) = t.cfg.listen
+
+let policy (t : t) =
+  match t.group with
+  | Some g -> Wal.policy (Wal.Group.wal g)
+  | None -> t.cfg.wal_policy
+
+(* ------------------------------------------------------------------ *)
+(* Per-connection service loop                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Run one statement for [session]: dispatch under the exec lock,
+   harvest the deferred evidence, then make it durable outside the lock
+   before the response is framed. *)
+let exec_one t (session : Session.t) line : Wire.response =
+  Mutex.lock t.exec_mu;
+  let outcome =
+    match Session.dispatch session line with
+    | text -> Ok text
+    | exception e -> Error e
+  in
+  let evidence = Db.Database.take_pending_evidence (Session.db session) in
+  Mutex.unlock t.exec_mu;
+  let commit_error =
+    match t.group with
+    | Some g when evidence <> [] -> (
+      match Wal.Group.submit g evidence with
+      | () -> None
+      | exception Engine_core.Engine_error.Error (Engine_core.Engine_error.Log_io m)
+        ->
+        Some m)
+    | _ -> None
+  in
+  Mutex.lock t.mu;
+  t.statements <- t.statements + 1;
+  Mutex.unlock t.mu;
+  match (outcome, commit_error) with
+  | Ok text, None -> Wire.Result (Wire.clip text)
+  | Error e, None -> Wire.Failed (Session.render_error e)
+  | Error e, Some m ->
+    (* The statement already failed; report that, note the lost evidence. *)
+    t.cfg.log
+      (Printf.sprintf "alarm: session %d: evidence lost on failed statement: %s"
+         (Session.id session) m);
+    Wire.Failed (Session.render_error e)
+  | Ok text, Some m -> (
+    match policy t with
+    | Wal.Fail_closed ->
+      Wire.Failed
+        (Printf.sprintf "error: audit log write failed: %s (results withheld)"
+           m)
+    | Wal.Fail_open ->
+      t.cfg.log
+        (Printf.sprintf
+           "alarm: session %d: audit-log write lost (fail-open): %s"
+           (Session.id session) m);
+      Wire.Result (Wire.clip text))
+
+let serve_conn t id fd =
+  let session = Session.create ~id ~root:t.root in
+  let send r = Wire.send_response fd r in
+  let rec loop () =
+    match Wire.read_frame fd with
+    | Wire.Eof | Wire.Truncated -> ()
+    | Wire.Oversized n ->
+      (* The unread body desynchronizes the stream: answer and drop. *)
+      send
+        (Wire.Failed
+           (Printf.sprintf "protocol error: frame of %d bytes exceeds limit %d"
+              n Wire.max_frame))
+    | Wire.Frame payload -> (
+      match Wire.decode_request payload with
+      | Error m ->
+        send (Wire.Failed ("protocol error: " ^ m));
+        loop ()
+      | Ok (Wire.Hello { user }) ->
+        Db.Database.set_user (Session.db session) user;
+        send (Wire.Greeting { session = id; server = t.cfg.banner });
+        loop ()
+      | Ok Wire.Quit -> send Wire.Goodbye
+      | Ok (Wire.Exec line) ->
+        send (exec_one t session line);
+        loop ())
+  in
+  (* A dead peer surfaces as EPIPE/ECONNRESET on send: just end the
+     session — any evidence was already durable before the send. *)
+  (try loop () with Unix.Unix_error _ -> ());
+  t.cfg.log
+    (Printf.sprintf "session %d closed (user=%s)" id (Session.user session))
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop and lifecycle                                           *)
+(* ------------------------------------------------------------------ *)
+
+let accept_loop t =
+  let rec go () =
+    if not t.stopping then begin
+      let readable =
+        match Unix.select [ t.lfd ] [] [] 0.25 with
+        | r, _, _ -> r <> []
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+        | exception Unix.Unix_error (Unix.EBADF, _, _) -> false
+      in
+      if (not readable) || t.stopping then go ()
+      else
+        match Unix.accept t.lfd with
+        | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+        | exception Unix.Unix_error (_, _, _) -> go ()
+        | fd, _ ->
+          Mutex.lock t.mu;
+          if t.stopping || Hashtbl.length t.conns >= t.cfg.max_clients then begin
+            Mutex.unlock t.mu;
+            (try
+               Wire.send_response fd (Wire.Failed "server full");
+               Unix.close fd
+             with _ -> ())
+          end
+          else begin
+            let id = t.next_id in
+            t.next_id <- id + 1;
+            Hashtbl.replace t.conns id { c_fd = fd };
+            let th =
+              Thread.create
+                (fun () ->
+                  (try serve_conn t id fd with _ -> ());
+                  (try Unix.close fd with _ -> ());
+                  Mutex.lock t.mu;
+                  Hashtbl.remove t.conns id;
+                  Mutex.unlock t.mu)
+                ()
+            in
+            t.threads <- th :: t.threads;
+            Mutex.unlock t.mu
+          end;
+          go ()
+    end
+  in
+  go ()
+
+let bind_listener = function
+  | `Unix path ->
+    if Sys.file_exists path then Unix.unlink path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  | `Tcp (host, port) ->
+    let addr =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_loopback
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (addr, port));
+    Unix.listen fd 64;
+    fd
+
+(* Start serving. [root] supplies the engine (schema, audits, triggers
+   already loaded — e.g. by an init script); a fresh one is created when
+   omitted. With a [wal_path] the server owns the log: sessions run in
+   deferred-evidence mode and all durability goes through the group
+   writer. *)
+let start ?root cfg =
+  (* A dying client must surface as EPIPE on write, not kill the process. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let root = match root with Some db -> db | None -> Db.Database.create () in
+  let group, recovery =
+    match cfg.wal_path with
+    | None -> (None, None)
+    | Some path ->
+      let wal, r = Wal.open_ ~policy:cfg.wal_policy path in
+      if r.Wal.truncated_bytes > 0 then
+        cfg.log
+          (Printf.sprintf "alarm: audit log recovery truncated %d bytes"
+             r.Wal.truncated_bytes);
+      (Some (Wal.Group.create ~max_pending:cfg.max_pending wal), Some r)
+  in
+  Db.Database.set_deferred_evidence root (group <> None);
+  let lfd = bind_listener cfg.listen in
+  let t =
+    {
+      cfg;
+      root;
+      lfd;
+      group;
+      recovery;
+      exec_mu = Mutex.create ();
+      mu = Mutex.create ();
+      conns = Hashtbl.create 16;
+      threads = [];
+      next_id = 1;
+      stopping = false;
+      accept_thread = None;
+      statements = 0;
+    }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  cfg.log
+    (Printf.sprintf "listening on %s%s"
+       (match cfg.listen with
+       | `Unix p -> p
+       | `Tcp (h, p) -> Printf.sprintf "%s:%d" h p)
+       (match cfg.wal_path with
+       | Some p ->
+         Printf.sprintf " (audit log %s, %s)" p
+           (Wal.policy_to_string cfg.wal_policy)
+       | None -> " (no audit log)"));
+  t
+
+(* Graceful stop: refuse new connections, let in-flight statements
+   finish (receive-side shutdown keeps the response path open), join
+   every connection thread, then drain and close the group writer. *)
+let stop t =
+  Mutex.lock t.mu;
+  let already = t.stopping in
+  t.stopping <- true;
+  Mutex.unlock t.mu;
+  if not already then begin
+    (match t.accept_thread with
+    | Some th -> Thread.join th
+    | None -> ());
+    (try Unix.close t.lfd with _ -> ());
+    Mutex.lock t.mu;
+    let fds = Hashtbl.fold (fun _ c acc -> c.c_fd :: acc) t.conns [] in
+    let ths = t.threads in
+    t.threads <- [];
+    Mutex.unlock t.mu;
+    List.iter
+      (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+      fds;
+    List.iter Thread.join ths;
+    (match t.group with Some g -> (try Wal.Group.close g with _ -> ()) | None -> ());
+    (match t.cfg.listen with
+    | `Unix p -> ( try Unix.unlink p with _ -> ())
+    | `Tcp _ -> ());
+    t.cfg.log "server stopped"
+  end

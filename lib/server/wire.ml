@@ -1,0 +1,202 @@
+(** Wire protocol of the audit server.
+
+    Framing: every message is [u32 length | payload], length big-endian
+    and counting only the payload. The payload is a one-byte tag followed
+    by a tag-specific binary body (u32-prefixed strings, same shape as
+    the WAL codec — the helpers are deliberately redeclared here so the
+    wire format and the on-disk format can evolve independently).
+
+    The protocol is strict request/response: the client sends one request
+    frame and reads exactly one response frame. Frames longer than
+    {!max_frame} are rejected without reading the body — a server must
+    treat an oversized announcement as a protocol error and drop the
+    connection, since the stream position can no longer be trusted. *)
+
+(** Hard cap on a frame's payload size (16 MiB). *)
+let max_frame = 16 * 1024 * 1024
+
+type request =
+  | Hello of { user : string }
+      (** open the conversation and set the session user *)
+  | Exec of string  (** one SQL statement or backslash command *)
+  | Quit  (** polite close; the server answers [Goodbye] *)
+
+type response =
+  | Greeting of { session : int; server : string }
+  | Result of string  (** rendered statement/command output *)
+  | Failed of string  (** structured error line, session keeps going *)
+  | Goodbye
+
+(* ------------------------------------------------------------------ *)
+(* Payload codec                                                       *)
+(* ------------------------------------------------------------------ *)
+
+exception Decode_error of string
+
+let put_u32 b n =
+  Buffer.add_char b (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (n land 0xff))
+
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let get_u32 s pos =
+  if !pos + 4 > String.length s then raise (Decode_error "truncated integer");
+  let byte i = Char.code s.[!pos + i] in
+  let n = (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3 in
+  pos := !pos + 4;
+  n
+
+let get_str s pos =
+  let n = get_u32 s pos in
+  if !pos + n > String.length s then raise (Decode_error "truncated string");
+  let r = String.sub s !pos n in
+  pos := !pos + n;
+  r
+
+let encode_request (r : request) : string =
+  let b = Buffer.create 64 in
+  (match r with
+  | Hello { user } ->
+    Buffer.add_char b 'H';
+    put_str b user
+  | Exec sql ->
+    Buffer.add_char b 'X';
+    put_str b sql
+  | Quit -> Buffer.add_char b 'Q');
+  Buffer.contents b
+
+let decode_request (payload : string) : (request, string) result =
+  try
+    if payload = "" then Error "empty frame"
+    else
+      let pos = ref 1 in
+      let finish r =
+        if !pos <> String.length payload then
+          Error "trailing bytes after request"
+        else Ok r
+      in
+      match payload.[0] with
+      | 'H' -> finish (Hello { user = get_str payload pos })
+      | 'X' -> finish (Exec (get_str payload pos))
+      | 'Q' -> finish Quit
+      | c -> Error (Printf.sprintf "unknown request tag %C" c)
+  with Decode_error m -> Error m
+
+let encode_response (r : response) : string =
+  let b = Buffer.create 64 in
+  (match r with
+  | Greeting { session; server } ->
+    Buffer.add_char b 'G';
+    put_u32 b session;
+    put_str b server
+  | Result text ->
+    Buffer.add_char b 'R';
+    put_str b text
+  | Failed text ->
+    Buffer.add_char b 'E';
+    put_str b text
+  | Goodbye -> Buffer.add_char b 'B');
+  Buffer.contents b
+
+let decode_response (payload : string) : (response, string) result =
+  try
+    if payload = "" then Error "empty frame"
+    else
+      let pos = ref 1 in
+      let finish r =
+        if !pos <> String.length payload then
+          Error "trailing bytes after response"
+        else Ok r
+      in
+      match payload.[0] with
+      | 'G' ->
+        let session = get_u32 payload pos in
+        let server = get_str payload pos in
+        finish (Greeting { session; server })
+      | 'R' -> finish (Result (get_str payload pos))
+      | 'E' -> finish (Failed (get_str payload pos))
+      | 'B' -> finish Goodbye
+      | c -> Error (Printf.sprintf "unknown response tag %C" c)
+  with Decode_error m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Framed I/O                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type read_outcome =
+  | Frame of string  (** one complete payload *)
+  | Eof  (** clean close at a frame boundary *)
+  | Truncated  (** the peer died mid-frame *)
+  | Oversized of int
+      (** announced length beyond {!max_frame}; the body was not read, so
+          the stream is unsynchronized — close the connection *)
+
+(* Read exactly [n] bytes; [`Eof k] reports how many arrived first. *)
+let read_exact fd n : [ `Ok of string | `Eof of int ] =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then `Ok (Bytes.unsafe_to_string buf)
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> `Eof off
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        `Eof off
+  in
+  go 0
+
+let decode_len s =
+  let byte i = Char.code s.[i] in
+  (byte 0 lsl 24) lor (byte 1 lsl 16) lor (byte 2 lsl 8) lor byte 3
+
+let read_frame fd : read_outcome =
+  match read_exact fd 4 with
+  | `Eof 0 -> Eof
+  | `Eof _ -> Truncated
+  | `Ok header -> (
+    let len = decode_len header in
+    if len > max_frame then Oversized len
+    else if len = 0 then Frame ""
+    else
+      match read_exact fd len with
+      | `Ok payload -> Frame payload
+      | `Eof _ -> Truncated)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then begin
+      match Unix.write_substring fd s off (len - off) with
+      | 0 -> raise (Unix.Unix_error (Unix.EIO, "write", ""))
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+    end
+  in
+  go 0
+
+(** Write one frame. Payloads beyond {!max_frame} raise [Invalid_argument]
+    — callers clip large texts first (see {!clip}). *)
+let write_frame fd (payload : string) : unit =
+  if String.length payload > max_frame then
+    invalid_arg
+      (Printf.sprintf "Wire.write_frame: payload of %d bytes exceeds max_frame"
+         (String.length payload));
+  let b = Buffer.create (String.length payload + 4) in
+  put_u32 b (String.length payload);
+  Buffer.add_string b payload;
+  write_all fd (Buffer.contents b)
+
+(** Clip an unbounded result text so the framed response always fits
+    (leaves generous room for the tag and length prefix). *)
+let clip (text : string) : string =
+  let budget = max_frame - 1024 in
+  if String.length text <= budget then text
+  else String.sub text 0 budget ^ "\n... (response truncated by server)"
+
+let send_request fd r = write_frame fd (encode_request r)
+let send_response fd r = write_frame fd (encode_response r)

@@ -27,5 +27,6 @@ let () =
       ("metrics", Test_metrics.suite);
       ("batch_diff", Test_batch_diff.suite);
       ("wal", Test_wal.suite);
+      ("server", Test_server.suite);
       ("robustness", Test_robustness.suite);
     ]

@@ -1,0 +1,401 @@
+(** The served engine: wire-protocol codec, WAL group commit, and the
+    end-to-end client/server path with concurrent sessions. *)
+
+module Wire = Server.Wire
+module Wal = Audit_log.Wal
+module F = Engine_core.Faultkit
+module E = Engine_core.Engine_error
+
+let fresh_wal name =
+  let p = Filename.temp_file ("srv_" ^ name) ".wal" in
+  Sys.remove p;
+  p
+
+(* Unix-domain socket paths are capped around 100 bytes: keep them short
+   and absolute rather than inside dune's sandbox tree. *)
+let fresh_sock name =
+  Printf.sprintf "/tmp/st_%s_%d.sock" name (Unix.getpid ())
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_wire_roundtrip () =
+  let reqs =
+    [
+      Wire.Hello { user = "alice" };
+      Wire.Exec "SELECT * FROM patients;";
+      Wire.Exec "";
+      Wire.Quit;
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Wire.decode_request (Wire.encode_request r) with
+      | Ok r' -> Alcotest.(check bool) "request round-trips" true (r = r')
+      | Error m -> Alcotest.failf "request decode failed: %s" m)
+    reqs;
+  let resps =
+    [
+      Wire.Greeting { session = 42; server = "serverd" };
+      Wire.Result "patientid | name\n1 | Alice\n(1 row)";
+      Wire.Result "";
+      Wire.Failed "error: parse error: boom";
+      Wire.Goodbye;
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Wire.decode_response (Wire.encode_response r) with
+      | Ok r' -> Alcotest.(check bool) "response round-trips" true (r = r')
+      | Error m -> Alcotest.failf "response decode failed: %s" m)
+    resps
+
+let test_wire_decode_errors () =
+  let is_err = function Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "empty payload" true (is_err (Wire.decode_request ""));
+  Alcotest.(check bool)
+    "unknown tag" true
+    (is_err (Wire.decode_request "Zjunk"));
+  (* A Hello whose length prefix points past the end of the payload. *)
+  Alcotest.(check bool)
+    "truncated string body" true
+    (is_err (Wire.decode_request "H\x00\x00\x00\xffuser"));
+  (* Valid prefix with trailing garbage is rejected, not silently eaten. *)
+  let hello = Wire.encode_request (Wire.Hello { user = "u" }) in
+  Alcotest.(check bool)
+    "trailing bytes" true
+    (is_err (Wire.decode_request (hello ^ "x")))
+
+(* Framed I/O over a real socketpair. *)
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with _ -> ());
+      try Unix.close b with _ -> ())
+    (fun () -> f a b)
+
+let test_wire_frame_roundtrip () =
+  with_socketpair (fun a b ->
+      Wire.send_request a (Wire.Exec "SELECT 1;");
+      (match Wire.read_frame b with
+      | Wire.Frame p ->
+        Alcotest.(check bool)
+          "frame decodes" true
+          (Wire.decode_request p = Ok (Wire.Exec "SELECT 1;"))
+      | _ -> Alcotest.fail "expected a frame");
+      (* Several frames queued back-to-back arrive in order. *)
+      Wire.send_response a (Wire.Result "one");
+      Wire.send_response a (Wire.Failed "two");
+      let next () =
+        match Wire.read_frame b with
+        | Wire.Frame p -> Wire.decode_response p
+        | _ -> Alcotest.fail "expected a frame"
+      in
+      Alcotest.(check bool) "first frame" true (next () = Ok (Wire.Result "one"));
+      Alcotest.(check bool)
+        "second frame" true
+        (next () = Ok (Wire.Failed "two")))
+
+let test_wire_truncated_frame () =
+  with_socketpair (fun a b ->
+      (* A length prefix announcing 100 bytes, then only 3, then EOF. *)
+      let partial = "\x00\x00\x00\x64abc" in
+      ignore (Unix.write_substring a partial 0 (String.length partial));
+      Unix.close a;
+      match Wire.read_frame b with
+      | Wire.Truncated -> ()
+      | _ -> Alcotest.fail "expected Truncated");
+  with_socketpair (fun a b ->
+      (* EOF in the middle of the length prefix itself. *)
+      ignore (Unix.write_substring a "\x00\x00" 0 2);
+      Unix.close a;
+      match Wire.read_frame b with
+      | Wire.Truncated -> ()
+      | _ -> Alcotest.fail "expected Truncated");
+  with_socketpair (fun a b ->
+      (* Clean close at a frame boundary is Eof, not Truncated. *)
+      Unix.close a;
+      match Wire.read_frame b with
+      | Wire.Eof -> ()
+      | _ -> Alcotest.fail "expected Eof")
+
+let test_wire_oversized_frame () =
+  with_socketpair (fun a b ->
+      (* Announce a body just past the cap; the reader must refuse
+         without trying to allocate or read it. *)
+      let n = Wire.max_frame + 1 in
+      let header =
+        let bts = Bytes.create 4 in
+        Bytes.set bts 0 (Char.chr ((n lsr 24) land 0xff));
+        Bytes.set bts 1 (Char.chr ((n lsr 16) land 0xff));
+        Bytes.set bts 2 (Char.chr ((n lsr 8) land 0xff));
+        Bytes.set bts 3 (Char.chr (n land 0xff));
+        Bytes.to_string bts
+      in
+      ignore (Unix.write_substring a header 0 4);
+      (match Wire.read_frame b with
+      | Wire.Oversized k -> Alcotest.(check int) "announced size" n k
+      | _ -> Alcotest.fail "expected Oversized"));
+  (* The writer refuses to emit one in the first place. *)
+  match Wire.write_frame Unix.stdout (String.make (Wire.max_frame + 1) 'x') with
+  | () -> Alcotest.fail "oversized write_frame must raise"
+  | exception Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Group commit                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let note s = Wal.Note s
+
+(* K sessions forced into a single flush: pause the writer so every
+   submit parks in the queue, then resume and count fsyncs. *)
+let test_group_single_fsync () =
+  let path = fresh_wal "group1" in
+  let w, _ = Wal.open_ path in
+  let g = Wal.Group.create w in
+  let k = 6 in
+  Wal.Group.pause g;
+  let ths =
+    List.init k (fun i ->
+        Thread.create
+          (fun () -> Wal.Group.submit g [ note (Printf.sprintf "s%d" i) ])
+          ())
+  in
+  (* Wait until every session's record is parked in the queue. *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Wal.Group.pending g < k && Unix.gettimeofday () < deadline do
+    Thread.yield ()
+  done;
+  Alcotest.(check int) "all submits parked" k (Wal.Group.pending g);
+  Alcotest.(check int) "no fsync while paused" 0 (Wal.syncs w);
+  Wal.Group.resume g;
+  List.iter Thread.join ths;
+  let st = Wal.Group.stats g in
+  Alcotest.(check int) "exactly one fsync" 1 st.Wal.Group.s_fsyncs;
+  Alcotest.(check int) "one batch" 1 st.Wal.Group.s_batches;
+  Alcotest.(check int) "batch carried all sessions" k st.Wal.Group.s_max_batch;
+  Alcotest.(check int) "nothing pending" 0 (Wal.Group.pending g);
+  Wal.Group.close g;
+  let records, r = Wal.read_all path in
+  Alcotest.(check int) "every record durable" k (List.length records);
+  Alcotest.(check bool) "log clean" false r.Wal.corrupt
+
+(* Backpressure: with a tiny max_pending, extra submits block until a
+   flush frees queue space — and everything still lands. *)
+let test_group_backpressure () =
+  let path = fresh_wal "group_bp" in
+  let w, _ = Wal.open_ path in
+  let g = Wal.Group.create ~max_pending:2 w in
+  Wal.Group.pause g;
+  let ths =
+    List.init 5 (fun i ->
+        Thread.create
+          (fun () -> Wal.Group.submit g [ note (Printf.sprintf "bp%d" i) ])
+          ())
+  in
+  (* Only up to max_pending records can be queued while paused. *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Wal.Group.pending g < 2 && Unix.gettimeofday () < deadline do
+    Thread.yield ()
+  done;
+  Thread.yield ();
+  Alcotest.(check bool)
+    "queue capped at max_pending" true
+    (Wal.Group.pending g <= 2);
+  Wal.Group.resume g;
+  List.iter Thread.join ths;
+  Wal.Group.close g;
+  let records, _ = Wal.read_all path in
+  Alcotest.(check int) "all blocked submits landed" 5 (List.length records)
+
+(* A failed group flush poisons the writer: every waiter raises Log_io
+   and so does any later submit; the records never reached the log. *)
+let test_group_poisoned () =
+  let path = fresh_wal "group_fail" in
+  let kit = F.create () in
+  F.arm kit [ F.Log_io { at = 1; fault = F.Crash_before_sync } ];
+  let w, _ = Wal.open_ ~faults:kit path in
+  let g = Wal.Group.create w in
+  let is_log_io = function E.Error (E.Log_io _) -> true | _ -> false in
+  (match Wal.Group.submit g [ note "doomed" ] with
+  | () -> Alcotest.fail "submit over a crashed log must raise"
+  | exception e -> Alcotest.(check bool) "raises Log_io" true (is_log_io e));
+  (match Wal.Group.submit g [ note "after death" ] with
+  | () -> Alcotest.fail "poisoned writer must refuse submits"
+  | exception e ->
+    Alcotest.(check bool) "later submit raises too" true (is_log_io e));
+  let records, _ = Wal.read_all path in
+  Alcotest.(check int) "nothing leaked to the log" 0 (List.length records)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: concurrent clients against an in-process server         *)
+(* ------------------------------------------------------------------ *)
+
+let init_root () =
+  let db = Fixtures.healthcare_with_alice () in
+  ignore
+    (Db.Database.exec db
+       "CREATE TRIGGER watch ON ACCESS TO audit_alice AS NOTIFY 'seen'");
+  db
+
+let with_server ?(wal = true) f =
+  let sock = fresh_sock "e2e" in
+  let wal_path = if wal then Some (fresh_wal "e2e") else None in
+  let t =
+    Server.Daemon.start ~root:(init_root ())
+      (Server.Daemon.config ~wal_path (`Unix sock))
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.Daemon.stop t)
+    (fun () -> f t (`Unix sock) wal_path)
+
+let test_e2e_concurrent_sessions () =
+  with_server (fun t addr wal_path ->
+      let clients = 6 and per_client = 5 in
+      let results = Array.make clients None in
+      let ths =
+        List.init clients (fun i ->
+            Thread.create
+              (fun () ->
+                let user = Printf.sprintf "user%d" i in
+                let c = Server.Client.connect addr in
+                let sid = Server.Client.hello c ~user in
+                for _ = 1 to per_client do
+                  match Server.Client.exec c "SELECT * FROM patients;" with
+                  | Ok text ->
+                    if not (String.length text > 0) then
+                      failwith "empty result"
+                  | Error m -> failwith m
+                done;
+                Server.Client.quit c;
+                results.(i) <- Some (sid, user))
+              ())
+      in
+      List.iter Thread.join ths;
+      (* Every client got a distinct session id. *)
+      let pairs =
+        Array.to_list results
+        |> List.map (function
+             | Some p -> p
+             | None -> Alcotest.fail "client thread died")
+      in
+      let sids = List.map fst pairs in
+      Alcotest.(check int) "distinct session ids" clients
+        (List.length (List.sort_uniq compare sids));
+      let st = Server.Daemon.stats t in
+      Alcotest.(check int) "every statement served"
+        (clients * per_client)
+        st.Server.Daemon.statements_served;
+      (* Shut down (drains the WAL), then audit the evidence. *)
+      Server.Daemon.stop t;
+      let wal_path = Option.get wal_path in
+      let records, r = Wal.read_all wal_path in
+      Alcotest.(check bool) "log clean after shutdown" false r.Wal.corrupt;
+      Alcotest.(check int) "no torn tail" 0 r.Wal.truncated_bytes;
+      (* Each session's ACCESSED evidence is present, complete, and
+         stamped with the right (session, user) pair. *)
+      List.iter
+        (fun (sid, user) ->
+          let mine =
+            List.filter
+              (function
+                | Wal.Accessed { session; user = u; complete; _ } ->
+                  session = sid && u = user && complete
+                | _ -> false)
+              records
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "ACCESSED evidence for %s (session %d)" user sid)
+            per_client (List.length mine))
+        pairs;
+      (* Group commit did its job: fewer fsyncs than statements is not
+         guaranteed under arbitrary scheduling, but at least every record
+         is durable and batches never exceeded the queue. *)
+      match st.Server.Daemon.group with
+      | None -> Alcotest.fail "server should have a group writer"
+      | Some gs ->
+        Alcotest.(check bool)
+          "fsyncs did not exceed submits" true
+          (gs.Wal.Group.s_fsyncs <= gs.Wal.Group.s_submits + 1))
+
+let test_e2e_session_isolation () =
+  with_server (fun _t addr _wal ->
+      let a = Server.Client.connect addr in
+      let b = Server.Client.connect addr in
+      ignore (Server.Client.hello a ~user:"alice");
+      ignore (Server.Client.hello b ~user:"bob");
+      (* Session a sets a row budget too small for the query; session b
+         must be unaffected (budgets are per-session state). *)
+      (match Server.Client.exec a "\\budget rows 2" with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "budget command failed: %s" m);
+      (match Server.Client.exec a "SELECT * FROM patients;" with
+      | Ok _ -> Alcotest.fail "budgeted session should trip its guard"
+      | Error m ->
+        Alcotest.(check bool)
+          "budget error is structured" true
+          (String.length m > 0));
+      (match Server.Client.exec b "SELECT * FROM patients;" with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "unbudgeted session failed: %s" m);
+      (* Per-session \session reports distinct identities. *)
+      let banner c =
+        match Server.Client.exec c "\\session" with
+        | Ok s -> s
+        | Error m -> Alcotest.failf "\\session failed: %s" m
+      in
+      Alcotest.(check bool)
+        "sessions report distinct identities" true
+        (banner a <> banner b);
+      Server.Client.quit a;
+      Server.Client.quit b)
+
+let test_e2e_statement_errors_keep_session () =
+  with_server (fun _t addr _wal ->
+      let c = Server.Client.connect addr in
+      ignore (Server.Client.hello c ~user:"carol");
+      (match Server.Client.exec c "SELECT nonsense FROM nowhere;" with
+      | Ok _ -> Alcotest.fail "bad query should fail"
+      | Error m ->
+        Alcotest.(check bool)
+          "error line is structured" true
+          (String.length m >= 6 && String.sub m 0 6 = "error:"));
+      (* The session survives the failure. *)
+      (match Server.Client.exec c "SELECT name FROM patients;" with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "session should survive an error: %s" m);
+      (* Server-side-only commands are refused but do not kill it. *)
+      (match Server.Client.exec c "\\fault op 1 scan" with
+      | Ok text ->
+        Alcotest.(check bool)
+          "wire-refused command says so" true
+          (String.length text > 0)
+      | Error m -> Alcotest.failf "\\fault refusal is not an error: %s" m);
+      Server.Client.quit c)
+
+let suite =
+  [
+    Alcotest.test_case "wire: request/response round-trip" `Quick
+      test_wire_roundtrip;
+    Alcotest.test_case "wire: decode errors" `Quick test_wire_decode_errors;
+    Alcotest.test_case "wire: framed I/O round-trip" `Quick
+      test_wire_frame_roundtrip;
+    Alcotest.test_case "wire: truncated frames" `Quick
+      test_wire_truncated_frame;
+    Alcotest.test_case "wire: oversized frame rejection" `Quick
+      test_wire_oversized_frame;
+    Alcotest.test_case "group: K sessions share one fsync" `Quick
+      test_group_single_fsync;
+    Alcotest.test_case "group: backpressure blocks then drains" `Quick
+      test_group_backpressure;
+    Alcotest.test_case "group: failed flush poisons the writer" `Quick
+      test_group_poisoned;
+    Alcotest.test_case "e2e: concurrent sessions, durable evidence" `Quick
+      test_e2e_concurrent_sessions;
+    Alcotest.test_case "e2e: per-session state isolation" `Quick
+      test_e2e_session_isolation;
+    Alcotest.test_case "e2e: statement errors keep the session" `Quick
+      test_e2e_statement_errors_keep_session;
+  ]

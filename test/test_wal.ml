@@ -21,6 +21,7 @@ let sample =
   [
     Wal.Accessed
       {
+        session = 0;
         seq = 3;
         user = "admin";
         sql = "SELECT * FROM patients";
@@ -29,11 +30,18 @@ let sample =
         complete = true;
       };
     Wal.Trigger_fired
-      { seq = 3; trigger = "watch"; audit = "audit_alice"; timing = "AFTER" };
-    Wal.Notify { seq = 4; msg = "alice accessed" };
+      {
+        session = 0;
+        seq = 3;
+        trigger = "watch";
+        audit = "audit_alice";
+        timing = "AFTER";
+      };
+    Wal.Notify { session = 0; seq = 4; msg = "alice accessed" };
     Wal.Note "alarm: example";
     Wal.Accessed
       {
+        session = 7;
         seq = 5;
         user = "mallory";
         sql = "SELECT name FROM patients WHERE age > 30";
