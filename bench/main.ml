@@ -25,6 +25,7 @@ let known_benchmarks =
     "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "ablation-idprop";
     "ablation-multi"; "ablation-provenance"; "ablation-static"; "fga";
     "pipeline"; "scaling"; "micro"; "expr-compile"; "batch"; "concurrency";
+    "resilience";
   ]
 
 let wanted only name = only = [] || List.mem name only
@@ -179,12 +180,17 @@ let () =
     add "row_vs_batch" (Json_report.row_vs_batch_json env);
   if wanted only "concurrency" then
     add "concurrency" (Json_report.concurrency_json (Concurrency.run ()));
+  if wanted only "resilience" then
+    add "resilience"
+      (Json_report.resilience_json
+         (Resilience.run_overload ())
+         (Resilience.run_recovery ()));
   add "explain_analyze_sample" (Json_report.explain_sample env);
   let elapsed = Unix.gettimeofday () -. t0 in
   let path =
     match Sys.getenv_opt "BENCH_JSON" with
     | Some p when String.trim p <> "" -> p
-    | _ -> "BENCH_PR6.json"
+    | _ -> "BENCH_PR7.json"
   in
   Benchkit.Json.write_file path
     (Json_report.assemble env ~sections:(List.rev !sections) ~elapsed_s:elapsed);

@@ -1,0 +1,111 @@
+(* chaosd — the network chaos proxy as a standalone daemon.
+
+   Sits between wire-protocol clients and serverd, injecting seeded
+   frame-level faults (drop, delay, truncate, sever) in both directions:
+
+     chaosd --listen /tmp/chaos.sock --upstream /tmp/audit.sock --seed 7
+
+   CI's chaos-smoke job points 8 retrying shell clients at chaosd and
+   gates on walcheck's exactly-once check afterwards: however the proxy
+   mangled the streams, every acknowledged statement must have exactly
+   one durable evidence record. SIGTERM/SIGINT print a stats line
+   (frames, faults by kind) and exit; CI greps it to prove the run
+   actually injected faults. *)
+
+let stop_requested = Atomic.make false
+
+let log msg = Printf.printf "[chaosd] %s\n%!" msg
+
+let parse_addr spec : Server.Daemon.listen =
+  match String.rindex_opt spec ':' with
+  | Some i -> (
+    match
+      int_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1))
+    with
+    | Some port when port > 0 ->
+      let host = String.sub spec 0 i in
+      `Tcp ((if host = "" then "127.0.0.1" else host), port)
+    | _ -> `Unix spec)
+  | None -> `Unix spec
+
+let main listen upstream seed drop delay delay_s truncate sever =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let spec =
+    {
+      Server.Chaos.p_drop = drop;
+      p_delay = delay;
+      delay_s;
+      p_truncate = truncate;
+      p_sever = sever;
+    }
+  in
+  let t =
+    Server.Chaos.start ~spec ~seed ~listen:(parse_addr listen)
+      ~upstream:(parse_addr upstream) ()
+  in
+  log
+    (Printf.sprintf
+       "proxying %s -> %s (seed=%d drop=%.2f delay=%.2f/%.0fms trunc=%.2f \
+        sever=%.2f)"
+       listen upstream seed drop delay (delay_s *. 1000.0) truncate sever);
+  let request_stop _ = Atomic.set stop_requested true in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+  while not (Atomic.get stop_requested) do
+    Thread.delay 0.2
+  done;
+  log "shutdown requested";
+  Server.Chaos.stop t;
+  let s = Server.Chaos.stats t in
+  log
+    (Printf.sprintf
+       "stats: connections=%d frames=%d dropped=%d delayed=%d truncated=%d \
+        severed=%d"
+       s.Server.Chaos.s_connections s.Server.Chaos.s_frames
+       s.Server.Chaos.s_dropped s.Server.Chaos.s_delayed
+       s.Server.Chaos.s_truncated s.Server.Chaos.s_severed);
+  0
+
+open Cmdliner
+
+let listen =
+  let doc = "Listen for clients on $(docv) (socket path or HOST:PORT)." in
+  Arg.(value & opt string "chaos.sock" & info [ "listen" ] ~docv:"ADDR" ~doc)
+
+let upstream =
+  let doc = "Forward to the serverd at $(docv) (socket path or HOST:PORT)." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "upstream" ] ~docv:"ADDR" ~doc)
+
+let seed =
+  let doc = "Deterministic fault-schedule seed." in
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+
+let prob name default doc =
+  Arg.(value & opt float default & info [ name ] ~docv:"P" ~doc)
+
+let drop = prob "drop" 0.05 "Per-frame probability of silently dropping it."
+let delay = prob "delay" 0.08 "Per-frame probability of delaying it."
+
+let delay_s =
+  let doc = "Mean delay in seconds for delayed frames." in
+  Arg.(value & opt float 0.02 & info [ "delay-s" ] ~docv:"S" ~doc)
+
+let truncate =
+  prob "truncate" 0.03
+    "Per-frame probability of truncating it mid-byte and severing."
+
+let sever =
+  prob "sever" 0.03 "Per-frame probability of severing the connection."
+
+let cmd =
+  let doc = "seeded network chaos proxy for the audit wire protocol" in
+  Cmd.v
+    (Cmd.info "chaosd" ~doc)
+    Term.(
+      const main $ listen $ upstream $ seed $ drop $ delay $ delay_s
+      $ truncate $ sever)
+
+let () = exit (Cmd.eval' cmd)

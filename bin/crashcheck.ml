@@ -23,12 +23,18 @@
        batch's append and its fsync) and checks that every acked record
        was actually durable — group commit must not weaken the
        evidence-before-results invariant
+     - rotation: a child appends into a segmented WAL with a tiny
+       segment threshold (rotating every handful of records) and is
+       SIGKILLed cold — frequently mid-rotation, between the seal fsync,
+       the manifest checkpoint and the successor's creation. Recovery
+       must keep every acked record, stay bounded (manifest + tail scan
+       only, never the sealed segments), and accept appends again.
 
    Exit status 0 when every scenario holds, 1 otherwise. Usage:
      crashcheck [scratch-dir] [scenario...]
-   with scenarios from: torn corrupt kill group (default: all). *)
+   with scenarios from: torn corrupt kill group rotate (default: all). *)
 
-let scenario_names = [ "torn"; "corrupt"; "kill"; "group" ]
+let scenario_names = [ "torn"; "corrupt"; "kill"; "group"; "rotate" ]
 
 let scratch, selected =
   match List.tl (Array.to_list Sys.argv) with
@@ -262,6 +268,100 @@ let group_commit () =
     check "group: log accepts appends after recovery"
       ((not r2.Audit_log.Wal.corrupt) && r2.Audit_log.Wal.truncated_bytes = 0)
 
+(* ------------------------------------------------------------------ *)
+(* Scenario 5: SIGKILL during segment rotation                         *)
+(* ------------------------------------------------------------------ *)
+
+(* With a ~0.5 KiB threshold the child rotates every handful of records,
+   so a cold kill lands inside rotation's window (seal fsync → manifest
+   checkpoint → successor creation) with high probability. Acks are the
+   durable lower bound, exactly as in the group scenario. *)
+let rotation_kill () =
+  let path = fresh_path "rotate.wal" in
+  (* Clear any segment/manifest debris from a previous run. *)
+  Array.iter
+    (fun f ->
+      if
+        String.length f >= 10
+        && String.sub f 0 10 = "rotate"
+      then try Sys.remove (Filename.concat scratch f) with _ -> ())
+    (try Sys.readdir scratch with _ -> [||]);
+  let ack = fresh_path "rotate.ack" in
+  match Unix.fork () with
+  | 0 ->
+    let w, _ = Audit_log.Wal.open_ ~max_segment_size:512 path in
+    let afd =
+      Unix.openfile ack [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+    in
+    let i = ref 0 in
+    while true do
+      incr i;
+      Audit_log.Wal.append w (note !i);
+      Audit_log.Wal.sync w;
+      let line = Printf.sprintf "record-%04d\n" !i in
+      ignore (Unix.write_substring afd line 0 (String.length line));
+      Unix.fsync afd
+    done;
+    exit 0
+  | pid ->
+    Unix.sleepf 0.3;
+    Unix.kill pid Sys.sigkill;
+    ignore (Unix.waitpid [] pid);
+    let records, r = Audit_log.Wal.read_all path in
+    check "rotate: no corruption after SIGKILL" (not r.Audit_log.Wal.corrupt);
+    check "rotate: the child actually rotated" (r.Audit_log.Wal.segments > 1);
+    let durable = Hashtbl.create 1024 in
+    List.iter
+      (function
+        | Audit_log.Wal.Note s -> Hashtbl.replace durable s ()
+        | _ -> ())
+      records;
+    let acked =
+      if not (Sys.file_exists ack) then []
+      else begin
+        let ic = open_in ack in
+        let n = in_channel_length ic in
+        let content = really_input_string ic n in
+        close_in ic;
+        let upto =
+          match String.rindex_opt content '\n' with
+          | Some i -> String.sub content 0 i
+          | None -> ""
+        in
+        if upto = "" then [] else String.split_on_char '\n' upto
+      end
+    in
+    check "rotate: child made progress before dying" (acked <> []);
+    let missing = List.filter (fun t -> not (Hashtbl.mem durable t)) acked in
+    if missing <> [] then
+      List.iter (Printf.printf "# rotate: acked but not durable: %s\n") missing;
+    check "rotate: every acked record survives the kill" (missing = []);
+    (* Bounded recovery: reopening scans the manifest and tail segment
+       only — sealed segments are never re-read. *)
+    let w2, r2 = Audit_log.Wal.open_ path in
+    check "rotate: reopen selects segmented mode via the manifest"
+      (Audit_log.Wal.is_segmented w2);
+    let total_bytes = ref 0 in
+    for s = 0 to r2.Audit_log.Wal.segments - 1 do
+      let p = Audit_log.Wal.segment_path path s in
+      if Sys.file_exists p then
+        total_bytes := !total_bytes + (Unix.stat p).Unix.st_size
+    done;
+    check "rotate: recovery is bounded to the tail segment"
+      (r2.Audit_log.Wal.segments > 1
+      && r2.Audit_log.Wal.scanned_bytes < !total_bytes);
+    Audit_log.Wal.append w2 (Audit_log.Wal.Note "post-recovery");
+    Audit_log.Wal.sync w2;
+    Audit_log.Wal.close w2;
+    let records3, r3 = Audit_log.Wal.read_all path in
+    check "rotate: log accepts appends after recovery"
+      ((not r3.Audit_log.Wal.corrupt)
+      && List.length records3 = List.length records + 1);
+    Printf.printf
+      "# rotate: %d records over %d segments, scanned %d of %d bytes\n"
+      r3.Audit_log.Wal.valid_records r3.Audit_log.Wal.segments
+      r2.Audit_log.Wal.scanned_bytes !total_bytes
+
 let needs_fork f name =
   try f ()
   with Unix.Unix_error _ ->
@@ -277,6 +377,7 @@ let () =
       | "corrupt" -> corruption ()
       | "kill" -> needs_fork real_kill "kill"
       | "group" -> needs_fork group_commit "group"
+      | "rotate" -> needs_fork rotation_kill "rotate"
       | s ->
         incr failures;
         Printf.printf "FAIL - unknown scenario %s\n" s)

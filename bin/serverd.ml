@@ -37,7 +37,8 @@ let parse_tcp spec =
     | Some p when p > 0 -> Some (`Tcp ((if host = "" then "127.0.0.1" else host), p))
     | _ -> None)
 
-let main socket tcp wal policy_open init tpch max_clients =
+let main socket tcp wal policy_open max_segment_size init tpch max_clients
+    max_waiting statement_timeout =
   let listen =
     match tcp with
     | Some spec -> (
@@ -68,7 +69,8 @@ let main socket tcp wal policy_open init tpch max_clients =
       ~wal_policy:
         (if policy_open then Audit_log.Wal.Fail_open
          else Audit_log.Wal.Fail_closed)
-      ~max_clients ~log listen
+      ?max_segment_size ~max_clients ~max_waiting
+      ?statement_timeout_s:statement_timeout ~log listen
   in
   let t = Server.Daemon.start ~root:db cfg in
   let request_stop _ = Atomic.set stop_requested true in
@@ -84,9 +86,10 @@ let main socket tcp wal policy_open init tpch max_clients =
   | Some g ->
     log
       (Printf.sprintf
-         "stats: sessions=%d statements=%d records=%d batches=%d fsyncs=%d \
-          max_batch=%d"
+         "stats: sessions=%d statements=%d shed=%d replayed=%d records=%d \
+          batches=%d fsyncs=%d max_batch=%d"
          s.Server.Daemon.sessions_opened s.Server.Daemon.statements_served
+         s.Server.Daemon.statements_shed s.Server.Daemon.statements_replayed
          g.Audit_log.Wal.Group.s_records g.Audit_log.Wal.Group.s_batches
          g.Audit_log.Wal.Group.s_fsyncs g.Audit_log.Wal.Group.s_max_batch)
   | None ->
@@ -134,11 +137,41 @@ let max_clients =
   let doc = "Refuse connections beyond $(docv) concurrent clients." in
   Arg.(value & opt int 64 & info [ "max-clients" ] ~docv:"N" ~doc)
 
+let max_segment_size =
+  let doc =
+    "Segment the audit log, rotating the active segment past $(docv) bytes. \
+     Recovery then replays only the manifest and the tail segment (bounded), \
+     and ENOSPC degrades by rotating before the policy kicks in."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-segment-size" ] ~docv:"BYTES" ~doc)
+
+let max_waiting =
+  let doc =
+    "Admission-control threshold: shed statements with a typed Overloaded \
+     (retry-after) response once $(docv) statements are queued for \
+     execution."
+  in
+  Arg.(value & opt int 32 & info [ "max-waiting" ] ~docv:"N" ~doc)
+
+let statement_timeout =
+  let doc =
+    "Server-wide per-statement deadline in seconds (caps each session's own \
+     timeout)."
+  in
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "statement-timeout" ] ~docv:"SECONDS" ~doc)
+
 let cmd =
   let doc = "audit server daemon with WAL group commit" in
   Cmd.v
     (Cmd.info "serverd" ~doc)
     Term.(
-      const main $ socket $ tcp $ wal $ policy_open $ init $ tpch $ max_clients)
+      const main $ socket $ tcp $ wal $ policy_open $ max_segment_size $ init
+      $ tpch $ max_clients $ max_waiting $ statement_timeout)
 
 let () = exit (Cmd.eval' cmd)

@@ -334,11 +334,33 @@ let parse_connect spec : Server.Daemon.listen =
     | _ -> `Unix spec)
   | None -> `Unix spec
 
-let client_send conn line =
-  match Server.Client.exec conn line with
+(* The REPL and script runner talk through this little vtable so the
+   plain connection and the retrying one share the same surface. With
+   --retry, dropped connections and lost responses are absorbed: the
+   client reconnects with its session token and resends the same
+   statement seq, which the server either executes (first delivery) or
+   answers from its reply cache — never both. *)
+type remote = {
+  send : string -> (string, string) result;
+  finish : unit -> unit;
+}
+
+let plain_remote conn =
+  { send = (fun line -> Server.Client.exec conn line);
+    finish = (fun () -> Server.Client.quit conn) }
+
+let retry_remote rt =
+  { send = (fun line -> Server.Client.Retry.exec rt line);
+    finish = (fun () -> Server.Client.Retry.quit rt) }
+
+let client_send remote line =
+  match remote.send line with
   | Ok text -> if text <> "" then print_endline text
   | Error m -> print_endline m
   | exception Server.Client.Protocol_error m ->
+    Printf.printf "connection error: %s\n" m;
+    raise Exit
+  | exception Server.Client.Retry.Gave_up m ->
     Printf.printf "connection error: %s\n" m;
     raise Exit
 
@@ -368,7 +390,7 @@ let client_repl conn =
       end
     done
   with Exit ->
-    Server.Client.quit conn;
+    conn.finish ();
     print_endline "bye"
 
 (* Script mode over a connection: the server executes one statement per
@@ -383,35 +405,66 @@ let client_run_file conn path =
   String.split_on_char ';' content
   |> List.iter (fun stmt ->
          if String.trim stmt <> "" then
-           match Server.Client.exec conn (stmt ^ ";") with
+           match conn.send (stmt ^ ";") with
            | Ok text -> if text <> "" then print_endline text
            | Error m ->
              print_endline m;
              failed := true
            | exception Server.Client.Protocol_error m ->
              Printf.printf "connection error: %s\n" m;
+             failed := true
+           | exception Server.Client.Retry.Gave_up m ->
+             Printf.printf "connection error: %s\n" m;
              failed := true);
-  Server.Client.quit conn;
+  conn.finish ();
   if !failed then exit 1
 
-let client_main connect user file =
+let client_main connect user file retry =
   let user = Option.value user ~default:"admin" in
-  let conn =
-    try Server.Client.connect (parse_connect connect)
-    with Unix.Unix_error (e, _, _) ->
-      Printf.eprintf "shell: cannot connect to %s: %s\n" connect
-        (Unix.error_message e);
-      exit 1
+  let addr = parse_connect connect in
+  let remote =
+    if retry then begin
+      let rt =
+        Server.Client.Retry.create ~recv_timeout_s:5.0
+          ~seed:(Unix.getpid ()) addr ~user
+      in
+      (* Connect eagerly so an unreachable server fails fast with a
+         clear message instead of burning the backoff schedule. *)
+      (match Server.Client.Retry.exec rt "\\session" with
+      | Ok s -> Printf.printf "connected (retrying): %s\n%!" s
+      | Error m ->
+        Printf.eprintf "shell: cannot connect to %s: %s\n" connect m;
+        exit 1
+      | exception (Server.Client.Retry.Gave_up m | Server.Client.Protocol_error m)
+        ->
+        Printf.eprintf "shell: cannot connect to %s: %s\n" connect m;
+        exit 1
+      | exception Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "shell: cannot connect to %s: %s\n" connect
+          (Unix.error_message e);
+        exit 1);
+      retry_remote rt
+    end
+    else begin
+      let conn =
+        try Server.Client.connect addr
+        with Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "shell: cannot connect to %s: %s\n" connect
+            (Unix.error_message e);
+          exit 1
+      in
+      let sid = Server.Client.hello conn ~user in
+      Printf.printf "connected: session %d (user %s)\n%!" sid user;
+      plain_remote conn
+    end
   in
-  let sid = Server.Client.hello conn ~user in
-  Printf.printf "connected: session %d (user %s)\n%!" sid user;
   match file with
-  | Some path -> client_run_file conn path
-  | None -> client_repl conn
+  | Some path -> client_run_file remote path
+  | None -> client_repl remote
 
-let main file tpch_sf connect user =
+let main file tpch_sf connect user retry =
   match connect with
-  | Some spec -> client_main spec user file
+  | Some spec -> client_main spec user file retry
   | None -> (
     let db = Db.Database.create () in
     (match user with Some u -> Db.Database.set_user db u | None -> ());
@@ -444,10 +497,20 @@ let user_arg =
   let doc = "Session user name (default admin)." in
   Arg.(value & opt (some string) None & info [ "u"; "user" ] ~docv:"NAME" ~doc)
 
+let retry_arg =
+  let doc =
+    "With --connect: survive dropped connections and lost responses by \
+     reconnecting (same session token) and resending the in-flight \
+     statement with its sequence number — the server deduplicates, so \
+     each statement executes at most once. Also absorbs server overload \
+     responses by waiting the hinted delay."
+  in
+  Arg.(value & flag & info [ "retry" ] ~doc)
+
 let cmd =
   let doc = "interactive SQL shell with SELECT triggers for data auditing" in
   Cmd.v
     (Cmd.info "shell" ~doc)
-    Term.(const main $ file $ tpch $ connect $ user_arg)
+    Term.(const main $ file $ tpch $ connect $ user_arg $ retry_arg)
 
 let () = exit (Cmd.eval cmd)

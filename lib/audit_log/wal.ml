@@ -20,12 +20,40 @@
     Fault injection ({!Engine_core.Faultkit.Log_io}) is consulted per
     append: short writes and ENOSPC heal (exercising failure-atomicity),
     [Crash_before_sync] leaves a torn tail and kills the handle
-    (exercising recovery). *)
+    (exercising recovery).
+
+    {b Segmented mode.} A log opened with [~max_segment_size] (or whose
+    manifest already exists on disk) is a sequence of segment files
+    [base.NNNN.wal] plus a manifest [base.manifest]. The manifest is
+    itself a tiny CRC-framed log of {!record.Checkpoint} records: one per
+    {e sealed} segment, appended and fsynced at rotation time, after the
+    segment's last byte is durable. Rotation is size-based and happens
+    inside {!append}, under whatever serialization the caller already
+    provides (the group-commit leader, in the served engine). Recovery is
+    {e bounded}: sealed segments are trusted via their checkpoint and
+    never rescanned — open-time recovery reads only the manifest and the
+    tail segment, so recovery cost is O(max_segment_size) no matter how
+    large the audit trail has grown. ENOSPC degrades gracefully: the
+    writer first tries to rotate into a fresh segment and retry once;
+    if that also fails, the handle is poisoned (fail-closed) or healed
+    for a later attempt (fail-open) instead of healing forever. *)
 
 open Engine_core
 
 let magic = "AUDWAL01"
 let frame_header_len = 8
+let default_segment_size = 4 * 1024 * 1024
+
+(* Segment naming per the on-disk contract: base [audit.wal] yields
+   segments [audit.0000.wal], [audit.0001.wal], ... and the manifest
+   [audit.wal.manifest]. A base without the .wal suffix gets plain
+   numeric suffixes. *)
+let segment_path base i =
+  if Filename.check_suffix base ".wal" then
+    Printf.sprintf "%s.%04d.wal" (Filename.chop_suffix base ".wal") i
+  else Printf.sprintf "%s.%04d" base i
+
+let manifest_path base = base ^ ".manifest"
 
 let log_io msg = Engine_error.raise_ (Engine_error.Log_io msg)
 
@@ -75,6 +103,9 @@ type record =
     }
   | Notify of { session : int; seq : int; msg : string }
   | Note of string  (** engine annotations: alarms, recovery notes *)
+  | Checkpoint of { segment : int; records : int; bytes : int }
+      (** manifest-only: segment [segment] is sealed, fully fsynced, with
+          [records] intact records in [bytes] bytes *)
 
 let record_to_string = function
   | Accessed { session; seq; user; sql; audit; ids; complete } ->
@@ -88,12 +119,15 @@ let record_to_string = function
   | Notify { session; seq; msg } ->
     Printf.sprintf "notify session=%d seq=%d msg=%S" session seq msg
   | Note msg -> Printf.sprintf "note %S" msg
+  | Checkpoint { segment; records; bytes } ->
+    Printf.sprintf "checkpoint segment=%04d records=%d bytes=%d" segment
+      records bytes
 
 let record_session = function
   | Accessed { session; _ } | Trigger_fired { session; _ }
   | Notify { session; _ } ->
     Some session
-  | Note _ -> None
+  | Note _ | Checkpoint _ -> None
 
 (* Binary payload codec. *)
 
@@ -150,7 +184,12 @@ let encode (r : record) : string =
     put_str b msg
   | Note msg ->
     Buffer.add_char b '\004';
-    put_str b msg);
+    put_str b msg
+  | Checkpoint { segment; records; bytes } ->
+    Buffer.add_char b '\005';
+    put_u32 b segment;
+    put_u32 b records;
+    put_u32 b bytes);
   Buffer.contents b
 
 let decode (payload : string) : record =
@@ -181,6 +220,11 @@ let decode (payload : string) : record =
     let msg = get_str payload pos in
     Notify { session; seq; msg }
   | '\004' -> Note (get_str payload pos)
+  | '\005' ->
+    let segment = get_u32 payload pos in
+    let records = get_u32 payload pos in
+    let bytes = get_u32 payload pos in
+    Checkpoint { segment; records; bytes }
   | _ -> raise Decode_error
 
 let frame (r : record) : string =
@@ -201,7 +245,24 @@ type recovery = {
   truncated_bytes : int;  (** torn/corrupt bytes dropped from the tail *)
   corrupt : bool;
       (** true when the tail failed its checksum (vs a clean short tail) *)
+  segments : int;  (** segment files covered (1 for a single-file log) *)
+  tail_segment : int;  (** index of the active (scanned) segment *)
+  scanned_bytes : int;
+      (** bytes actually read during recovery: the whole file for a
+          single-file log, manifest + tail segment only for a segmented
+          one — the quantity bounded recovery keeps flat *)
 }
+
+let no_recovery =
+  {
+    valid_records = 0;
+    valid_bytes = 0;
+    truncated_bytes = 0;
+    corrupt = false;
+    segments = 1;
+    tail_segment = 0;
+    scanned_bytes = 0;
+  }
 
 (** Scan [contents], returning the intact records and the recovery
     report. Never raises: an unreadable byte ends the valid prefix. *)
@@ -212,10 +273,11 @@ let scan (contents : string) : record list * recovery =
     (* Missing or bad magic: nothing trustworthy in this file. *)
     ( [],
       {
-        valid_records = 0;
+        no_recovery with
         valid_bytes = String.length magic;
         truncated_bytes = len;
         corrupt = len > 0;
+        scanned_bytes = len;
       } )
   else begin
     let records = ref [] in
@@ -243,10 +305,12 @@ let scan (contents : string) : record list * recovery =
      with Exit -> ());
     ( List.rev !records,
       {
+        no_recovery with
         valid_records = List.length !records;
         valid_bytes = !pos;
         truncated_bytes = len - !pos;
         corrupt = !corrupt;
+        scanned_bytes = len;
       } )
   end
 
@@ -256,13 +320,69 @@ let read_file path : string =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-(** Read and validate a log without opening it for append. *)
-let read_all path : record list * recovery =
-  if Sys.file_exists path then scan (read_file path)
+(* Sealed-segment checkpoints from a manifest, oldest first:
+   (segment index, records, bytes) triples. *)
+let manifest_checkpoints mpath : (int * int * int) list * recovery =
+  if not (Sys.file_exists mpath) then ([], no_recovery)
   else
-    ( [],
-      { valid_records = 0; valid_bytes = 0; truncated_bytes = 0; corrupt = false }
-    )
+    let records, r = scan (read_file mpath) in
+    ( List.filter_map
+        (function
+          | Checkpoint { segment; records; bytes } ->
+            Some (segment, records, bytes)
+          | _ -> None)
+        records,
+      r )
+
+(** Read and validate a log without opening it for append. A segmented
+    log (manifest present at [path ^ ".manifest"]) is read in full —
+    every sealed segment plus the tail — so offline audits ([walcheck])
+    always cover the complete history. Sealed segments were durable
+    before their checkpoint: any shortfall there is corruption, whereas
+    a short tail segment is the normal post-crash shape. *)
+let read_all path : record list * recovery =
+  let mpath = manifest_path path in
+  if Sys.file_exists mpath then begin
+    let cks, mr = manifest_checkpoints mpath in
+    let tail_index =
+      List.fold_left (fun acc (s, _, _) -> max acc (s + 1)) 0 cks
+    in
+    let corrupt = ref mr.corrupt in
+    let scanned = ref mr.scanned_bytes in
+    let read_segment ~sealed (seg, expected) =
+      let p = segment_path path seg in
+      if not (Sys.file_exists p) then begin
+        if sealed then corrupt := true;
+        ([], no_recovery)
+      end
+      else begin
+        let records, r = scan (read_file p) in
+        scanned := !scanned + r.scanned_bytes;
+        if
+          sealed
+          && (r.corrupt || r.truncated_bytes > 0 || r.valid_records < expected)
+        then corrupt := true;
+        (records, r)
+      end
+    in
+    let sealed = List.map (fun (s, n, _) -> read_segment ~sealed:true (s, n)) cks in
+    let tail_records, tr = read_segment ~sealed:false (tail_index, 0) in
+    let records = List.concat_map fst sealed @ tail_records in
+    ( records,
+      {
+        valid_records = List.length records;
+        valid_bytes =
+          List.fold_left (fun a (_, r) -> a + r.valid_bytes) tr.valid_bytes
+            sealed;
+        truncated_bytes = tr.truncated_bytes;
+        corrupt = !corrupt || tr.corrupt;
+        segments = tail_index + 1;
+        tail_segment = tail_index;
+        scanned_bytes = !scanned;
+      } )
+  end
+  else if Sys.file_exists path then scan (read_file path)
+  else ([], no_recovery)
 
 (* ------------------------------------------------------------------ *)
 (* Writer                                                              *)
@@ -278,15 +398,27 @@ let policy_to_string = function
   | Fail_closed -> "fail-closed"
   | Fail_open -> "fail-open"
 
+type segmented = {
+  max_bytes : int;  (** size-based rotation threshold for a segment *)
+  mutable seg_index : int;  (** index of the active segment *)
+  mutable seg_records : int;  (** records in the active segment *)
+  mutable sealed_records : int;  (** records in sealed segments *)
+  mutable manifest : Unix.file_descr option;
+  mutable rotations : int;  (** rotations performed through this handle *)
+}
+
 type t = {
-  path : string;
+  path : string;  (** base path; segments and manifest derive from it *)
   mutable fd : Unix.file_descr option;  (** [None] = dead handle *)
   mutable policy : policy;
-  mutable size : int;  (** bytes of validated + successfully appended data *)
+  mutable size : int;
+      (** bytes of validated + successfully appended data in the active
+          file (the only segment of a single-file log) *)
   mutable appended : int;  (** records appended through this handle *)
   mutable syncs : int;  (** fsyncs issued through this handle *)
   mutable dirty : bool;  (** appended since the last fsync *)
   faults : Faultkit.t option;
+  seg : segmented option;  (** [None] = single-file (legacy) layout *)
 }
 
 let path t = t.path
@@ -295,50 +427,122 @@ let set_policy t p = t.policy <- p
 let appended t = t.appended
 let syncs t = t.syncs
 let is_open t = t.fd <> None
+let is_segmented t = t.seg <> None
+let segments t = match t.seg with Some s -> s.seg_index + 1 | None -> 1
+let rotations t = match t.seg with Some s -> s.rotations | None -> 0
+let tail_segment t = match t.seg with Some s -> s.seg_index | None -> 0
 
 let fd_exn t =
   match t.fd with
   | Some fd -> fd
   | None -> log_io (Printf.sprintf "audit log %s: handle is dead" t.path)
 
-(** Open (creating if needed) with recovery: intact records are kept, the
-    torn tail is truncated, and the handle is positioned for append. *)
-let open_ ?(policy = Fail_closed) ?faults path : t * recovery =
+(* Open (create or recover) one plain log file positioned for append:
+   intact records kept, torn tail truncated, magic laid down when fresh. *)
+let open_file path : Unix.file_descr * recovery =
   let exists = Sys.file_exists path in
   let contents = if exists then read_file path else "" in
   let recovery =
-    if contents = "" then
-      {
-        valid_records = 0;
-        valid_bytes = String.length magic;
-        truncated_bytes = 0;
-        corrupt = false;
-      }
+    if contents = "" then { no_recovery with valid_bytes = String.length magic }
     else snd (scan contents)
   in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  if (not exists) || contents = "" then begin
+    let n = Unix.write_substring fd magic 0 (String.length magic) in
+    if n <> String.length magic then failwith "short write of magic"
+  end
+  else Unix.ftruncate fd recovery.valid_bytes;
+  ignore (Unix.lseek fd recovery.valid_bytes Unix.SEEK_SET);
+  Unix.fsync fd;
+  (fd, recovery)
+
+(** Open (creating if needed) with recovery: intact records are kept, the
+    torn tail is truncated, and the handle is positioned for append.
+
+    With [~max_segment_size] (or when [path ^ ".manifest"] already
+    exists) the log is segmented and recovery is {e bounded}: sealed
+    segments are trusted through their fsynced manifest checkpoints, so
+    only the manifest and the tail segment are read — O(segment size),
+    however large the trail. A crash during rotation leaves either an
+    unsealed full segment (it becomes the scanned tail) or a sealed
+    segment with no successor file yet (a fresh tail is created); both
+    recover without scanning history. *)
+let open_ ?(policy = Fail_closed) ?faults ?max_segment_size path : t * recovery
+    =
+  let mpath = manifest_path path in
+  let segmented = max_segment_size <> None || Sys.file_exists mpath in
   match
-    let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
-    (* Truncate the torn tail (or lay down the magic on a fresh file),
-       then seek to the end of the valid prefix. *)
-    if (not exists) || contents = "" then begin
-      let n = Unix.write_substring fd magic 0 (String.length magic) in
-      if n <> String.length magic then failwith "short write of magic"
+    if not segmented then begin
+      let fd, recovery = open_file path in
+      (fd, recovery.valid_bytes, recovery, None)
     end
-    else Unix.ftruncate fd recovery.valid_bytes;
-    ignore (Unix.lseek fd recovery.valid_bytes Unix.SEEK_SET);
-    Unix.fsync fd;
-    fd
+    else begin
+      let mcontent = if Sys.file_exists mpath then read_file mpath else "" in
+      let cks, mr =
+        if mcontent = "" then
+          ([], { no_recovery with valid_bytes = String.length magic })
+        else
+          let records, r = scan mcontent in
+          ( List.filter_map
+              (function
+                | Checkpoint { segment; records; bytes } ->
+                  Some (segment, records, bytes)
+                | _ -> None)
+              records,
+            r )
+      in
+      let mfd = Unix.openfile mpath [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+      if mcontent = "" then begin
+        let n = Unix.write_substring mfd magic 0 (String.length magic) in
+        if n <> String.length magic then failwith "short write of magic"
+      end
+      else Unix.ftruncate mfd mr.valid_bytes;
+      ignore (Unix.lseek mfd mr.valid_bytes Unix.SEEK_SET);
+      Unix.fsync mfd;
+      let tail_index =
+        List.fold_left (fun acc (s, _, _) -> max acc (s + 1)) 0 cks
+      in
+      let sealed_records =
+        List.fold_left (fun acc (_, n, _) -> acc + n) 0 cks
+      in
+      let sealed_bytes = List.fold_left (fun acc (_, _, b) -> acc + b) 0 cks in
+      let fd, tr = open_file (segment_path path tail_index) in
+      let seg =
+        {
+          max_bytes =
+            Option.value max_segment_size ~default:default_segment_size;
+          seg_index = tail_index;
+          seg_records = tr.valid_records;
+          sealed_records;
+          manifest = Some mfd;
+          rotations = 0;
+        }
+      in
+      ( fd,
+        tr.valid_bytes,
+        {
+          valid_records = sealed_records + tr.valid_records;
+          valid_bytes = sealed_bytes + tr.valid_bytes;
+          truncated_bytes = tr.truncated_bytes;
+          corrupt = tr.corrupt || mr.corrupt;
+          segments = tail_index + 1;
+          tail_segment = tail_index;
+          scanned_bytes = String.length mcontent + tr.scanned_bytes;
+        },
+        Some seg )
+    end
   with
-  | fd ->
+  | fd, active_size, recovery, seg ->
     ( {
         path;
         fd = Some fd;
         policy;
-        size = recovery.valid_bytes;
+        size = active_size;
         appended = 0;
         syncs = 0;
         dirty = false;
         faults;
+        seg;
       },
       recovery )
   | exception (Unix.Unix_error _ | Failure _ | Sys_error _) ->
@@ -366,11 +570,90 @@ let heal t =
       t.fd <- None)
 
 let kill t =
+  (match t.seg with
+  | Some ({ manifest = Some mfd; _ } as s) ->
+    (try Unix.close mfd with Unix.Unix_error _ -> ());
+    s.manifest <- None
+  | _ -> ());
   match t.fd with
   | None -> ()
   | Some fd ->
     (try Unix.close fd with Unix.Unix_error _ -> ());
     t.fd <- None
+
+(** Seal the active segment and open the next one. Ordering is the
+    durability contract bounded recovery relies on: (1) fsync the active
+    segment so every byte the checkpoint will vouch for is stable,
+    (2) append + fsync the {!record.Checkpoint} to the manifest,
+    (3) create the successor segment (magic + fsync). A crash between
+    (1) and (2) leaves an unsealed full segment — it is simply the tail
+    at recovery; a crash between (2) and (3) leaves a sealed segment with
+    no successor — recovery creates a fresh tail. Raises on I/O failure
+    (Unix errors propagate; the caller decides kill vs heal). *)
+let rotate t =
+  match t.seg with
+  | None -> ()
+  | Some s ->
+    let fd = fd_exn t in
+    let mfd =
+      match s.manifest with
+      | Some mfd -> mfd
+      | None ->
+        log_io (Printf.sprintf "audit log %s: manifest handle is dead" t.path)
+    in
+    if t.dirty then begin
+      Unix.fsync fd;
+      t.dirty <- false;
+      t.syncs <- t.syncs + 1
+    end;
+    let ck =
+      frame
+        (Checkpoint
+           { segment = s.seg_index; records = s.seg_records; bytes = t.size })
+    in
+    write_all mfd ck 0 (String.length ck);
+    Unix.fsync mfd;
+    let next = s.seg_index + 1 in
+    let nfd =
+      Unix.openfile (segment_path t.path next)
+        [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+        0o644
+    in
+    write_all nfd magic 0 (String.length magic);
+    Unix.fsync nfd;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    t.fd <- Some nfd;
+    s.sealed_records <- s.sealed_records + s.seg_records;
+    s.seg_index <- next;
+    s.seg_records <- 0;
+    s.rotations <- s.rotations + 1;
+    t.size <- String.length magic
+
+(* ENOSPC on a segmented log: rotate into a fresh segment and retry the
+   frame once, instead of healing forever against a full segment. If the
+   rotation or the retried write also fails, stop degrading gracefully —
+   fail-closed poisons the handle (every later operation raises, queries
+   are withheld), fail-open heals it for a later attempt. Single-file
+   logs keep the legacy heal-and-raise behaviour (handled by the caller
+   before reaching here). *)
+let enospc_retry t bytes len msg =
+  match
+    rotate t;
+    write_all (fd_exn t) bytes 0 len
+  with
+  | () ->
+    t.size <- t.size + len;
+    t.appended <- t.appended + 1;
+    t.dirty <- true;
+    (match t.seg with
+    | Some s -> s.seg_records <- s.seg_records + 1
+    | None -> ())
+  | exception (Unix.Unix_error _ | Engine_error.Error _ | Failure _) ->
+    (match t.policy with Fail_closed -> kill t | Fail_open -> heal t);
+    log_io
+      (Printf.sprintf "audit log %s: %s; rotation retry failed (%s)" t.path
+         msg
+         (policy_to_string t.policy))
 
 (** Append one record (no fsync — call {!sync} before releasing results).
     Failure-atomic: on error the log is either exactly as before the call
@@ -392,7 +675,9 @@ let append t (r : record) : unit =
       (Printf.sprintf "audit log %s: injected short write (%d/%d bytes)"
          t.path (min n len) len)
   | Some Faultkit.Enospc ->
-    log_io (Printf.sprintf "audit log %s: injected ENOSPC" t.path)
+    if t.seg = None then
+      log_io (Printf.sprintf "audit log %s: injected ENOSPC" t.path)
+    else enospc_retry t bytes len "injected ENOSPC"
   | Some Faultkit.Crash_before_sync ->
     (* Half a frame hits the disk, then the "process" dies: the torn tail
        stays for recovery to truncate, and the handle is unusable. *)
@@ -402,15 +687,39 @@ let append t (r : record) : unit =
       (Printf.sprintf "audit log %s: injected crash before fsync" t.path)
   | None -> (
     match write_all fd bytes 0 len with
-    | () ->
+    | () -> (
       t.size <- t.size + len;
       t.appended <- t.appended + 1;
-      t.dirty <- true
+      t.dirty <- true;
+      match t.seg with
+      | None -> ()
+      | Some s ->
+        s.seg_records <- s.seg_records + 1;
+        if t.size >= s.max_bytes then (
+          (* Size-based rotation. The record above is already written;
+             a failed rotation loses nothing durable. Fail-closed still
+             poisons (the next checkpoint can no longer be trusted to
+             happen); fail-open stays on the oversized segment and will
+             retry rotating at the next append. *)
+          match rotate t with
+          | () -> ()
+          | exception (Unix.Unix_error _ | Engine_error.Error _ | Failure _)
+            -> (
+            match t.policy with
+            | Fail_closed ->
+              kill t;
+              log_io
+                (Printf.sprintf "audit log %s: segment rotation failed"
+                   t.path)
+            | Fail_open -> ())))
     | exception Unix.Unix_error (e, _, _) ->
       heal t;
-      log_io
-        (Printf.sprintf "audit log %s: write failed (%s)" t.path
-           (Unix.error_message e)))
+      if e = Unix.ENOSPC && t.seg <> None then
+        enospc_retry t bytes len "write failed (ENOSPC)"
+      else
+        log_io
+          (Printf.sprintf "audit log %s: write failed (%s)" t.path
+             (Unix.error_message e)))
 
 (** Flush appended records to stable storage (no-op when clean). *)
 let sync t =

@@ -6,7 +6,14 @@
     truncated. {!append} is failure-atomic (the log is healed back to the
     pre-append size on a failed write). All failures raise
     [Engine_core.Engine_error.Error (Log_io _)] — the policy layer in
-    [Db.Database] decides fail-closed vs fail-open. *)
+    [Db.Database] decides fail-closed vs fail-open.
+
+    Opened with [~max_segment_size], the log is {e segmented}: a sequence
+    of files [base.NNNN.wal] plus a CRC-framed manifest [base.manifest]
+    holding one fsynced {!record.Checkpoint} per sealed segment. Rotation
+    is size-based inside {!append}; recovery reads only the manifest and
+    the tail segment (bounded, O(segment size)); ENOSPC rotates-or-poisons
+    per the policy instead of healing forever. *)
 
 open Engine_core
 
@@ -30,6 +37,9 @@ type record =
     }
   | Notify of { session : int; seq : int; msg : string }
   | Note of string  (** engine annotations: alarms, recovery notes *)
+  | Checkpoint of { segment : int; records : int; bytes : int }
+      (** manifest-only: segment [segment] is sealed and fully fsynced
+          with [records] intact records in [bytes] bytes *)
 
 val record_to_string : record -> string
 
@@ -42,6 +52,11 @@ type recovery = {
   truncated_bytes : int;  (** torn/corrupt bytes dropped from the tail *)
   corrupt : bool;
       (** the tail failed its checksum (vs a clean short tail) *)
+  segments : int;  (** segment files covered (1 for a single-file log) *)
+  tail_segment : int;  (** index of the active (scanned) segment *)
+  scanned_bytes : int;
+      (** bytes actually read during recovery — manifest + tail only for
+          a segmented log, the whole file otherwise *)
 }
 
 type policy =
@@ -54,8 +69,25 @@ val policy_to_string : policy -> string
 type t
 
 (** Open (creating if needed) with recovery: truncates the torn tail and
-    positions the handle for append. *)
-val open_ : ?policy:policy -> ?faults:Faultkit.t -> string -> t * recovery
+    positions the handle for append. With [~max_segment_size] (or when
+    [path ^ ".manifest"] already exists) the log is segmented and
+    recovery is bounded to the manifest + tail segment. *)
+val open_ :
+  ?policy:policy ->
+  ?faults:Faultkit.t ->
+  ?max_segment_size:int ->
+  string ->
+  t * recovery
+
+(** Default segment-rotation threshold (4 MiB). *)
+val default_segment_size : int
+
+(** Path of segment [i] of a segmented log rooted at the base path
+    ([audit.wal] -> [audit.0007.wal]). *)
+val segment_path : string -> int -> string
+
+(** Manifest path of a segmented log rooted at the base path. *)
+val manifest_path : string -> string
 
 (** Append one record (call {!sync} before releasing query results).
     Failure-atomic; consults the fault kit's [Log_io] points. *)
@@ -77,6 +109,18 @@ val syncs : t -> int
 
 (** False once the handle died (failed heal or simulated crash). *)
 val is_open : t -> bool
+
+(** True when the handle writes a segmented log. *)
+val is_segmented : t -> bool
+
+(** Segment files so far (1 for a single-file log). *)
+val segments : t -> int
+
+(** Rotations performed through this handle. *)
+val rotations : t -> int
+
+(** Index of the active segment (0 for a single-file log). *)
+val tail_segment : t -> int
 
 (** Read and validate a log without opening it for append: the intact
     records and the recovery report. Missing file = empty log. *)

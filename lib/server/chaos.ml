@@ -1,0 +1,293 @@
+(* Network chaos proxy: a frame-aware man-in-the-middle for the wire
+   protocol, used to drive the exactly-once invariant under hostile
+   networks. It sits between clients and the daemon, re-framing traffic
+   in both directions and injecting seeded faults per frame:
+
+   - [Drop]      the frame silently vanishes (the peer waits forever —
+                 only a receive timeout + retry recovers)
+   - [Delay]     the frame arrives late (races retries against the
+                 original delivery)
+   - [Truncate]  a partial frame is written and the connection severed
+                 mid-byte (the reader sees [Truncated])
+   - [Sever]     the connection dies at a frame boundary
+
+   Faults are drawn from a seeded [Random.State] — same seed, same
+   connection order, same fault schedule — in the spirit of Faultkit's
+   deterministic plans, so a failing chaos seed replays exactly. The
+   proxy never parses payloads: it only needs frame boundaries, which
+   keeps it honest about what a network can actually do to a stream.
+
+   What the matrix asserts downstream: however the proxy mangles
+   traffic, a retrying client's acknowledged statements each have
+   exactly one durable evidence record (same (session, seq, audit) key),
+   and no statement ever executes twice. *)
+
+type fault = Pass | Drop | Delay of float | Truncate | Sever
+
+type spec = {
+  p_drop : float;
+  p_delay : float;
+  delay_s : float;  (* mean delay; actual is uniform(0, 2*delay_s) *)
+  p_truncate : float;
+  p_sever : float;
+}
+
+(* Gentle enough that 8 clients x a handful of statements finish in CI
+   time, hostile enough that every fault kind fires across a seed
+   sweep. *)
+let default_spec =
+  { p_drop = 0.05; p_delay = 0.08; delay_s = 0.02; p_truncate = 0.03;
+    p_sever = 0.03 }
+
+type stats = {
+  s_connections : int;
+  s_frames : int;  (* frames forwarded intact (incl. delayed) *)
+  s_dropped : int;
+  s_delayed : int;
+  s_truncated : int;
+  s_severed : int;
+}
+
+type t = {
+  lfd : Unix.file_descr;
+  listen : Daemon.listen;
+  upstream : Daemon.listen;
+  spec : spec;
+  seed : int;
+  mu : Mutex.t;
+  mutable conn_count : int;
+  mutable frames : int;
+  mutable dropped : int;
+  mutable delayed : int;
+  mutable truncated : int;
+  mutable severed : int;
+  mutable threads : Thread.t list;
+  conns : (int, Unix.file_descr * Unix.file_descr) Hashtbl.t;
+  mutable stopping : bool;
+  mutable accept_thread : Thread.t option;
+}
+
+let stats t =
+  Mutex.lock t.mu;
+  let s =
+    {
+      s_connections = t.conn_count;
+      s_frames = t.frames;
+      s_dropped = t.dropped;
+      s_delayed = t.delayed;
+      s_truncated = t.truncated;
+      s_severed = t.severed;
+    }
+  in
+  Mutex.unlock t.mu;
+  s
+
+let listen_addr t = t.listen
+
+let draw (spec : spec) rng : fault =
+  let x = Random.State.float rng 1.0 in
+  if x < spec.p_drop then Drop
+  else if x < spec.p_drop +. spec.p_delay then
+    Delay (Random.State.float rng (2.0 *. spec.delay_s))
+  else if x < spec.p_drop +. spec.p_delay +. spec.p_truncate then Truncate
+  else if x < spec.p_drop +. spec.p_delay +. spec.p_truncate +. spec.p_sever
+  then Sever
+  else Pass
+
+let connect_addr : Daemon.listen -> Unix.file_descr = function
+  | `Unix path ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  | `Tcp (host, port) ->
+    let inet =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_loopback
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (inet, port));
+    fd
+
+exception Cut  (* this connection is over (fault or peer EOF) *)
+
+(* Forward frames [src] -> [dst] until EOF or a terminal fault. Both
+   sockets are shut down on exit so the sibling pump unblocks too. *)
+let pump t rng mu_rng src dst =
+  let frame_header len =
+    let b = Bytes.create 4 in
+    Bytes.set b 0 (Char.chr ((len lsr 24) land 0xff));
+    Bytes.set b 1 (Char.chr ((len lsr 16) land 0xff));
+    Bytes.set b 2 (Char.chr ((len lsr 8) land 0xff));
+    Bytes.set b 3 (Char.chr (len land 0xff));
+    Bytes.unsafe_to_string b
+  in
+  let count field =
+    Mutex.lock t.mu;
+    (match field with
+    | `Frame -> t.frames <- t.frames + 1
+    | `Drop -> t.dropped <- t.dropped + 1
+    | `Delay -> t.delayed <- t.delayed + 1
+    | `Trunc -> t.truncated <- t.truncated + 1
+    | `Sever -> t.severed <- t.severed + 1);
+    Mutex.unlock t.mu
+  in
+  let rec loop () =
+    match Wire.read_frame src with
+    | Wire.Eof | Wire.Truncated | Wire.Oversized _ -> raise Cut
+    | Wire.Frame payload ->
+      let fault =
+        (* Both pumps share one per-connection RNG: the schedule is a
+           function of (seed, connection index, frame arrival order). *)
+        Mutex.lock mu_rng;
+        let f = draw t.spec rng in
+        Mutex.unlock mu_rng;
+        f
+      in
+      (match fault with
+      | Pass ->
+        count `Frame;
+        Wire.write_frame dst payload
+      | Delay d ->
+        count `Delay;
+        Thread.delay d;
+        count `Frame;
+        Wire.write_frame dst payload
+      | Drop -> count `Drop
+      | Truncate ->
+        (* Announce the full payload, deliver half, then die mid-frame:
+           the reader must see Truncated, never a short valid frame. *)
+        count `Trunc;
+        let cut = max 1 (String.length payload / 2) in
+        (try
+           Wire.write_all dst (frame_header (String.length payload));
+           Wire.write_all dst (String.sub payload 0 cut)
+         with Unix.Unix_error _ -> ());
+        raise Cut
+      | Sever ->
+        count `Sever;
+        raise Cut);
+      loop ()
+  in
+  (try loop () with
+  | Cut | Unix.Unix_error _ -> ()
+  | _ -> ());
+  List.iter
+    (fun fd ->
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    [ src; dst ]
+
+let serve_conn t idx cfd =
+  match connect_addr t.upstream with
+  | exception Unix.Unix_error _ -> ( try Unix.close cfd with _ -> ())
+  | ufd ->
+    Mutex.lock t.mu;
+    Hashtbl.replace t.conns idx (cfd, ufd);
+    Mutex.unlock t.mu;
+    (* Per-connection RNG derived deterministically from the proxy seed
+       and the connection index. *)
+    let rng = Random.State.make [| t.seed; idx; 0x5eed |] in
+    let mu_rng = Mutex.create () in
+    let down = Thread.create (fun () -> pump t rng mu_rng ufd cfd) () in
+    pump t rng mu_rng cfd ufd;
+    Thread.join down;
+    Mutex.lock t.mu;
+    Hashtbl.remove t.conns idx;
+    Mutex.unlock t.mu;
+    (try Unix.close cfd with _ -> ());
+    try Unix.close ufd with _ -> ()
+
+let accept_loop t =
+  let rec go () =
+    if not t.stopping then begin
+      let readable =
+        match Unix.select [ t.lfd ] [] [] 0.25 with
+        | r, _, _ -> r <> []
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+        | exception Unix.Unix_error (Unix.EBADF, _, _) -> false
+      in
+      if (not readable) || t.stopping then go ()
+      else
+        match Unix.accept t.lfd with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+        | exception Unix.Unix_error (_, _, _) -> go ()
+        | fd, _ ->
+          Mutex.lock t.mu;
+          let idx = t.conn_count in
+          t.conn_count <- idx + 1;
+          let th = Thread.create (fun () -> serve_conn t idx fd) () in
+          t.threads <- th :: t.threads;
+          Mutex.unlock t.mu;
+          go ()
+    end
+  in
+  go ()
+
+let bind_listener : Daemon.listen -> Unix.file_descr = function
+  | `Unix path ->
+    if Sys.file_exists path then Unix.unlink path;
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    fd
+  | `Tcp (host, port) ->
+    let inet =
+      try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      with Not_found -> Unix.inet_addr_loopback
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (inet, port));
+    Unix.listen fd 64;
+    fd
+
+let start ?(spec = default_spec) ~seed ~listen ~upstream () =
+  let lfd = bind_listener listen in
+  let t =
+    {
+      lfd;
+      listen;
+      upstream;
+      spec;
+      seed;
+      mu = Mutex.create ();
+      conn_count = 0;
+      frames = 0;
+      dropped = 0;
+      delayed = 0;
+      truncated = 0;
+      severed = 0;
+      threads = [];
+      conns = Hashtbl.create 16;
+      stopping = false;
+      accept_thread = None;
+    }
+  in
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let stop t =
+  Mutex.lock t.mu;
+  let already = t.stopping in
+  t.stopping <- true;
+  Mutex.unlock t.mu;
+  if not already then begin
+    (match t.accept_thread with Some th -> Thread.join th | None -> ());
+    (try Unix.close t.lfd with _ -> ());
+    Mutex.lock t.mu;
+    let ths = t.threads in
+    t.threads <- [];
+    let fds =
+      Hashtbl.fold (fun _ (a, b) acc -> a :: b :: acc) t.conns []
+    in
+    Mutex.unlock t.mu;
+    (* Unblock any pump still parked in read(2), then join. *)
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      fds;
+    List.iter Thread.join ths;
+    match t.listen with
+    | `Unix p -> ( try Unix.unlink p with _ -> ())
+    | `Tcp _ -> ()
+  end

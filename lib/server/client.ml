@@ -1,12 +1,24 @@
 (* Blocking client for the audit server's wire protocol. Used by the
    shell's [--connect] mode, the server smoke test and the concurrency
-   benchmark. One request in flight at a time. *)
+   benchmark. One request in flight at a time.
+
+   Two layers: the bare connection (connect/hello/exec/quit — one TCP or
+   Unix-socket conversation, errors surface as exceptions) and {!Retry},
+   which wraps it with a session token, per-statement sequence numbers,
+   and capped exponential backoff with jitter. A Retry client survives
+   dropped connections and lost responses: it reconnects with the same
+   token and resends the same seq, and the server either executes the
+   statement (first delivery) or replays the cached reply (the response
+   was lost after execution) — never both. *)
 
 type t = { fd : Unix.file_descr; mutable session : int }
 
 exception Protocol_error of string
 
-let connect (addr : Daemon.listen) =
+(* [recv_timeout_s] arms SO_RCVTIMEO so a lost response frame surfaces
+   as EAGAIN instead of blocking forever — the retry layer's only way to
+   notice a dropped (not severed) reply. *)
+let connect ?recv_timeout_s (addr : Daemon.listen) =
   let fd =
     match addr with
     | `Unix path ->
@@ -22,6 +34,9 @@ let connect (addr : Daemon.listen) =
       Unix.connect fd (Unix.ADDR_INET (inet, port));
       fd
   in
+  (match recv_timeout_s with
+  | Some s -> ( try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s with _ -> ())
+  | None -> ());
   { fd; session = 0 }
 
 let session t = t.session
@@ -37,9 +52,9 @@ let read_response t =
     | Error m -> raise (Protocol_error m))
 
 (* Open the conversation: sets the session user server-side, returns the
-   session id. *)
-let hello t ~user =
-  Wire.send_request t.fd (Wire.Hello { user });
+   session id. A non-empty [token] asks for a resumable session. *)
+let hello ?(token = "") t ~user =
+  Wire.send_request t.fd (Wire.Hello { user; token });
   match read_response t with
   | Wire.Greeting { session; _ } ->
     t.session <- session;
@@ -49,12 +64,17 @@ let hello t ~user =
 
 (* Execute one statement or backslash command. [Ok] carries the rendered
    result, [Error] the server's structured error line (the session is
-   still usable). *)
-let exec t line : (string, string) result =
-  Wire.send_request t.fd (Wire.Exec line);
+   still usable). An [Overloaded] shed raises [Protocol_error] here —
+   callers that want transparent handling use {!Retry}. *)
+let exec ?(seq = 0) t line : (string, string) result =
+  Wire.send_request t.fd (Wire.Exec { seq; line });
   match read_response t with
   | Wire.Result text -> Ok text
   | Wire.Failed m -> Error m
+  | Wire.Overloaded { retry_after_ms } ->
+    raise
+      (Protocol_error
+         (Printf.sprintf "overloaded: retry after %d ms" retry_after_ms))
   | Wire.Goodbye -> raise (Protocol_error "unexpected goodbye")
   | Wire.Greeting _ -> raise (Protocol_error "unexpected greeting")
 
@@ -66,3 +86,149 @@ let quit t =
   try Unix.close t.fd with _ -> ()
 
 let close t = try Unix.close t.fd with _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Exactly-once retry layer                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Retry = struct
+  type rt = {
+    addr : Daemon.listen;
+    user : string;
+    token : string;
+    max_attempts : int;  (* per statement, across reconnects *)
+    base_delay_s : float;
+    max_delay_s : float;
+    recv_timeout_s : float option;
+    rng : Random.State.t;  (* jitter; seeded for reproducible tests *)
+    mutable conn : t option;
+    mutable next_seq : int;
+    mutable session : int;  (* server-side session id, once known *)
+    mutable reconnects : int;
+    mutable resends : int;  (* statement frames sent beyond the first *)
+    mutable sheds : int;  (* Overloaded responses absorbed *)
+  }
+
+  exception Gave_up of string
+
+  let create ?(max_attempts = 8) ?(base_delay_s = 0.01) ?(max_delay_s = 1.0)
+      ?recv_timeout_s ?(seed = 0) ?token addr ~user =
+    let token =
+      match token with
+      | Some tk when tk <> "" -> tk
+      | _ -> Printf.sprintf "%s-%d-%d" user (Unix.getpid ()) seed
+    in
+    {
+      addr;
+      user;
+      token;
+      max_attempts;
+      base_delay_s;
+      max_delay_s;
+      recv_timeout_s;
+      rng = Random.State.make [| seed; Hashtbl.hash token |];
+      conn = None;
+      next_seq = 1;
+      session = 0;
+      reconnects = 0;
+      resends = 0;
+      sheds = 0;
+    }
+
+  let token rt = rt.token
+  let session rt = rt.session
+  let next_seq rt = rt.next_seq
+  let reconnects rt = rt.reconnects
+  let resends rt = rt.resends
+  let sheds rt = rt.sheds
+
+  let drop rt =
+    match rt.conn with
+    | Some c ->
+      close c;
+      rt.conn <- None
+    | None -> ()
+
+  (* Capped exponential backoff with full jitter: attempt [k] sleeps
+     uniform(0.5, 1.5) * min(max_delay, base * 2^k). *)
+  let backoff rt k =
+    let d = rt.base_delay_s *. (2.0 ** float_of_int k) in
+    let d = Float.min rt.max_delay_s d in
+    let jitter = 0.5 +. Random.State.float rt.rng 1.0 in
+    Thread.delay (d *. jitter)
+
+  let ensure_conn rt : t =
+    match rt.conn with
+    | Some c -> c
+    | None ->
+      if rt.session > 0 then rt.reconnects <- rt.reconnects + 1;
+      let c = connect ?recv_timeout_s:rt.recv_timeout_s rt.addr in
+      (match hello ~token:rt.token c ~user:rt.user with
+      | sid ->
+        rt.session <- sid;
+        rt.conn <- Some c;
+        c
+      | exception e ->
+        close c;
+        raise e)
+
+  (* Execute one statement with at-most-[max_attempts] deliveries of the
+     same (token, seq) — the server's reply cache turns redelivery into
+     replay, so the statement itself runs at most once. Raises
+     [Gave_up] when every attempt failed (the statement may or may not
+     have executed — the caller must treat it as unacknowledged). *)
+  let exec rt line : (string, string) result =
+    let seq = rt.next_seq in
+    (* Sheds don't consume attempts (the server is alive, just busy),
+       but a server that sheds forever must not livelock the client. *)
+    let shed_budget = ref (rt.max_attempts * 8) in
+    let rec attempt k =
+      if k >= rt.max_attempts then
+        raise
+          (Gave_up
+             (Printf.sprintf "statement seq %d unacknowledged after %d attempts"
+                seq rt.max_attempts));
+      if k > 0 then rt.resends <- rt.resends + 1;
+      match
+        let c = ensure_conn rt in
+        Wire.send_request c.fd (Wire.Exec { seq; line });
+        read_response c
+      with
+      | Wire.Result text ->
+        rt.next_seq <- seq + 1;
+        Ok text
+      | Wire.Failed m ->
+        rt.next_seq <- seq + 1;
+        Error m
+      | Wire.Overloaded { retry_after_ms } ->
+        (* Shed before execution: nothing ran; wait the hinted delay
+           (with jitter) and resend. *)
+        rt.sheds <- rt.sheds + 1;
+        decr shed_budget;
+        if !shed_budget <= 0 then
+          raise
+            (Gave_up
+               (Printf.sprintf
+                  "statement seq %d shed %d times (server overloaded)" seq
+                  (rt.max_attempts * 8)));
+        Thread.delay
+          (float_of_int retry_after_ms /. 1000.0
+          *. (0.5 +. Random.State.float rt.rng 1.0));
+        attempt k
+      | Wire.Goodbye | Wire.Greeting _ ->
+        drop rt;
+        backoff rt k;
+        attempt (k + 1)
+      | exception (Protocol_error _ | Unix.Unix_error _) ->
+        (* Lost connection or lost response (recv timeout): reconnect
+           and redeliver the same seq. *)
+        drop rt;
+        backoff rt k;
+        attempt (k + 1)
+    in
+    attempt 0
+
+  let quit rt =
+    (match rt.conn with Some c -> quit c | None -> ());
+    rt.conn <- None
+end

@@ -17,6 +17,28 @@
    response frame, and that happens only after [Group.submit] returns
    (fail-closed) or an alarm is raised (fail-open).
 
+   Resilience layer on top (this file's other half):
+
+   - {e Admission control}: statements queue on [exec_mu]; once the
+     queue depth or the group writer's undurable backlog crosses its
+     threshold, new statements are shed with a typed
+     [Overloaded {retry_after_ms}] response instead of piling onto the
+     convoy. Shedding happens before execution and before any evidence
+     exists, so a shed statement is a clean no-op; the accept loop never
+     blocks on load. A server-wide per-statement deadline
+     ([statement_timeout_s]) caps each admitted statement through the
+     session's existing [Exec_ctx] budget machinery.
+
+   - {e Exactly-once retry}: a client that says [Hello] with a non-empty
+     token gets a {e resumable} session — reconnections with the same
+     token reattach to the same session state. Statements carry a
+     monotonic per-session [seq]; the server remembers the last executed
+     seq and its reply, so a resend after a lost response replays the
+     cached reply without re-executing (same evidence, logged once). The
+     session's logical clock is pinned to the wire seq, making the WAL
+     key (session, seq, audit) stable across retries — walcheck's
+     exactly-once gate builds on exactly this.
+
    Shutdown drains: stop accepting, shut down the receive side of every
    connection (in-flight statements finish and their responses still
    flow), join the connection threads, then close the group writer —
@@ -30,18 +52,48 @@ type config = {
   listen : listen;
   wal_path : string option;  (* no WAL → no evidence durability *)
   wal_policy : Wal.policy;
+  max_segment_size : int option;  (* Some → segmented WAL with rotation *)
   max_pending : int;  (* group-commit backpressure threshold *)
+  max_waiting : int;  (* exec-queue depth before shedding *)
+  statement_timeout_s : float option;  (* server-wide statement deadline *)
+  resume_cache : int;  (* resumable sessions retained (LRU beyond) *)
   max_clients : int;
   banner : string;
   log : string -> unit;  (* server-side log sink *)
 }
 
 let config ?(wal_path = None) ?(wal_policy = Wal.Fail_closed)
-    ?(max_pending = 4096) ?(max_clients = 64)
+    ?max_segment_size ?(max_pending = 4096) ?(max_waiting = 32)
+    ?statement_timeout_s ?(resume_cache = 256) ?(max_clients = 64)
     ?(banner = "select_triggers serverd") ?(log = ignore) listen =
-  { listen; wal_path; wal_policy; max_pending; max_clients; banner; log }
+  {
+    listen;
+    wal_path;
+    wal_policy;
+    max_segment_size;
+    max_pending;
+    max_waiting;
+    statement_timeout_s;
+    resume_cache;
+    max_clients;
+    banner;
+    log;
+  }
 
 type conn = { c_fd : Unix.file_descr }
+
+(* A resumable session: shared across every connection presenting its
+   token (serially — [ss_mu] orders statements of one logical session
+   even when an old and a retried connection race). The one-deep reply
+   cache suffices because the client protocol is strict request/response:
+   at most one statement per session is unacknowledged at a time. *)
+type sstate = {
+  ss_session : Session.t;
+  ss_mu : Mutex.t;
+  mutable ss_last_seq : int;  (* highest executed statement seq *)
+  mutable ss_last_reply : Wire.response option;
+  mutable ss_last_used : float;
+}
 
 type t = {
   cfg : config;
@@ -50,19 +102,25 @@ type t = {
   group : Wal.Group.t option;
   recovery : Wal.recovery option;
   exec_mu : Mutex.t;  (* serializes statement execution *)
+  waiting : int Atomic.t;  (* statements queued on exec_mu *)
   mu : Mutex.t;  (* registry, counters *)
   conns : (int, conn) Hashtbl.t;
+  sessions : (string, sstate) Hashtbl.t;  (* resumable, by token *)
   mutable threads : Thread.t list;  (* every connection thread, for join *)
   mutable next_id : int;
   mutable stopping : bool;
   mutable accept_thread : Thread.t option;
   mutable statements : int;  (* statements served across all sessions *)
+  mutable shed : int;  (* statements refused with Overloaded *)
+  mutable replayed : int;  (* retries answered from the reply cache *)
 }
 
 type stats = {
   active_connections : int;
   sessions_opened : int;
   statements_served : int;
+  statements_shed : int;
+  statements_replayed : int;
   group : Wal.Group.stats option;
 }
 
@@ -73,6 +131,8 @@ let stats (t : t) =
       active_connections = Hashtbl.length t.conns;
       sessions_opened = t.next_id - 1;
       statements_served = t.statements;
+      statements_shed = t.shed;
+      statements_replayed = t.replayed;
       group = Option.map Wal.Group.stats t.group;
     }
   in
@@ -90,19 +150,54 @@ let policy (t : t) =
   | None -> t.cfg.wal_policy
 
 (* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Shed when the execution queue or the group writer's undurable backlog
+   is past its threshold. Returns the retry hint (ms), scaled to the
+   backlog so a deeper convoy spreads retries wider. Called without any
+   lock: the counters are monitonically sampled and a slightly stale
+   read only shifts the shedding edge by one statement. *)
+let overloaded (t : t) : int option =
+  let waiting = Atomic.get t.waiting in
+  let backlog =
+    match t.group with Some g -> Wal.Group.pending g | None -> 0
+  in
+  if waiting < t.cfg.max_waiting && backlog < t.cfg.max_pending then None
+  else Some (min 1000 (max 10 ((waiting * 5) + (backlog / 8))))
+
+let count_shed t =
+  Mutex.lock t.mu;
+  t.shed <- t.shed + 1;
+  Mutex.unlock t.mu
+
+(* ------------------------------------------------------------------ *)
 (* Per-connection service loop                                         *)
 (* ------------------------------------------------------------------ *)
 
 (* Run one statement for [session]: dispatch under the exec lock,
    harvest the deferred evidence, then make it durable outside the lock
-   before the response is framed. *)
-let exec_one t (session : Session.t) line : Wire.response =
+   before the response is framed. [?seq] pins the session's logical
+   clock (see {!Session.dispatch}); the server-wide statement deadline
+   caps the session's own timeout for the duration of the statement. *)
+let exec_one t (session : Session.t) ?seq line : Wire.response =
+  Atomic.incr t.waiting;
   Mutex.lock t.exec_mu;
+  Atomic.decr t.waiting;
+  let ctx = Db.Database.context (Session.db session) in
+  let saved_timeout = ctx.Exec.Exec_ctx.timeout_s in
+  (match t.cfg.statement_timeout_s with
+  | Some cap ->
+    ctx.Exec.Exec_ctx.timeout_s <-
+      Some
+        (match saved_timeout with Some s -> Float.min s cap | None -> cap)
+  | None -> ());
   let outcome =
-    match Session.dispatch session line with
+    match Session.dispatch ?seq session line with
     | text -> Ok text
     | exception e -> Error e
   in
+  ctx.Exec.Exec_ctx.timeout_s <- saved_timeout;
   let evidence = Db.Database.take_pending_evidence (Session.db session) in
   Mutex.unlock t.exec_mu;
   let commit_error =
@@ -140,8 +235,93 @@ let exec_one t (session : Session.t) line : Wire.response =
            (Session.id session) m);
       Wire.Result (Wire.clip text))
 
+(* Find or create the resumable session for [token]. The registry is
+   LRU-bounded: beyond [resume_cache] tokens, the least recently used
+   entry is dropped (its token can no longer resume — a fresh session
+   will be minted if it comes back, which restarts its seq space). *)
+let resumable t ~token ~user : sstate =
+  Mutex.lock t.mu;
+  let ss =
+    match Hashtbl.find_opt t.sessions token with
+    | Some ss -> ss
+    | None ->
+      let id = t.next_id in
+      t.next_id <- id + 1;
+      let ss =
+        {
+          ss_session = Session.create ~id ~root:t.root;
+          ss_mu = Mutex.create ();
+          ss_last_seq = 0;
+          ss_last_reply = None;
+          ss_last_used = Unix.gettimeofday ();
+        }
+      in
+      if Hashtbl.length t.sessions >= t.cfg.resume_cache then begin
+        let oldest =
+          Hashtbl.fold
+            (fun k s acc ->
+              match acc with
+              | Some (_, ts) when ts <= s.ss_last_used -> acc
+              | _ -> Some (k, s.ss_last_used))
+            t.sessions None
+        in
+        match oldest with
+        | Some (k, _) -> Hashtbl.remove t.sessions k
+        | None -> ()
+      end;
+      Hashtbl.replace t.sessions token ss;
+      ss
+  in
+  Mutex.unlock t.mu;
+  Db.Database.set_user (Session.db ss.ss_session) user;
+  ss
+
+(* One tracked statement of a resumable session. Holds [ss_mu] across
+   the execution so two connections presenting the same token (the old
+   one dying, the retry racing in) cannot interleave statements. *)
+let exec_tracked t (ss : sstate) ~seq line : Wire.response =
+  Mutex.lock ss.ss_mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock ss.ss_mu)
+    (fun () ->
+      ss.ss_last_used <- Unix.gettimeofday ();
+      if seq = ss.ss_last_seq then (
+        (* The previous response was lost in transit; replay it. The
+           statement does NOT run again — executed-once, logged-once. *)
+        match ss.ss_last_reply with
+        | Some r ->
+          Mutex.lock t.mu;
+          t.replayed <- t.replayed + 1;
+          Mutex.unlock t.mu;
+          r
+        | None ->
+          Wire.Failed
+            (Printf.sprintf "error: seq %d has no cached reply to replay" seq))
+      else if seq < ss.ss_last_seq then
+        Wire.Failed
+          (Printf.sprintf "error: stale statement seq %d (session is at %d)"
+             seq ss.ss_last_seq)
+      else if seq > ss.ss_last_seq + 1 then
+        Wire.Failed
+          (Printf.sprintf
+             "error: statement seq gap: got %d, expected %d" seq
+             (ss.ss_last_seq + 1))
+      else
+        match overloaded t with
+        | Some ms ->
+          count_shed t;
+          Wire.Overloaded { retry_after_ms = ms }
+        | None ->
+          let r = exec_one t ss.ss_session ~seq line in
+          ss.ss_last_seq <- seq;
+          ss.ss_last_reply <- Some r;
+          r)
+
 let serve_conn t id fd =
-  let session = Session.create ~id ~root:t.root in
+  (* The ephemeral session is only materialized if the client actually
+     runs untracked statements (a resumable Hello never needs it). *)
+  let ephemeral = lazy (Session.create ~id ~root:t.root) in
+  let state : sstate option ref = ref None in
   let send r = Wire.send_response fd r in
   let rec loop () =
     match Wire.read_frame fd with
@@ -157,20 +337,57 @@ let serve_conn t id fd =
       | Error m ->
         send (Wire.Failed ("protocol error: " ^ m));
         loop ()
-      | Ok (Wire.Hello { user }) ->
-        Db.Database.set_user (Session.db session) user;
-        send (Wire.Greeting { session = id; server = t.cfg.banner });
+      | Ok (Wire.Hello { user; token }) ->
+        let session_id =
+          if token = "" then begin
+            Db.Database.set_user (Session.db (Lazy.force ephemeral)) user;
+            id
+          end
+          else begin
+            let ss = resumable t ~token ~user in
+            state := Some ss;
+            Session.id ss.ss_session
+          end
+        in
+        send (Wire.Greeting { session = session_id; server = t.cfg.banner });
         loop ()
       | Ok Wire.Quit -> send Wire.Goodbye
-      | Ok (Wire.Exec line) ->
-        send (exec_one t session line);
+      | Ok (Wire.Exec { seq; line }) ->
+        let resp =
+          match !state with
+          | Some ss when seq > 0 -> exec_tracked t ss ~seq line
+          | _ -> (
+            match overloaded t with
+            | Some ms ->
+              count_shed t;
+              Wire.Overloaded { retry_after_ms = ms }
+            | None ->
+              exec_one t (Lazy.force ephemeral)
+                ?seq:(if seq > 0 then Some seq else None)
+                line)
+        in
+        send resp;
         loop ())
   in
-  (* A dead peer surfaces as EPIPE/ECONNRESET on send: just end the
-     session — any evidence was already durable before the send. *)
-  (try loop () with Unix.Unix_error _ -> ());
+  (* A dead peer surfaces as EPIPE/ECONNRESET (or EIO) on send: end this
+     session only — any evidence was already durable before the send,
+     and the thread pool keeps serving everyone else. *)
+  (match loop () with
+  | () -> ()
+  | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EIO), _, _)
+    ->
+    ()
+  | exception Unix.Unix_error (e, _, _) ->
+    t.cfg.log
+      (Printf.sprintf "session %d: connection error: %s" id
+         (Unix.error_message e)));
   t.cfg.log
-    (Printf.sprintf "session %d closed (user=%s)" id (Session.user session))
+    (Printf.sprintf "session %d closed (user=%s)" id
+       (match !state with
+       | Some ss -> Session.user ss.ss_session
+       | None ->
+         if Lazy.is_val ephemeral then Session.user (Lazy.force ephemeral)
+         else "?"))
 
 (* ------------------------------------------------------------------ *)
 (* Accept loop and lifecycle                                           *)
@@ -188,6 +405,7 @@ let accept_loop t =
       if (not readable) || t.stopping then go ()
       else
         match Unix.accept t.lfd with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
         | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
         | exception Unix.Unix_error (_, _, _) -> go ()
         | fd, _ ->
@@ -243,7 +461,7 @@ let bind_listener = function
    already loaded — e.g. by an init script); a fresh one is created when
    omitted. With a [wal_path] the server owns the log: sessions run in
    deferred-evidence mode and all durability goes through the group
-   writer. *)
+   writer. With [max_segment_size] the log is segmented and rotates. *)
 let start ?root cfg =
   (* A dying client must surface as EPIPE on write, not kill the process. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -252,11 +470,19 @@ let start ?root cfg =
     match cfg.wal_path with
     | None -> (None, None)
     | Some path ->
-      let wal, r = Wal.open_ ~policy:cfg.wal_policy path in
+      let wal, r =
+        Wal.open_ ~policy:cfg.wal_policy ?max_segment_size:cfg.max_segment_size
+          path
+      in
       if r.Wal.truncated_bytes > 0 then
         cfg.log
           (Printf.sprintf "alarm: audit log recovery truncated %d bytes"
              r.Wal.truncated_bytes);
+      if Wal.is_segmented wal then
+        cfg.log
+          (Printf.sprintf
+             "audit log: segmented, %d segment(s), recovery scanned %d bytes"
+             r.Wal.segments r.Wal.scanned_bytes);
       (Some (Wal.Group.create ~max_pending:cfg.max_pending wal), Some r)
   in
   Db.Database.set_deferred_evidence root (group <> None);
@@ -269,13 +495,17 @@ let start ?root cfg =
       group;
       recovery;
       exec_mu = Mutex.create ();
+      waiting = Atomic.make 0;
       mu = Mutex.create ();
       conns = Hashtbl.create 16;
+      sessions = Hashtbl.create 16;
       threads = [];
       next_id = 1;
       stopping = false;
       accept_thread = None;
       statements = 0;
+      shed = 0;
+      replayed = 0;
     }
   in
   t.accept_thread <- Some (Thread.create accept_loop t);

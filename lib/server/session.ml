@@ -167,8 +167,21 @@ let handle_command t line =
   | _ -> usage_commands
 
 (* Execute one line — backslash command or SQL statement. Raises on
-   statement errors; the caller harvests pending evidence either way. *)
-let dispatch t line =
+   statement errors; the caller harvests pending evidence either way.
+
+   [?seq] pins the session's logical clock so the statement's evidence
+   carries exactly the client-chosen sequence number: [exec] bumps
+   [ctx.now] once per top-level statement, so setting it to [seq - 1]
+   makes the stamped seq equal the wire seq. That stability across
+   resends is what makes duplicate execution detectable in the WAL
+   (same (session, seq, audit) key) and lets the reply cache equate
+   "same seq" with "same statement". *)
+let dispatch ?seq t line =
+  (match seq with
+  | Some s when s > 0 ->
+    let ctx = Db.Database.context t.db in
+    ctx.Exec.Exec_ctx.now <- s - 1
+  | _ -> ());
   t.queries <- t.queries + 1;
   let trimmed = String.trim line in
   try

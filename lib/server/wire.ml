@@ -16,15 +16,27 @@
 let max_frame = 16 * 1024 * 1024
 
 type request =
-  | Hello of { user : string }
-      (** open the conversation and set the session user *)
-  | Exec of string  (** one SQL statement or backslash command *)
+  | Hello of { user : string; token : string }
+      (** open the conversation and set the session user. A non-empty
+          [token] names a resumable session: reconnecting with the same
+          token reattaches to the same server-side session state, which
+          is what makes retried statements detectable. An empty token is
+          an ephemeral session (PR 6 behaviour). *)
+  | Exec of { seq : int; line : string }
+      (** one SQL statement or backslash command. [seq] is the client's
+          statement sequence number within the session (1-based,
+          monotonic); a resend after a lost response carries the same
+          [seq], letting the server replay the cached reply instead of
+          executing twice. [seq = 0] opts out of tracking. *)
   | Quit  (** polite close; the server answers [Goodbye] *)
 
 type response =
   | Greeting of { session : int; server : string }
   | Result of string  (** rendered statement/command output *)
   | Failed of string  (** structured error line, session keeps going *)
+  | Overloaded of { retry_after_ms : int }
+      (** admission control shed the statement before execution: nothing
+          ran, nothing was logged — retry after the hinted delay *)
   | Goodbye
 
 (* ------------------------------------------------------------------ *)
@@ -60,12 +72,14 @@ let get_str s pos =
 let encode_request (r : request) : string =
   let b = Buffer.create 64 in
   (match r with
-  | Hello { user } ->
+  | Hello { user; token } ->
     Buffer.add_char b 'H';
-    put_str b user
-  | Exec sql ->
+    put_str b user;
+    put_str b token
+  | Exec { seq; line } ->
     Buffer.add_char b 'X';
-    put_str b sql
+    put_u32 b seq;
+    put_str b line
   | Quit -> Buffer.add_char b 'Q');
   Buffer.contents b
 
@@ -80,8 +94,14 @@ let decode_request (payload : string) : (request, string) result =
         else Ok r
       in
       match payload.[0] with
-      | 'H' -> finish (Hello { user = get_str payload pos })
-      | 'X' -> finish (Exec (get_str payload pos))
+      | 'H' ->
+        let user = get_str payload pos in
+        let token = get_str payload pos in
+        finish (Hello { user; token })
+      | 'X' ->
+        let seq = get_u32 payload pos in
+        let line = get_str payload pos in
+        finish (Exec { seq; line })
       | 'Q' -> finish Quit
       | c -> Error (Printf.sprintf "unknown request tag %C" c)
   with Decode_error m -> Error m
@@ -99,6 +119,9 @@ let encode_response (r : response) : string =
   | Failed text ->
     Buffer.add_char b 'E';
     put_str b text
+  | Overloaded { retry_after_ms } ->
+    Buffer.add_char b 'O';
+    put_u32 b retry_after_ms
   | Goodbye -> Buffer.add_char b 'B');
   Buffer.contents b
 
@@ -119,6 +142,7 @@ let decode_response (payload : string) : (response, string) result =
         finish (Greeting { session; server })
       | 'R' -> finish (Result (get_str payload pos))
       | 'E' -> finish (Failed (get_str payload pos))
+      | 'O' -> finish (Overloaded { retry_after_ms = get_u32 payload pos })
       | 'B' -> finish Goodbye
       | c -> Error (Printf.sprintf "unknown response tag %C" c)
   with Decode_error m -> Error m

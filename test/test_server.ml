@@ -23,9 +23,10 @@ let fresh_sock name =
 let test_wire_roundtrip () =
   let reqs =
     [
-      Wire.Hello { user = "alice" };
-      Wire.Exec "SELECT * FROM patients;";
-      Wire.Exec "";
+      Wire.Hello { user = "alice"; token = "" };
+      Wire.Hello { user = "alice"; token = "tok-42" };
+      Wire.Exec { seq = 0; line = "SELECT * FROM patients;" };
+      Wire.Exec { seq = 17; line = "" };
       Wire.Quit;
     ]
   in
@@ -41,6 +42,7 @@ let test_wire_roundtrip () =
       Wire.Result "patientid | name\n1 | Alice\n(1 row)";
       Wire.Result "";
       Wire.Failed "error: parse error: boom";
+      Wire.Overloaded { retry_after_ms = 250 };
       Wire.Goodbye;
     ]
   in
@@ -62,7 +64,7 @@ let test_wire_decode_errors () =
     "truncated string body" true
     (is_err (Wire.decode_request "H\x00\x00\x00\xffuser"));
   (* Valid prefix with trailing garbage is rejected, not silently eaten. *)
-  let hello = Wire.encode_request (Wire.Hello { user = "u" }) in
+  let hello = Wire.encode_request (Wire.Hello { user = "u"; token = "" }) in
   Alcotest.(check bool)
     "trailing bytes" true
     (is_err (Wire.decode_request (hello ^ "x")))
@@ -78,12 +80,13 @@ let with_socketpair f =
 
 let test_wire_frame_roundtrip () =
   with_socketpair (fun a b ->
-      Wire.send_request a (Wire.Exec "SELECT 1;");
+      let req = Wire.Exec { seq = 1; line = "SELECT 1;" } in
+      Wire.send_request a req;
       (match Wire.read_frame b with
       | Wire.Frame p ->
         Alcotest.(check bool)
           "frame decodes" true
-          (Wire.decode_request p = Ok (Wire.Exec "SELECT 1;"))
+          (Wire.decode_request p = Ok req)
       | _ -> Alcotest.fail "expected a frame");
       (* Several frames queued back-to-back arrive in order. *)
       Wire.send_response a (Wire.Result "one");
@@ -375,6 +378,372 @@ let test_e2e_statement_errors_keep_session () =
       | Error m -> Alcotest.failf "\\fault refusal is not an error: %s" m);
       Server.Client.quit c)
 
+(* ------------------------------------------------------------------ *)
+(* Exactly-once: resumable sessions and reply replay                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A client that loses the response reconnects with the same token and
+   resends the same seq: the server must replay the cached reply, not
+   re-execute — one execution, one evidence record, two deliveries. *)
+let test_resume_replays_lost_reply () =
+  with_server (fun t addr wal_path ->
+      let c1 = Server.Client.connect addr in
+      let sid1 = Server.Client.hello ~token:"tok-replay" c1 ~user:"alice" in
+      let r1 =
+        match Server.Client.exec ~seq:1 c1 "SELECT * FROM patients;" with
+        | Ok text -> text
+        | Error m -> Alcotest.failf "seq 1 failed: %s" m
+      in
+      (* Simulate a lost reply: the client dies without acknowledging. *)
+      Server.Client.close c1;
+      let c2 = Server.Client.connect addr in
+      let sid2 = Server.Client.hello ~token:"tok-replay" c2 ~user:"alice" in
+      Alcotest.(check int) "same token, same session" sid1 sid2;
+      (* Redelivery of seq 1 is answered from the reply cache. *)
+      (match Server.Client.exec ~seq:1 c2 "SELECT * FROM patients;" with
+      | Ok text -> Alcotest.(check string) "replayed reply is identical" r1 text
+      | Error m -> Alcotest.failf "replay failed: %s" m);
+      let st = Server.Daemon.stats t in
+      Alcotest.(check int) "executed once" 1 st.Server.Daemon.statements_served;
+      Alcotest.(check int) "replayed once" 1
+        st.Server.Daemon.statements_replayed;
+      (* The session then advances normally. *)
+      (match Server.Client.exec ~seq:2 c2 "SELECT name FROM patients;" with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "seq 2 failed: %s" m);
+      (* Stale and gapped seqs are refused without executing. *)
+      (match Server.Client.exec ~seq:1 c2 "SELECT * FROM patients;" with
+      | Error m ->
+        Alcotest.(check bool) "stale seq refused" true
+          (String.length m > 0)
+      | Ok _ -> Alcotest.fail "stale seq must not execute");
+      (match Server.Client.exec ~seq:9 c2 "SELECT * FROM patients;" with
+      | Error m ->
+        Alcotest.(check bool) "seq gap refused" true (String.length m > 0)
+      | Ok _ -> Alcotest.fail "gapped seq must not execute");
+      let st = Server.Daemon.stats t in
+      Alcotest.(check int) "stale/gap did not execute" 2
+        st.Server.Daemon.statements_served;
+      Server.Client.quit c2;
+      (* The WAL holds exactly one complete evidence record per seq. *)
+      Server.Daemon.stop t;
+      let records, r = Wal.read_all (Option.get wal_path) in
+      Alcotest.(check bool) "log clean" false r.Wal.corrupt;
+      let evidence_for q =
+        List.length
+          (List.filter
+             (function
+               | Wal.Accessed { session; seq; complete; _ } ->
+                 session = sid1 && seq = q && complete
+               | _ -> false)
+             records)
+      in
+      Alcotest.(check int) "seq 1 logged exactly once" 1 (evidence_for 1);
+      Alcotest.(check int) "seq 2 logged exactly once" 1 (evidence_for 2))
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* With max_waiting = 0 every statement is shed: the plain client sees
+   the typed Overloaded response (as a protocol error), the retry client
+   absorbs sheds until its shed budget runs out, and nothing executes —
+   a shed statement leaves no evidence. *)
+let test_overload_sheds_typed () =
+  let sock = fresh_sock "shed" in
+  let wal_path = fresh_wal "shed" in
+  let t =
+    Server.Daemon.start ~root:(init_root ())
+      (Server.Daemon.config ~wal_path:(Some wal_path) ~max_waiting:0
+         (`Unix sock))
+  in
+  Fun.protect
+    ~finally:(fun () -> Server.Daemon.stop t)
+    (fun () ->
+      let c = Server.Client.connect (`Unix sock) in
+      ignore (Server.Client.hello c ~user:"alice");
+      (match Server.Client.exec c "SELECT * FROM patients;" with
+      | Ok _ | Error _ -> Alcotest.fail "statement must be shed"
+      | exception Server.Client.Protocol_error m ->
+        Alcotest.(check bool)
+          (Printf.sprintf "typed overload response (%s)" m)
+          true
+          (String.length m >= 10 && String.sub m 0 10 = "overloaded"));
+      Server.Client.quit c;
+      (* The retry layer absorbs sheds, then gives up rather than
+         livelocking against a permanently saturated server. *)
+      let rt =
+        Server.Client.Retry.create ~max_attempts:2 ~base_delay_s:0.001
+          ~max_delay_s:0.01 ~seed:7 (`Unix sock) ~user:"bob"
+      in
+      (match Server.Client.Retry.exec rt "SELECT * FROM patients;" with
+      | Ok _ | Error _ -> Alcotest.fail "retry client must give up"
+      | exception Server.Client.Retry.Gave_up _ ->
+        Alcotest.(check bool) "sheds were absorbed first" true
+          (Server.Client.Retry.sheds rt >= 2));
+      Server.Client.Retry.quit rt;
+      let st = Server.Daemon.stats t in
+      Alcotest.(check bool) "sheds counted" true
+        (st.Server.Daemon.statements_shed >= 2);
+      Alcotest.(check int) "nothing executed" 0
+        st.Server.Daemon.statements_served;
+      Server.Daemon.stop t;
+      let records, _ = Wal.read_all wal_path in
+      Alcotest.(check int) "shed statements leave no evidence" 0
+        (List.length records))
+
+(* ------------------------------------------------------------------ *)
+(* Wire codec fuzz (QCheck)                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The decoders are total: any byte string — random garbage, a truncated
+   valid encoding, or a valid encoding with one byte flipped — yields
+   [Ok] or [Error], never an exception. *)
+let decode_total payload =
+  let survives f =
+    match f payload with Ok _ | Error _ -> true | exception _ -> false
+  in
+  survives Wire.decode_request && survives Wire.decode_response
+
+let prop_fuzz_random_bytes =
+  QCheck.Test.make ~count:500 ~name:"wire decoders are total on garbage"
+    QCheck.(string_of_size (Gen.int_range 0 96))
+    decode_total
+
+(* A pool of valid encodings to truncate and mangle. *)
+let valid_encodings (user, line, seq, n) =
+  [
+    Wire.encode_request (Wire.Hello { user; token = line });
+    Wire.encode_request (Wire.Exec { seq = abs seq; line });
+    Wire.encode_request Wire.Quit;
+    Wire.encode_response (Wire.Greeting { session = abs seq; server = user });
+    Wire.encode_response (Wire.Result line);
+    Wire.encode_response (Wire.Failed user);
+    Wire.encode_response (Wire.Overloaded { retry_after_ms = abs n });
+    Wire.encode_response Wire.Goodbye;
+  ]
+
+let prop_fuzz_truncated =
+  QCheck.Test.make ~count:200
+    ~name:"wire decoders are total on truncated encodings"
+    QCheck.(quad string string small_int small_int)
+    (fun ((_, _, seq, n) as params) ->
+      List.for_all
+        (fun enc ->
+          let len = String.length enc in
+          let cut = if len = 0 then 0 else (abs seq + abs n) mod (len + 1) in
+          decode_total (String.sub enc 0 cut))
+        (valid_encodings params))
+
+let prop_fuzz_mangled =
+  QCheck.Test.make ~count:200
+    ~name:"wire decoders are total on bit-flipped encodings"
+    QCheck.(quad string string small_int small_int)
+    (fun ((_, _, seq, n) as params) ->
+      List.for_all
+        (fun enc ->
+          let len = String.length enc in
+          if len = 0 then true
+          else begin
+            let b = Bytes.of_string enc in
+            let pos = abs seq mod len in
+            Bytes.set b pos
+              (Char.chr (Char.code (Bytes.get b pos) lxor (1 + (abs n mod 255))));
+            decode_total (Bytes.to_string b)
+          end)
+        (valid_encodings params))
+
+let prop_roundtrip_any_exec =
+  QCheck.Test.make ~count:200 ~name:"wire exec round-trips any line"
+    QCheck.(pair string small_int)
+    (fun (line, seq) ->
+      let req = Wire.Exec { seq = abs seq; line } in
+      Wire.decode_request (Wire.encode_request req) = Ok req)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos matrix: exactly-once under drops, delays, truncation, severs  *)
+(* ------------------------------------------------------------------ *)
+
+(* One seeded chaos run: server + proxy + retrying clients, each client
+   recording the (session, seq) of every acknowledged statement. Every
+   fault schedule is a pure function of the seed, so a failing seed
+   replays exactly. Returns (errors, acked keys, complete evidence keys,
+   recovery, proxy fault stats). *)
+let chaos_run ~seed ~clients ~per_client =
+  let srv_sock = fresh_sock (Printf.sprintf "cs%d" seed) in
+  let proxy_sock = fresh_sock (Printf.sprintf "cp%d" seed) in
+  let wal_path = fresh_wal (Printf.sprintf "chaos%d" seed) in
+  let t =
+    Server.Daemon.start ~root:(init_root ())
+      (Server.Daemon.config ~wal_path:(Some wal_path)
+         ~max_segment_size:4096 (`Unix srv_sock))
+  in
+  let spec =
+    {
+      Server.Chaos.p_drop = 0.06;
+      p_delay = 0.08;
+      delay_s = 0.01;
+      p_truncate = 0.04;
+      p_sever = 0.04;
+    }
+  in
+  let proxy =
+    Server.Chaos.start ~spec ~seed ~listen:(`Unix proxy_sock)
+      ~upstream:(`Unix srv_sock) ()
+  in
+  let acked = Array.make clients [] in
+  let errors = Array.make clients [] in
+  let ths =
+    List.init clients (fun i ->
+        Thread.create
+          (fun () ->
+            let rt =
+              Server.Client.Retry.create ~max_attempts:10 ~base_delay_s:0.005
+                ~max_delay_s:0.05 ~recv_timeout_s:0.12
+                ~seed:((seed * 100) + i)
+                ~token:(Printf.sprintf "chaos-%d-%d" seed i)
+                (`Unix proxy_sock)
+                ~user:(Printf.sprintf "user%d" i)
+            in
+            for _ = 1 to per_client do
+              let seq = Server.Client.Retry.next_seq rt in
+              match Server.Client.Retry.exec rt "SELECT * FROM patients;" with
+              | Ok _ ->
+                (* Acknowledged: must have executed and logged its
+                   evidence exactly once. *)
+                acked.(i) <- (Server.Client.Retry.session rt, seq) :: acked.(i)
+              | Error m ->
+                errors.(i) <-
+                  Printf.sprintf "client %d seq %d failed: %s" i seq m
+                  :: errors.(i)
+              | exception Server.Client.Retry.Gave_up _ ->
+                (* Unacknowledged is legal under chaos: at-most-once
+                   still holds, but we can't claim the evidence exists.
+                   The retry layer will reuse this seq; redelivery of the
+                   same statement is replay-safe. *)
+                ()
+            done;
+            Server.Client.Retry.quit rt)
+          ())
+  in
+  List.iter Thread.join ths;
+  Server.Chaos.stop proxy;
+  let cstats = Server.Chaos.stats proxy in
+  (* Daemon stop drains the group writer before closing the log. *)
+  Server.Daemon.stop t;
+  let records, r = Wal.read_all wal_path in
+  let evidence =
+    List.filter_map
+      (function
+        | Wal.Accessed { session; seq; complete = true; _ } ->
+          Some (session, seq)
+        | _ -> None)
+      records
+  in
+  ( List.concat (Array.to_list errors),
+    List.concat (Array.to_list acked),
+    evidence,
+    r,
+    cstats )
+
+(* Sweep the seed space. The invariant per seed: the WAL is recoverable,
+   no (session, seq) evidence key appears twice (no double execution),
+   and every acknowledged statement's key appears exactly once. Across
+   the sweep, every fault kind must actually have fired. *)
+let chaos_matrix ~seeds ~clients ~per_client () =
+  let mu = Mutex.create () in
+  let totals = ref (0, 0, 0, 0) in
+  let total_acked = ref 0 in
+  let failures = ref [] in
+  let run seed =
+    let errors, acked, evidence, r, cs =
+      chaos_run ~seed ~clients ~per_client
+    in
+    let local = ref [] in
+    let fail msg =
+      local := Printf.sprintf "seed %d: %s" seed msg :: !local
+    in
+    List.iter fail errors;
+    if r.Wal.corrupt then fail "WAL corrupt after recovery";
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun k ->
+        Hashtbl.replace tbl k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+      evidence;
+    Hashtbl.iter
+      (fun (s, q) n ->
+        if n > 1 then
+          fail
+            (Printf.sprintf "evidence (session %d, seq %d) logged %d times" s q
+               n))
+      tbl;
+    List.iter
+      (fun (s, q) ->
+        match Hashtbl.find_opt tbl (s, q) with
+        | Some 1 -> ()
+        | Some n ->
+          fail
+            (Printf.sprintf "acked (session %d, seq %d) has %d records" s q n)
+        | None ->
+          fail (Printf.sprintf "acked (session %d, seq %d) has no evidence" s q))
+      acked;
+    Mutex.lock mu;
+    failures := !local @ !failures;
+    total_acked := !total_acked + List.length acked;
+    let d, dl, tr, sv = !totals in
+    totals :=
+      ( d + cs.Server.Chaos.s_dropped,
+        dl + cs.Server.Chaos.s_delayed,
+        tr + cs.Server.Chaos.s_truncated,
+        sv + cs.Server.Chaos.s_severed );
+    Mutex.unlock mu
+  in
+  (* Seeds run a few at a time: each has its own sockets, WAL and daemon,
+     so parallelism only compresses wall-clock, never couples seeds. *)
+  let rec take n = function
+    | x :: tl when n > 0 ->
+      let a, b = take (n - 1) tl in
+      (x :: a, b)
+    | rest -> ([], rest)
+  in
+  let rec batches = function
+    | [] -> ()
+    | l ->
+      let now, later = take 4 l in
+      let ths =
+        List.map
+          (fun seed ->
+            Thread.create
+              (fun () ->
+                try run seed
+                with e ->
+                  Mutex.lock mu;
+                  failures :=
+                    Printf.sprintf "seed %d: exception %s" seed
+                      (Printexc.to_string e)
+                    :: !failures;
+                  Mutex.unlock mu)
+              ())
+          now
+      in
+      List.iter Thread.join ths;
+      batches later
+  in
+  batches (List.init seeds (fun i -> i + 1));
+  (match !failures with
+  | [] -> ()
+  | fs -> Alcotest.failf "chaos matrix violations:\n%s" (String.concat "\n" fs));
+  Alcotest.(check bool) "statements were acknowledged" true (!total_acked > 0);
+  let d, dl, tr, sv = !totals in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "every fault kind fired (drop=%d delay=%d trunc=%d sever=%d)" d dl tr sv)
+    true
+    (d > 0 && dl > 0 && tr > 0 && sv > 0)
+
+let test_chaos_matrix () = chaos_matrix ~seeds:40 ~clients:2 ~per_client:5 ()
+
 let suite =
   [
     Alcotest.test_case "wire: request/response round-trip" `Quick
@@ -398,4 +767,14 @@ let suite =
       test_e2e_session_isolation;
     Alcotest.test_case "e2e: statement errors keep the session" `Quick
       test_e2e_statement_errors_keep_session;
+    Alcotest.test_case "retry: lost reply is replayed, not re-executed" `Quick
+      test_resume_replays_lost_reply;
+    Alcotest.test_case "overload: typed shed, no execution, no evidence"
+      `Quick test_overload_sheds_typed;
+    QCheck_alcotest.to_alcotest prop_fuzz_random_bytes;
+    QCheck_alcotest.to_alcotest prop_fuzz_truncated;
+    QCheck_alcotest.to_alcotest prop_fuzz_mangled;
+    QCheck_alcotest.to_alcotest prop_roundtrip_any_exec;
+    Alcotest.test_case "chaos: 40-seed exactly-once matrix" `Slow
+      test_chaos_matrix;
   ]

@@ -194,6 +194,110 @@ let test_enospc_heals () =
     (sample @ [ Wal.Note "space back" ])
     got
 
+(* ------------------------------------------------------------------ *)
+(* Segmented mode                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let note i = Wal.Note (Printf.sprintf "record %04d" i)
+
+(* Append [n] notes through a segmented writer with a tiny rotation
+   threshold, sync, close; returns the writer's final segment count. *)
+let write_segmented ?(max_segment_size = 256) ?faults path n =
+  let w, _ = Wal.open_ ?faults ~max_segment_size path in
+  for i = 1 to n do
+    Wal.append w (note i)
+  done;
+  Wal.sync w;
+  let segs = Wal.segments w in
+  Wal.close w;
+  segs
+
+let test_segmented_rotation () =
+  let path = fresh_path "seg" in
+  let segs = write_segmented path 40 in
+  Alcotest.(check bool) "rotation produced several segments" true (segs > 2);
+  Alcotest.(check bool) "manifest exists" true
+    (Sys.file_exists (Wal.manifest_path path));
+  Alcotest.(check bool) "base path is not a plain log" false
+    (Sys.file_exists path);
+  let got, r = Wal.read_all path in
+  Alcotest.check records "full history across segments"
+    (List.init 40 (fun i -> note (i + 1)))
+    got;
+  Alcotest.(check int) "recovery reports the segment count" segs
+    r.Wal.segments;
+  Alcotest.(check bool) "clean" false r.Wal.corrupt;
+  Alcotest.(check int) "no torn tail" 0 r.Wal.truncated_bytes
+
+let test_segmented_reopen_bounded () =
+  let path = fresh_path "segreopen" in
+  let segs = write_segmented path 60 in
+  (* Reopen without ~max_segment_size: the manifest's presence selects
+     segmented mode; recovery must scan only manifest + tail. *)
+  let w, r = Wal.open_ path in
+  Alcotest.(check bool) "manifest selects segmented mode" true
+    (Wal.is_segmented w);
+  Alcotest.(check int) "reopen sees every record" 60 r.Wal.valid_records;
+  Alcotest.(check int) "segment count carries over" segs r.Wal.segments;
+  let total_bytes =
+    let rec sum acc i =
+      let p = Wal.segment_path path i in
+      if Sys.file_exists p then sum (acc + (Unix.stat p).Unix.st_size) (i + 1)
+      else acc
+    in
+    sum 0 0
+  in
+  Alcotest.(check bool) "bounded recovery scanned less than the trail" true
+    (r.Wal.scanned_bytes < total_bytes);
+  Wal.append w (Wal.Note "after reopen");
+  Wal.sync w;
+  Wal.close w;
+  let got, _ = Wal.read_all path in
+  Alcotest.(check int) "append after reopen lands" 61 (List.length got)
+
+let test_segmented_torn_tail () =
+  let path = fresh_path "segtorn" in
+  ignore (write_segmented path 30);
+  let kit = F.create () in
+  F.arm kit [ F.Log_io { at = 1; fault = F.Crash_before_sync } ];
+  let w, _ = Wal.open_ ~faults:kit path in
+  expect_log_io (fun () -> Wal.append w (Wal.Note "never lands"));
+  let got, r = Wal.read_all path in
+  Alcotest.(check int) "intact records survive" 30 (List.length got);
+  Alcotest.(check bool) "torn tail detected" true (r.Wal.truncated_bytes > 0);
+  Alcotest.(check bool) "torn tail confined to the tail segment" false
+    r.Wal.corrupt;
+  (* Recovery truncates the tail segment; the log is writable again. *)
+  let w2, r2 = Wal.open_ path in
+  Alcotest.(check int) "recovery keeps every record" 30 r2.Wal.valid_records;
+  Wal.append w2 (Wal.Note "after recovery");
+  Wal.sync w2;
+  Wal.close w2;
+  let _, r3 = Wal.read_all path in
+  Alcotest.(check int) "tail gone after recovery" 0 r3.Wal.truncated_bytes
+
+let test_segmented_enospc_rotates () =
+  let path = fresh_path "segenospc" in
+  let kit = F.create () in
+  F.arm kit [ F.Log_io { at = 3; fault = F.Enospc } ];
+  (* Large threshold: no size-based rotation, so any rotation observed
+     came from the ENOSPC recovery path. *)
+  let w, _ = Wal.open_ ~faults:kit ~max_segment_size:(1 lsl 20) path in
+  for i = 1 to 5 do
+    Wal.append w (note i)
+  done;
+  Alcotest.(check int) "ENOSPC triggered exactly one rotation" 1
+    (Wal.rotations w);
+  Alcotest.(check bool) "handle survives" true (Wal.is_open w);
+  Wal.sync w;
+  Wal.close w;
+  let got, r = Wal.read_all path in
+  Alcotest.check records "no record lost to ENOSPC"
+    (List.init 5 (fun i -> note (i + 1)))
+    got;
+  Alcotest.(check int) "two segments" 2 r.Wal.segments;
+  Alcotest.(check bool) "clean" false r.Wal.corrupt
+
 let test_crc32 () =
   (* The standard CRC32 (IEEE 802.3) check value. *)
   Alcotest.(check int)
@@ -213,5 +317,13 @@ let suite =
     Alcotest.test_case "short write heals (failure-atomic append)" `Quick
       test_short_write_heals;
     Alcotest.test_case "ENOSPC heals; retry succeeds" `Quick test_enospc_heals;
+    Alcotest.test_case "segmented: rotation and full-history read" `Quick
+      test_segmented_rotation;
+    Alcotest.test_case "segmented: reopen is bounded to manifest + tail"
+      `Quick test_segmented_reopen_bounded;
+    Alcotest.test_case "segmented: torn tail confined to tail segment" `Quick
+      test_segmented_torn_tail;
+    Alcotest.test_case "segmented: ENOSPC rotates and retries" `Quick
+      test_segmented_enospc_rotates;
     Alcotest.test_case "crc32 check value" `Quick test_crc32;
   ]
