@@ -37,8 +37,8 @@ let parse_tcp spec =
     | Some p when p > 0 -> Some (`Tcp ((if host = "" then "127.0.0.1" else host), p))
     | _ -> None)
 
-let main socket tcp wal policy_open max_segment_size init tpch max_clients
-    max_waiting statement_timeout =
+let main socket tcp wal policy_open max_segment_size storage init tpch
+    max_clients max_waiting statement_timeout =
   let listen =
     match tcp with
     | Some spec -> (
@@ -50,6 +50,17 @@ let main socket tcp wal policy_open max_segment_size init tpch max_clients
     | None -> `Unix socket
   in
   let db = Db.Database.create () in
+  (* Before --tpch/--init so preloaded tables get the requested layout. *)
+  (match storage with
+  | Some s -> (
+    match Storage.Table.storage_of_string s with
+    | Some st ->
+      Db.Database.set_storage_mode db st;
+      log (Printf.sprintf "storage mode %s" s)
+    | None ->
+      prerr_endline "serverd: --storage expects heap or columnar";
+      exit 2)
+  | None -> ());
   (match tpch with
   | Some sf ->
     let sizes = Tpch.Dbgen.load db ~sf in
@@ -125,6 +136,13 @@ let policy_open =
   in
   Arg.(value & flag & info [ "fail-open" ] ~doc)
 
+let storage =
+  let doc =
+    "Storage engine for tables the server creates ($(docv) is heap or \
+     columnar; default follows the STORAGE environment variable)."
+  in
+  Arg.(value & opt (some string) None & info [ "storage" ] ~docv:"MODE" ~doc)
+
 let init =
   let doc = "Execute the SQL script $(docv) before accepting connections." in
   Arg.(value & opt (some file) None & info [ "init" ] ~docv:"FILE" ~doc)
@@ -171,7 +189,7 @@ let cmd =
   Cmd.v
     (Cmd.info "serverd" ~doc)
     Term.(
-      const main $ socket $ tcp $ wal $ policy_open $ max_segment_size $ init
-      $ tpch $ max_clients $ max_waiting $ statement_timeout)
+      const main $ socket $ tcp $ wal $ policy_open $ max_segment_size
+      $ storage $ init $ tpch $ max_clients $ max_waiting $ statement_timeout)
 
 let () = exit (Cmd.eval' cmd)

@@ -17,6 +17,8 @@
      \heuristic <h>         leaf | hcn | highest
      \exec [row|batch]      select (or show) the execution engine:
                             tuple-at-a-time or vectorized batches
+     \storage [heap|columnar]   select (or show) the storage engine for
+                            tables created from now on
      \user <name>           set session user
      \tpch <sf>             load the TPC-H benchmark at scale factor <sf>
      \log open <path> [closed|open]   attach the durable audit log
@@ -36,7 +38,8 @@ let usage_commands =
   "commands: \\q \\tables \\audits \\triggers \\notifications \\accessed \
    \\plan <sql> \\analyze <sql> \\verify <sql|mode <off|warn|strict>> \
    \\dump [file] \\heuristic <leaf|hcn|highest> \\exec [row|batch] \
-   \\user <name> \\tpch <sf> \\log <open|policy|dump|status|close> \
+   \\storage [heap|columnar] \\user <name> \\tpch <sf> \
+   \\log <open|policy|dump|status|close> \
    \\timeout <s|off> \\budget <rows|mem> <n|off> \\alarms \\fault <...>"
 
 let fault_usage =
@@ -257,6 +260,13 @@ let handle_command db line =
     | "row" -> Db.Database.set_exec_mode db `Row
     | "batch" -> Db.Database.set_exec_mode db `Batch
     | _ -> print_endline "usage: \\exec [row|batch]")
+  | [ "\\storage" ] ->
+    print_endline
+      (Storage.Table.storage_to_string (Db.Database.storage_mode db))
+  | [ "\\storage"; m ] -> (
+    match Storage.Table.storage_of_string (String.lowercase_ascii m) with
+    | Some st -> Db.Database.set_storage_mode db st
+    | None -> print_endline "usage: \\storage [heap|columnar]")
   | [ "\\user"; u ] -> Db.Database.set_user db u
   | [ "\\timeout"; s ] -> (
     match s with

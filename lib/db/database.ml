@@ -72,6 +72,9 @@ type t = {
   mutable exec_mode : [ `Row | `Batch ];
       (** which engine runs SELECTs: tuple-at-a-time ({!Exec.Executor}) or
           vectorized ({!Exec.Batch_exec}) *)
+  mutable storage_mode : Table.storage;
+      (** physical representation for subsequently created tables (CREATE
+          TABLE, temp tables); existing tables keep theirs *)
 }
 
 let max_trigger_depth = 8
@@ -104,6 +107,9 @@ let create () =
     alarms = [];
     verify = Off;
     exec_mode = default_exec_mode ();
+    (* Table.default_storage reads the STORAGE environment variable — the
+       storage axis of the BATCH_MODE switch above. *)
+    storage_mode = Table.default_storage ();
   }
 
 (** A further session over the same engine: the catalog, audit
@@ -134,6 +140,7 @@ let create_session ?(session_id = 0) parent =
     alarms = [];
     verify = parent.verify;
     exec_mode = parent.exec_mode;
+    storage_mode = parent.storage_mode;
   }
 
 let catalog db = db.catalog
@@ -141,6 +148,8 @@ let context db = db.ctx
 let session_id db = db.ctx.Exec.Exec_ctx.session_id
 let set_exec_mode db m = db.exec_mode <- m
 let exec_mode db = db.exec_mode
+let set_storage_mode db st = db.storage_mode <- st
+let storage_mode db = db.storage_mode
 
 (* Every SELECT-shaped execution funnels through here so the engine choice
    is a single switch; both engines share Exec_ctx, Expr_compile, metrics
@@ -472,7 +481,7 @@ let run_plan db plan =
 (* ------------------------------------------------------------------ *)
 
 let temp_table db ~name ~schema rows =
-  let t = Table.create ~name schema in
+  let t = Table.create ~storage:db.storage_mode ~name schema in
   List.iter (Table.insert t) rows;
   Catalog.put db.catalog t;
   t
@@ -495,7 +504,8 @@ let rec exec_statement db (stmt : Sql.Ast.statement) : result =
     let key =
       List.find_index (fun (c : Sql.Ast.column_def) -> c.Sql.Ast.col_pk) columns
     in
-    Catalog.add db.catalog (Table.create ?key ~name:table schema);
+    Catalog.add db.catalog
+      (Table.create ?key ~storage:db.storage_mode ~name:table schema);
     Done (Printf.sprintf "table %s created" table)
   | Sql.Ast.S_drop_table name ->
     Catalog.remove db.catalog name;

@@ -58,6 +58,16 @@ val set_exec_mode : t -> [ `Row | `Batch ] -> unit
 
 val exec_mode : t -> [ `Row | `Batch ]
 
+(** Physical representation used for tables created from now on (CREATE
+    TABLE and temp tables): heap tuples or typed columnar vectors
+    ({!Storage.Table.storage}). Already-created tables keep their
+    representation. Default {!Storage.Table.default_storage}, i.e. the
+    [STORAGE] environment variable ([STORAGE=columnar]) at {!create}
+    time; inherited by {!create_session}. *)
+val set_storage_mode : t -> Storage.Table.storage -> unit
+
+val storage_mode : t -> Storage.Table.storage
+
 (** Plan-invariant verification policy ({!Analysis.Plan_verify}) applied
     to every planned statement: [Off] (default) skips the check, [Warn]
     records an alarm (and a stderr warning) per violation, [Strict]

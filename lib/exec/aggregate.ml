@@ -67,6 +67,27 @@ let update st (v : Value.t option) =
     [update st None] calls. *)
 let update_many st n = st.count <- st.count + n
 
+(** Feed one non-NULL unboxed int — the fused columnar aggregation
+    kernel's entry point: exactly [update st (Some (Int i))] without the
+    [Some]/[Int] allocations on the SUM/AVG/COUNT hot paths. *)
+let add_int st i =
+  match (st.seen, st.agg.Logical.func) with
+  | None, Logical.Count -> st.count <- st.count + 1
+  | None, (Logical.Sum | Logical.Avg) ->
+    st.count <- st.count + 1;
+    st.sum <- st.sum +. float_of_int i
+  | _ -> update st (Some (Value.Int i))
+
+(** Non-NULL unboxed float counterpart of {!add_int}. *)
+let add_float st f =
+  match (st.seen, st.agg.Logical.func) with
+  | None, Logical.Count -> st.count <- st.count + 1
+  | None, (Logical.Sum | Logical.Avg) ->
+    st.count <- st.count + 1;
+    st.sum <- st.sum +. f;
+    st.sum_is_int <- false
+  | _ -> update st (Some (Value.Float f))
+
 let final st : Value.t =
   match st.agg.Logical.func with
   | Logical.Count -> Value.Int st.count

@@ -15,4 +15,13 @@ val update : state -> Value.t option -> unit
     kernel): equivalent to [n] [update st None] calls. *)
 val update_many : state -> int -> unit
 
+(** Feed one non-NULL unboxed int: equivalent to
+    [update st (Some (Int i))] but allocation-free on the
+    COUNT/SUM/AVG paths (the fused columnar aggregation kernel). *)
+val add_int : state -> int -> unit
+
+(** Feed one non-NULL unboxed float: equivalent to
+    [update st (Some (Float f))], allocation-free like {!add_int}. *)
+val add_float : state -> float -> unit
+
 val final : state -> Value.t

@@ -1,0 +1,48 @@
+(** Vectorized predicate kernels over columnar tables.
+
+    [compile ctx cs pred] compiles a scan predicate into a slot-level
+    kernel over the table's typed column vectors: the kernel maps a slot
+    number to the predicate's three-valued verdict without materializing
+    the row. Comparisons against constants read the unboxed [int array] /
+    [float array] directly; string comparisons, [LIKE] and [IN] against
+    dictionary-encoded columns are pre-evaluated per dictionary code (one
+    evaluation per {e distinct} value, not per row); NULLs come from the
+    column's bitmap.
+
+    Verdicts use the usual three-valued encoding: [0] = false, [1] = true,
+    [2] = unknown (NULL). A filter keeps a slot iff the verdict is [1] —
+    the same "holds only on [Bool true]" contract as
+    {!Expr_compile.compile_pred}, whose semantics (numeric Int/Float
+    interleaving, rank ordering across types, Kleene AND/OR, IN-list hash
+    membership) these kernels reproduce exactly.
+
+    Returns [None] when any subexpression falls outside the supported
+    shapes (or could raise, e.g. [LIKE] on a non-string column) — the
+    caller must then fall back to materializing rows and running the
+    compiled row predicate, which also preserves error behaviour. *)
+
+(** Slot -> verdict (0 = false, 1 = true, 2 = unknown). *)
+type kernel = int -> int
+
+(** The verdict on which a filter keeps the slot. *)
+val holds : int
+
+val compile :
+  Exec_ctx.t -> Storage.Column_store.t -> Plan.Scalar.t -> kernel option
+
+(** Unboxed numeric expression kernel: [Kint] when the row engine would
+    produce [Value.Int] for every non-NULL input (native-int wrap
+    included), [Kfloat] when it would produce [Value.Float]. *)
+type num = Kint of (int -> int) | Kfloat of (int -> float)
+
+(** [compile_num ctx cs e] compiles a numeric scalar (columns, folded
+    constants, [+]/[-]/[*]) into a value kernel and a NULL kernel: the
+    value kernel is only meaningful on slots where the NULL kernel is
+    false. [None] for any shape whose arithmetic the kernels cannot
+    reproduce exactly (Date/Bool columns, division, strings) — the
+    fused aggregation falls back to the row-compiled path there. *)
+val compile_num :
+  Exec_ctx.t ->
+  Storage.Column_store.t ->
+  Plan.Scalar.t ->
+  (num * (int -> bool)) option

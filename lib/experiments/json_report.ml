@@ -301,36 +301,26 @@ let expr_compile_json (env : Setup.env) : Json.t =
 (* --------------------------------------------------------------- *)
 
 (** Row engine vs the vectorized engine on the scan/filter-heavy figure
-    workloads. As in {!expr_compile_json}, all four thunks per query
+    workloads, across BOTH storage engines: the same query list runs once
+    over heap tables and once over columnar tables (a second TPC-H load
+    with the same seed), and every query object carries a ["storage"]
+    stamp. As in {!expr_compile_json}, all four thunks per query
     (engine × plan) share ONE round-robin timing session, and each engine
     is timed both plain and hcn-instrumented so the report carries the
-    audit overhead under each engine alongside the batch speedup. The
-    [summary] block is what CI gates on. *)
+    audit overhead per storage mode alongside the batch speedup. The
+    [summary] block (overall and per-storage) is what CI gates on. *)
 let row_vs_batch_json (env : Setup.env) : Json.t =
-  let ctx = Db.Database.context env.Setup.db in
-  Db.Database.install_audit_sets env.Setup.db;
-  let thunk run p =
-    let phys = Setup.physical env p in
-    fun () ->
-      Exec.Exec_ctx.reset_query_state ctx;
-      ignore (run ctx phys)
+  let envs =
+    let with_storage st =
+      if Db.Database.storage_mode env.Setup.db = st then env
+      else Setup.prepare ~storage:st env.Setup.cfg
+    in
+    [
+      ("heap", with_storage Storage.Table.Heap);
+      ("columnar", with_storage Storage.Table.Columnar);
+    ]
   in
-  let timings sql =
-    let base_p = Setup.plan env sql in
-    let hcn_p = Setup.plan env ~heuristic:Audit_core.Placement.Hcn sql in
-    match
-      Timing.compare_thunks ~warmup:env.Setup.cfg.Setup.warmup
-        ~repeats:env.Setup.cfg.Setup.repeats
-        [
-          thunk Exec.Executor.run_count base_p;
-          thunk Exec.Executor.run_count hcn_p;
-          thunk Exec.Batch_exec.run_count base_p;
-          thunk Exec.Batch_exec.run_count hcn_p;
-        ]
-    with
-    | [ rb; rh; bb; bh ] -> ((rb, rh), (bb, bh))
-    | _ -> assert false
-  in
+  let speedup row batch = if batch > 0.0 then row /. batch else 1.0 in
   let mode_json (base, hcn) =
     Json.Obj
       [
@@ -339,20 +329,6 @@ let row_vs_batch_json (env : Setup.env) : Json.t =
         ("instrumented_time_s", Json.Float hcn);
         ("audit_overhead_pct", Json.Float (Timing.overhead_pct ~base hcn));
       ]
-  in
-  let speedup row batch = if batch > 0.0 then row /. batch else 1.0 in
-  let entry (id, sql) =
-    let ((rb, rh) as row), ((bb, bh) as batch) = timings sql in
-    ( id,
-      speedup rb bb,
-      Json.Obj
-        [
-          ("query", Json.Str id);
-          ("row", mode_json row);
-          ("batch", mode_json batch);
-          ("batch_speedup", Json.Float (speedup rb bb));
-          ("instrumented_batch_speedup", Json.Float (speedup rh bh));
-        ] )
   in
   let queries =
     [
@@ -370,31 +346,92 @@ let row_vs_batch_json (env : Setup.env) : Json.t =
           ("fig9_" ^ q.Tpch.Queries.id, q.Tpch.Queries.sql))
         Tpch.Queries.customer_workload
   in
-  let entries = List.map entry queries in
-  let best_id, best, _ =
-    List.fold_left
-      (fun (bi, bs, _) (id, s, _) ->
-        if s > bs then (id, s, ()) else (bi, bs, ()))
-      ("", 0.0, ()) entries
+  let entries_for (sname, env) =
+    let ctx = Db.Database.context env.Setup.db in
+    Db.Database.install_audit_sets env.Setup.db;
+    let thunk run p =
+      let phys = Setup.physical env p in
+      fun () ->
+        Exec.Exec_ctx.reset_query_state ctx;
+        ignore (run ctx phys)
+    in
+    let timings sql =
+      let base_p = Setup.plan env sql in
+      let hcn_p = Setup.plan env ~heuristic:Audit_core.Placement.Hcn sql in
+      match
+        Timing.compare_thunks ~warmup:env.Setup.cfg.Setup.warmup
+          ~repeats:env.Setup.cfg.Setup.repeats
+          [
+            thunk Exec.Executor.run_count base_p;
+            thunk Exec.Executor.run_count hcn_p;
+            thunk Exec.Batch_exec.run_count base_p;
+            thunk Exec.Batch_exec.run_count hcn_p;
+          ]
+      with
+      | [ rb; rh; bb; bh ] -> ((rb, rh), (bb, bh))
+      | _ -> assert false
+    in
+    let entry (id, sql) =
+      let ((rb, rh) as row), ((bb, bh) as batch) = timings sql in
+      ( id,
+        speedup rb bb,
+        Json.Obj
+          [
+            ("query", Json.Str id);
+            ("storage", Json.Str sname);
+            ("row", mode_json row);
+            ("batch", mode_json batch);
+            ("batch_speedup", Json.Float (speedup rb bb));
+            ("instrumented_batch_speedup", Json.Float (speedup rh bh));
+          ] )
+    in
+    (sname, List.map entry queries)
   in
-  let fig6 =
+  let per_storage = List.map entries_for envs in
+  let entries = List.concat_map snd per_storage in
+  let best_over es =
+    List.fold_left
+      (fun (bi, bs) (id, s, _) -> if s > bs then (id, s) else (bi, bs))
+      ("", 0.0) es
+  in
+  let fig6_over es =
     List.fold_left
       (fun acc (id, s, _) ->
         if String.length id >= 4 && String.sub id 0 4 = "fig6" then
           Float.max acc s
         else acc)
-      0.0 entries
+      0.0 es
   in
+  let find_speedup es id =
+    List.fold_left
+      (fun acc (i, s, _) -> if i = id then s else acc)
+      0.0 es
+  in
+  let storage_summary (sname, es) =
+    let best_id, best = best_over es in
+    ( sname,
+      Json.Obj
+        [
+          ("best_speedup", Json.Float best);
+          ("best_query", Json.Str best_id);
+          ("fig6_best_speedup", Json.Float (fig6_over es));
+          ("tpch_q1_speedup", Json.Float (find_speedup es "tpch_Q1"));
+          ("tpch_q6_speedup", Json.Float (find_speedup es "tpch_Q6"));
+        ] )
+  in
+  let best_id, best = best_over entries in
   Json.Obj
     [
       ("queries", Json.List (List.map (fun (_, _, j) -> j) entries));
       ( "summary",
         Json.Obj
-          [
-            ("best_speedup", Json.Float best);
-            ("best_query", Json.Str best_id);
-            ("fig6_best_speedup", Json.Float fig6);
-          ] );
+          ([
+             ("best_speedup", Json.Float best);
+             ("best_query", Json.Str best_id);
+             ("fig6_best_speedup", Json.Float (fig6_over entries));
+           ]
+          @ [ ("per_storage", Json.Obj (List.map storage_summary per_storage)) ]
+          ) );
     ]
 
 (** EXPLAIN ANALYZE text for the instrumented micro-join, embedded in the
@@ -613,7 +650,7 @@ let assemble (env : Setup.env) ~(sections : (string * Json.t) list)
   Json.Obj
     [
       ("report", Json.Str "select-triggers-bench");
-      ("schema_version", Json.Int 2);
+      ("schema_version", Json.Int 3);
       ("generated_at_unix", Json.Float (Unix.time ()));
       ( "config",
         Json.Obj

@@ -37,9 +37,15 @@ type env = {
 }
 
 (** Load TPC-H and declare the audit expression
-    [c_mktsegment = 'BUILDING' PARTITION BY c_custkey]. *)
-let prepare (cfg : config) : env =
+    [c_mktsegment = 'BUILDING' PARTITION BY c_custkey]. [storage]
+    overrides the table representation (default: the process-wide
+    [STORAGE] setting) — the row-vs-batch section loads one environment
+    per storage engine to report both sides of the matrix. *)
+let prepare ?storage (cfg : config) : env =
   let db = Db.Database.create () in
+  (match storage with
+  | Some st -> Db.Database.set_storage_mode db st
+  | None -> ());
   let sizes = Tpch.Dbgen.load ~seed:cfg.seed db ~sf:cfg.sf in
   ignore (Db.Database.exec db (Tpch.Queries.audit_segment ()));
   let view = Db.Database.audit_view db "audit_customer" in

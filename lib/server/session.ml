@@ -30,7 +30,8 @@ let user t = Db.Database.user t.db
 let usage_commands =
   "commands: \\tables \\audits \\triggers \\notifications \\accessed \
    \\alarms \\plan <sql> \\analyze <sql> \\verify <sql|mode <off|warn|strict>> \
-   \\heuristic <leaf|hcn|highest> \\exec [row|batch] \\user <name> \
+   \\heuristic <leaf|hcn|highest> \\exec [row|batch] \
+   \\storage [heap|columnar] \\user <name> \
    \\timeout <s|off> \\budget <rows|mem> <n|off> \\session \\log status \
    (\\q quits client-side)"
 
@@ -130,6 +131,14 @@ let handle_command t line =
       Db.Database.set_exec_mode db `Batch;
       "exec mode batch"
     | _ -> "usage: \\exec [row|batch]")
+  | [ "\\storage" ] ->
+    Storage.Table.storage_to_string (Db.Database.storage_mode db)
+  | [ "\\storage"; m ] -> (
+    match Storage.Table.storage_of_string (String.lowercase_ascii m) with
+    | Some st ->
+      Db.Database.set_storage_mode db st;
+      Printf.sprintf "storage mode %s" (Storage.Table.storage_to_string st)
+    | None -> "usage: \\storage [heap|columnar]")
   | [ "\\user"; u ] ->
     Db.Database.set_user db u;
     Printf.sprintf "user %s" u

@@ -1,10 +1,22 @@
-(** Heap tables.
+(** Tables, behind one seam over two physical representations.
 
-    Rows live in a growable array of slots; deletion leaves a hole so row
-    identifiers (slot numbers) stay stable. A clustered hash index maps the
-    primary-key value to its slot, mirroring the paper's observation (§IV-A1)
-    that the partition-by key usually coincides with the clustered index and
-    is therefore read "for free".
+    Rows live in stable slots; deletion leaves a hole so row identifiers
+    (slot numbers) survive. A clustered hash index maps the primary-key
+    value to its slot, mirroring the paper's observation (§IV-A1) that the
+    partition-by key usually coincides with the clustered index and is
+    therefore read "for free".
+
+    Two stores implement the slot contract:
+    - [Heap]: a growable [Tuple.t option array] of boxed rows — the
+      original representation, kept as the differential oracle.
+    - [Columnar]: typed unboxed vectors per column with dictionary-encoded
+      strings and null/live bitmaps ({!Column_store}) — rows are
+      materialized on demand, and the vectorized engine reads the column
+      vectors directly.
+
+    Because slot identity, the PK/secondary indexes, and the change hooks
+    all live at this level, the row engine, triggers and sensitive-view
+    maintenance are representation-agnostic.
 
     Change hooks let the audit subsystem maintain materialized sensitive-ID
     views incrementally (standard materialized-view maintenance, §IV-A1). *)
@@ -13,6 +25,31 @@ type change =
   | Inserted of Tuple.t
   | Deleted of Tuple.t
   | Updated of { before : Tuple.t; after : Tuple.t }
+
+type storage = Heap | Columnar
+
+let storage_to_string = function Heap -> "heap" | Columnar -> "columnar"
+
+let storage_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "heap" | "row" -> Some Heap
+  | "columnar" | "column" -> Some Columnar
+  | _ -> None
+
+(* Process-wide default, settable via the STORAGE environment variable
+   (the storage counterpart of the batch engine's BATCH_MODE). *)
+let default =
+  ref
+    (match Option.bind (Sys.getenv_opt "STORAGE") storage_of_string with
+    | Some st -> st
+    | None -> Heap)
+
+let default_storage () = !default
+let set_default_storage st = default := st
+
+type store =
+  | Heap_slots of Tuple.t option array
+  | Col_store of Column_store.t
 
 type index = {
   idx_name : string;
@@ -24,7 +61,7 @@ type t = {
   name : string;
   schema : Schema.t;
   key : int option;  (** primary-key column index, if any *)
-  mutable slots : Tuple.t option array;
+  mutable store : store;
   mutable next_slot : int;
   mutable live : int;
   pk_index : int Value.Hashtbl_v.t;  (** pk value -> slot *)
@@ -35,16 +72,20 @@ type t = {
 exception Duplicate_key of string
 exception Schema_mismatch of string
 
-let create ?key ~name schema =
+let create ?key ?storage ~name schema =
   (match key with
   | Some k when k < 0 || k >= Schema.arity schema ->
     invalid_arg "Table.create: key index out of range"
   | _ -> ());
+  let storage = match storage with Some st -> st | None -> !default in
   {
     name;
     schema;
     key;
-    slots = Array.make 16 None;
+    store =
+      (match storage with
+      | Heap -> Heap_slots (Array.make 16 None)
+      | Columnar -> Col_store (Column_store.create schema));
     next_slot = 0;
     live = 0;
     pk_index = Value.Hashtbl_v.create 64;
@@ -55,6 +96,40 @@ let create ?key ~name schema =
 let name t = t.name
 let schema t = t.schema
 let key t = t.key
+let storage t = match t.store with Heap_slots _ -> Heap | Col_store _ -> Columnar
+let column_store t = match t.store with Heap_slots _ -> None | Col_store cs -> Some cs
+let next_slot t = t.next_slot
+
+(* ------------------------------------------------------------------ *)
+(* Slot primitives (the only code that sees the representation)        *)
+(* ------------------------------------------------------------------ *)
+
+(* The live row at a slot, materialized when columnar. *)
+let slot_get t s =
+  match t.store with
+  | Heap_slots slots -> slots.(s)
+  | Col_store cs ->
+    if Column_store.is_live cs s then Some (Column_store.read cs s) else None
+
+let slot_set t s row =
+  match t.store with
+  | Heap_slots slots -> slots.(s) <- Some row
+  | Col_store cs -> Column_store.write cs s row
+
+let slot_clear t s =
+  match t.store with
+  | Heap_slots slots -> slots.(s) <- None
+  | Col_store cs -> Column_store.erase cs s
+
+let ensure_capacity t =
+  match t.store with
+  | Heap_slots slots ->
+    if t.next_slot = Array.length slots then begin
+      let bigger = Array.make (2 * Array.length slots) None in
+      Array.blit slots 0 bigger 0 t.next_slot;
+      t.store <- Heap_slots bigger
+    end
+  | Col_store cs -> Column_store.ensure cs t.next_slot
 
 (* ------------------------------------------------------------------ *)
 (* Secondary indexes                                                   *)
@@ -84,7 +159,7 @@ let create_index t ~name:idx_name ~col =
     raise (Index_exists idx_name);
   let idx = { idx_name; idx_col = col; idx_map = Value.Hashtbl_v.create 256 } in
   for slot = 0 to t.next_slot - 1 do
-    match t.slots.(slot) with
+    match slot_get t slot with
     | Some row -> index_add idx (Tuple.get row col) slot
     | None -> ()
   done;
@@ -112,7 +187,7 @@ let lookup ?hide t ~col v : Tuple.t list option =
     Some
       (match Value.Hashtbl_v.find_opt t.pk_index v with
       | Some slot -> (
-        match t.slots.(slot) with
+        match slot_get t slot with
         | Some row when not (hidden row) -> [ row ]
         | _ -> [])
       | None -> [])
@@ -126,10 +201,11 @@ let lookup ?hide t ~col v : Tuple.t list option =
         | Some slots ->
           List.filter_map
             (fun slot ->
-              match t.slots.(slot) with
+              match slot_get t slot with
               | Some row when not (hidden row) -> Some row
               | _ -> None)
             !slots)
+
 let cardinality t = t.live
 let on_change t f = t.hooks <- f :: t.hooks
 let notify t c = List.iter (fun f -> f c) t.hooks
@@ -151,18 +227,13 @@ let check_row t (row : Tuple.t) =
                 (Datatype.to_string c.Schema.ty))))
     row
 
-(* Coerce each cell to the declared column type (int->float, string->date). *)
+(* Coerce each cell to the declared column type (int->float, string->date).
+   This is what makes the columnar encoding total: a stored cell is exactly
+   its declared type or NULL. *)
 let coerce_row t (row : Tuple.t) : Tuple.t =
   Array.mapi
     (fun i v -> Datatype.coerce (Schema.col t.schema i).Schema.ty v)
     row
-
-let ensure_capacity t =
-  if t.next_slot = Array.length t.slots then begin
-    let bigger = Array.make (2 * Array.length t.slots) None in
-    Array.blit t.slots 0 bigger 0 t.next_slot;
-    t.slots <- bigger
-  end
 
 let insert t row =
   let row = coerce_row t row in
@@ -180,7 +251,7 @@ let insert t row =
   | None -> ());
   ensure_capacity t;
   let slot = t.next_slot in
-  t.slots.(slot) <- Some row;
+  slot_set t slot row;
   t.next_slot <- slot + 1;
   t.live <- t.live + 1;
   (match t.key with
@@ -196,13 +267,13 @@ let find_by_key t kv =
   | Some _ -> (
     match Value.Hashtbl_v.find_opt t.pk_index kv with
     | None -> None
-    | Some slot -> t.slots.(slot))
+    | Some slot -> slot_get t slot)
 
 let delete_slot t slot =
-  match t.slots.(slot) with
+  match slot_get t slot with
   | None -> ()
   | Some row ->
-    t.slots.(slot) <- None;
+    slot_clear t slot;
     t.live <- t.live - 1;
     (match t.key with
     | Some k -> Value.Hashtbl_v.remove t.pk_index (Tuple.get row k)
@@ -216,7 +287,7 @@ let delete_slot t slot =
 let delete_where t pred =
   let n = ref 0 in
   for slot = 0 to t.next_slot - 1 do
-    match t.slots.(slot) with
+    match slot_get t slot with
     | Some row when pred row ->
       delete_slot t slot;
       incr n
@@ -229,7 +300,7 @@ let delete_where t pred =
 let update_where t pred f =
   let n = ref 0 in
   for slot = 0 to t.next_slot - 1 do
-    match t.slots.(slot) with
+    match slot_get t slot with
     | Some row when pred row ->
       let row' = coerce_row t (f row) in
       check_row t row';
@@ -246,7 +317,7 @@ let update_where t pred f =
           Value.Hashtbl_v.replace t.pk_index new_kv slot
         end
       | None -> ());
-      t.slots.(slot) <- Some row';
+      slot_set t slot row';
       List.iter
         (fun idx ->
           let old_v = Tuple.get row idx.idx_col in
@@ -272,7 +343,7 @@ let iter ?hide t f =
     | None -> false
   in
   for slot = 0 to t.next_slot - 1 do
-    match t.slots.(slot) with
+    match slot_get t slot with
     | Some row when not (hidden row) -> f row
     | _ -> ()
   done
@@ -293,7 +364,7 @@ let cursor ?hide t =
     else begin
       let s = !slot in
       incr slot;
-      match t.slots.(s) with
+      match slot_get t s with
       | Some row when not (hidden row) -> Some row
       | _ -> next ()
     end
@@ -314,14 +385,49 @@ let fill_chunk t ~slot buf ~max =
   let n = ref 0 in
   let s = ref !slot in
   let stop = t.next_slot in
-  while !n < max && !s < stop do
-    (match Array.unsafe_get t.slots !s with
-    | Some row ->
-      Array.unsafe_set buf !n row;
-      incr n
-    | None -> ());
-    incr s
-  done;
+  (match t.store with
+  | Heap_slots slots ->
+    while !n < max && !s < stop do
+      (match Array.unsafe_get slots !s with
+      | Some row ->
+        Array.unsafe_set buf !n row;
+        incr n
+      | None -> ());
+      incr s
+    done
+  | Col_store cs ->
+    (* Collect live slots, then decode column-at-a-time: the variant
+       dispatch runs once per column per chunk, not once per cell. *)
+    let sel = Array.make max 0 in
+    let k = Column_store.live_slots cs ~from:s ~stop sel ~max in
+    let rows = Column_store.read_many cs sel k in
+    Array.blit rows 0 buf 0 k;
+    n := k);
+  slot := !s;
+  !n
+
+let fill_chunk_proj t ~slot buf ~max ~cols =
+  let n = ref 0 in
+  let s = ref !slot in
+  let stop = t.next_slot in
+  (match t.store with
+  | Heap_slots slots ->
+    while !n < max && !s < stop do
+      (match Array.unsafe_get slots !s with
+      | Some row ->
+        Array.unsafe_set buf !n (Tuple.project row cols);
+        incr n
+      | None -> ());
+      incr s
+    done
+  | Col_store cs ->
+    (* The columnar payoff: only the referenced columns are decoded, and
+       column-at-a-time. *)
+    let sel = Array.make max 0 in
+    let k = Column_store.live_slots cs ~from:s ~stop sel ~max in
+    let rows = Column_store.read_proj_many cs cols sel k in
+    Array.blit rows 0 buf 0 k;
+    n := k);
   slot := !s;
   !n
 

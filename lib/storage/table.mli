@@ -1,26 +1,56 @@
-(** Heap tables with a clustered primary-key hash index and change hooks.
+(** Tables with a clustered primary-key hash index and change hooks, over
+    either of two physical representations (heap or columnar).
 
     Change hooks are how materialized sensitive-ID views stay fresh
     ({!Audit_core.Sensitive_view}): every insert/delete/update notifies
-    subscribers with the affected rows. *)
+    subscribers with the affected rows. Hooks, indexes, [?hide] and the
+    cursor contract are representation-independent — slot identity is
+    stable in both stores. *)
 
 type change =
   | Inserted of Tuple.t
   | Deleted of Tuple.t
   | Updated of { before : Tuple.t; after : Tuple.t }
 
+(** Physical representation: [Heap] is a growable array of boxed tuples
+    (the differential oracle); [Columnar] stores typed unboxed vectors
+    per column ({!Column_store}) and materializes tuples on demand. *)
+type storage = Heap | Columnar
+
+val storage_to_string : storage -> string
+
+(** Parse ["heap"]/["columnar"] (also accepts ["row"]/["column"]). *)
+val storage_of_string : string -> storage option
+
+(** Process-wide default representation for {!create}, initialized from
+    the [STORAGE] environment variable ([STORAGE=columnar]). *)
+val default_storage : unit -> storage
+
+val set_default_storage : storage -> unit
+
 type t
 
 exception Duplicate_key of string
 exception Schema_mismatch of string
 
-(** [create ?key ~name schema] — [key] is the primary-key column index;
-    when present, inserts maintain a clustered hash index on it. *)
-val create : ?key:int -> name:string -> Schema.t -> t
+(** [create ?key ?storage ~name schema] — [key] is the primary-key column
+    index; when present, inserts maintain a clustered hash index on it.
+    [storage] defaults to {!default_storage}. *)
+val create : ?key:int -> ?storage:storage -> name:string -> Schema.t -> t
 
 val name : t -> string
 val schema : t -> Schema.t
 val key : t -> int option
+
+(** The table's physical representation. *)
+val storage : t -> storage
+
+(** The backing column store of a [Columnar] table ([None] for heap) —
+    the vectorized engine reads column vectors through this. *)
+val column_store : t -> Column_store.t option
+
+(** The slot high-water mark (scan bound for slot-based kernels). *)
+val next_slot : t -> int
 
 (** Number of live rows. *)
 val cardinality : t -> int
@@ -82,6 +112,13 @@ val to_list : t -> Tuple.t list
     counterpart of {!cursor} for the vectorized scan: slot order, no
     per-row closure or option allocation. *)
 val fill_chunk : t -> slot:int ref -> Tuple.t array -> max:int -> int
+
+(** [fill_chunk_proj] is {!fill_chunk} with the scan projection fused in:
+    each filled row is [Tuple.project row cols]. On a columnar table only
+    the referenced columns are decoded — unreferenced columns are never
+    materialized. *)
+val fill_chunk_proj :
+  t -> slot:int ref -> Tuple.t array -> max:int -> cols:int array -> int
 
 (** Stable array snapshot of the live rows. *)
 val snapshot : t -> Tuple.t array

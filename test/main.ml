@@ -3,6 +3,7 @@ let () =
     [
       ("value", Test_value.suite);
       ("storage", Test_storage.suite);
+      ("columnar", Test_columnar.suite);
       ("parser", Test_parser.suite);
       ("scalar", Test_scalar.suite);
       ("exec", Test_exec.suite);

@@ -1,10 +1,13 @@
-(** Differential testing of the vectorized engine against the row engine.
+(** Differential testing of the vectorized engine against the row engine,
+    across both storage engines.
 
-    The row executor is the semantic oracle: for every query we run the
-    same physical plan under both engines and require {e identical} result
+    The row executor over heap tables is the semantic oracle: for every
+    query we run the same physical plan under the full
+    row/batch × heap/columnar matrix and require {e identical} result
     rows (including emission order — both engines share hash-table
     insertion and probe order) and identical ACCESSED sets, under all
-    three placement heuristics.
+    three placement heuristics. The columnar runs exercise the fused
+    scan/filter/join/aggregate kernels and their fallbacks.
 
     Coverage comes from three directions:
     - a seeded random query generator (select/filter/join/agg/order-by/
@@ -36,16 +39,33 @@ let run_mode db ~audit ~heuristic mode sql =
   in
   (rows, accessed)
 
-let check_query db ~audit ~ctx_label sql =
+(** [check_query_dbs dbs ...] — [dbs] holds the same data under different
+    storage engines; the first db's row-engine run is the oracle for
+    every other (storage, engine) combination. *)
+let check_query_dbs dbs ~audit ~ctx_label sql =
   List.iter
     (fun (hname, h) ->
-      let label = Printf.sprintf "%s [%s] %s" ctx_label hname sql in
-      let row_rows, row_acc = run_mode db ~audit ~heuristic:h `Row sql in
-      let batch_rows, batch_acc = run_mode db ~audit ~heuristic:h `Batch sql in
-      Alcotest.(check (list Fixtures.tuple))
-        ("rows: " ^ label) row_rows batch_rows;
-      Alcotest.(check Fixtures.values)
-        ("accessed: " ^ label) row_acc batch_acc)
+      let oracle_storage, oracle_db = List.hd dbs in
+      let oracle_rows, oracle_acc =
+        run_mode oracle_db ~audit ~heuristic:h `Row sql
+      in
+      List.iter
+        (fun (sname, db) ->
+          List.iter
+            (fun (mname, mode) ->
+              if not (sname == oracle_storage && mode = `Row) then begin
+                let label =
+                  Printf.sprintf "%s [%s %s/%s] %s" ctx_label hname sname
+                    mname sql
+                in
+                let rows, acc = run_mode db ~audit ~heuristic:h mode sql in
+                Alcotest.(check (list Fixtures.tuple))
+                  ("rows: " ^ label) oracle_rows rows;
+                Alcotest.(check Fixtures.values)
+                  ("accessed: " ^ label) oracle_acc acc
+              end)
+            [ ("row", `Row); ("batch", `Batch) ])
+        dbs)
     heuristics
 
 (* --------------------------------------------------------------- *)
@@ -55,11 +75,25 @@ let check_query db ~audit ~ctx_label sql =
 
 let pick st l = List.nth l (Random.State.int st (List.length l))
 
-let build_db st =
+(* The dataset is generated once as a statement list and replayed into
+   one db per storage engine, so the matrix compares identical data. *)
+let mk_db storage stmts =
   let db = Db.Database.create () in
   Db.Database.set_verify_plans db Db.Database.Warn;
+  Db.Database.set_storage_mode db storage;
   Db.Database.set_exec_mode db `Row;
-  let e sql = ignore (Db.Database.exec db sql) in
+  List.iter (fun sql -> ignore (Db.Database.exec db sql)) stmts;
+  db
+
+let matrix_dbs stmts =
+  [
+    ("heap", mk_db Storage.Table.Heap stmts);
+    ("columnar", mk_db Storage.Table.Columnar stmts);
+  ]
+
+let build_stmts st =
+  let stmts = ref [] in
+  let e sql = stmts := sql :: !stmts in
   e "CREATE TABLE patients (pid INT PRIMARY KEY, age INT, zip INT)";
   e "CREATE TABLE visits (vid INT PRIMARY KEY, pid INT, cost INT)";
   let npat = Random.State.int st 13 in
@@ -79,7 +113,7 @@ let build_db st =
   e
     "CREATE AUDIT EXPRESSION audit_pat AS SELECT * FROM patients FOR \
      SENSITIVE TABLE patients, PARTITION BY pid";
-  db
+  List.rev !stmts
 
 let gen_query st =
   let k1 = Random.State.int st 10 in
@@ -140,9 +174,9 @@ let n_seeded_cases = 220
 let test_seeded_corpus () =
   for seed = 0 to n_seeded_cases - 1 do
     let st = Random.State.make [| 0xba7c4; seed |] in
-    let db = build_db st in
+    let stmts = build_stmts st in
     let sql = gen_query st in
-    check_query db ~audit:"audit_pat"
+    check_query_dbs (matrix_dbs stmts) ~audit:"audit_pat"
       ~ctx_label:(Printf.sprintf "seed %d" seed)
       sql
   done
@@ -151,20 +185,27 @@ let test_seeded_corpus () =
 (* TPC-H corpus                                                     *)
 (* --------------------------------------------------------------- *)
 
-let tpch_db =
+let tpch_db_with storage =
+  let db = Db.Database.create () in
+  Db.Database.set_verify_plans db Db.Database.Warn;
+  Db.Database.set_storage_mode db storage;
+  Db.Database.set_exec_mode db `Row;
+  ignore (Tpch.Dbgen.load db ~sf:0.002);
+  ignore (Db.Database.exec db (Tpch.Queries.audit_segment ()));
+  db
+
+let tpch_dbs =
   lazy
-    (let db = Db.Database.create () in
-     Db.Database.set_verify_plans db Db.Database.Warn;
-     Db.Database.set_exec_mode db `Row;
-     ignore (Tpch.Dbgen.load db ~sf:0.002);
-     ignore (Db.Database.exec db (Tpch.Queries.audit_segment ()));
-     db)
+    [
+      ("heap", tpch_db_with Storage.Table.Heap);
+      ("columnar", tpch_db_with Storage.Table.Columnar);
+    ]
 
 let test_tpch_corpus () =
-  let db = Lazy.force tpch_db in
+  let dbs = Lazy.force tpch_dbs in
   List.iter
     (fun (q : Tpch.Queries.query) ->
-      check_query db ~audit:"audit_customer" ~ctx_label:q.Tpch.Queries.id
+      check_query_dbs dbs ~audit:"audit_customer" ~ctx_label:q.Tpch.Queries.id
         q.Tpch.Queries.sql)
     Tpch.Queries.all
 
@@ -220,10 +261,12 @@ let test_mem_budget_parity () =
 let suite =
   [
     Alcotest.test_case
-      (Printf.sprintf "seeded corpus (%d cases, 3 heuristics, batch = row)"
+      (Printf.sprintf
+         "seeded corpus (%d cases, 3 heuristics, row/batch x heap/columnar)"
          n_seeded_cases)
       `Slow test_seeded_corpus;
-    Alcotest.test_case "TPC-H corpus (20 queries, 3 heuristics, batch = row)"
+    Alcotest.test_case
+      "TPC-H corpus (20 queries, 3 heuristics, row/batch x heap/columnar)"
       `Slow test_tpch_corpus;
     Alcotest.test_case "row budget cancels at the same row in both modes"
       `Quick test_row_budget_parity;
