@@ -11,7 +11,7 @@
      BENCH_REPEATS  timing repetitions (default 3)
      BENCH_ONLY     comma-separated subset, e.g. "fig6,fig9,micro"
                     (unknown names abort with exit code 2)
-     BENCH_JSON     report path (default BENCH_PR8.json)
+     BENCH_JSON     report path (default BENCH_PR9.json)
      STORAGE        table representation (heap | columnar); the
                     row-vs-batch section always reports both
 
@@ -27,7 +27,7 @@ let known_benchmarks =
     "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "ablation-idprop";
     "ablation-multi"; "ablation-provenance"; "ablation-static"; "fga";
     "pipeline"; "scaling"; "micro"; "expr-compile"; "batch"; "concurrency";
-    "resilience";
+    "resilience"; "elision";
   ]
 
 let wanted only name = only = [] || List.mem name only
@@ -172,6 +172,8 @@ let () =
     add "ablation_static" (Json_report.ablation_static_json (Figures.ablation_static env));
   if wanted only "fga" then
     add "fga_precision" (Json_report.fga_precision_json (Figures.fga_precision env));
+  if wanted only "elision" then
+    add "elision" (Json_report.elision_json (Figures.elision env));
   if wanted only "pipeline" then ignore (Pipeline.run env);
   if wanted only "scaling" then
     ignore (Scaling.run ~seed:cfg.Setup.seed ~repeats:cfg.Setup.repeats ());
@@ -192,7 +194,7 @@ let () =
   let path =
     match Sys.getenv_opt "BENCH_JSON" with
     | Some p when String.trim p <> "" -> p
-    | _ -> "BENCH_PR8.json"
+    | _ -> "BENCH_PR9.json"
   in
   Benchkit.Json.write_file path
     (Json_report.assemble env ~sections:(List.rev !sections) ~elapsed_s:elapsed);

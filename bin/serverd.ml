@@ -37,7 +37,7 @@ let parse_tcp spec =
     | Some p when p > 0 -> Some (`Tcp ((if host = "" then "127.0.0.1" else host), p))
     | _ -> None)
 
-let main socket tcp wal policy_open max_segment_size storage init tpch
+let main socket tcp wal policy_open max_segment_size storage elide init tpch
     max_clients max_waiting statement_timeout =
   let listen =
     match tcp with
@@ -61,6 +61,10 @@ let main socket tcp wal policy_open max_segment_size storage init tpch
       prerr_endline "serverd: --storage expects heap or columnar";
       exit 2)
   | None -> ());
+  if elide then begin
+    Db.Database.set_elision_mode db Db.Database.Elide_certified;
+    log "certified probe elision on"
+  end;
   (match tpch with
   | Some sf ->
     let sizes = Tpch.Dbgen.load db ~sf in
@@ -143,6 +147,14 @@ let storage =
   in
   Arg.(value & opt (some string) None & info [ "storage" ] ~docv:"MODE" ~doc)
 
+let elide =
+  let doc =
+    "Certified probe elision: statically analyze every plan for \
+     trigger–query independence and strip audit probes whose certificate \
+     replays (default follows the ELISION environment variable)."
+  in
+  Arg.(value & flag & info [ "elide" ] ~doc)
+
 let init =
   let doc = "Execute the SQL script $(docv) before accepting connections." in
   Arg.(value & opt (some file) None & info [ "init" ] ~docv:"FILE" ~doc)
@@ -190,6 +202,7 @@ let cmd =
     (Cmd.info "serverd" ~doc)
     Term.(
       const main $ socket $ tcp $ wal $ policy_open $ max_segment_size
-      $ storage $ init $ tpch $ max_clients $ max_waiting $ statement_timeout)
+      $ storage $ elide $ init $ tpch $ max_clients $ max_waiting
+      $ statement_timeout)
 
 let () = exit (Cmd.eval' cmd)

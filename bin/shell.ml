@@ -11,8 +11,12 @@
      \analyze <sql>         EXPLAIN ANALYZE: run the query, show the plan
                             annotated with actual row counts and timings
      \verify <sql>          run the plan-invariant verifier: rule-by-rule
-                            pass/violation report, nothing is executed
+                            pass/violation report plus elision certificate
+                            summaries, nothing is executed
      \verify mode <off|warn|strict>   verification policy for statements
+     \elide [off|certified] select (or show) certified probe elision:
+                            strip audit probes proven independent of every
+                            trigger by the static analysis
      \dump [file]           SQL dump of the database (to stdout or file)
      \heuristic <h>         leaf | hcn | highest
      \exec [row|batch]      select (or show) the execution engine:
@@ -38,7 +42,7 @@ let usage_commands =
   "commands: \\q \\tables \\audits \\triggers \\notifications \\accessed \
    \\plan <sql> \\analyze <sql> \\verify <sql|mode <off|warn|strict>> \
    \\dump [file] \\heuristic <leaf|hcn|highest> \\exec [row|batch] \
-   \\storage [heap|columnar] \\user <name> \\tpch <sf> \
+   \\storage [heap|columnar] \\elide [off|certified] \\user <name> \\tpch <sf> \
    \\log <open|policy|dump|status|close> \
    \\timeout <s|off> \\budget <rows|mem> <n|off> \\alarms \\fault <...>"
 
@@ -245,7 +249,19 @@ let handle_command db line =
   | "\\verify" :: rest when rest <> [] ->
     let sql = String.concat " " rest in
     let vs = Db.Database.verify_sql db sql in
-    print_string (Analysis.Plan_verify.report vs)
+    print_string (Analysis.Plan_verify.report vs);
+    print_string (Db.Database.elision_report db)
+  | [ "\\elide" ] ->
+    print_endline
+      (match Db.Database.elision_mode db with
+      | Db.Database.Elide_off -> "off"
+      | Db.Database.Elide_certified -> "certified")
+  | [ "\\elide"; m ] -> (
+    match String.lowercase_ascii m with
+    | "off" -> Db.Database.set_elision_mode db Db.Database.Elide_off
+    | "certified" | "on" ->
+      Db.Database.set_elision_mode db Db.Database.Elide_certified
+    | _ -> print_endline "usage: \\elide [off|certified]")
   | [ "\\heuristic"; h ] -> (
     match String.lowercase_ascii h with
     | "leaf" -> Db.Database.set_heuristic db Audit_core.Placement.Leaf

@@ -1,0 +1,101 @@
+(** Elision certificates: recorded abstract values plus an independent
+    lattice replay. See the interface for the trust argument. *)
+
+module AD = Abstract_domain
+
+type step = {
+  column : string;
+  query_side : AD.t;
+  audit_side : AD.t;
+  meet : AD.t;
+}
+
+type t = {
+  id : int;
+  audit_name : string;
+  sensitive_table : string;
+  partition_by : string;
+  key_unique : bool;
+  scan_table : string;
+  scan_alias : string;
+  scan_ordinal : int;
+  witness : string;
+  steps : step list;
+  derivation : string list;
+}
+
+let norm = String.lowercase_ascii
+
+let validate (c : t) : (unit, string) result =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let* () = if c.steps = [] then fail "certificate records no columns" else Ok () in
+  let* () =
+    if c.scan_ordinal < 0 then fail "negative scan ordinal" else Ok ()
+  in
+  (* Every recorded meet must be the recomputed meet: a tampered
+     query/audit side (or meet) is caught here. *)
+  let* () =
+    List.fold_left
+      (fun acc s ->
+        let* () = acc in
+        let m = AD.meet s.query_side s.audit_side in
+        if m <> s.meet then
+          fail "recorded meet for column %s does not replay" s.column
+        else Ok ())
+      (Ok ()) c.steps
+  in
+  let* w =
+    match List.find_opt (fun s -> norm s.column = norm c.witness) c.steps with
+    | Some s -> Ok s
+    | None -> fail "witness column %s not among recorded columns" c.witness
+  in
+  let* () =
+    if AD.is_bot (AD.meet w.query_side w.audit_side) then Ok ()
+    else fail "witness column %s does not derive Bot" c.witness
+  in
+  (* Without a unique partition key, distinct sensitive rows can share an
+     ID; only the partition column itself soundly witnesses disjointness. *)
+  if (not c.key_unique) && norm c.witness <> norm c.partition_by then
+    fail
+      "witness %s is not the partition key %s and the key is not unique"
+      c.witness c.partition_by
+  else Ok ()
+
+let scan_label (c : t) =
+  if c.scan_table = c.scan_alias then c.scan_table
+  else Printf.sprintf "%s as %s" c.scan_table c.scan_alias
+
+let summary (c : t) =
+  let w =
+    List.find_opt (fun s -> norm s.column = norm c.witness) c.steps
+  in
+  let lattice =
+    match w with
+    | Some s ->
+      Printf.sprintf "%s %s /\\ %s = Bot" s.column
+        (AD.to_string s.query_side)
+        (AD.to_string s.audit_side)
+    | None -> Printf.sprintf "%s (missing witness!)" c.witness
+  in
+  Printf.sprintf "#%d %s x SeqScan %s (scan %d): %s" c.id c.audit_name
+    (scan_label c) c.scan_ordinal lattice
+
+let describe (c : t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (summary c);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun s ->
+      Buffer.add_string b
+        (Printf.sprintf "    %-16s query %-24s audit %-24s meet %s\n" s.column
+           (AD.to_string s.query_side)
+           (AD.to_string s.audit_side)
+           (AD.to_string s.meet)))
+    (List.filter
+       (fun s -> not (s.query_side = AD.Top && s.audit_side = AD.Top))
+       c.steps);
+  List.iter
+    (fun d -> Buffer.add_string b (Printf.sprintf "    . %s\n" d))
+    c.derivation;
+  Buffer.contents b

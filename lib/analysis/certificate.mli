@@ -1,0 +1,62 @@
+(** Elision certificates.
+
+    An {!Independence} verdict of [Independent] is a claim that an audit
+    operator can never record evidence — deleting it from the plan rides
+    on that claim, so the claim must be {e replayable}: the certificate
+    records every abstract value the analyzer derived (per base column of
+    the covered scan: the constraint proven on rows reaching the probe,
+    and the constraint the audit expression places on matching sensitive
+    rows), the join-propagation steps that produced them, and which
+    column's intersection came out [Bot]. {!validate} replays the lattice
+    computation from the recorded values alone — it shares no code with
+    the analyzer's derivation, so the optimizer never has to trust an
+    unreplayable verdict, and a tampered certificate is rejected. *)
+
+module AD = Abstract_domain
+
+(** One base column of the covered scan: what the plan path proves about
+    rows reaching the probe ([query_side]) vs. what the audit expression
+    requires of sensitive rows ([audit_side]), and their recorded meet. *)
+type step = {
+  column : string;  (** base-column name, lowercase *)
+  query_side : AD.t;
+  audit_side : AD.t;
+  meet : AD.t;  (** recorded [AD.meet query_side audit_side] *)
+}
+
+type t = {
+  id : int;  (** certificate number within the statement *)
+  audit_name : string;
+  sensitive_table : string;
+  partition_by : string;  (** the audit's partition key column *)
+  key_unique : bool;
+      (** the partition key is the table's primary key — only then may the
+          witness be a column other than the partition key itself *)
+  scan_table : string;  (** covered scan: base table, lowercase *)
+  scan_alias : string;
+  scan_ordinal : int;
+      (** index of the covered scan in the canonical pre-order scan
+          sequence of the plan — stable under probe elision, since
+          elision only deletes interior unary nodes *)
+  witness : string;  (** column whose [meet] is [Bot] *)
+  steps : step list;  (** the full per-column environment *)
+  derivation : string list;
+      (** human-readable log: predicate abstractions, join-constraint
+          propagation, and the final Bot derivation *)
+}
+
+(** Independent replay of the recorded lattice facts. Checks that the
+    witness column is present, that its recorded and recomputed meets are
+    [Bot], that every recorded meet equals [AD.meet query_side audit_side]
+    recomputed, and that a non-unique partition key only ever witnesses
+    through the partition column itself. Returns [Error reason] on any
+    mismatch. *)
+val validate : t -> (unit, string) result
+
+(** One-line summary, e.g.
+    ["#1 audit_customer x SeqScan customer as c (scan 0): c_mktsegment {FURNITURE} /\\ {BUILDING} = Bot"]. *)
+val summary : t -> string
+
+(** Multi-line rendering: the summary, the per-column environment and the
+    derivation log (for [\verify] / EXPLAIN VERIFY). *)
+val describe : t -> string

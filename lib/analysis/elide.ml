@@ -1,0 +1,63 @@
+(** Certified audit-probe elision (see the interface). *)
+
+module P = Plan.Physical
+
+type result = {
+  plan : P.t;
+  certificates : Certificate.t list;
+  elided : int;
+  kept : int;
+}
+
+(* Bottom-up rebuild; scan nodes are shared, so certificate scan
+   ordinals (pre-order over scans) survive the rewrite unchanged. *)
+let apply ~(decisions : Independence.decision list) (plan : P.t) : result =
+  let certs = ref [] and elided = ref 0 and kept = ref 0 in
+  let elidable (node : P.t) =
+    List.find_opt (fun d -> d.Independence.probe == node) decisions
+    |> Option.map (fun d ->
+           match (d.Independence.verdict, d.Independence.certificate) with
+           | Independence.Independent, Some c when Certificate.validate c = Ok () ->
+             Some c
+           | _ -> None)
+    |> Option.join
+  in
+  let rec go (p : P.t) : P.t =
+    let op =
+      match p.P.op with
+      | P.Seq_scan _ as op -> op
+      | P.Filter c -> P.Filter { c with child = go c.child }
+      | P.Project c -> P.Project { c with child = go c.child }
+      | P.Hash_join c -> P.Hash_join { c with left = go c.left; right = go c.right }
+      | P.Nl_join c -> P.Nl_join { c with left = go c.left; right = go c.right }
+      | P.Index_nl_join c ->
+        P.Index_nl_join { c with left = go c.left; chain = go c.chain }
+      | P.Hash_semi_join c ->
+        P.Hash_semi_join { c with left = go c.left; right = go c.right }
+      | P.Apply c -> P.Apply { c with outer = go c.outer; inner = go c.inner }
+      | P.Hash_agg c -> P.Hash_agg { c with child = go c.child }
+      | P.Sort c -> P.Sort { c with child = go c.child }
+      | P.Top_k c -> P.Top_k { c with child = go c.child }
+      | P.Limit c -> P.Limit { c with child = go c.child }
+      | P.Distinct c -> P.Distinct (go c)
+      | P.Audit_probe c -> P.Audit_probe { c with child = go c.child }
+      | P.Set_op c -> P.Set_op { c with left = go c.left; right = go c.right }
+    in
+    let rebuilt = { p with P.op } in
+    match p.P.op with
+    | P.Audit_probe _ -> (
+      match elidable p with
+      | Some cert ->
+        incr elided;
+        certs := cert :: !certs;
+        (* The child was just rebuilt inside [op]. *)
+        (match rebuilt.P.op with
+         | P.Audit_probe { child; _ } -> child
+         | _ -> rebuilt)
+      | None ->
+        incr kept;
+        rebuilt)
+    | _ -> rebuilt
+  in
+  let plan = go plan in
+  { plan; certificates = List.rev !certs; elided = !elided; kept = !kept }

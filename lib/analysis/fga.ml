@@ -431,6 +431,28 @@ let analyze_component catalog ~sensitive_table ~(definition : Sql.Ast.query)
     in
     if List.for_all alias_ruled_out sens_aliases then No_access else May_access
 
+(* The audit expression's own per-column constraints over the sensitive
+   table's base schema — the "audit side" of every elision intersection.
+   All-Top (empty) when the definition cannot be scoped to a single
+   top-level occurrence of the table. *)
+let audit_env catalog ~sensitive_table ~(definition : Sql.Ast.query) :
+    (string * AD.t) list =
+  let table = norm sensitive_table in
+  if definition.Sql.Ast.set_ops <> [] then []
+  else
+    let def_sources = sources_of_from definition.Sql.Ast.from in
+    match List.filter (fun s -> s.table = table) def_sources with
+    | [] -> []
+    | s :: _ -> (
+      let lookup = selection_lookup catalog def_sources definition in
+      match Catalog.find_opt catalog sensitive_table with
+      | None -> []
+      | Some t ->
+        Array.to_list (Table.schema t)
+        |> List.map (fun c ->
+               let n = norm c.Schema.name in
+               (n, lookup (s.alias ^ "." ^ n))))
+
 let analyze catalog ~sensitive_table ~(definition : Sql.Ast.query)
     (q : Sql.Ast.query) : verdict =
   let components =

@@ -26,6 +26,19 @@ val analyze :
   Sql.Ast.query ->
   verdict
 
+(** Abstract the audit expression's own selection: for each column of the
+    sensitive table (lowercase name), the constraint [definition] places on
+    sensitive rows (WHERE plus inner-join ON, propagated across equi-join
+    classes). Conservatively all-[Top] (the empty list) when the
+    definition does not scan the sensitive table at top level or carries
+    set operations. Consumed by {!Independence} to intersect per-probe
+    path constraints with the audit side. *)
+val audit_env :
+  Storage.Catalog.t ->
+  sensitive_table:string ->
+  definition:Sql.Ast.query ->
+  (string * Abstract_domain.t) list
+
 (** The pre-abstract-domain analyzer, kept verbatim as the comparison
     baseline: top-level WHERE atoms only, opaque on LIKE, disjunction,
     arithmetic and join-transferred constraints. *)

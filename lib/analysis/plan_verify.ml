@@ -255,8 +255,8 @@ let rec trace (path : string) (p : Physical.t) (col : int) : traced option =
 let partition_index schema partition_by =
   match Schema.find_all schema partition_by with i :: _ -> Some i | [] -> None
 
-let verify ?(commute = hcn_commute) ~(audits : audit_spec list)
-    (plan : Physical.t) : violation list =
+let verify ?(commute = hcn_commute) ?(certificates = [])
+    ~(audits : audit_spec list) (plan : Physical.t) : violation list =
   let violations = ref [] in
   let add rule path detail = violations := { rule; path; detail } :: !violations in
   (* Collected during the walk: every base scan and every probe, with the
@@ -448,17 +448,40 @@ let verify ?(commute = hcn_commute) ~(audits : audit_spec list)
                      spec.partition_by table))
             | _ -> ())))
     !probes;
-  (* Coverage: every sensitive scan carries a well-traced probe. *)
+  (* Coverage: every sensitive scan carries a well-traced probe — or a
+     valid elision certificate naming exactly this scan. The scan is
+     matched by its pre-order ordinal (stable under probe elision), the
+     certificate is re-validated here so a tampered or mis-targeted one
+     never silences the rule. *)
+  let certified node table spec =
+    match Independence.scan_ordinal plan ~scan:node with
+    | None -> false
+    | Some ord ->
+      let alias =
+        match node.Physical.op with
+        | Physical.Seq_scan { alias; _ } -> alias
+        | _ -> ""
+      in
+      List.exists
+        (fun (c : Certificate.t) ->
+          norm c.Certificate.audit_name = norm spec.name
+          && norm c.Certificate.scan_table = table
+          && c.Certificate.scan_alias = alias
+          && c.Certificate.scan_ordinal = ord
+          && Certificate.validate c = Ok ())
+        certificates
+  in
   List.iter
     (fun (spath, table, _schema, node) ->
       List.iter
         (fun spec ->
           if
             norm spec.sensitive_table = table
-            && not
-                 (List.exists
-                    (fun (s, n) -> s == node && n = norm spec.name)
-                    !covered)
+            && (not
+                  (List.exists
+                     (fun (s, n) -> s == node && n = norm spec.name)
+                     !covered))
+            && not (certified node table spec)
           then
             add Coverage spath
               (Printf.sprintf

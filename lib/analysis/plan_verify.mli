@@ -60,9 +60,18 @@ val highest_commute : commute
 
 (** Check every rule on a physical plan. [audits] lists the audit
     expressions the plan is expected to be instrumented for; an empty list
-    still checks well-formedness, chain and provenance rules. *)
+    still checks well-formedness, chain and provenance rules.
+    [certificates] are elision certificates ({!Elide.apply}): a sensitive
+    scan with no dominating probe passes the coverage rule iff a
+    certificate for that (audit, scan) pair is attached {e and} replays
+    under {!Certificate.validate} — Strict mode therefore still proves
+    no-false-negatives end-to-end on elided plans. *)
 val verify :
-  ?commute:commute -> audits:audit_spec list -> Plan.Physical.t -> violation list
+  ?commute:commute ->
+  ?certificates:Certificate.t list ->
+  audits:audit_spec list ->
+  Plan.Physical.t ->
+  violation list
 
 (** The same catalog of rules on the logical tree before lowering
     (coverage / commute / provenance; lowering-specific rules are

@@ -38,6 +38,12 @@ exception Deny_signal of string
     violation, [Strict] refuses the plan ({!Engine_core.Engine_error.Verify}). *)
 type verify_mode = Off | Warn | Strict
 
+(** Static probe elision policy: [Elide_certified] runs the
+    {!Analysis.Independence} pass on every instrumented physical plan and
+    strips audit operators whose independence certificate replays under
+    {!Analysis.Certificate.validate}; [Elide_off] executes every probe. *)
+type elision_mode = Elide_off | Elide_certified
+
 type t = {
   catalog : Catalog.t;
   ctx : Exec.Exec_ctx.t;
@@ -75,6 +81,11 @@ type t = {
   mutable storage_mode : Table.storage;
       (** physical representation for subsequently created tables (CREATE
           TABLE, temp tables); existing tables keep theirs *)
+  mutable elision : elision_mode;
+      (** strip certified-independent audit operators before execution *)
+  mutable last_elision : Analysis.Independence.decision list;
+      (** per-probe verdicts of the last analyzed statement (EXPLAIN /
+          [\verify] diagnostics) *)
 }
 
 let max_trigger_depth = 8
@@ -86,6 +97,22 @@ let default_exec_mode () =
   match Sys.getenv_opt "BATCH_MODE" with
   | Some ("1" | "true" | "TRUE" | "yes") -> `Batch
   | _ -> `Row
+
+(* ELISION flips the session default the same way BATCH_MODE / STORAGE
+   do, so CI can run the whole suite with certified elision on. *)
+let default_elision_mode () =
+  match Sys.getenv_opt "ELISION" with
+  | Some ("1" | "true" | "TRUE" | "yes" | "certified") -> Elide_certified
+  | _ -> Elide_off
+
+(* VERIFY forces the plan-verification default (fixtures that choose a
+   policy explicitly still win), so CI can run the elision suite under
+   Strict end to end. *)
+let default_verify_mode () =
+  match Sys.getenv_opt "VERIFY" with
+  | Some ("warn" | "WARN") -> Warn
+  | Some ("strict" | "STRICT" | "1") -> Strict
+  | _ -> Off
 
 let create () =
   let catalog = Catalog.create () in
@@ -105,11 +132,13 @@ let create () =
     deferred = false;
     pending_log = [];
     alarms = [];
-    verify = Off;
+    verify = default_verify_mode ();
     exec_mode = default_exec_mode ();
     (* Table.default_storage reads the STORAGE environment variable — the
        storage axis of the BATCH_MODE switch above. *)
     storage_mode = Table.default_storage ();
+    elision = default_elision_mode ();
+    last_elision = [];
   }
 
 (** A further session over the same engine: the catalog, audit
@@ -141,6 +170,8 @@ let create_session ?(session_id = 0) parent =
     verify = parent.verify;
     exec_mode = parent.exec_mode;
     storage_mode = parent.storage_mode;
+    elision = parent.elision;
+    last_elision = [];
   }
 
 let catalog db = db.catalog
@@ -150,6 +181,9 @@ let set_exec_mode db m = db.exec_mode <- m
 let exec_mode db = db.exec_mode
 let set_storage_mode db st = db.storage_mode <- st
 let storage_mode db = db.storage_mode
+let set_elision_mode db m = db.elision <- m
+let elision_mode db = db.elision
+let last_elision db = db.last_elision
 
 (* Every SELECT-shaped execution funnels through here so the engine choice
    is a single switch; both engines share Exec_ctx, Expr_compile, metrics
@@ -424,17 +458,92 @@ let audit_specs entries =
       })
     entries
 
+(* ------------------------------------------------------------------ *)
+(* Certified static probe elision (lib/analysis)                       *)
+(* ------------------------------------------------------------------ *)
+
+let audit_infos entries =
+  List.map
+    (fun e ->
+      {
+        Analysis.Independence.name = e.expr.Audit_core.Audit_expr.name;
+        sensitive_table = e.expr.Audit_core.Audit_expr.sensitive_table;
+        partition_by = e.expr.Audit_core.Audit_expr.partition_by;
+        definition = e.expr.Audit_core.Audit_expr.definition;
+      })
+    entries
+
+(** Run the independence analysis over an instrumented physical plan and
+    strip the probes whose certificates replay. Returns the (possibly
+    rewritten) plan plus the certificates consumed — these must reach the
+    verifier so the coverage rule accepts the elided scans. Always
+    records the per-probe verdicts in [last_elision] for EXPLAIN. *)
+let elide_phys db ?audits (phys : Plan.Physical.t) :
+    Plan.Physical.t * Analysis.Certificate.t list =
+  match db.elision with
+  | Elide_off -> (phys, [])
+  | Elide_certified ->
+    let entries = selected_audits db ?audits () in
+    if entries = [] then (phys, [])
+    else begin
+      let decisions =
+        Analysis.Independence.analyze_plan ~catalog:db.catalog
+          ~audits:(audit_infos entries) phys
+      in
+      db.last_elision <- decisions;
+      let r = Analysis.Elide.apply ~decisions phys in
+      (r.Analysis.Elide.plan, r.Analysis.Elide.certificates)
+    end
+
+(** Per-probe verdict annotation for EXPLAIN, rendered against the
+    pre-elision tree (elided probes are annotated, not hidden). *)
+let elision_annot decisions (p : Plan.Physical.t) : string option =
+  let est = Printf.sprintf "(est rows=%.0f)" p.Plan.Physical.est in
+  match
+    List.find_opt (fun d -> d.Analysis.Independence.probe == p) decisions
+  with
+  | None -> Some est
+  | Some (d : Analysis.Independence.decision) ->
+    let verdict =
+      match (d.verdict, d.certificate) with
+      | Analysis.Independence.Independent, Some c ->
+        Printf.sprintf "probe elided: Independent (certificate #%d)"
+          c.Analysis.Certificate.id
+      | v, _ ->
+        Printf.sprintf "probe kept: %s"
+          (Analysis.Independence.string_of_verdict v)
+    in
+    Some (est ^ " " ^ verdict)
+
+(** Certificate summaries of the last analyzed statement (EXPLAIN VERIFY,
+    [\verify]). *)
+let elision_report db : string =
+  match
+    List.filter_map
+      (fun (d : Analysis.Independence.decision) -> d.certificate)
+      db.last_elision
+  with
+  | [] -> ""
+  | certs ->
+    "elision certificates:\n"
+    ^ String.concat ""
+        (List.map
+           (fun c -> "  " ^ Analysis.Certificate.describe c)
+           certs)
+
 (** Run the full rule catalog over a query's instrumented logical tree and
-    its lowered physical plan, without executing anything. *)
+    its lowered physical plan, without executing anything. Under
+    [Elide_certified] the physical side is verified post-elision, with the
+    certificates attached — exactly what execution enforces. *)
 let verify_query db ?heuristic ?audits (q : Sql.Ast.query) :
     Analysis.Plan_verify.violation list =
   let h = Option.value heuristic ~default:db.heuristic in
   let specs = audit_specs (selected_audits db ?audits ()) in
   let commute = commute_of h in
   let plan = plan_query db ~heuristic:h ?audits q in
-  let phys = physical db plan in
+  let phys, certificates = elide_phys db ?audits (physical db plan) in
   Analysis.Plan_verify.verify_logical ~commute ~audits:specs plan
-  @ Analysis.Plan_verify.verify ~commute ~audits:specs phys
+  @ Analysis.Plan_verify.verify ~commute ~certificates ~audits:specs phys
 
 let verify_sql db ?heuristic ?audits sql =
   verify_query db ?heuristic ?audits (Sql.Parser.query sql)
@@ -442,7 +551,8 @@ let verify_sql db ?heuristic ?audits sql =
 (* Apply the session verification policy to an already-compiled statement
    (both trees are at hand in the execution paths, so nothing is planned
    twice). *)
-let enforce_verify db (plan : Plan.Logical.t) (phys : Plan.Physical.t) =
+let enforce_verify db ?(certificates = []) (plan : Plan.Logical.t)
+    (phys : Plan.Physical.t) =
   match db.verify with
   | Off -> ()
   | (Warn | Strict) as mode -> (
@@ -450,7 +560,7 @@ let enforce_verify db (plan : Plan.Logical.t) (phys : Plan.Physical.t) =
     let commute = commute_of db.heuristic in
     let vs =
       Analysis.Plan_verify.verify_logical ~commute ~audits:specs plan
-      @ Analysis.Plan_verify.verify ~commute ~audits:specs phys
+      @ Analysis.Plan_verify.verify ~commute ~certificates ~audits:specs phys
     in
     match (vs, mode) with
     | [], _ -> ()
@@ -580,24 +690,46 @@ let rec exec_statement db (stmt : Sql.Ast.statement) : result =
      with Table.Unknown_index n -> err "unknown index %s" n);
     Done (Printf.sprintf "index %s dropped" index_name)
   | Sql.Ast.S_explain { verify = true; query; _ } ->
-    (* EXPLAIN VERIFY: show the plan and the verifier's rule-by-rule
-       report, without executing anything. *)
-    let phys = physical db (plan_query db query) in
-    let vs = verify_query db query in
-    Done
-      (Plan.Physical.to_string phys ^ "\n" ^ Analysis.Plan_verify.report vs)
+    (* EXPLAIN VERIFY: show the plan (pre-elision, with per-probe
+       verdicts when elision ran), the verifier's rule-by-rule report on
+       what would execute, and the elision certificates. *)
+    let plan = plan_query db query in
+    let phys = physical db plan in
+    db.last_elision <- [];
+    let elided, certificates = elide_phys db phys in
+    let specs = audit_specs (selected_audits db ()) in
+    let commute = commute_of db.heuristic in
+    let vs =
+      Analysis.Plan_verify.verify_logical ~commute ~audits:specs plan
+      @ Analysis.Plan_verify.verify ~commute ~certificates ~audits:specs
+          elided
+    in
+    let tree =
+      Plan.Physical.to_string_annotated
+        ~annot:(elision_annot db.last_elision)
+        phys
+    in
+    Done (tree ^ "\n" ^ Analysis.Plan_verify.report vs ^ elision_report db)
   | Sql.Ast.S_explain { analyze = false; query; _ } ->
     let plan = plan_query db query in
     let phys = physical db plan in
-    enforce_verify db plan phys;
-    Done (Plan.Physical.to_string phys)
+    db.last_elision <- [];
+    let elided, certificates = elide_phys db phys in
+    enforce_verify db ~certificates plan elided;
+    (* Render the pre-elision tree: elided probes are annotated with
+       their certificate rather than silently missing. *)
+    Done
+      (Plan.Physical.to_string_annotated
+         ~annot:(elision_annot db.last_elision)
+         phys)
   | Sql.Ast.S_explain { analyze = true; query; _ } ->
     (* Execute the instrumented physical plan with metrics collection on
        and render the tree with estimated-vs-actual row counts/timings.
        Diagnostic only: triggers do not fire, mirroring run_plan. *)
     let plan = plan_query db query in
-    let phys = physical db plan in
-    enforce_verify db plan phys;
+    db.last_elision <- [];
+    let phys, certificates = elide_phys db (physical db plan) in
+    enforce_verify db ~certificates plan phys;
     let m = db.ctx.Exec.Exec_ctx.metrics in
     let was = Exec.Metrics.enabled m in
     Exec.Metrics.set_enabled m true;
@@ -608,7 +740,19 @@ let rec exec_statement db (stmt : Sql.Ast.statement) : result =
         Exec.Exec_ctx.reset_query_state db.ctx;
         ignore (run_phys db phys);
         db.last_stats <- Some (Exec.Metrics.report m);
-        Done (Exec.Explain.render db.ctx phys))
+        let elided =
+          List.filter_map
+            (fun (d : Analysis.Independence.decision) ->
+              match d.certificate with
+              | Some c ->
+                Some
+                  (Printf.sprintf
+                     "probe elided: Independent (certificate #%d, %s)\n"
+                     c.Analysis.Certificate.id d.audit_name)
+              | None -> None)
+            db.last_elision
+        in
+        Done (Exec.Explain.render db.ctx phys ^ String.concat "" elided))
   | Sql.Ast.S_notify msg ->
     db.notifications <- msg :: db.notifications;
     (* NOTIFY is audit output (it typically fires from trigger bodies):
@@ -645,8 +789,8 @@ and eval_standalone db (e : Sql.Ast.expr) : Value.t =
 and exec_select db (q : Sql.Ast.query) : result =
   let top_level = db.trigger_depth = 0 in
   let plan = plan_query db q in
-  let phys = physical db plan in
-  enforce_verify db plan phys;
+  let phys, certificates = elide_phys db (physical db plan) in
+  enforce_verify db ~certificates plan phys;
   install_audit_sets db;
   if top_level then Exec.Exec_ctx.reset_query_state db.ctx;
   let record () =
@@ -887,8 +1031,8 @@ and exec_insert db table columns source : result =
          own INSERT ... SELECT FROM accessed stays un-instrumented via the
          depth guard below. *)
       let plan = plan_query db q in
-      let phys = physical db plan in
-      enforce_verify db plan phys;
+      let phys, certificates = elide_phys db (physical db plan) in
+      enforce_verify db ~certificates plan phys;
       install_audit_sets db;
       let out = run_phys db phys in
       if db.trigger_depth = 0 then

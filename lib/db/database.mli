@@ -69,13 +69,38 @@ val set_storage_mode : t -> Storage.Table.storage -> unit
 val storage_mode : t -> Storage.Table.storage
 
 (** Plan-invariant verification policy ({!Analysis.Plan_verify}) applied
-    to every planned statement: [Off] (default) skips the check, [Warn]
-    records an alarm (and a stderr warning) per violation, [Strict]
-    refuses the plan with {!Engine_core.Engine_error.Verify}. *)
+    to every planned statement: [Off] skips the check, [Warn] records an
+    alarm (and a stderr warning) per violation, [Strict] refuses the
+    plan with {!Engine_core.Engine_error.Verify}. Default [Off], or the
+    [VERIFY] environment variable ([VERIFY=warn] / [VERIFY=strict]) at
+    {!create} time. *)
 type verify_mode = Off | Warn | Strict
 
 val set_verify_plans : t -> verify_mode -> unit
 val verify_plans_mode : t -> verify_mode
+
+(** Certified static probe elision ({!Analysis.Independence} /
+    {!Analysis.Elide}): [Elide_off] (default) executes plans exactly as
+    placed; [Elide_certified] runs the trigger–query independence
+    analysis on every physical plan and strips audit probes whose
+    certificate replays under {!Analysis.Certificate.validate}. Elided
+    plans still satisfy [Strict] verification: the certificates are
+    handed to {!Analysis.Plan_verify.verify}, whose coverage rule
+    re-validates them. Default from the [ELISION] environment variable
+    ([ELISION=1]) at {!create} time; inherited by {!create_session}. *)
+type elision_mode = Elide_off | Elide_certified
+
+val set_elision_mode : t -> elision_mode -> unit
+val elision_mode : t -> elision_mode
+
+(** Per-probe decisions of the most recent independence analysis (the
+    last statement planned with [Elide_certified], or the last EXPLAIN).
+    Empty when elision is off or no audit expressions are declared. *)
+val last_elision : t -> Analysis.Independence.decision list
+
+(** Human-readable certificate dump for {!last_elision} (the shell's
+    [\verify]); empty string when nothing was elided. *)
+val elision_report : t -> string
 
 (** NOTIFY output, oldest first. *)
 val notifications : t -> string list

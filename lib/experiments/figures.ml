@@ -576,3 +576,160 @@ let fga_precision (env : Setup.env) =
          ])
        rows);
   rows
+
+(* --------------------------------------------------------------- *)
+(* Certified probe elision: overhead collapse on independent queries *)
+(* --------------------------------------------------------------- *)
+
+type elision_row = {
+  el_query : string;
+  el_desc : string;
+  el_verdict : string;  (** combined probe verdicts for the query *)
+  el_probes_before : int;
+  el_probes_after : int;
+  el_t_plain : float;
+  el_t_kept : float;  (** instrumented, probes in place *)
+  el_t_elided : float;  (** instrumented, certified probes stripped *)
+  el_certs_valid : bool;  (** every consumed certificate replays *)
+  el_sound : bool;  (** elided ≡ kept: same rows, same ACCESSED evidence *)
+}
+
+let el_overhead_kept r =
+  Timing.overhead_pct ~base:r.el_t_plain r.el_t_kept
+
+let el_overhead_elided r =
+  Timing.overhead_pct ~base:r.el_t_plain r.el_t_elided
+
+let count_probes phys =
+  let n = ref 0 in
+  let rec go (p : Plan.Physical.t) =
+    (match p.Plan.Physical.op with
+    | Plan.Physical.Audit_probe _ -> incr n
+    | _ -> ());
+    List.iter go (Plan.Physical.children p)
+  in
+  go phys;
+  !n
+
+(** The elision benchmark proper: every FGA-workload probe query, timed
+    three ways (uninstrumented / instrumented / instrumented-then-elided)
+    plus the mutation soundness check that elision changed nothing
+    observable. The FP*/TN1 queries are provably independent of the
+    BUILDING-segment audit and must collapse to ~plain cost; TP1-TP3
+    genuinely overlap and must keep their probes. *)
+let elision (env : Setup.env) =
+  Report.print_title
+    "Certified probe elision — audit overhead on provably-independent \
+     queries";
+  Report.print_note (Setup.describe env);
+  Report.print_note
+    "Queries whose every probe is certified Independent execute the plain \
+     plan; their audit overhead must collapse to ~0%. Overlapping queries \
+     keep their probes and their evidence. 'sound' checks the elided run \
+     byte-for-byte (rows and ACCESSED) against the instrumented one.";
+  let db = env.Setup.db in
+  let ctx = Db.Database.context db in
+  let catalog = Db.Database.catalog db in
+  let audit = Db.Database.audit_expr db env.Setup.audit_name in
+  let infos =
+    [
+      {
+        Analysis.Independence.name = audit.Audit_core.Audit_expr.name;
+        sensitive_table = audit.Audit_core.Audit_expr.sensitive_table;
+        partition_by = audit.Audit_core.Audit_expr.partition_by;
+        definition = audit.Audit_core.Audit_expr.definition;
+      };
+    ]
+  in
+  Db.Database.install_audit_sets db;
+  let rows =
+    List.map
+      (fun (q : Tpch.Queries.query) ->
+        let sql = q.Tpch.Queries.sql in
+        let phys_plain = Setup.physical env (Setup.plan env sql) in
+        let phys_kept =
+          Setup.physical env
+            (Setup.plan env ~heuristic:Audit_core.Placement.Hcn sql)
+        in
+        let decisions =
+          Analysis.Independence.analyze_plan ~catalog ~audits:infos phys_kept
+        in
+        let r = Analysis.Elide.apply ~decisions phys_kept in
+        let phys_elided = r.Analysis.Elide.plan in
+        let certs_valid =
+          List.for_all
+            (fun c -> Analysis.Certificate.validate c = Ok ())
+            r.Analysis.Elide.certificates
+        in
+        let verdict =
+          match decisions with
+          | [] -> "none"
+          | ds ->
+            List.map
+              (fun d ->
+                Analysis.Independence.string_of_verdict
+                  d.Analysis.Independence.verdict)
+              ds
+            |> List.sort_uniq compare |> String.concat "+"
+        in
+        (* Mutation check: the elided plan must be observationally
+           identical to the instrumented one. *)
+        let observe phys =
+          Exec.Exec_ctx.reset_query_state ctx;
+          let out = List.sort compare (Exec.Executor.run_list ctx phys) in
+          let acc =
+            Exec.Exec_ctx.accessed_list ctx
+              ~audit_name:env.Setup.audit_name
+          in
+          (out, List.sort compare acc)
+        in
+        let sound = observe phys_kept = observe phys_elided in
+        let times =
+          let thunk phys () =
+            Exec.Exec_ctx.reset_query_state ctx;
+            ignore (Exec.Executor.run_count ctx phys)
+          in
+          Benchkit.Timing.compare_thunks ~warmup:env.Setup.cfg.Setup.warmup
+            ~repeats:env.Setup.cfg.Setup.repeats
+            [ thunk phys_plain; thunk phys_kept; thunk phys_elided ]
+        in
+        let t_plain, t_kept, t_elided =
+          match times with
+          | [ a; b; c ] -> (a, b, c)
+          | _ -> assert false
+        in
+        {
+          el_query = q.Tpch.Queries.id;
+          el_desc = q.Tpch.Queries.description;
+          el_verdict = verdict;
+          el_probes_before = count_probes phys_kept;
+          el_probes_after = count_probes phys_elided;
+          el_t_plain = t_plain;
+          el_t_kept = t_kept;
+          el_t_elided = t_elided;
+          el_certs_valid = certs_valid;
+          el_sound = sound;
+        })
+      Tpch.Queries.fga_workload
+  in
+  Report.print_table
+    ~headers:
+      [
+        "query"; "verdict"; "probes"; "plain"; "kept"; "elided";
+        "ovh kept"; "ovh elided"; "sound";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.el_query;
+           r.el_verdict;
+           Printf.sprintf "%d->%d" r.el_probes_before r.el_probes_after;
+           Report.secs r.el_t_plain;
+           Report.secs r.el_t_kept;
+           Report.secs r.el_t_elided;
+           Report.pct (el_overhead_kept r);
+           Report.pct (el_overhead_elided r);
+           (if r.el_sound then "yes" else "NO");
+         ])
+       rows);
+  rows

@@ -668,3 +668,76 @@ let assemble (env : Setup.env) ~(sections : (string * Json.t) list)
       ("elapsed_s", Json.Float elapsed_s);
       ("sections", Json.Obj sections);
     ]
+
+(* --------------------------------------------------------------- *)
+(* Certified probe elision                                          *)
+(* --------------------------------------------------------------- *)
+
+let elision_json (rows : Figures.elision_row list) : Json.t =
+  let independent =
+    List.filter (fun r -> r.Figures.el_verdict = "Independent") rows
+  in
+  let elided_overheads =
+    List.map (fun r -> Figures.el_overhead_elided r) independent
+  in
+  let max_elided_overhead = List.fold_left max 0.0 elided_overheads in
+  (* Per-query overheads on sub-millisecond queries are clock noise; the
+     aggregate (total elided time vs total plain time over the certified
+     queries) is the stable ~0% statistic CI gates on. *)
+  let sum f = List.fold_left (fun a r -> a +. f r) 0.0 independent in
+  let aggregate_overhead =
+    let plain = sum (fun r -> r.Figures.el_t_plain) in
+    if plain <= 0.0 then 0.0
+    else (sum (fun r -> r.Figures.el_t_elided) -. plain) /. plain *. 100.0
+  in
+  let failures =
+    List.length (List.filter (fun r -> not r.Figures.el_sound) rows)
+    + List.length (List.filter (fun r -> not r.Figures.el_certs_valid) rows)
+  in
+  Json.Obj
+    [
+      ( "rows",
+        Json.List
+          (List.map
+             (fun (r : Figures.elision_row) ->
+               Json.Obj
+                 [
+                   ("query", Json.Str r.Figures.el_query);
+                   ("description", Json.Str r.el_desc);
+                   ("verdict", Json.Str r.el_verdict);
+                   ("probes_before", Json.Int r.el_probes_before);
+                   ("probes_after", Json.Int r.el_probes_after);
+                   ("t_plain_s", Json.Float r.el_t_plain);
+                   ("t_kept_s", Json.Float r.el_t_kept);
+                   ("t_elided_s", Json.Float r.el_t_elided);
+                   ( "overhead_kept_pct",
+                     Json.Float (Figures.el_overhead_kept r) );
+                   ( "overhead_elided_pct",
+                     Json.Float (Figures.el_overhead_elided r) );
+                   ("certificates_valid", Json.Bool r.el_certs_valid);
+                   ("sound", Json.Bool r.el_sound);
+                 ])
+             rows) );
+      ( "summary",
+        Json.Obj
+          [
+            ("independent_count", Json.Int (List.length independent));
+            ( "elided_probe_count",
+              Json.Int
+                (List.fold_left
+                   (fun acc r ->
+                     acc + r.Figures.el_probes_before
+                     - r.Figures.el_probes_after)
+                   0 rows) );
+            ("max_elided_overhead_pct", Json.Float max_elided_overhead);
+            ( "aggregate_elided_overhead_pct",
+              Json.Float aggregate_overhead );
+            ( "independent_probes_after",
+              Json.Int
+                (List.fold_left
+                   (fun a r -> a + r.Figures.el_probes_after)
+                   0 independent) );
+            ("mutation_cases", Json.Int (List.length rows));
+            ("soundness_failures", Json.Int failures);
+          ] );
+    ]

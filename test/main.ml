@@ -17,6 +17,7 @@ let () =
       ("offline", Test_offline.suite);
       ("static", Test_static.suite);
       ("verify", Test_verify.suite);
+      ("elision", Test_elision.suite);
       ("tpch", Test_tpch.suite);
       ("setops", Test_setops.suite);
       ("db", Test_db.suite);
