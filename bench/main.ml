@@ -11,7 +11,7 @@
      BENCH_REPEATS  timing repetitions (default 3)
      BENCH_ONLY     comma-separated subset, e.g. "fig6,fig9,micro"
                     (unknown names abort with exit code 2)
-     BENCH_JSON     report path (default BENCH_PR9.json)
+     BENCH_JSON     report path (default BENCH_PR10.json)
      STORAGE        table representation (heap | columnar); the
                     row-vs-batch section always reports both
 
@@ -194,7 +194,7 @@ let () =
   let path =
     match Sys.getenv_opt "BENCH_JSON" with
     | Some p when String.trim p <> "" -> p
-    | _ -> "BENCH_PR9.json"
+    | _ -> "BENCH_PR10.json"
   in
   Benchkit.Json.write_file path
     (Json_report.assemble env ~sections:(List.rev !sections) ~elapsed_s:elapsed);

@@ -37,8 +37,8 @@ let parse_tcp spec =
     | Some p when p > 0 -> Some (`Tcp ((if host = "" then "127.0.0.1" else host), p))
     | _ -> None)
 
-let main socket tcp wal policy_open max_segment_size storage elide init tpch
-    max_clients max_waiting statement_timeout =
+let main socket tcp wal policy_open max_segment_size storage exec elide init
+    tpch max_clients max_waiting statement_timeout =
   let listen =
     match tcp with
     | Some spec -> (
@@ -59,6 +59,20 @@ let main socket tcp wal policy_open max_segment_size storage elide init tpch
       log (Printf.sprintf "storage mode %s" s)
     | None ->
       prerr_endline "serverd: --storage expects heap or columnar";
+      exit 2)
+  | None -> ());
+  (match exec with
+  | Some m -> (
+    match String.lowercase_ascii m with
+    | "row" -> Db.Database.set_exec_mode db `Row
+    | "batch" ->
+      Db.Database.set_exec_mode db `Batch;
+      log "exec mode batch"
+    | "compiled" ->
+      Db.Database.set_exec_mode db `Compiled;
+      log "exec mode compiled"
+    | _ ->
+      prerr_endline "serverd: --exec expects row, batch or compiled";
       exit 2)
   | None -> ());
   if elide then begin
@@ -147,6 +161,13 @@ let storage =
   in
   Arg.(value & opt (some string) None & info [ "storage" ] ~docv:"MODE" ~doc)
 
+let exec =
+  let doc =
+    "Execution engine for every served session ($(docv) is row, batch or \
+     compiled; default follows the EXEC_MODE environment variable)."
+  in
+  Arg.(value & opt (some string) None & info [ "exec" ] ~docv:"MODE" ~doc)
+
 let elide =
   let doc =
     "Certified probe elision: statically analyze every plan for \
@@ -202,7 +223,7 @@ let cmd =
     (Cmd.info "serverd" ~doc)
     Term.(
       const main $ socket $ tcp $ wal $ policy_open $ max_segment_size
-      $ storage $ elide $ init $ tpch $ max_clients $ max_waiting
+      $ storage $ exec $ elide $ init $ tpch $ max_clients $ max_waiting
       $ statement_timeout)
 
 let () = exit (Cmd.eval' cmd)

@@ -19,8 +19,9 @@
                             trigger by the static analysis
      \dump [file]           SQL dump of the database (to stdout or file)
      \heuristic <h>         leaf | hcn | highest
-     \exec [row|batch]      select (or show) the execution engine:
-                            tuple-at-a-time or vectorized batches
+     \exec [row|batch|compiled]   select (or show) the execution engine:
+                            tuple-at-a-time, vectorized batches, or
+                            push-based compiled pipelines
      \storage [heap|columnar]   select (or show) the storage engine for
                             tables created from now on
      \user <name>           set session user
@@ -41,7 +42,7 @@
 let usage_commands =
   "commands: \\q \\tables \\audits \\triggers \\notifications \\accessed \
    \\plan <sql> \\analyze <sql> \\verify <sql|mode <off|warn|strict>> \
-   \\dump [file] \\heuristic <leaf|hcn|highest> \\exec [row|batch] \
+   \\dump [file] \\heuristic <leaf|hcn|highest> \\exec [row|batch|compiled] \
    \\storage [heap|columnar] \\elide [off|certified] \\user <name> \\tpch <sf> \
    \\log <open|policy|dump|status|close> \
    \\timeout <s|off> \\budget <rows|mem> <n|off> \\alarms \\fault <...>"
@@ -270,12 +271,16 @@ let handle_command db line =
     | _ -> print_endline "unknown heuristic (leaf | hcn | highest)")
   | [ "\\exec" ] ->
     print_endline
-      (match Db.Database.exec_mode db with `Row -> "row" | `Batch -> "batch")
+      (match Db.Database.exec_mode db with
+      | `Row -> "row"
+      | `Batch -> "batch"
+      | `Compiled -> "compiled")
   | [ "\\exec"; m ] -> (
     match String.lowercase_ascii m with
     | "row" -> Db.Database.set_exec_mode db `Row
     | "batch" -> Db.Database.set_exec_mode db `Batch
-    | _ -> print_endline "usage: \\exec [row|batch]")
+    | "compiled" -> Db.Database.set_exec_mode db `Compiled
+    | _ -> print_endline "usage: \\exec [row|batch|compiled]")
   | [ "\\storage" ] ->
     print_endline
       (Storage.Table.storage_to_string (Db.Database.storage_mode db))

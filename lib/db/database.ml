@@ -75,9 +75,10 @@ type t = {
           newest first *)
   mutable verify : verify_mode;
       (** run the plan-invariant verifier on every planned statement *)
-  mutable exec_mode : [ `Row | `Batch ];
-      (** which engine runs SELECTs: tuple-at-a-time ({!Exec.Executor}) or
-          vectorized ({!Exec.Batch_exec}) *)
+  mutable exec_mode : [ `Row | `Batch | `Compiled ];
+      (** which engine runs SELECTs: tuple-at-a-time ({!Exec.Executor}),
+          vectorized ({!Exec.Batch_exec}) or push-based compiled
+          ({!Exec.Compiled_exec}) *)
   mutable storage_mode : Table.storage;
       (** physical representation for subsequently created tables (CREATE
           TABLE, temp tables); existing tables keep theirs *)
@@ -90,13 +91,20 @@ type t = {
 
 let max_trigger_depth = 8
 
-(* The BATCH_MODE environment variable flips the session default, so a
-   whole test run can exercise the vectorized engine (the CI batch-mode
-   job) without touching call sites. *)
+(* The EXEC_MODE environment variable picks the session's default engine
+   (row / batch / compiled), so a whole test run can exercise any engine
+   (the CI batch-mode and compiled-mode jobs) without touching call
+   sites; BATCH_MODE=1 is the pre-compiled-engine spelling of
+   EXEC_MODE=batch and still works. *)
 let default_exec_mode () =
-  match Sys.getenv_opt "BATCH_MODE" with
-  | Some ("1" | "true" | "TRUE" | "yes") -> `Batch
-  | _ -> `Row
+  match Sys.getenv_opt "EXEC_MODE" with
+  | Some ("batch" | "BATCH") -> `Batch
+  | Some ("compiled" | "COMPILED" | "push") -> `Compiled
+  | Some ("row" | "ROW") -> `Row
+  | _ -> (
+    match Sys.getenv_opt "BATCH_MODE" with
+    | Some ("1" | "true" | "TRUE" | "yes") -> `Batch
+    | _ -> `Row)
 
 (* ELISION flips the session default the same way BATCH_MODE / STORAGE
    do, so CI can run the whole suite with certified elision on. *)
@@ -192,6 +200,7 @@ let run_phys db phys =
   match db.exec_mode with
   | `Row -> Exec.Executor.run_list db.ctx phys
   | `Batch -> Exec.Batch_exec.run_list db.ctx phys
+  | `Compiled -> Exec.Compiled_exec.run_list db.ctx phys
 let set_user db u = db.ctx.Exec.Exec_ctx.user <- u
 let user db = db.ctx.Exec.Exec_ctx.user
 let set_heuristic db h = db.heuristic <- h
@@ -590,14 +599,26 @@ let run_plan db plan =
 (* Statement execution                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let temp_table db ~name ~schema rows =
+let drop_temp db name =
+  if Catalog.mem db.catalog name then Catalog.remove db.catalog name
+
+(* Bind the temp pseudo-relation [name] for the dynamic extent of [f],
+   saving any same-named binding of an enclosing trigger scope and
+   restoring it on the way out — exceptional or not. A cascaded trigger
+   thus sees its own [new]/[old]/[accessed], and the outer body resumes
+   with its own binding after the inner one unwinds, instead of finding
+   the relation clobbered (or dropped entirely). *)
+let with_temp db ~name ~schema rows f =
+  let saved = Catalog.find_opt db.catalog name in
   let t = Table.create ~storage:db.storage_mode ~name schema in
   List.iter (Table.insert t) rows;
   Catalog.put db.catalog t;
-  t
-
-let drop_temp db name =
-  if Catalog.mem db.catalog name then Catalog.remove db.catalog name
+  Fun.protect
+    ~finally:(fun () ->
+      match saved with
+      | Some prev -> Catalog.put db.catalog prev
+      | None -> drop_temp db name)
+    f
 
 let rec exec_statement db (stmt : Sql.Ast.statement) : result =
   match stmt with
@@ -891,22 +912,21 @@ and run_trigger db (tr : Audit_core.Trigger.t) ~accessed:(schema, rows) :
   db.trigger_depth <- db.trigger_depth + 1;
   let saved_before = db.in_before_trigger in
   db.in_before_trigger <- tr.Audit_core.Trigger.timing = Sql.Ast.Before_return;
-  let _ = temp_table db ~name:"accessed" ~schema rows in
   Fun.protect
     ~finally:(fun () ->
-      drop_temp db "accessed";
       db.in_before_trigger <- saved_before;
       db.trigger_depth <- db.trigger_depth - 1)
     (fun () ->
-      Engine_core.Faultkit.on_trigger db.ctx.Exec.Exec_ctx.faults
-        ~name:tr.Audit_core.Trigger.name;
-      match
-        List.iter
-          (fun s -> ignore (exec_statement db s))
-          tr.Audit_core.Trigger.body
-      with
-      | () -> None
-      | exception Deny_signal msg -> Some msg)
+      with_temp db ~name:"accessed" ~schema rows (fun () ->
+          Engine_core.Faultkit.on_trigger db.ctx.Exec.Exec_ctx.faults
+            ~name:tr.Audit_core.Trigger.name;
+          match
+            List.iter
+              (fun s -> ignore (exec_statement db s))
+              tr.Audit_core.Trigger.body
+          with
+          | () -> None
+          | exception Deny_signal msg -> Some msg))
 
 and run_dml_triggers db ~table ~event ~new_rows ~old_rows ~row_schema =
   let ts = Audit_core.Trigger.on_dml db.triggers ~table ~event in
@@ -915,22 +935,19 @@ and run_dml_triggers db ~table ~event ~new_rows ~old_rows ~row_schema =
       err "trigger cascade depth limit (%d) exceeded on table %s"
         max_trigger_depth table;
     db.trigger_depth <- db.trigger_depth + 1;
-    let _ = temp_table db ~name:"new" ~schema:row_schema new_rows in
-    let _ = temp_table db ~name:"old" ~schema:row_schema old_rows in
     Fun.protect
-      ~finally:(fun () ->
-        drop_temp db "new";
-        drop_temp db "old";
-        db.trigger_depth <- db.trigger_depth - 1)
+      ~finally:(fun () -> db.trigger_depth <- db.trigger_depth - 1)
       (fun () ->
-        List.iter
-          (fun tr ->
-            Engine_core.Faultkit.on_trigger db.ctx.Exec.Exec_ctx.faults
-              ~name:tr.Audit_core.Trigger.name;
-            List.iter
-              (fun s -> ignore (exec_statement db s))
-              tr.Audit_core.Trigger.body)
-          ts)
+        with_temp db ~name:"new" ~schema:row_schema new_rows (fun () ->
+            with_temp db ~name:"old" ~schema:row_schema old_rows (fun () ->
+                List.iter
+                  (fun tr ->
+                    Engine_core.Faultkit.on_trigger db.ctx.Exec.Exec_ctx.faults
+                      ~name:tr.Audit_core.Trigger.name;
+                    List.iter
+                      (fun s -> ignore (exec_statement db s))
+                      tr.Audit_core.Trigger.body)
+                  ts)))
   end
 
 (* §II-B: UPDATE and DELETE read the rows they modify, so the affected
@@ -1195,6 +1212,12 @@ let exec_logged db stmt_sql (stmt : Sql.Ast.statement) : result =
          Printf.sprintf
            "audit record lost while handling a failed statement: %s" m
          :: db.alarms);
+    (* Repair before the exception escapes, not just on the next entry:
+       [exec] routes statements around this wrapper (straight to
+       [exec_statement]) whenever [trigger_depth <> 0], so a depth leaked
+       here would make every later statement bypass the audit pipeline —
+       and nothing downstream would ever reset it. *)
+    repair_session db;
     raise e
 
 (** Execute one SQL statement. *)

@@ -1,0 +1,50 @@
+(** Push-based compiled execution of physical plans (data-centric).
+
+    The third engine. Instead of pulling tuples through a per-operator
+    getNext virtual call ({!Executor}) or batches through chunked kernels
+    ({!Batch_exec}), [compile] splits the plan into pipelines at the
+    blocking operators — hash-join and semi-join builds, HashAgg, Sort,
+    TopK, Except/Intersect builds — and fuses each pipeline
+    (scan→filter→project→audit-probe→…) into one push-based closure: the
+    scan loop drives every row through plain OCaml function composition,
+    with the audit probe of §IV-A2 lowered to an inline branch in the
+    loop body. On columnar tables a Filter directly over a scan compiles
+    the predicate to a slot-level {!Col_pred} kernel and materializes
+    only the surviving rows.
+
+    Semantics — emission order, 3VL, audit evidence, budget accounting
+    (per-row [note_scanned], [note_materialized] at the same buffering
+    points) and the row engine's open-time effect order — are identical
+    to {!Executor}, which remains the differential oracle.
+
+    Step-aside rules: operators whose protocols are pull-bound
+    (correlated [Apply], [Index_nl_join] probe chains, bare [Limit])
+    delegate their subtree to the row engine behind a pull→push adapter;
+    when the fault-injection kit is armed the whole plan steps aside to
+    {!Executor} so per-operator fault sites stay identical. *)
+
+open Storage
+
+type sink = Tuple.t -> unit
+
+(** A compiled pipeline tree: [run sink] pushes every output row into
+    [sink] in the row engine's emission order and returns when the input
+    is exhausted. *)
+type source = sink -> unit
+
+(** A factory, as in {!Executor}: invoking it performs the open-time
+    effects (table resolution, audit-set lookup, blocking builds) in the
+    row engine's order and returns the streaming source. *)
+type factory = unit -> source
+
+(** Compile a physical plan for the push engine. Raises
+    {!Executor.Exec_error} like the row engine (e.g. audit-ID table not
+    installed, at open). *)
+val compile : Exec_ctx.t -> Plan.Physical.t -> factory
+
+(** Compile and run, materializing all rows (row order identical to
+    {!Executor.run_list}). *)
+val run_list : Exec_ctx.t -> Plan.Physical.t -> Tuple.t list
+
+(** Compile and run, counting rows without materializing (benchmarks). *)
+val run_count : Exec_ctx.t -> Plan.Physical.t -> int

@@ -1,28 +1,38 @@
-(** Differential testing of the vectorized engine against the row engine,
-    across both storage engines.
+(** N-engine differential testing: every execution engine against the
+    row engine, across both storage engines.
 
     The row executor over heap tables is the semantic oracle: for every
     query we run the same physical plan under the full
-    row/batch × heap/columnar matrix and require {e identical} result
-    rows (including emission order — both engines share hash-table
-    insertion and probe order) and identical ACCESSED sets, under all
-    three placement heuristics. The columnar runs exercise the fused
-    scan/filter/join/aggregate kernels and their fallbacks.
+    row/batch/compiled × heap/columnar matrix and require {e identical}
+    result rows (including emission order — all engines share hash-table
+    insertion and probe order), identical ACCESSED sets, and identical
+    trigger notifications, under all three placement heuristics. The
+    columnar runs exercise the fused scan/filter/join/aggregate kernels
+    (and the push engine's slot-level predicate kernels) and their
+    fallbacks.
 
-    Coverage comes from three directions:
+    Coverage comes from four directions:
     - a seeded random query generator (select/filter/join/agg/order-by/
       top-k/distinct/exists/union shapes over random patients+visits
       databases, with and without a secondary index) — ≥200 cases;
     - the full TPC-H corpus ({!Tpch.Queries.all}, 20 queries) at a tiny
       scale factor;
-    - budget-parity regressions: the row and memory budgets must cancel at
-      the same row counts in both modes, with the same partial ACCESSED
-      state (batch mode charges budgets per row {e within} a chunk). *)
+    - a notification corpus driven through the full [exec] path (trigger
+      firings and NOTIFY output must be byte-equal per engine);
+    - budget-parity regressions: the row and memory budgets must cancel
+      at the same row counts in every mode, with the same partial
+      ACCESSED state (batch mode charges budgets per row {e within} a
+      chunk; the push engine charges per row before each push). *)
 
 module E = Engine_core.Engine_error
 
 let heuristics =
   Audit_core.Placement.[ ("leaf", Leaf); ("hcn", Hcn); ("highest", Highest) ]
+
+(** Every engine under differential test; the first is the oracle. A new
+    engine only needs a row here (and in {!Db.Database.run_phys}) to be
+    covered by the whole corpus. *)
+let modes = [ ("row", `Row); ("batch", `Batch); ("compiled", `Compiled) ]
 
 (* --------------------------------------------------------------- *)
 (* Core comparison: rows + ACCESSED under both engines              *)
@@ -64,7 +74,7 @@ let check_query_dbs dbs ~audit ~ctx_label sql =
                 Alcotest.(check Fixtures.values)
                   ("accessed: " ^ label) oracle_acc acc
               end)
-            [ ("row", `Row); ("batch", `Batch) ])
+            modes)
         dbs)
     heuristics
 
@@ -210,6 +220,78 @@ let test_tpch_corpus () =
     Tpch.Queries.all
 
 (* --------------------------------------------------------------- *)
+(* Notification parity: the full exec path (instrumentation, audit  *)
+(* evidence, trigger cascade, NOTIFY) must be byte-equal per engine *)
+(* --------------------------------------------------------------- *)
+
+let notif_queries =
+  [
+    "SELECT p.pid, p.age FROM patients p WHERE p.age > 3";
+    "SELECT p.pid FROM patients p, visits v WHERE p.pid = v.pid AND v.cost \
+     <= 5";
+    "SELECT p.zip, count(*) FROM patients p GROUP BY p.zip";
+    "SELECT DISTINCT p.zip FROM patients p WHERE p.age < 8 ORDER BY p.zip";
+    "SELECT count(*) FROM visits v WHERE v.cost > 9";
+    "SELECT p.pid FROM patients p WHERE EXISTS (SELECT 1 FROM visits v \
+     WHERE v.pid = p.pid)";
+    "SELECT p.pid, p.zip FROM patients p WHERE p.age > 6 UNION SELECT \
+     p.pid, p.age FROM patients p WHERE p.zip <= 1";
+  ]
+
+(** Replay the query list through {!Db.Database.exec} (instrumentation on,
+    triggers firing) and collect per-query rows plus the session's NOTIFY
+    stream. *)
+let exec_outcome db mode =
+  Db.Database.set_exec_mode db mode;
+  Db.Database.clear_notifications db;
+  let rows =
+    List.map
+      (fun sql ->
+        match Db.Database.exec db sql with
+        | Db.Database.Rows { rows; _ } -> rows
+        | _ -> [])
+      notif_queries
+  in
+  (rows, Db.Database.notifications db)
+
+let test_notification_parity () =
+  let st = Random.State.make [| 0xba7c5 |] in
+  let stmts =
+    build_stmts st
+    @ [
+        (* Rows beyond the random generator's key range, so the corpus is
+           never vacuously empty and the trigger always has prey. *)
+        "INSERT INTO patients VALUES (101, 7, 1)";
+        "INSERT INTO patients VALUES (102, 4, 0)";
+        "INSERT INTO patients VALUES (103, 9, 2)";
+        "INSERT INTO visits VALUES (101, 101, 3)";
+        "INSERT INTO visits VALUES (102, 103, 8)";
+        "CREATE TRIGGER watch_pat ON ACCESS TO audit_pat AS NOTIFY 'pat \
+         accessed'";
+      ]
+  in
+  let dbs = matrix_dbs stmts in
+  let _, oracle_db = List.hd dbs in
+  let oracle_rows, oracle_notifs = exec_outcome oracle_db `Row in
+  Alcotest.(check bool) "trigger fired at least once" true (oracle_notifs <> []);
+  List.iter
+    (fun (sname, db) ->
+      List.iter
+        (fun (mname, mode) ->
+          let label = Printf.sprintf "[%s %s]" sname mname in
+          let rows, notifs = exec_outcome db mode in
+          List.iteri
+            (fun i q ->
+              Alcotest.(check (list Fixtures.tuple))
+                (Printf.sprintf "rows %s %s" label q)
+                (List.nth oracle_rows i) (List.nth rows i))
+            notif_queries;
+          Alcotest.(check (list string))
+            ("notifications " ^ label) oracle_notifs notifs)
+        modes)
+    dbs
+
+(* --------------------------------------------------------------- *)
 (* Budget parity: batch mode charges budgets per row within a chunk *)
 (* --------------------------------------------------------------- *)
 
@@ -234,11 +316,19 @@ let budget_outcome mode =
 
 let test_row_budget_parity () =
   let row_scanned, row_acc = budget_outcome `Row in
-  let batch_scanned, batch_acc = budget_outcome `Batch in
-  Alcotest.(check int) "rows_scanned at cancellation" row_scanned batch_scanned;
-  Alcotest.(check Fixtures.values) "partial ACCESSED" row_acc batch_acc;
+  List.iter
+    (fun (mname, mode) ->
+      if mode <> `Row then begin
+        let scanned, acc = budget_outcome mode in
+        Alcotest.(check int)
+          (mname ^ ": rows_scanned at cancellation")
+          row_scanned scanned;
+        Alcotest.(check Fixtures.values) (mname ^ ": partial ACCESSED") row_acc
+          acc
+      end)
+    modes;
   (* Alice is row 1: scanned before the budget tripped, so her access must
-     be part of the partial state in both modes. *)
+     be part of the partial state in every mode. *)
   Alcotest.(check bool) "Alice audited" true (row_acc <> [])
 
 let mem_outcome mode =
@@ -252,9 +342,14 @@ let mem_outcome mode =
   (Db.Database.context db).Exec.Exec_ctx.tuples_materialized
 
 let test_mem_budget_parity () =
-  Alcotest.(check int)
-    "tuples_materialized at cancellation" (mem_outcome `Row)
-    (mem_outcome `Batch)
+  let oracle = mem_outcome `Row in
+  List.iter
+    (fun (mname, mode) ->
+      if mode <> `Row then
+        Alcotest.(check int)
+          (mname ^ ": tuples_materialized at cancellation")
+          oracle (mem_outcome mode))
+    modes
 
 (* --------------------------------------------------------------- *)
 
@@ -262,14 +357,19 @@ let suite =
   [
     Alcotest.test_case
       (Printf.sprintf
-         "seeded corpus (%d cases, 3 heuristics, row/batch x heap/columnar)"
+         "seeded corpus (%d cases, 3 heuristics, row/batch/compiled x \
+          heap/columnar)"
          n_seeded_cases)
       `Slow test_seeded_corpus;
     Alcotest.test_case
-      "TPC-H corpus (20 queries, 3 heuristics, row/batch x heap/columnar)"
+      "TPC-H corpus (20 queries, 3 heuristics, row/batch/compiled x \
+       heap/columnar)"
       `Slow test_tpch_corpus;
-    Alcotest.test_case "row budget cancels at the same row in both modes"
+    Alcotest.test_case
+      "notifications byte-equal through exec in every engine x storage" `Quick
+      test_notification_parity;
+    Alcotest.test_case "row budget cancels at the same row in every mode"
       `Quick test_row_budget_parity;
-    Alcotest.test_case "memory budget cancels at the same tuple in both modes"
+    Alcotest.test_case "memory budget cancels at the same tuple in every mode"
       `Quick test_mem_budget_parity;
   ]

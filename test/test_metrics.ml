@@ -153,11 +153,17 @@ let test_mode_rows_agree () =
   List.iter
     (fun qid ->
       let q = Tpch.Queries.find qid in
+      let oracle = profile `Row q.Tpch.Queries.sql in
       check
         Alcotest.(list string)
-        ("per-operator rows: " ^ qid)
-        (profile `Row q.Tpch.Queries.sql)
-        (profile `Batch q.Tpch.Queries.sql))
+        ("per-operator rows (batch): " ^ qid)
+        oracle
+        (profile `Batch q.Tpch.Queries.sql);
+      check
+        Alcotest.(list string)
+        ("per-operator rows (compiled): " ^ qid)
+        oracle
+        (profile `Compiled q.Tpch.Queries.sql))
     [ "Q1"; "Q5"; "Q6" ]
 
 let test_json_emitter () =

@@ -288,11 +288,11 @@ let arb_boundary =
       Printf.sprintf "size=%d\n%s" (List.nth boundary_sizes i) sql)
     gen_boundary_query
 
-(* Batch ≡ row for compiled predicates/projections over 3VL/NULL corners
-   when the table size sits at a chunk boundary — results (in order) and
-   ACCESSED sets must be identical. *)
+(* Batch and compiled ≡ row for compiled predicates/projections over
+   3VL/NULL corners when the table size sits at a chunk boundary —
+   results (in order) and ACCESSED sets must be identical. *)
 let prop_batch_chunk_boundary =
-  QCheck.Test.make ~count:60 ~name:"batch = row at chunk boundaries (3VL)"
+  QCheck.Test.make ~count:60 ~name:"batch/compiled = row at chunk boundaries (3VL)"
     arb_boundary (fun (size_i, sql) ->
       let _, db = List.nth (Lazy.force boundary_dbs) size_i in
       let run mode =
@@ -307,11 +307,12 @@ let prop_batch_chunk_boundary =
             (Db.Database.context db)
             ~audit_name:"audit_big" )
       in
-      run `Row = run `Batch)
+      let oracle = run `Row in
+      oracle = run `Batch && oracle = run `Compiled)
 
 (* The plan verifier's verdict cannot depend on the engine, and Strict
-   execution must behave identically: both modes succeed with the same
-   rows, or both refuse with a Verify error. *)
+   execution must behave identically: every mode succeeds with the same
+   rows, or every mode refuses with the same Verify error. *)
 let prop_verify_both_modes =
   QCheck.Test.make ~count:60 ~name:"Plan_verify parity across exec modes"
     arb_case (fun (d, (sql, _)) ->
@@ -329,7 +330,130 @@ let prop_verify_both_modes =
           ->
           Error m
       in
-      run `Row = run `Batch)
+      let oracle = run `Row in
+      oracle = run `Batch && oracle = run `Compiled)
+
+(* --------------------------------------------------------------- *)
+(* Compiled engine: elision, cancellation, fault fallback           *)
+(* --------------------------------------------------------------- *)
+
+(* The push-based compiled engine must agree with the row oracle through
+   the full statement pipeline — instrumented plans, trigger firing,
+   NOTIFY — whether certified probe elision is off or on. A fresh
+   database per elision mode keeps the two runs independent. *)
+let prop_compiled_elision_parity =
+  QCheck.Test.make ~count:80
+    ~name:"compiled = row with elision off and certified" arb_case
+    (fun (d, (sql, _)) ->
+      List.for_all
+        (fun em ->
+          let db = build_db d in
+          ignore
+            (Db.Database.exec db
+               "CREATE TRIGGER w ON ACCESS TO audit_pat AS NOTIFY 'hit'");
+          Db.Database.set_elision_mode db em;
+          let run mode =
+            Db.Database.set_exec_mode db mode;
+            Db.Database.clear_notifications db;
+            let rows =
+              match Db.Database.exec db sql with
+              | Db.Database.Rows { rows; _ } -> rows
+              | r -> [ [| Value.Str (Db.Database.result_to_string r) |] ]
+            in
+            ( rows,
+              Db.Database.last_accessed db,
+              Db.Database.notifications db )
+          in
+          run `Row = run `Compiled)
+        [ Db.Database.Elide_off; Db.Database.Elide_certified ])
+
+(* Cancellation parity: with a random row/memory budget (or an
+   already-expired deadline), the compiled engine either completes with
+   the row engine's rows or parks mid-pipeline at exactly the same
+   point — same cancellation reason, same rows_scanned /
+   tuples_materialized counters, same partial ACCESSED set. *)
+let arb_cancel_case =
+  QCheck.make
+    ~print:(fun ((d, (sql, _)), (kind, n)) ->
+      Printf.sprintf "patients=%d visits=%d index=%b %s=%d\n%s"
+        (List.length d.patients) (List.length d.visits) d.with_index
+        (match kind with
+        | `Rows -> "row-budget"
+        | `Mem -> "mem-budget"
+        | `Deadline -> "timeout")
+        n sql)
+    QCheck.Gen.(
+      pair (pair gen_dataset gen_query)
+        (pair (oneofl [ `Rows; `Rows; `Mem; `Mem; `Deadline ]) (int_range 1 8)))
+
+let prop_compiled_cancel_parity =
+  QCheck.Test.make ~count:120
+    ~name:"compiled = row under budget/timeout cancellation" arb_cancel_case
+    (fun ((d, (sql, _)), (kind, n)) ->
+      let module E = Engine_core.Engine_error in
+      let run mode =
+        let db = build_db d in
+        ignore
+          (Db.Database.exec db
+             "CREATE TRIGGER w ON ACCESS TO audit_pat AS NOTIFY 'hit'");
+        Db.Database.set_exec_mode db mode;
+        (match kind with
+        | `Rows -> Db.Database.set_row_budget db (Some n)
+        | `Mem -> Db.Database.set_mem_budget db (Some n)
+        (* A negative timeout puts the deadline in the past before the
+           query starts, so cancellation lands deterministically on the
+           engine's first periodic clock check — a small positive value
+           would race the microsecond clock granularity and cancel at a
+           run-dependent tick. *)
+        | `Deadline -> Db.Database.set_timeout db (Some (-1.0)));
+        let ctx = Db.Database.context db in
+        let outcome =
+          match Db.Database.exec db sql with
+          | Db.Database.Rows { rows; _ } -> Ok rows
+          | r -> Ok [ [| Value.Str (Db.Database.result_to_string r) |] ]
+          | exception E.Error (E.Cancelled { reason; _ }) -> Error reason
+        in
+        ( outcome,
+          ctx.Exec.Exec_ctx.rows_scanned,
+          ctx.Exec.Exec_ctx.tuples_materialized,
+          Exec.Exec_ctx.accessed_list ctx ~audit_name:"audit_pat" )
+      in
+      run `Row = run `Compiled)
+
+(* An armed fault kit must force the compiled engine onto the row
+   engine's per-operator path, so an [Op_next] point fires at exactly
+   the same getNext in both modes: identical injected-fault error and
+   identical fired-point log. A native push pipeline would never call
+   [on_get_next] and would succeed — detectably diverging from the row
+   oracle. *)
+let prop_compiled_fault_fallback =
+  QCheck.Test.make ~count:60
+    ~name:"armed Faultkit forces the compiled engine's fallback" arb_case
+    (fun (d, (sql, _)) ->
+      let run mode =
+        let db = build_db d in
+        ignore
+          (Db.Database.exec db
+             "CREATE TRIGGER w ON ACCESS TO audit_pat AS NOTIFY 'hit'");
+        Db.Database.set_exec_mode db mode;
+        let kit = Db.Database.faults db in
+        Engine_core.Faultkit.arm kit
+          [ Engine_core.Faultkit.Op_next { op = "*"; at = 1 } ];
+        let outcome =
+          match Db.Database.exec db sql with
+          | Db.Database.Rows { rows; _ } -> Ok (sorted rows)
+          | r -> Ok [ [| Value.Str (Db.Database.result_to_string r) |] ]
+          | exception Engine_core.Faultkit.Fault_injected m -> Error m
+          | exception
+              Engine_core.Engine_error.Error (Engine_core.Engine_error.Fault m)
+            ->
+            Error m
+        in
+        (outcome, Engine_core.Faultkit.fired kit)
+      in
+      let row = run `Row and compiled = run `Compiled in
+      row = compiled
+      && (match fst compiled with Error _ -> true | Ok _ -> false))
 
 let suite =
   List.map QCheck_alcotest.to_alcotest
@@ -342,4 +466,7 @@ let suite =
       prop_optimizer_equivalence;
       prop_batch_chunk_boundary;
       prop_verify_both_modes;
+      prop_compiled_elision_parity;
+      prop_compiled_cancel_parity;
+      prop_compiled_fault_fallback;
     ]

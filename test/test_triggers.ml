@@ -145,6 +145,52 @@ let test_dml_triggers_old_new () =
     ]
     (Fixtures.rows_sorted db "SELECT * FROM audit_trail")
 
+(* A failing DML trigger body must not leak the [new]/[old] pseudo-
+   relations or the cascade depth: the next statement still routes
+   through the audited pipeline and SELECT triggers still fire. *)
+let test_failing_dml_trigger_no_leak () =
+  let db = Fixtures.healthcare () in
+  ignore
+    (Db.Database.exec db
+       "CREATE TRIGGER boom ON patients AFTER INSERT AS INSERT INTO \
+        no_such_table SELECT patientid FROM new");
+  (match Db.Database.exec db "INSERT INTO patients VALUES (10,'Zed',50,1)" with
+  | exception Db.Database.Db_error _ -> ()
+  | _ -> Alcotest.fail "expected the trigger body to fail");
+  check Alcotest.int "trigger depth repaired" 0 (Db.Database.trigger_depth db);
+  (match Db.Database.exec db "SELECT * FROM new" with
+  | exception Db.Database.Db_error _ -> ()
+  | _ -> Alcotest.fail "new leaked past the failed trigger");
+  (match Db.Database.exec db "SELECT * FROM old" with
+  | exception Db.Database.Db_error _ -> ()
+  | _ -> Alcotest.fail "old leaked past the failed trigger");
+  ignore (Db.Database.exec db Fixtures.audit_all_sql);
+  ignore
+    (Db.Database.exec db
+       "CREATE TRIGGER still_audited ON ACCESS TO audit_all AS NOTIFY 'seen'");
+  ignore (Db.Database.exec db "SELECT * FROM patients WHERE age < 30");
+  check Alcotest.bool "SELECT triggers still fire afterwards" true
+    (Db.Database.notifications db <> [])
+
+(* A cascaded DML trigger binds its own [new]; when it unwinds, the outer
+   body must resume with the outer binding instead of finding it dropped. *)
+let test_nested_dml_new_restored () =
+  let db = Fixtures.healthcare () in
+  let e sql = ignore (Db.Database.exec db sql) in
+  e "CREATE TABLE a (x INT)";
+  e "CREATE TABLE b (x INT)";
+  e "CREATE TABLE c (x INT)";
+  e
+    "CREATE TRIGGER inner_t ON b AFTER INSERT AS INSERT INTO c SELECT x + \
+     100 FROM new";
+  e
+    "CREATE TRIGGER outer_t ON a AFTER INSERT AS BEGIN INSERT INTO b \
+     SELECT x FROM new; INSERT INTO c SELECT x FROM new; END";
+  e "INSERT INTO a VALUES (1)";
+  check Fixtures.tuples "outer new survives the cascade"
+    [ [| vi 1 |]; [| vi 101 |] ]
+    (Fixtures.rows_sorted db "SELECT * FROM c")
+
 let test_depth_limit () =
   let db = Fixtures.healthcare () in
   ignore (Db.Database.exec db "CREATE TABLE a (x INT)");
@@ -257,6 +303,10 @@ let suite =
       test_conditional_notify;
     Alcotest.test_case "DML triggers with old/new" `Quick
       test_dml_triggers_old_new;
+    Alcotest.test_case "failing DML trigger leaks no new/old" `Quick
+      test_failing_dml_trigger_no_leak;
+    Alcotest.test_case "nested cascade restores outer new" `Quick
+      test_nested_dml_new_restored;
     Alcotest.test_case "cascade depth limit" `Quick test_depth_limit;
     Alcotest.test_case "DROP TRIGGER" `Quick test_drop_trigger;
     Alcotest.test_case "multiple triggers per audit" `Quick
